@@ -1,0 +1,309 @@
+(* xentry — command-line driver for the Xentry reproduction.
+
+   Subcommands:
+     simulate   run a benchmark's VM-exit stream on a simulated host
+     inject     run a fault-injection campaign and summarize it
+     train      run the SIII-B training pipeline and report accuracy
+     handlers   list the synthesized hypervisor handlers
+     features   print Table I *)
+
+open Cmdliner
+open Xentry_vmm
+open Xentry_workload
+open Xentry_core
+open Xentry_faultinject
+
+(* --- shared arguments -------------------------------------------------- *)
+
+let benchmark_conv =
+  let parse s =
+    let found =
+      Array.to_list Profile.all_benchmarks
+      |> List.find_opt (fun b -> Profile.benchmark_name b = String.lowercase_ascii s)
+    in
+    match found with
+    | Some b -> Ok b
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown benchmark %S (expected one of %s)" s
+               (String.concat ", "
+                  (Array.to_list
+                     (Array.map Profile.benchmark_name Profile.all_benchmarks)))))
+  in
+  let print ppf b = Format.pp_print_string ppf (Profile.benchmark_name b) in
+  Arg.conv (parse, print)
+
+let benchmark_arg =
+  Arg.(
+    value
+    & opt benchmark_conv Profile.Postmark
+    & info [ "b"; "benchmark" ] ~docv:"NAME"
+        ~doc:"Benchmark workload (mcf, bzip2, freqmine, canneal, x264, postmark).")
+
+let mode_conv =
+  let parse = function
+    | "pv" -> Ok Profile.PV
+    | "hvm" -> Ok Profile.HVM
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S (pv or hvm)" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf (match m with Profile.PV -> "pv" | Profile.HVM -> "hvm")
+  in
+  Arg.conv (parse, print)
+
+let mode_arg =
+  Arg.(
+    value & opt mode_conv Profile.PV
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:"Virtualization mode: pv (para-virtualized) or hvm.")
+
+let seed_arg =
+  Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+(* --- simulate ------------------------------------------------------------- *)
+
+let simulate benchmark mode exits seed =
+  let host = Hypervisor.create ~seed () in
+  let profile = Profile.get benchmark in
+  let stream = Stream.create profile mode (Xentry_util.Rng.create seed) in
+  let by_category = Hashtbl.create 8 in
+  let total_instructions = ref 0 in
+  for _ = 1 to exits do
+    let req = Stream.next_request stream in
+    let result = Hypervisor.handle host req in
+    total_instructions := !total_instructions + result.Xentry_machine.Cpu.steps;
+    let cat = Exit_reason.category req.Request.reason in
+    Hashtbl.replace by_category cat
+      (1 + Option.value ~default:0 (Hashtbl.find_opt by_category cat))
+  done;
+  Printf.printf "%d hypervisor executions of %s (%s), %d instructions total\n"
+    exits
+    (Profile.benchmark_name benchmark)
+    (Profile.mode_name mode) !total_instructions;
+  Printf.printf "mean handler length: %.0f instructions\n"
+    (float_of_int !total_instructions /. float_of_int exits);
+  Printf.printf "activation rate band (sampled): %.0f/s\n"
+    (Profile.sample_activation_rate profile mode (Xentry_util.Rng.create seed));
+  print_endline "exit reasons by category:";
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_category []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.iter (fun (cat, n) -> Printf.printf "  %-10s %d\n" cat n)
+
+let simulate_cmd =
+  let exits =
+    Arg.(
+      value & opt int 1000
+      & info [ "n"; "exits" ] ~docv:"N" ~doc:"Number of VM exits to simulate.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a benchmark's VM-exit stream on a simulated host")
+    Term.(const simulate $ benchmark_arg $ mode_arg $ exits $ seed_arg)
+
+(* --- inject ------------------------------------------------------------------ *)
+
+let inject benchmark mode injections seed with_detector =
+  let detector =
+    if not with_detector then None
+    else begin
+      prerr_endline "training detector (use --no-detector to skip)...";
+      let train =
+        Training.collect ~seed:(seed + 1) ~benchmarks:[ benchmark ] ~mode
+          ~injections_per_benchmark:(max 500 (injections / 2))
+          ~fault_free_per_benchmark:(max 200 (injections / 8))
+      in
+      let test =
+        Training.collect ~seed:(seed + 2) ~benchmarks:[ benchmark ] ~mode
+          ~injections_per_benchmark:300 ~fault_free_per_benchmark:100
+      in
+      Some (Training.detector (Training.train_and_evaluate ~train ~test ()))
+    end
+  in
+  let config =
+    { (Campaign.default_config ?detector ~benchmark ~injections ~seed ()) with
+      Campaign.mode }
+  in
+  let summary = Report.summarize (Campaign.run config) in
+  Printf.printf "injections: %d  activated: %d  manifested: %d  coverage: %.1f%%\n"
+    summary.Report.total_injections summary.Report.activated
+    summary.Report.manifested
+    (100.0 *. summary.Report.coverage);
+  List.iter
+    (fun (name, pct) -> Printf.printf "  %-26s %5.1f%%\n" name pct)
+    (Report.technique_percentages summary);
+  print_endline "undetected breakdown:";
+  List.iter
+    (fun (name, pct) -> Printf.printf "  %-14s %5.1f%%\n" name pct)
+    (Report.undetected_percentages summary)
+
+let inject_cmd =
+  let injections =
+    Arg.(
+      value & opt int 3000
+      & info [ "n"; "injections" ] ~docv:"N" ~doc:"Number of fault injections.")
+  in
+  let with_detector =
+    Arg.(
+      value & flag
+      & info [ "no-detector" ]
+          ~doc:"Skip VM-transition detector training (runtime detection only).")
+    |> Term.map not
+  in
+  Cmd.v
+    (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
+    Term.(
+      const inject $ benchmark_arg $ mode_arg $ injections $ seed_arg
+      $ with_detector)
+
+(* --- train -------------------------------------------------------------------- *)
+
+let train train_injections test_injections seed show_rules =
+  let trained =
+    Training.default_pipeline ~seed ~train_injections ~test_injections ()
+  in
+  let open Xentry_mlearn in
+  let corpus name (c : Training.corpus) =
+    Printf.printf "%s: %d samples (%d correct, %d incorrect)\n" name
+      (Dataset.length c.Training.dataset)
+      c.Training.correct c.Training.incorrect
+  in
+  corpus "training" trained.Training.train_corpus;
+  corpus "testing " trained.Training.test_corpus;
+  let eval name tree c =
+    Printf.printf "%-13s accuracy %.1f%%  FP rate %.2f%%  depth %d\n" name
+      (100.0 *. Metrics.accuracy c)
+      (100.0 *. Metrics.false_positive_rate c)
+      (Tree.depth tree)
+  in
+  eval "decision tree" trained.Training.decision_tree
+    trained.Training.decision_tree_eval;
+  eval "random tree" trained.Training.random_tree trained.Training.random_tree_eval;
+  if show_rules then begin
+    print_endline "deployed (random tree) rules:";
+    List.iter
+      (fun r -> Printf.printf "  %s\n" r)
+      (Tree.rules trained.Training.random_tree)
+  end
+
+let train_cmd =
+  let ti =
+    Arg.(
+      value & opt int 23_400
+      & info [ "train-injections" ] ~docv:"N"
+          ~doc:"Fault injections for the training corpus (paper: 23,400).")
+  in
+  let te =
+    Arg.(
+      value & opt int 17_700
+      & info [ "test-injections" ] ~docv:"N"
+          ~doc:"Fault injections for the testing corpus (paper: 17,700).")
+  in
+  let rules =
+    Arg.(value & flag & info [ "rules" ] ~doc:"Print the learned decision rules.")
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Run the VM-transition detector training pipeline")
+    Term.(const train $ ti $ te $ seed_arg $ rules)
+
+(* --- handlers ------------------------------------------------------------------- *)
+
+let handlers verbose =
+  Printf.printf "%d exit reasons, %d static handler instructions\n"
+    Exit_reason.count
+    (Handlers.static_instruction_count ());
+  Array.iter
+    (fun (reason, program) ->
+      Printf.printf "%3d  %-32s %4d instructions  (%s)\n"
+        (Exit_reason.to_id reason)
+        (Exit_reason.name reason)
+        (Xentry_isa.Program.length program)
+        (Exit_reason.category reason);
+      if verbose then
+        print_endline (Format.asprintf "%a" Xentry_isa.Program.pp program))
+    (Handlers.all_programs ())
+
+let handlers_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "disassemble" ] ~doc:"Print full listings.")
+  in
+  Cmd.v
+    (Cmd.info "handlers" ~doc:"List the synthesized hypervisor handlers")
+    Term.(const handlers $ verbose)
+
+(* --- export --------------------------------------------------------------------- *)
+
+let export arff_path c_path injections seed =
+  let benchmarks = Array.to_list Profile.all_benchmarks in
+  let n = List.length benchmarks in
+  prerr_endline "collecting corpus and training the random tree...";
+  let train =
+    Training.collect ~seed ~benchmarks ~mode:Profile.PV
+      ~injections_per_benchmark:(max 200 (injections / n))
+      ~fault_free_per_benchmark:(max 100 (injections / n / 4))
+  in
+  let test =
+    Training.collect ~seed:(seed + 1) ~benchmarks ~mode:Profile.PV
+      ~injections_per_benchmark:200 ~fault_free_per_benchmark:100
+  in
+  let trained = Training.train_and_evaluate ~train ~test () in
+  (match arff_path with
+  | Some path ->
+      Xentry_mlearn.Arff.save path
+        (Xentry_mlearn.Arff.to_arff ~relation:"xentry_vm_transitions"
+           train.Training.dataset);
+      Printf.printf "wrote WEKA corpus: %s (%d samples)\n" path
+        (Xentry_mlearn.Dataset.length train.Training.dataset)
+  | None -> ());
+  match c_path with
+  | Some path ->
+      Xentry_mlearn.Arff.save path
+        (Xentry_mlearn.Tree_io.to_c ~function_name:"xentry_vm_transition_check"
+           trained.Training.random_tree);
+      Printf.printf "wrote C classifier: %s (%d nodes, depth %d)\n" path
+        (Xentry_mlearn.Tree.node_count trained.Training.random_tree)
+        (Xentry_mlearn.Tree.depth trained.Training.random_tree)
+  | None -> ()
+
+let export_cmd =
+  let arff =
+    Arg.(
+      value & opt (some string) None
+      & info [ "arff" ] ~docv:"FILE" ~doc:"Write the training corpus as ARFF.")
+  in
+  let c =
+    Arg.(
+      value & opt (some string) None
+      & info [ "c-file" ] ~docv:"FILE"
+          ~doc:"Write the trained classifier as a C function.")
+  in
+  let injections =
+    Arg.(
+      value & opt int 6000
+      & info [ "n"; "injections" ] ~docv:"N" ~doc:"Corpus size in injections.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export the training corpus (WEKA ARFF) and the classifier (C)")
+    Term.(const export $ arff $ c $ injections $ seed_arg)
+
+(* --- features ------------------------------------------------------------------- *)
+
+let features () = print_string (Format.asprintf "%a" Features.pp_table1 ())
+
+let features_cmd =
+  Cmd.v
+    (Cmd.info "features" ~doc:"Print the Table I feature set")
+    Term.(const features $ const ())
+
+(* --- main ----------------------------------------------------------------------- *)
+
+let () =
+  let doc = "Xentry: hypervisor-level soft error detection (ICPP 2014 reproduction)" in
+  let info = Cmd.info "xentry" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            simulate_cmd; inject_cmd; train_cmd; handlers_cmd; features_cmd;
+            export_cmd;
+          ]))

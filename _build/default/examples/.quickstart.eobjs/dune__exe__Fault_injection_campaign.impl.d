@@ -1,0 +1,1 @@
+examples/fault_injection_campaign.ml: Array Campaign Framework List Outcome Printf Report Stats Sys Training Xentry_core Xentry_faultinject Xentry_util Xentry_workload

@@ -1,0 +1,1 @@
+examples/sdc_anatomy.mli:

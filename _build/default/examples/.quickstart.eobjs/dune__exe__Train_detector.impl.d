@@ -1,0 +1,1 @@
+examples/train_detector.ml: Dataset List Metrics Printf Training Tree Xentry_core Xentry_faultinject Xentry_mlearn Xentry_workload

@@ -1,0 +1,1 @@
+lib/faultinject/campaign.ml: Classify Cpu Domain Fault Framework Hypervisor List Outcome Pmu Request Transition_detector Xentry_core Xentry_machine Xentry_util Xentry_vmm Xentry_workload

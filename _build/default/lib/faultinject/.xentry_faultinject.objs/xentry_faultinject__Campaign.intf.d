@@ -1,0 +1,1 @@
+lib/faultinject/campaign.mli: Outcome Xentry_core Xentry_machine Xentry_vmm Xentry_workload

@@ -1,0 +1,1 @@
+lib/faultinject/classify.ml: Array Cpu Fault Hypervisor Int64 Layout List Memory Outcome Vtime Xentry_isa Xentry_machine Xentry_vmm

@@ -1,0 +1,1 @@
+lib/faultinject/classify.mli: Fault Outcome Xentry_isa Xentry_machine Xentry_vmm

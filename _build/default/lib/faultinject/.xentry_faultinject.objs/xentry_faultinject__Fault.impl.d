@@ -1,0 +1,1 @@
+lib/faultinject/fault.ml: Format Rng Xentry_isa Xentry_machine Xentry_util

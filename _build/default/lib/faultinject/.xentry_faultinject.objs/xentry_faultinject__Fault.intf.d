@@ -1,0 +1,1 @@
+lib/faultinject/fault.mli: Format Xentry_isa Xentry_machine Xentry_util

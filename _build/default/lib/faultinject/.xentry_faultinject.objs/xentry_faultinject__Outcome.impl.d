@@ -1,0 +1,1 @@
+lib/faultinject/outcome.ml: Fault Format Xentry_core Xentry_machine Xentry_vmm

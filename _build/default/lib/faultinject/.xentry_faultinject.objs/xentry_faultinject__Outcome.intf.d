@@ -1,0 +1,1 @@
+lib/faultinject/outcome.mli: Fault Format Xentry_core Xentry_machine Xentry_vmm

@@ -1,0 +1,1 @@
+lib/faultinject/recovery_study.ml: Classify Cpu Fault Format Framework Hypervisor Recovery_engine Request Xentry_core Xentry_machine Xentry_util Xentry_vmm Xentry_workload

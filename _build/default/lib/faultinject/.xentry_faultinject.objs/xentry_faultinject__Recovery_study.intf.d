@@ -1,0 +1,1 @@
+lib/faultinject/recovery_study.mli: Format Xentry_core Xentry_workload

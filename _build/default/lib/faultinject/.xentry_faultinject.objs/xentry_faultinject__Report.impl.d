@@ -1,0 +1,1 @@
+lib/faultinject/report.ml: Array Format Framework List Outcome Xentry_core

@@ -1,0 +1,1 @@
+lib/faultinject/report.mli: Format Outcome Xentry_core

@@ -1,0 +1,1 @@
+lib/faultinject/training.ml: Array Campaign Dataset Features Framework List Metrics Outcome Transition_detector Tree Xentry_core Xentry_mlearn Xentry_workload

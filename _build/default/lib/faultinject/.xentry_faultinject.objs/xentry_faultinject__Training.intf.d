@@ -1,0 +1,1 @@
+lib/faultinject/training.mli: Xentry_core Xentry_mlearn Xentry_workload

@@ -1,0 +1,138 @@
+open Xentry_machine
+open Xentry_vmm
+open Xentry_core
+
+type config = {
+  seed : int;
+  injections : int;
+  benchmark : Xentry_workload.Profile.benchmark;
+  mode : Xentry_workload.Profile.virt_mode;
+  detector : Transition_detector.t option;
+  framework : Framework.config;
+  fuel : int;
+  hardened : bool;
+}
+
+let default_config ?detector ?(hardened = false) ~benchmark ~injections ~seed () =
+  {
+    seed;
+    injections;
+    benchmark;
+    mode = Xentry_workload.Profile.PV;
+    detector;
+    framework = Framework.full_config;
+    fuel = 20_000;
+    hardened;
+  }
+
+let snapshot_equal (a : Pmu.snapshot) (b : Pmu.snapshot) =
+  a.Pmu.inst = b.Pmu.inst
+  && a.Pmu.branches = b.Pmu.branches
+  && a.Pmu.loads = b.Pmu.loads
+  && a.Pmu.stores = b.Pmu.stores
+
+let activated (result : Cpu.run_result) =
+  match result.Cpu.activation with
+  | Some { fate = Cpu.Activated _; _ } -> true
+  | _ -> false
+
+let run config =
+  let profile = Xentry_workload.Profile.get config.benchmark in
+  let rng = Xentry_util.Rng.create config.seed in
+  let request_rng = Xentry_util.Rng.split rng in
+  let fault_rng = Xentry_util.Rng.split rng in
+  let host =
+    Hypervisor.create ~seed:(config.seed lxor 0x5EED) ~hardened:config.hardened ()
+  in
+  Hypervisor.set_assertions_enabled host true;
+  let records = ref [] in
+  for _ = 1 to config.injections do
+    let req = Xentry_workload.Profile.sample_request profile config.mode request_rng in
+    Hypervisor.prepare host req;
+    (* Pre-execution state for the faulted replays. *)
+    let base = Hypervisor.clone host in
+    (* Golden run on the live host (which thereby advances). *)
+    let golden_result = Hypervisor.execute host ~fuel:config.fuel req in
+    let fault =
+      Fault.sample fault_rng ~max_step:(max 1 golden_result.Cpu.steps)
+    in
+    let inject = Fault.to_injection fault in
+    (* Detected run: Xentry active as configured. *)
+    let det_host = Hypervisor.clone base in
+    Hypervisor.set_assertions_enabled det_host
+      config.framework.Framework.sw_assertions;
+    let det_result = Hypervisor.execute det_host ~inject ~fuel:config.fuel req in
+    (* Natural run: only needed when an assertion cut the detected run
+       short; otherwise the detected run already shows the fault's
+       unimpeded behaviour. *)
+    let nat_host, nat_result =
+      match det_result.Cpu.stop with
+      | Cpu.Assertion_failure _ ->
+          let h = Hypervisor.clone base in
+          Hypervisor.set_assertions_enabled h false;
+          let r = Hypervisor.execute h ~inject ~fuel:config.fuel req in
+          (h, r)
+      | _ -> (det_host, det_result)
+    in
+    let is_activated = activated nat_result in
+    let diff_list =
+      match nat_result.Cpu.stop with
+      | Cpu.Vm_entry -> Classify.diffs ~golden:host ~faulted:nat_host
+      | _ -> []
+    in
+    let consequence =
+      if not is_activated then Outcome.Not_activated
+      else
+        Classify.consequence
+          ~current_dom:(Hypervisor.current_domain host).Domain.id
+          ~faulted_stop:nat_result.Cpu.stop diff_list
+    in
+    let verdict =
+      Framework.process config.framework ~detector:config.detector
+        ~reason:req.Request.reason det_result
+    in
+    let latency =
+      match verdict with
+      | Framework.Detected { latency; _ } -> latency
+      | Framework.Clean -> None
+    in
+    let undetected =
+      if Outcome.manifested consequence && verdict = Framework.Clean then
+        Some
+          (Classify.undetected_class ~fault
+             ~signature_differs:
+               (not
+                  (snapshot_equal det_result.Cpu.final_pmu
+                     golden_result.Cpu.final_pmu))
+             diff_list)
+      else None
+    in
+    records :=
+      {
+        Outcome.fault;
+        reason = req.Request.reason;
+        activated = is_activated;
+        consequence;
+        verdict;
+        latency;
+        undetected;
+        signature =
+          (match det_result.Cpu.stop with
+          | Cpu.Vm_entry -> Some det_result.Cpu.final_pmu
+          | _ -> None);
+        golden_signature = golden_result.Cpu.final_pmu;
+      }
+      :: !records;
+    Hypervisor.retire host req
+  done;
+  List.rev !records
+
+let run_fault_free ~seed ~benchmark ~mode ~runs =
+  let profile = Xentry_workload.Profile.get benchmark in
+  let rng = Xentry_util.Rng.create seed in
+  let host = Hypervisor.create ~seed:(seed lxor 0xFACE) () in
+  Hypervisor.set_assertions_enabled host true;
+  List.init runs (fun _ ->
+      let req = Xentry_workload.Profile.sample_request profile mode rng in
+      let result = Hypervisor.handle host req in
+      (req.Request.reason, result.Cpu.final_pmu))

@@ -1,0 +1,53 @@
+(** Fault-injection campaigns (paper §V).
+
+    A campaign replays a benchmark's VM-exit stream on a simulated
+    host and, for each injection, runs three executions from the same
+    prepared state:
+
+    {ol
+    {- the {e golden} execution (fault-free) — also advances the live
+       host so successive injections see evolving system state;}
+    {- the {e detected} execution — fault injected, Xentry's runtime
+       detection active as configured;}
+    {- when (and only when) a software assertion stopped the detected
+       execution early, a {e natural} execution with assertions
+       disabled reveals what the fault would have done unimpeded.}}
+
+    Consequences come from golden-vs-faulted comparison
+    ({!Classify.consequence}); detections are attributed by
+    {!Xentry_core.Framework.process}. *)
+
+type config = {
+  seed : int;
+  injections : int;
+  benchmark : Xentry_workload.Profile.benchmark;
+  mode : Xentry_workload.Profile.virt_mode;
+  detector : Xentry_core.Transition_detector.t option;
+  framework : Xentry_core.Framework.config;
+  fuel : int;
+  hardened : bool;
+      (** use the selective-duplication handler variants (paper SVI
+          future work) *)
+}
+
+val default_config :
+  ?detector:Xentry_core.Transition_detector.t ->
+  ?hardened:bool ->
+  benchmark:Xentry_workload.Profile.benchmark ->
+  injections:int ->
+  seed:int ->
+  unit ->
+  config
+(** PV mode, full framework, fuel 20_000, baseline handlers. *)
+
+val run : config -> Outcome.record list
+(** Execute the campaign; one record per injection, in order. *)
+
+val run_fault_free :
+  seed:int ->
+  benchmark:Xentry_workload.Profile.benchmark ->
+  mode:Xentry_workload.Profile.virt_mode ->
+  runs:int ->
+  (Xentry_vmm.Exit_reason.t * Xentry_machine.Pmu.snapshot) list
+(** Fault-free executions of the benchmark's stream — the correct
+    training samples and the false-positive test population. *)

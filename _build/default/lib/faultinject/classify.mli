@@ -1,0 +1,56 @@
+(** Consequence classification by golden-run comparison.
+
+    After a faulted execution (run with detection disabled, so nothing
+    interrupts the propagation), the host's architectural outputs are
+    compared against a golden execution from the identical starting
+    state.  Which structures differ — and whose they are — determines
+    the paper's consequence classes: corrupting another domain's
+    structures or the control domain's fails that VM or all VMs;
+    corrupting the current guest's kernel structures fails that VM;
+    corrupting its register file crashes or silently corrupts the
+    application; corrupting only time values is a silent data
+    corruption (the dominant undetected class, Table II). *)
+
+type region_class =
+  | User_gpr of int * int64
+      (** a guest GPR save slot: (gpr index, golden value) *)
+  | User_ctl  (** saved guest RIP/RFLAGS *)
+  | Traps  (** pending trap slots *)
+  | Vcpu_time  (** per-VCPU time snapshot in vcpu_info *)
+  | Vcpu_event  (** upcall flags in vcpu_info *)
+  | Kernel  (** shared info bitmaps, event channels, grant table *)
+
+type diff =
+  | Dom_diff of { dom : int; cls : region_class }
+  | Global_time_diff
+  | Hv_global_diff
+  | Stack_diff
+  | Guest_reg_diff of Xentry_isa.Reg.gpr * int64
+      (** live register difference at VM entry: (register, golden
+          value) *)
+
+val diffs :
+  golden:Xentry_vmm.Hypervisor.t ->
+  faulted:Xentry_vmm.Hypervisor.t ->
+  diff list
+(** All architectural differences between two hosts after both
+    executed the same request (golden vs faulted). *)
+
+val consequence :
+  current_dom:int ->
+  faulted_stop:Xentry_machine.Cpu.stop ->
+  diff list ->
+  Outcome.consequence
+(** Map the faulted run's stop reason and the observed differences to
+    a consequence.  [Masked] when the run reached VM entry with no
+    differences. *)
+
+val undetected_class :
+  fault:Fault.t ->
+  signature_differs:bool ->
+  diff list ->
+  Outcome.undetected_class
+(** Attribute a manifested-but-undetected fault (Table II): a
+    distinguishable signature the tree rejected is a
+    mis-classification; otherwise pure data corruption is attributed
+    to time values, stack values, or other values. *)

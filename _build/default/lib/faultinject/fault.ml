@@ -1,0 +1,21 @@
+type t = { target : Xentry_isa.Reg.arch; bit : int; step : int }
+
+let sample rng ~max_step =
+  let open Xentry_util in
+  {
+    target = Rng.choice rng Xentry_isa.Reg.all_arch;
+    bit = Rng.int rng 64;
+    step = Rng.int rng (max 1 max_step);
+  }
+
+let to_injection t =
+  {
+    Xentry_machine.Cpu.inj_target = t.target;
+    inj_bit = t.bit;
+    inj_step = t.step;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%s[bit %d]@step %d"
+    (Xentry_isa.Reg.arch_name t.target)
+    t.bit t.step

@@ -1,0 +1,20 @@
+(** The fault model (paper §V-B).
+
+    A single bit flip in the architectural register state — the 16
+    general-purpose registers, the instruction pointer and the flags —
+    injected at a uniformly random dynamic instruction of a hypervisor
+    execution.  One fault per run; concurrent double faults are deemed
+    too improbable (§V-B). *)
+
+type t = {
+  target : Xentry_isa.Reg.arch;
+  bit : int;  (** 0–63 *)
+  step : int;  (** dynamic instruction index of the flip *)
+}
+
+val sample : Xentry_util.Rng.t -> max_step:int -> t
+(** Uniform over registers, bits, and \[0, max_step). *)
+
+val to_injection : t -> Xentry_machine.Cpu.injection
+
+val pp : Format.formatter -> t -> unit

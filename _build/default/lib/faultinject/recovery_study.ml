@@ -1,0 +1,79 @@
+open Xentry_machine
+open Xentry_vmm
+open Xentry_core
+
+type result = {
+  injections : int;
+  detected : int;
+  recovered_exactly : int;
+  recovery_mismatches : int;
+  undetected_manifested : int;
+  checkpoint_bytes : int;
+}
+
+let run ?(seed = 7) ?(fuel = 20_000) ~detector ~benchmark ~injections () =
+  let profile = Xentry_workload.Profile.get benchmark in
+  let rng = Xentry_util.Rng.create seed in
+  let request_rng = Xentry_util.Rng.split rng in
+  let fault_rng = Xentry_util.Rng.split rng in
+  let host = Hypervisor.create ~seed:(seed lxor 0xC0DE) () in
+  let detected = ref 0 in
+  let recovered_exactly = ref 0 in
+  let recovery_mismatches = ref 0 in
+  let undetected_manifested = ref 0 in
+  let checkpoint_bytes = ref 0 in
+  for _ = 1 to injections do
+    let req =
+      Xentry_workload.Profile.sample_request profile Xentry_workload.Profile.PV
+        request_rng
+    in
+    Hypervisor.prepare host req;
+    (* The redundant copy Xentry's recovery keeps at every VM exit. *)
+    let ckpt = Recovery_engine.checkpoint host in
+    checkpoint_bytes := Recovery_engine.checkpoint_bytes ckpt;
+    let golden_host = Hypervisor.clone host in
+    let golden_result = Hypervisor.execute golden_host ~fuel req in
+    let fault = Fault.sample fault_rng ~max_step:(max 1 golden_result.Cpu.steps) in
+    let det_host = Hypervisor.clone host in
+    let det_result =
+      Hypervisor.execute det_host ~inject:(Fault.to_injection fault) ~fuel req
+    in
+    let verdict =
+      Framework.process Framework.full_config ~detector ~reason:req.Request.reason
+        det_result
+    in
+    (match verdict with
+    | Framework.Detected _ ->
+        incr detected;
+        (* Restore the checkpoint on the faulted host and re-execute:
+           the transient fault is gone. *)
+        let rec_result = Recovery_engine.recover det_host ckpt ~fuel req in
+        let clean = rec_result.Cpu.stop = Cpu.Vm_entry in
+        let identical =
+          clean && Classify.diffs ~golden:golden_host ~faulted:det_host = []
+        in
+        if identical then incr recovered_exactly else incr recovery_mismatches
+    | Framework.Clean ->
+        if
+          det_result.Cpu.stop = Cpu.Vm_entry
+          && Classify.diffs ~golden:golden_host ~faulted:det_host <> []
+        then incr undetected_manifested);
+    (* Advance the live host fault-free. *)
+    ignore (Hypervisor.execute host ~fuel req);
+    Hypervisor.retire host req
+  done;
+  {
+    injections;
+    detected = !detected;
+    recovered_exactly = !recovered_exactly;
+    recovery_mismatches = !recovery_mismatches;
+    undetected_manifested = !undetected_manifested;
+    checkpoint_bytes = !checkpoint_bytes;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "injections=%d detected=%d recovered_exactly=%d mismatches=%d \
+     undetected_manifested=%d checkpoint=%dB"
+    r.injections r.detected r.recovered_exactly r.recovery_mismatches
+    r.undetected_manifested r.checkpoint_bytes

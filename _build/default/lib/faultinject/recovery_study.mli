@@ -1,0 +1,38 @@
+(** End-to-end recovery study: does checkpoint + re-execution actually
+    undo detected faults?
+
+    The paper argues (§I, §VII) that effective detection is the key
+    enabler for low-cost recovery: errors caught before VM entry leave
+    VM state intact, so restoring the per-exit checkpoint and
+    re-executing yields a correct execution.  This study closes the
+    loop the paper leaves open — every injection that Xentry detects
+    is recovered with {!Xentry_core.Recovery_engine} and the recovered
+    host is compared architecturally (bit for bit over every
+    guest-visible and hypervisor-critical structure, live guest
+    registers included) against a golden host that never saw the
+    fault. *)
+
+type result = {
+  injections : int;
+  detected : int;  (** faults Xentry caught (before VM entry, always) *)
+  recovered_exactly : int;
+      (** detected faults whose recovery reproduced the golden host's
+          architectural state bit-exactly *)
+  recovery_mismatches : int;
+      (** detected faults where recovery left a divergent state *)
+  undetected_manifested : int;
+      (** corruptions Xentry missed: recovery is never attempted, the
+          damage stands (the paper's Table II residue) *)
+  checkpoint_bytes : int;  (** size of the per-exit checkpoint *)
+}
+
+val run :
+  ?seed:int ->
+  ?fuel:int ->
+  detector:Xentry_core.Transition_detector.t option ->
+  benchmark:Xentry_workload.Profile.benchmark ->
+  injections:int ->
+  unit ->
+  result
+
+val pp : Format.formatter -> result -> unit

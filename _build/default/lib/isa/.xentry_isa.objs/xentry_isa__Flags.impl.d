@@ -1,0 +1,1 @@
+lib/isa/flags.ml: Int64 Xentry_util

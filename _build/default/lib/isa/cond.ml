@@ -1,0 +1,48 @@
+type t = E | NE | L | LE | G | GE | B | BE | A | AE | S | NS
+
+let eval c rflags =
+  let f flag = Flags.get rflags flag in
+  let zf = f Flags.ZF and sf = f Flags.SF and cf = f Flags.CF and ofl = f Flags.OF in
+  match c with
+  | E -> zf
+  | NE -> not zf
+  | L -> sf <> ofl
+  | LE -> zf || sf <> ofl
+  | G -> (not zf) && sf = ofl
+  | GE -> sf = ofl
+  | B -> cf
+  | BE -> cf || zf
+  | A -> (not cf) && not zf
+  | AE -> not cf
+  | S -> sf
+  | NS -> not sf
+
+let negate = function
+  | E -> NE
+  | NE -> E
+  | L -> GE
+  | LE -> G
+  | G -> LE
+  | GE -> L
+  | B -> AE
+  | BE -> A
+  | A -> BE
+  | AE -> B
+  | S -> NS
+  | NS -> S
+
+let name = function
+  | E -> "e"
+  | NE -> "ne"
+  | L -> "l"
+  | LE -> "le"
+  | G -> "g"
+  | GE -> "ge"
+  | B -> "b"
+  | BE -> "be"
+  | A -> "a"
+  | AE -> "ae"
+  | S -> "s"
+  | NS -> "ns"
+
+let all = [| E; NE; L; LE; G; GE; B; BE; A; AE; S; NS |]

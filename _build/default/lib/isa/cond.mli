@@ -1,0 +1,26 @@
+(** Branch condition codes, evaluated against an RFLAGS image. *)
+
+type t =
+  | E   (** equal / zero *)
+  | NE  (** not equal *)
+  | L   (** signed less *)
+  | LE  (** signed less-or-equal *)
+  | G   (** signed greater *)
+  | GE  (** signed greater-or-equal *)
+  | B   (** unsigned below *)
+  | BE  (** unsigned below-or-equal *)
+  | A   (** unsigned above *)
+  | AE  (** unsigned above-or-equal *)
+  | S   (** sign set *)
+  | NS  (** sign clear *)
+
+val eval : t -> int64 -> bool
+(** [eval c rflags] decides the condition from the flags image, with
+    x86 semantics (e.g. [L] = SF<>OF, [B] = CF). *)
+
+val negate : t -> t
+
+val name : t -> string
+(** e.g. ["je"]-style suffix: ["e"], ["ne"], ["l"], ... *)
+
+val all : t array

@@ -1,0 +1,24 @@
+type t = CF | PF | ZF | SF | OF
+
+let bit = function CF -> 0 | PF -> 2 | ZF -> 6 | SF -> 7 | OF -> 11
+let all = [| CF; PF; ZF; SF; OF |]
+let get image f = Xentry_util.Bits.test image (bit f)
+
+let set image f v =
+  if v then Xentry_util.Bits.set image (bit f)
+  else Xentry_util.Bits.clear image (bit f)
+
+let parity_low_byte v =
+  (* x86 PF: set when the low byte has an even number of set bits. *)
+  let low = Int64.to_int (Int64.logand v 0xFFL) in
+  let rec popcount n acc = if n = 0 then acc else popcount (n lsr 1) (acc + (n land 1)) in
+  popcount low 0 mod 2 = 0
+
+let of_result ?(carry = false) ?(overflow = false) old_rflags value =
+  let image = set old_rflags ZF (value = 0L) in
+  let image = set image SF (Int64.compare value 0L < 0) in
+  let image = set image PF (parity_low_byte value) in
+  let image = set image CF carry in
+  set image OF overflow
+
+let name = function CF -> "CF" | PF -> "PF" | ZF -> "ZF" | SF -> "SF" | OF -> "OF"

@@ -1,0 +1,28 @@
+(** Status flags stored in the RFLAGS register image.
+
+    Bit positions follow x86-64 so that a single-bit flip injected into
+    RFLAGS perturbs a realistic flag. *)
+
+type t = CF  (** carry, bit 0 *)
+       | PF  (** parity, bit 2 *)
+       | ZF  (** zero, bit 6 *)
+       | SF  (** sign, bit 7 *)
+       | OF  (** overflow, bit 11 *)
+
+val bit : t -> int
+(** x86 bit position of the flag. *)
+
+val all : t array
+
+val get : int64 -> t -> bool
+(** Read a flag out of an RFLAGS image. *)
+
+val set : int64 -> t -> bool -> int64
+(** Write a flag into an RFLAGS image. *)
+
+val of_result : ?carry:bool -> ?overflow:bool -> int64 -> int64 -> int64
+(** [of_result ~carry ~overflow old_rflags value] updates ZF/SF/PF from
+    [value] and CF/OF from the optional arguments (defaulting to
+    clear), preserving non-flag bits of [old_rflags]. *)
+
+val name : t -> string

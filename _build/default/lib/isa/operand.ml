@@ -1,0 +1,44 @@
+type mem = {
+  base : Reg.gpr option;
+  index : Reg.gpr option;
+  scale : int;
+  disp : int64;
+}
+
+type t = Reg of Reg.gpr | Imm of int64 | Mem of mem
+
+let reg g = Reg g
+let imm v = Imm v
+let imm_int v = Imm (Int64.of_int v)
+
+let mem ?index ?(scale = 1) ?(disp = 0L) base =
+  if scale <> 1 && scale <> 2 && scale <> 4 && scale <> 8 then
+    invalid_arg "Operand.mem: scale must be 1, 2, 4 or 8";
+  Mem { base = Some base; index; scale; disp }
+
+let mem_abs addr = Mem { base = None; index = None; scale = 1; disp = addr }
+
+let regs_used = function
+  | Reg g -> [ g ]
+  | Imm _ -> []
+  | Mem { base; index; _ } ->
+      let add acc = function Some g -> g :: acc | None -> acc in
+      add (add [] index) base
+
+let is_mem = function Mem _ -> true | Reg _ | Imm _ -> false
+
+let pp ppf = function
+  | Reg g -> Reg.pp_gpr ppf g
+  | Imm v -> Format.fprintf ppf "$%Ld" v
+  | Mem { base; index; scale; disp } ->
+      let pp_base ppf = function
+        | Some g -> Reg.pp_gpr ppf g
+        | None -> ()
+      in
+      let pp_index ppf = function
+        | Some g -> Format.fprintf ppf "+%a*%d" Reg.pp_gpr g scale
+        | None -> ()
+      in
+      Format.fprintf ppf "[%a%a%s%Ld]" pp_base base pp_index index
+        (if Int64.compare disp 0L >= 0 then "+" else "")
+        disp

@@ -1,0 +1,33 @@
+(** Instruction operands: registers, immediates and memory references
+    with x86-style base + index*scale + displacement addressing. *)
+
+type mem = {
+  base : Reg.gpr option;
+  index : Reg.gpr option;
+  scale : int;  (** 1, 2, 4 or 8 *)
+  disp : int64;
+}
+
+type t =
+  | Reg of Reg.gpr
+  | Imm of int64
+  | Mem of mem
+
+val reg : Reg.gpr -> t
+val imm : int64 -> t
+val imm_int : int -> t
+
+val mem : ?index:Reg.gpr -> ?scale:int -> ?disp:int64 -> Reg.gpr -> t
+(** [mem base ~index ~scale ~disp] builds a memory operand
+    \[base + index*scale + disp\]. *)
+
+val mem_abs : int64 -> t
+(** Absolute address operand. *)
+
+val regs_used : t -> Reg.gpr list
+(** Registers read when evaluating this operand as a source or as a
+    memory address (for [Mem]: the base and index registers). *)
+
+val is_mem : t -> bool
+
+val pp : Format.formatter -> t -> unit

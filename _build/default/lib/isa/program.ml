@@ -1,0 +1,68 @@
+type t = {
+  name : string;
+  code : int Instr.t array;
+  labels : (string * int) list;
+}
+
+let instruction_bytes = 8
+let length t = Array.length t.code
+let label_position t name = List.assoc_opt name t.labels
+
+exception Undefined_label of string
+exception Duplicate_label of string
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d instructions):@\n" t.name (Array.length t.code);
+  let labels_at i =
+    List.filter_map (fun (n, p) -> if p = i then Some n else None) t.labels
+  in
+  Array.iteri
+    (fun i instr ->
+      List.iter (fun l -> Format.fprintf ppf "%s:@\n" l) (labels_at i);
+      Format.fprintf ppf "  %4d  %a@\n" i (Instr.pp Format.pp_print_int) instr)
+    t.code
+
+module Asm = struct
+  type builder = {
+    bname : string;
+    mutable instrs : string Instr.t list;  (* reversed *)
+    mutable count : int;
+    mutable blabels : (string * int) list;
+    mutable fresh : int;
+  }
+
+  let create bname = { bname; instrs = []; count = 0; blabels = []; fresh = 0 }
+
+  let emit b instr =
+    b.instrs <- instr :: b.instrs;
+    b.count <- b.count + 1
+
+  let emit_all b instrs = List.iter (emit b) instrs
+
+  let label b name =
+    if List.mem_assoc name b.blabels then raise (Duplicate_label name);
+    b.blabels <- (name, b.count) :: b.blabels
+
+  let fresh_label b stem =
+    b.fresh <- b.fresh + 1;
+    Printf.sprintf ".%s_%d" stem b.fresh
+
+  let here b = b.count
+
+  let assemble b =
+    let labels = List.rev b.blabels in
+    let resolve name =
+      match List.assoc_opt name labels with
+      | Some pos -> pos
+      | None -> raise (Undefined_label name)
+    in
+    let code =
+      Array.of_list (List.rev_map (Instr.map_label resolve) b.instrs)
+    in
+    { name = b.bname; code; labels }
+end
+
+let assemble name build =
+  let b = Asm.create name in
+  build b;
+  Asm.assemble b

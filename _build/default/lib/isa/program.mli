@@ -1,0 +1,63 @@
+(** Assembled instruction programs and the assembler used to build
+    them.
+
+    Hypervisor handlers are synthesized as programs: sequences of
+    {!Instr.t} with symbolic labels, resolved by {!assemble} into an
+    array indexed by instruction position.  At execution time the CPU
+    maps instruction indices to synthetic code addresses
+    ([code_base + 8*index]) so that faults injected into RIP behave
+    like faults in a real code address space: most flipped addresses
+    fall outside the mapped text and fault, a few land on a valid but
+    wrong instruction. *)
+
+type t = private {
+  name : string;
+  code : int Instr.t array;
+  labels : (string * int) list;  (** resolved label positions *)
+}
+
+val instruction_bytes : int
+(** Synthetic size of one instruction slot in the code address space
+    (8 bytes). *)
+
+val length : t -> int
+
+val label_position : t -> string -> int option
+
+val pp : Format.formatter -> t -> unit
+(** Full disassembly listing with labels. *)
+
+exception Undefined_label of string
+exception Duplicate_label of string
+
+module Asm : sig
+  (** Imperative program builder. *)
+
+  type builder
+
+  val create : string -> builder
+  (** [create name] starts an empty program called [name]. *)
+
+  val emit : builder -> string Instr.t -> unit
+
+  val emit_all : builder -> string Instr.t list -> unit
+
+  val label : builder -> string -> unit
+  (** Define a label at the current position.  Raises
+      [Duplicate_label] when the name is already defined. *)
+
+  val fresh_label : builder -> string -> string
+  (** [fresh_label b stem] returns a unique label name derived from
+      [stem] (not yet placed; place it with [label]). *)
+
+  val here : builder -> int
+  (** Current instruction count. *)
+
+  val assemble : builder -> t
+  (** Resolve labels.  Raises [Undefined_label] if a branch references
+      a label never placed. *)
+end
+
+val assemble : string -> (Asm.builder -> unit) -> t
+(** [assemble name build] runs [build] on a fresh builder and
+    assembles the result. *)

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Bits Cond Flags Format Hw_exception Instr Int64 List Memory Operand Pmu Program Reg Xentry_isa Xentry_util

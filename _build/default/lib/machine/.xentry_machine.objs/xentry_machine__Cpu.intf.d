@@ -1,0 +1,1 @@
+lib/machine/cpu.mli: Format Hw_exception Memory Pmu Xentry_isa

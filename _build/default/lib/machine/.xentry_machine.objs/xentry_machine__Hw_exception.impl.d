@@ -1,0 +1,1 @@
+lib/machine/hw_exception.ml: Array Format

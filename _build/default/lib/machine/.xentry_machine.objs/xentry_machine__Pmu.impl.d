@@ -1,0 +1,1 @@
+lib/machine/pmu.ml: Array Format

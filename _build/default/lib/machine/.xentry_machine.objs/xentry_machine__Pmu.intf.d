@@ -1,0 +1,1 @@
+lib/machine/pmu.mli: Format

@@ -1,0 +1,1 @@
+lib/machine/trace.ml: Array Format Hashtbl List Xentry_isa

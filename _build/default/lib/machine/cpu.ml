@@ -1,0 +1,495 @@
+open Xentry_isa
+
+type stop =
+  | Vm_entry
+  | Hw_fault of { exn : Hw_exception.t; detail : int64 }
+  | Assertion_failure of { assertion : Instr.assertion; observed : int64 }
+  | Halted
+  | Out_of_fuel
+
+type fault_fate = Never_touched | Overwritten of int | Activated of int
+
+type injection = { inj_target : Reg.arch; inj_bit : int; inj_step : int }
+
+type activation_report = { injection : injection; fate : fault_fate }
+
+type run_result = {
+  stop : stop;
+  steps : int;
+  final_pmu : Pmu.snapshot;
+  activation : activation_report option;
+}
+
+type watch = { target : Reg.arch; mutable fate : fault_fate }
+
+type t = {
+  cpu_id : int;
+  regs : int64 array;
+  mutable rip : int64;
+  mutable rflags : int64;
+  mem : Memory.t;
+  pmu_unit : Pmu.t;
+  mutable tsc : int64;
+  tsc_step : int;
+  cpuid_fn : int64 -> int64 * int64 * int64 * int64;
+  mutable assertions_on : bool;
+  mutable watch : watch option;
+  mutable steps : int;
+}
+
+let default_cpuid leaf =
+  (* Deterministic synthetic CPUID: a fixed mixing of the leaf so that
+     emulation results are stable across runs and corruptions of the
+     leaf register visibly change the outputs. *)
+  let mix k =
+    let open Int64 in
+    let z = mul (add leaf (of_int k)) 0x9E3779B97F4A7C15L in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    logxor z (shift_right_logical z 27)
+  in
+  (mix 1, mix 2, mix 3, mix 4)
+
+let create ?(cpu_id = 0) ?(tsc_step = 3) ?(cpuid_fn = default_cpuid) mem =
+  {
+    cpu_id;
+    regs = Array.make Reg.gpr_count 0L;
+    rip = 0L;
+    rflags = 2L (* x86 bit 1 always set *);
+    mem;
+    pmu_unit = Pmu.create ();
+    tsc = 1_000_000L;
+    tsc_step;
+    cpuid_fn;
+    assertions_on = true;
+    watch = None;
+    steps = 0;
+  }
+
+let memory t = t.mem
+let pmu t = t.pmu_unit
+let cpu_id t = t.cpu_id
+let get_gpr t g = t.regs.(Reg.gpr_index g)
+let set_gpr t g v = t.regs.(Reg.gpr_index g) <- v
+let get_rflags t = t.rflags
+let set_rflags t v = t.rflags <- v
+let get_rip t = t.rip
+let get_tsc t = t.tsc
+let set_tsc t v = t.tsc <- v
+let set_assertions_enabled t b = t.assertions_on <- b
+let assertions_enabled t = t.assertions_on
+
+exception Stopped of stop
+
+let hw_fault exn detail = raise (Stopped (Hw_fault { exn; detail }))
+
+(* --- operand evaluation ------------------------------------------------ *)
+
+let effective_address t (m : Operand.mem) =
+  let base = match m.base with Some g -> get_gpr t g | None -> 0L in
+  let index =
+    match m.index with
+    | Some g -> Int64.mul (get_gpr t g) (Int64.of_int m.scale)
+    | None -> 0L
+  in
+  Int64.add (Int64.add base index) m.disp
+
+let count ev n = fun t -> Pmu.add t.pmu_unit ev n
+
+let load_mem t addr =
+  match Memory.load64 t.mem addr with
+  | v ->
+      count Pmu.Mem_loads 1 t;
+      v
+  | exception Memory.Fault { addr; _ } -> hw_fault Hw_exception.PF addr
+
+let store_mem t addr v =
+  match Memory.store64 t.mem addr v with
+  | () -> count Pmu.Mem_stores 1 t
+  | exception Memory.Fault { addr; _ } -> hw_fault Hw_exception.PF addr
+
+let eval t = function
+  | Operand.Reg g -> get_gpr t g
+  | Operand.Imm v -> v
+  | Operand.Mem m -> load_mem t (effective_address t m)
+
+let write t op v =
+  match op with
+  | Operand.Reg g -> set_gpr t g v
+  | Operand.Mem m -> store_mem t (effective_address t m) v
+  | Operand.Imm _ -> invalid_arg "Cpu: immediate as destination"
+
+(* --- flags -------------------------------------------------------------- *)
+
+let set_result_flags ?(carry = false) ?(overflow = false) t v =
+  t.rflags <- Flags.of_result ~carry ~overflow t.rflags v
+
+let add_flags t a b result =
+  let carry = Int64.unsigned_compare result a < 0 in
+  let overflow =
+    (* Signed overflow: operands share a sign that the result lost. *)
+    Int64.compare (Int64.logand (Int64.logxor a result) (Int64.logxor b result)) 0L
+    < 0
+  in
+  set_result_flags ~carry ~overflow t result
+
+let sub_flags t a b result =
+  let carry = Int64.unsigned_compare a b < 0 in
+  let overflow =
+    Int64.compare (Int64.logand (Int64.logxor a b) (Int64.logxor a result)) 0L
+    < 0
+  in
+  set_result_flags ~carry ~overflow t result
+
+(* --- assertion evaluation ----------------------------------------------- *)
+
+let assertion_holds (kind : Instr.assert_kind) v =
+  match kind with
+  | Assert_range (lo, hi) ->
+      Int64.compare v lo >= 0 && Int64.compare v hi <= 0
+  | Assert_nonzero -> v <> 0L
+  | Assert_zero -> v = 0L
+  | Assert_equals expected -> Int64.equal v expected
+  | Assert_aligned k -> Xentry_util.Bits.low_bits v k = 0L
+
+(* --- instruction execution ---------------------------------------------- *)
+
+let code_index ~code_base ~len rip =
+  let off = Int64.sub rip code_base in
+  if Int64.compare off 0L < 0 then hw_fault Hw_exception.PF rip
+  else
+    let bytes = Int64.of_int Program.instruction_bytes in
+    if Int64.rem off bytes <> 0L then hw_fault Hw_exception.UD rip
+    else
+      let idx = Int64.to_int (Int64.div off bytes) in
+      if idx >= len then hw_fault Hw_exception.PF rip else idx
+
+let rip_of_index ~code_base idx =
+  Int64.add code_base (Int64.of_int (idx * Program.instruction_bytes))
+
+(* Terminal instructions (vmentry, hlt, failing assertions) still
+   retire; faulting instructions do not (x86 faults report before
+   retirement), so [retire_terminal] skips the fuel check to keep the
+   stop reason intact. *)
+let retire_terminal t =
+  t.steps <- t.steps + 1;
+  t.tsc <- Int64.add t.tsc (Int64.of_int t.tsc_step);
+  count Pmu.Inst_retired 1 t
+
+let retire ?(n = 1) t fuel =
+  t.steps <- t.steps + n;
+  t.tsc <- Int64.add t.tsc (Int64.of_int (n * t.tsc_step));
+  count Pmu.Inst_retired n t;
+  if t.steps > fuel then raise (Stopped Out_of_fuel)
+
+(* Update the def-use watch from the static read/write sets of the
+   instruction about to execute.  The instruction pointer is consumed
+   by every fetch, so a watched RIP activates immediately. *)
+let update_watch t instr =
+  match t.watch with
+  | None -> ()
+  | Some w when w.fate <> Never_touched -> ()
+  | Some w -> (
+      match w.target with
+      | Reg.Rip -> w.fate <- Activated t.steps
+      | Reg.Rflags ->
+          if Instr.reads_flags instr then w.fate <- Activated t.steps
+          else if Instr.writes_flags instr then w.fate <- Overwritten t.steps
+      | Reg.Gpr g ->
+          let mem reg list = List.mem reg list in
+          if mem g (Instr.regs_read instr) then w.fate <- Activated t.steps
+          else if mem g (Instr.regs_written instr) then
+            w.fate <- Overwritten t.steps)
+
+let exec_alu t op dst src =
+  let a = eval t dst and b = eval t src in
+  let result =
+    match (op : Instr.alu_op) with
+    | Add -> Int64.add a b
+    | Sub -> Int64.sub a b
+    | And -> Int64.logand a b
+    | Or -> Int64.logor a b
+    | Xor -> Int64.logxor a b
+  in
+  (match op with
+  | Add -> add_flags t a b result
+  | Sub -> sub_flags t a b result
+  | And | Or | Xor -> set_result_flags t result);
+  write t dst result
+
+let exec_shift t op dst n =
+  let a = eval t dst in
+  let n = n land 63 in
+  let result =
+    match (op : Instr.shift_op) with
+    | Shl -> Int64.shift_left a n
+    | Shr -> Int64.shift_right_logical a n
+    | Sar -> Int64.shift_right a n
+  in
+  set_result_flags t result;
+  write t dst result
+
+(* x86 bitstring addressing for bt/bts/btr with a memory base: the bit
+   index selects a word relative to the base address, so a single
+   instruction can address a multi-word bitmap (Xen's event channels
+   rely on this). *)
+let bit_location t base idx_val =
+  match base with
+  | Operand.Reg g ->
+      let bit = Int64.to_int (Int64.logand idx_val 63L) in
+      `Reg (g, bit)
+  | Operand.Mem m ->
+      let word = Int64.shift_right idx_val 6 in
+      let bit = Int64.to_int (Int64.logand idx_val 63L) in
+      let addr = Int64.add (effective_address t m) (Int64.mul word 8L) in
+      `Mem (addr, bit)
+  | Operand.Imm _ -> invalid_arg "Cpu: immediate as bit-test base"
+
+let exec_bit_op t base idx update =
+  let idx_val = eval t idx in
+  let read_word = function
+    | `Reg (g, _) -> get_gpr t g
+    | `Mem (addr, _) -> load_mem t addr
+  in
+  let loc = bit_location t base idx_val in
+  let word = read_word loc in
+  let bit = match loc with `Reg (_, b) -> b | `Mem (_, b) -> b in
+  let old = Xentry_util.Bits.test word bit in
+  t.rflags <- Flags.set t.rflags Flags.CF old;
+  (match update with
+  | `None -> ()
+  | `Set | `Reset ->
+      let word' =
+        match update with
+        | `Set -> Xentry_util.Bits.set word bit
+        | `Reset -> Xentry_util.Bits.clear word bit
+        | `None -> word
+      in
+      (match loc with
+      | `Reg (g, _) -> set_gpr t g word'
+      | `Mem (addr, _) -> store_mem t addr word'));
+  ()
+
+(* String operations execute one element per dynamic step and leave
+   RIP on themselves while RCX is non-zero, as interruptible x86 rep
+   prefixes do.  Each iteration retires as one dynamic instruction, so
+   corrupted counts show up in INST_RETIRED (paper Fig 5a), huge counts
+   hit the watchdog, and fault injections scheduled mid-copy land
+   mid-copy.  They return [true] while iterating (RIP must stay). *)
+let exec_rep_movsq t =
+  let n = get_gpr t Reg.RCX in
+  if n = 0L then false
+  else begin
+    let src = get_gpr t Reg.RSI and dst = get_gpr t Reg.RDI in
+    let v = load_mem t src in
+    store_mem t dst v;
+    set_gpr t Reg.RSI (Int64.add src 8L);
+    set_gpr t Reg.RDI (Int64.add dst 8L);
+    set_gpr t Reg.RCX (Int64.sub n 1L);
+    true
+  end
+
+let exec_rep_stosq t =
+  let n = get_gpr t Reg.RCX in
+  if n = 0L then false
+  else begin
+    let v = get_gpr t Reg.RAX in
+    let dst = get_gpr t Reg.RDI in
+    store_mem t dst v;
+    set_gpr t Reg.RDI (Int64.add dst 8L);
+    set_gpr t Reg.RCX (Int64.sub n 1L);
+    true
+  end
+
+let exec_push t v =
+  let sp = Int64.sub (get_gpr t Reg.RSP) 8L in
+  set_gpr t Reg.RSP sp;
+  store_mem t sp v
+
+let exec_pop t =
+  let sp = get_gpr t Reg.RSP in
+  let v = load_mem t sp in
+  set_gpr t Reg.RSP (Int64.add sp 8L);
+  v
+
+let flip_register_bit t arch bit =
+  let open Xentry_util in
+  match arch with
+  | Reg.Gpr g -> set_gpr t g (Bits.flip (get_gpr t g) bit)
+  | Reg.Rip -> t.rip <- Bits.flip t.rip bit
+  | Reg.Rflags -> t.rflags <- Bits.flip t.rflags bit
+
+let detection_latency r =
+  match r.activation with
+  | Some { fate = Activated at; _ } -> (
+      match r.stop with
+      | Hw_fault _ | Assertion_failure _ | Vm_entry | Out_of_fuel ->
+          Some (max 0 (r.steps - at))
+      | Halted -> None)
+  | Some _ | None -> None
+
+let run t ~program ~code_base ?entry ?(fuel = 100_000) ?inject ?on_step () =
+  let len = Program.length program in
+  let entry_index =
+    match entry with
+    | None -> 0
+    | Some label -> (
+        match Program.label_position program label with
+        | Some i -> i
+        | None -> raise (Program.Undefined_label label))
+  in
+  t.rip <- rip_of_index ~code_base entry_index;
+  t.steps <- 0;
+  t.watch <- None;
+  Pmu.enable t.pmu_unit;
+  let injected = ref false in
+  let maybe_inject () =
+    match inject with
+    | Some inj when (not !injected) && t.steps >= inj.inj_step ->
+        injected := true;
+        flip_register_bit t inj.inj_target inj.inj_bit;
+        t.watch <- Some { target = inj.inj_target; fate = Never_touched }
+    | Some _ | None -> ()
+  in
+  let stop_reason =
+    try
+      let rec step () =
+        maybe_inject ();
+        (* The fetch consumes RIP, so a watched RIP activates here even
+           if the fetch itself faults. *)
+        (match t.watch with
+        | Some ({ target = Reg.Rip; fate = Never_touched } as w) ->
+            w.fate <- Activated t.steps
+        | Some _ | None -> ());
+        let idx = code_index ~code_base ~len t.rip in
+        let instr = program.Program.code.(idx) in
+        update_watch t instr;
+        (match on_step with Some f -> f idx instr | None -> ());
+        let next = rip_of_index ~code_base (idx + 1) in
+        let goto target_idx = t.rip <- rip_of_index ~code_base target_idx in
+        (* Loads and stores are counted at the access sites
+           ([load_mem]/[store_mem]); only branch retirement is counted
+           from the instruction shape. *)
+        if Instr.is_branch instr then count Pmu.Br_inst_retired 1 t;
+        t.rip <- next;
+        (match instr with
+        | Instr.Nop -> ()
+        | Instr.Mov (dst, src) -> write t dst (eval t src)
+        | Instr.Lea (g, op) -> (
+            match op with
+            | Operand.Mem m -> set_gpr t g (effective_address t m)
+            | Operand.Reg _ | Operand.Imm _ ->
+                invalid_arg "Cpu: lea needs a memory operand")
+        | Instr.Alu (op, dst, src) -> exec_alu t op dst src
+        | Instr.Shift (op, dst, n) -> exec_shift t op dst n
+        | Instr.Shift_var (op, dst, cnt) ->
+            exec_shift t op dst (Int64.to_int (Int64.logand (get_gpr t cnt) 63L))
+        | Instr.Bt (base, idx) -> exec_bit_op t base idx `None
+        | Instr.Bts (base, idx) -> exec_bit_op t base idx `Set
+        | Instr.Btr (base, idx) -> exec_bit_op t base idx `Reset
+        | Instr.Cmp (a, b) ->
+            let x = eval t a and y = eval t b in
+            sub_flags t x y (Int64.sub x y)
+        | Instr.Test (a, b) ->
+            let x = eval t a and y = eval t b in
+            set_result_flags t (Int64.logand x y)
+        | Instr.Inc dst ->
+            let v = Int64.add (eval t dst) 1L in
+            set_result_flags t v;
+            write t dst v
+        | Instr.Dec dst ->
+            let v = Int64.sub (eval t dst) 1L in
+            set_result_flags t v;
+            write t dst v
+        | Instr.Neg dst ->
+            let v = Int64.neg (eval t dst) in
+            set_result_flags t v;
+            write t dst v
+        | Instr.Imul (g, src) ->
+            let v = Int64.mul (get_gpr t g) (eval t src) in
+            set_result_flags t v;
+            set_gpr t g v
+        | Instr.Idiv src ->
+            let divisor = eval t src in
+            let dividend = get_gpr t Reg.RAX in
+            if divisor = 0L then hw_fault Hw_exception.DE 0L
+            else if dividend = Int64.min_int && divisor = -1L then
+              hw_fault Hw_exception.DE 0L
+            else begin
+              set_gpr t Reg.RAX (Int64.div dividend divisor);
+              set_gpr t Reg.RDX (Int64.rem dividend divisor)
+            end
+        | Instr.Jmp target -> goto target
+        | Instr.Jcc (c, target) -> if Cond.eval c t.rflags then goto target
+        | Instr.Jmp_table (sel, targets) ->
+            let v = eval t sel in
+            count Pmu.Mem_loads 1 t (* dispatch-table entry fetch *);
+            if Int64.compare v 0L < 0
+               || Int64.compare v (Int64.of_int (Array.length targets)) >= 0
+            then hw_fault Hw_exception.GP v
+            else goto targets.(Int64.to_int v)
+        | Instr.Call target ->
+            exec_push t next;
+            goto target
+        | Instr.Ret ->
+            let ra = exec_pop t in
+            t.rip <- ra
+        | Instr.Push src -> exec_push t (eval t src)
+        | Instr.Pop dst -> write t dst (exec_pop t)
+        | Instr.Rep_movsq ->
+            if exec_rep_movsq t then t.rip <- rip_of_index ~code_base idx
+        | Instr.Rep_stosq ->
+            if exec_rep_stosq t then t.rip <- rip_of_index ~code_base idx
+        | Instr.Cpuid ->
+            let rax, rbx, rcx, rdx = t.cpuid_fn (get_gpr t Reg.RAX) in
+            set_gpr t Reg.RAX rax;
+            set_gpr t Reg.RBX rbx;
+            set_gpr t Reg.RCX rcx;
+            set_gpr t Reg.RDX rdx
+        | Instr.Rdtsc ->
+            set_gpr t Reg.RAX (Int64.logand t.tsc 0xFFFFFFFFL);
+            set_gpr t Reg.RDX (Int64.shift_right_logical t.tsc 32)
+        | Instr.Hlt ->
+            retire_terminal t;
+            raise (Stopped Halted)
+        | Instr.Ud2 -> hw_fault Hw_exception.UD t.rip
+        | Instr.Assert a ->
+            count Pmu.Br_inst_retired 1 t;
+            let v = eval t a.assert_src in
+            if t.assertions_on && not (assertion_holds a.assert_kind v) then begin
+              retire_terminal t;
+              raise (Stopped (Assertion_failure { assertion = a; observed = v }))
+            end
+        | Instr.Vmentry ->
+            retire_terminal t;
+            raise (Stopped Vm_entry));
+        retire t fuel;
+        step ()
+      in
+      step ()
+    with Stopped reason -> reason
+  in
+  Pmu.disable t.pmu_unit;
+  let activation =
+    match (inject, t.watch) with
+    | Some injection, Some w -> Some { injection; fate = w.fate }
+    | Some injection, None ->
+        (* Run ended before the injection step was reached. *)
+        Some { injection; fate = Never_touched }
+    | None, _ -> None
+  in
+  {
+    stop = stop_reason;
+    steps = t.steps;
+    final_pmu = Pmu.snapshot t.pmu_unit;
+    activation;
+  }
+
+let pp_stop ppf = function
+  | Vm_entry -> Format.fprintf ppf "vm-entry"
+  | Hw_fault { exn; detail } ->
+      Format.fprintf ppf "hw-fault %s @ %Lx" (Hw_exception.name exn) detail
+  | Assertion_failure { assertion; observed } ->
+      Format.fprintf ppf "assertion %s failed (observed %Ld)"
+        assertion.Instr.assert_name observed
+  | Halted -> Format.fprintf ppf "halted"
+  | Out_of_fuel -> Format.fprintf ppf "out-of-fuel (hang)"

@@ -1,0 +1,106 @@
+(** Instruction-level CPU interpreter.
+
+    Executes an assembled {!Xentry_isa.Program.t} against a simulated
+    memory, counting performance events, raising hardware exceptions,
+    evaluating Xentry's software assertions, and — for fault-injection
+    campaigns — flipping a single architectural register bit at a
+    chosen dynamic instruction and tracking whether the corrupted value
+    is ever consumed (paper §V-B's activated / non-activated fault
+    distinction).
+
+    A "run" models one hypervisor execution: it starts right after a
+    VM exit and finishes at the [Vmentry] instruction, a hardware
+    exception, an assertion failure, [Hlt], or watchdog exhaustion
+    (hangs from corrupted loop counters). *)
+
+type t
+
+val create :
+  ?cpu_id:int ->
+  ?tsc_step:int ->
+  ?cpuid_fn:(int64 -> int64 * int64 * int64 * int64) ->
+  Memory.t ->
+  t
+(** [create mem] makes a CPU attached to [mem].  [tsc_step] is the TSC
+    increment per retired instruction (default 3, a 2-ish IPC at a few
+    GHz is immaterial; only monotonicity and determinism matter).
+    [cpuid_fn] maps a leaf to the (rax, rbx, rcx, rdx) results. *)
+
+val memory : t -> Memory.t
+val pmu : t -> Pmu.t
+val cpu_id : t -> int
+
+val get_gpr : t -> Xentry_isa.Reg.gpr -> int64
+val set_gpr : t -> Xentry_isa.Reg.gpr -> int64 -> unit
+val get_rflags : t -> int64
+val set_rflags : t -> int64 -> unit
+val get_rip : t -> int64
+val get_tsc : t -> int64
+val set_tsc : t -> int64 -> unit
+
+val set_assertions_enabled : t -> bool -> unit
+(** When disabled, [Assert] instructions execute (and are counted) but
+    violations do not stop the run — the unprotected-hypervisor
+    baseline. *)
+
+val assertions_enabled : t -> bool
+
+type stop =
+  | Vm_entry  (** reached the VM-entry boundary *)
+  | Hw_fault of { exn : Hw_exception.t; detail : int64 }
+      (** hardware exception; [detail] is the faulting address for
+          #PF/#GP, the bad RIP for fetch faults, 0 otherwise *)
+  | Assertion_failure of { assertion : Xentry_isa.Instr.assertion; observed : int64 }
+  | Halted  (** executed [Hlt] *)
+  | Out_of_fuel  (** watchdog: the run exceeded its instruction budget *)
+
+type fault_fate =
+  | Never_touched  (** register not accessed again before the run ended *)
+  | Overwritten of int  (** fully overwritten at this step before any read *)
+  | Activated of int  (** first read at this step: the fault is live *)
+
+type injection = {
+  inj_target : Xentry_isa.Reg.arch;
+  inj_bit : int;  (** 0–63 *)
+  inj_step : int;  (** flip occurs just before executing this step *)
+}
+
+type activation_report = { injection : injection; fate : fault_fate }
+
+type run_result = {
+  stop : stop;
+  steps : int;  (** dynamic instructions retired (rep iterations count) *)
+  final_pmu : Pmu.snapshot;  (** counters as read at the stop point *)
+  activation : activation_report option;
+}
+
+val detection_latency : run_result -> int option
+(** Instructions between fault activation and the stop event, when the
+    run both activated a fault and stopped on a detection-relevant
+    event ([Hw_fault], [Assertion_failure], [Vm_entry], [Out_of_fuel]).
+    This is the paper's Fig 10 metric. *)
+
+val run :
+  t ->
+  program:Xentry_isa.Program.t ->
+  code_base:int64 ->
+  ?entry:string ->
+  ?fuel:int ->
+  ?inject:injection ->
+  ?on_step:(int -> int Xentry_isa.Instr.t -> unit) ->
+  unit ->
+  run_result
+(** Execute [program] starting at label [entry] (default: index 0).
+    [fuel] bounds retired instructions (default 100_000).  The PMU is
+    enabled (and zeroed) on entry to [run] and disabled at the stop
+    point, mirroring Xentry's VM-exit / VM-entry counter management.
+    [inject] flips one register bit just before the given dynamic
+    step; if the run stops earlier the injection never happens and
+    [activation] reports [Never_touched] with the request echoed. *)
+
+val flip_register_bit : t -> Xentry_isa.Reg.arch -> int -> unit
+(** Unconditionally flip a bit in the live architectural state (used
+    by tests and by the campaign to model faults during the
+    VM-transition window itself). *)
+
+val pp_stop : Format.formatter -> stop -> unit

@@ -1,0 +1,98 @@
+type t =
+  | DE
+  | DB
+  | NMI
+  | BP
+  | OF
+  | BR
+  | UD
+  | NM
+  | DF
+  | CSO
+  | TS
+  | NP
+  | SS
+  | GP
+  | PF
+  | MF
+  | AC
+  | MC
+  | XM
+
+let vector = function
+  | DE -> 0
+  | DB -> 1
+  | NMI -> 2
+  | BP -> 3
+  | OF -> 4
+  | BR -> 5
+  | UD -> 6
+  | NM -> 7
+  | DF -> 8
+  | CSO -> 9
+  | TS -> 10
+  | NP -> 11
+  | SS -> 12
+  | GP -> 13
+  | PF -> 14
+  | MF -> 16
+  | AC -> 17
+  | MC -> 18
+  | XM -> 19
+
+let all =
+  [| DE; DB; NMI; BP; OF; BR; UD; NM; DF; CSO; TS; NP; SS; GP; PF; MF; AC; MC; XM |]
+
+let count = Array.length all
+
+let of_vector v =
+  let rec find i =
+    if i >= count then None
+    else if vector all.(i) = v then Some all.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let name = function
+  | DE -> "#DE"
+  | DB -> "#DB"
+  | NMI -> "#NMI"
+  | BP -> "#BP"
+  | OF -> "#OF"
+  | BR -> "#BR"
+  | UD -> "#UD"
+  | NM -> "#NM"
+  | DF -> "#DF"
+  | CSO -> "#CSO"
+  | TS -> "#TS"
+  | NP -> "#NP"
+  | SS -> "#SS"
+  | GP -> "#GP"
+  | PF -> "#PF"
+  | MF -> "#MF"
+  | AC -> "#AC"
+  | MC -> "#MC"
+  | XM -> "#XM"
+
+let description = function
+  | DE -> "divide error"
+  | DB -> "debug"
+  | NMI -> "non-maskable interrupt"
+  | BP -> "breakpoint"
+  | OF -> "overflow"
+  | BR -> "bound range exceeded"
+  | UD -> "invalid opcode"
+  | NM -> "device not available"
+  | DF -> "double fault"
+  | CSO -> "coprocessor segment overrun"
+  | TS -> "invalid TSS"
+  | NP -> "segment not present"
+  | SS -> "stack segment fault"
+  | GP -> "general protection"
+  | PF -> "page fault"
+  | MF -> "x87 floating point"
+  | AC -> "alignment check"
+  | MC -> "machine check"
+  | XM -> "SIMD floating point"
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,46 @@
+(** Hardware exception vectors of the simulated CPU.
+
+    The 19 architectural exceptions handled by Xen 4.1.2's exception
+    handlers (paper §IV: "19 exceptions are handled by exception
+    handlers").  Runtime detection (paper §III-A) parses these,
+    filtering non-fatal ones (ordinary page faults, general protection
+    raised on behalf of guests) from fatal corruption symptoms. *)
+
+type t =
+  | DE  (** 0 — divide error *)
+  | DB  (** 1 — debug *)
+  | NMI  (** 2 — non-maskable interrupt *)
+  | BP  (** 3 — breakpoint *)
+  | OF  (** 4 — overflow *)
+  | BR  (** 5 — bound range *)
+  | UD  (** 6 — invalid opcode *)
+  | NM  (** 7 — device not available *)
+  | DF  (** 8 — double fault *)
+  | CSO  (** 9 — coprocessor segment overrun (legacy) *)
+  | TS  (** 10 — invalid TSS *)
+  | NP  (** 11 — segment not present *)
+  | SS  (** 12 — stack segment fault *)
+  | GP  (** 13 — general protection *)
+  | PF  (** 14 — page fault *)
+  | MF  (** 16 — x87 floating point *)
+  | AC  (** 17 — alignment check *)
+  | MC  (** 18 — machine check *)
+  | XM  (** 19 — SIMD floating point *)
+
+val vector : t -> int
+(** Architectural vector number. *)
+
+val of_vector : int -> t option
+
+val all : t array
+(** The 19 exceptions, in vector order (vector 15 is reserved and has
+    no handler). *)
+
+val count : int
+
+val name : t -> string
+(** Short mnemonic, e.g. ["#PF"]. *)
+
+val description : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,133 @@
+exception Fault of { addr : int64; write : bool }
+
+let page_size = 4096
+let page_bits = 12
+
+type t = { pages : (int64, Bytes.t) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 64 }
+
+let page_of addr = Int64.shift_right_logical addr page_bits
+let offset_of addr = Int64.to_int (Int64.logand addr 0xFFFL)
+
+let map_region t ~addr ~size =
+  if size < 0 then invalid_arg "Memory.map_region: negative size";
+  if size = 0 then ()
+  else
+    let first = page_of addr in
+    let last = page_of (Int64.add addr (Int64.of_int (size - 1))) in
+    let rec go p =
+      if Int64.compare p last <= 0 then begin
+        if not (Hashtbl.mem t.pages p) then
+          Hashtbl.replace t.pages p (Bytes.make page_size '\000');
+        go (Int64.add p 1L)
+      end
+    in
+    go first
+
+let unmap_region t ~addr ~size =
+  if size > 0 then begin
+    let first = page_of addr in
+    let last = page_of (Int64.add addr (Int64.of_int (size - 1))) in
+    let rec go p =
+      if Int64.compare p last <= 0 then begin
+        Hashtbl.remove t.pages p;
+        go (Int64.add p 1L)
+      end
+    in
+    go first
+  end
+
+let find_page t addr ~write =
+  match Hashtbl.find_opt t.pages (page_of addr) with
+  | Some page -> page
+  | None -> raise (Fault { addr; write })
+
+let is_mapped t addr = Hashtbl.mem t.pages (page_of addr)
+
+let load8 t addr =
+  let page = find_page t addr ~write:false in
+  Char.code (Bytes.get page (offset_of addr))
+
+let store8 t addr v =
+  let page = find_page t addr ~write:true in
+  Bytes.set page (offset_of addr) (Char.chr (v land 0xFF))
+
+let same_page a b = Int64.equal (page_of a) (page_of b)
+
+let load64 t addr =
+  let last = Int64.add addr 7L in
+  if same_page addr last then
+    (* Fast path: the whole word lives in one page. *)
+    let page = find_page t addr ~write:false in
+    Bytes.get_int64_le page (offset_of addr)
+  else
+    let rec go i acc =
+      if i > 7 then acc
+      else
+        let b = load8 t (Int64.add addr (Int64.of_int i)) in
+        go (i + 1) (Int64.logor acc (Int64.shift_left (Int64.of_int b) (8 * i)))
+    in
+    go 0 0L
+
+let store64 t addr v =
+  let last = Int64.add addr 7L in
+  if same_page addr last then
+    let page = find_page t addr ~write:true in
+    Bytes.set_int64_le page (offset_of addr) v
+  else
+    for i = 0 to 7 do
+      let b =
+        Int64.to_int
+          (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)
+      in
+      store8 t (Int64.add addr (Int64.of_int i)) b
+    done
+
+let blit_out t ~addr ~len =
+  let out = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set out i (Char.chr (load8 t (Int64.add addr (Int64.of_int i))))
+  done;
+  out
+
+(* Page-at-a-time comparison: ranges are walked in within-page chunks
+   so the hot path is a direct byte loop over two resident pages
+   instead of a hashtable probe per byte. *)
+let first_difference a b ~addr ~len =
+  let rec walk pos =
+    if pos >= len then None
+    else
+      let at = Int64.add addr (Int64.of_int pos) in
+      let in_page = page_size - offset_of at in
+      let chunk = min in_page (len - pos) in
+      let pa = Hashtbl.find_opt a.pages (page_of at) in
+      let pb = Hashtbl.find_opt b.pages (page_of at) in
+      match (pa, pb) with
+      | None, None -> walk (pos + chunk)
+      | Some pg_a, Some pg_b ->
+          let off = offset_of at in
+          let rec scan i =
+            if i >= chunk then walk (pos + chunk)
+            else if Bytes.get pg_a (off + i) <> Bytes.get pg_b (off + i) then
+              Some (Int64.add at (Int64.of_int i))
+            else scan (i + 1)
+          in
+          scan 0
+      | Some pg, None | None, Some pg ->
+          (* A mapped page only matches an unmapped one when... never:
+             mapped-vs-unmapped differs at the first byte of the
+             chunk per the documented semantics. *)
+          ignore pg;
+          Some at
+  in
+  walk 0
+
+let region_equal a b ~addr ~len = first_difference a b ~addr ~len = None
+
+let copy t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace pages k (Bytes.copy v)) t.pages;
+  { pages }
+
+let mapped_bytes t = Hashtbl.length t.pages * page_size

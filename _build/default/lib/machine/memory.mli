@@ -1,0 +1,55 @@
+(** Sparse, byte-addressable simulated physical memory.
+
+    Memory is organized as 4 KiB pages allocated on demand inside
+    explicitly mapped regions.  Accesses outside mapped regions raise
+    {!Fault}, which the CPU translates into a page-fault hardware
+    exception — the mechanism behind most of the paper's
+    hardware-exception detections (a bit-flipped pointer usually walks
+    off the mapped address space). *)
+
+type t
+
+exception Fault of { addr : int64; write : bool }
+(** Access to an unmapped address. *)
+
+val page_size : int
+(** 4096. *)
+
+val create : unit -> t
+(** Fresh memory with nothing mapped. *)
+
+val map_region : t -> addr:int64 -> size:int -> unit
+(** Make \[addr, addr+size) accessible, zero-filled.  Overlapping an
+    existing region is allowed (idempotent). *)
+
+val unmap_region : t -> addr:int64 -> size:int -> unit
+(** Remove all pages intersecting the region. *)
+
+val is_mapped : t -> int64 -> bool
+(** Is the single byte at this address accessible? *)
+
+val load8 : t -> int64 -> int
+val store8 : t -> int64 -> int -> unit
+
+val load64 : t -> int64 -> int64
+(** Little-endian, no alignment requirement; raises {!Fault} if any of
+    the eight bytes is unmapped. *)
+
+val store64 : t -> int64 -> int64 -> unit
+
+val blit_out : t -> addr:int64 -> len:int -> Bytes.t
+(** Copy a mapped byte range out (for golden-run comparison). *)
+
+val region_equal : t -> t -> addr:int64 -> len:int -> bool
+(** Byte-wise comparison of the same range in two memories; unmapped
+    bytes compare equal to unmapped bytes and differ from any mapped
+    byte. *)
+
+val first_difference : t -> t -> addr:int64 -> len:int -> int64 option
+(** Address of the first differing byte in the range, if any. *)
+
+val copy : t -> t
+(** Deep copy (golden-run snapshot). *)
+
+val mapped_bytes : t -> int
+(** Total bytes currently mapped (page-granular). *)

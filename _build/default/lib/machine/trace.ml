@@ -1,0 +1,55 @@
+type entry = { step : int; index : int; instr : int Xentry_isa.Instr.t }
+
+type t = {
+  capacity : int;
+  ring : entry option array;
+  mutable seen : int;
+}
+
+let create ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; seen = 0 }
+
+let hook t index instr =
+  let step = t.seen in
+  t.ring.(step mod t.capacity) <- Some { step; index; instr };
+  t.seen <- t.seen + 1
+
+let length t = min t.seen t.capacity
+let total t = t.seen
+
+let entries t =
+  let n = length t in
+  List.init n (fun i ->
+      let step = t.seen - n + i in
+      match t.ring.(step mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.seen <- 0
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%6d  [%4d]  %a@\n" e.step e.index
+        (Xentry_isa.Instr.pp Format.pp_print_int)
+        e.instr)
+    (entries t)
+
+let diff_point a b =
+  let ea = entries a and eb = entries b in
+  (* Align on dynamic step numbers, then find the first retained step
+     where the static instruction indexes disagree. *)
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace tbl e.step e.index) ea;
+  List.fold_left
+    (fun acc e ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match Hashtbl.find_opt tbl e.step with
+          | Some idx when idx <> e.index -> Some e.step
+          | _ -> None))
+    None eb

@@ -1,0 +1,40 @@
+(** Execution flight recorder.
+
+    A bounded ring buffer of the most recently executed instructions,
+    attached to a CPU run through its [on_step] hook.  Fault-injection
+    debugging needs exactly this view: the dynamic instruction window
+    around an activation or a detection — the paper's Fig 5 traces are
+    renderings of the same information. *)
+
+type entry = {
+  step : int;  (** dynamic instruction index *)
+  index : int;  (** static instruction index in the program *)
+  instr : int Xentry_isa.Instr.t;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring of the last [capacity] instructions (default 64). *)
+
+val hook : t -> int -> int Xentry_isa.Instr.t -> unit
+(** Pass as [~on_step:(Trace.hook t)] to {!Cpu.run}. *)
+
+val length : t -> int
+(** Entries currently held (≤ capacity). *)
+
+val total : t -> int
+(** Total instructions observed since the last [clear]. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Disassembled listing of the retained window. *)
+
+val diff_point : t -> t -> int option
+(** First dynamic step at which two traces diverge (same-program runs:
+    golden vs faulted), when both windows still cover it.  [None] when
+    the retained windows agree or no longer overlap the divergence. *)

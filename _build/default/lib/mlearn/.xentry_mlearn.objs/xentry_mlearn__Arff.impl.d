@@ -1,0 +1,1 @@
+lib/mlearn/arff.ml: Array Buffer Dataset Fun List Printf String

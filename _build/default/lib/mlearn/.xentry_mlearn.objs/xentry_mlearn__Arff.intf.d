@@ -1,0 +1,1 @@
+lib/mlearn/arff.mli: Dataset

@@ -1,0 +1,1 @@
+lib/mlearn/dataset.ml: Array Float Format List Xentry_util

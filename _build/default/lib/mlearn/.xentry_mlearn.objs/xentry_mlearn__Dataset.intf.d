@@ -1,0 +1,1 @@
+lib/mlearn/dataset.mli: Format Xentry_util

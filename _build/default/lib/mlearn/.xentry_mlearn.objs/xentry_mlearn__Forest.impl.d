@@ -1,0 +1,1 @@
+lib/mlearn/forest.ml: Array Dataset Tree Xentry_util

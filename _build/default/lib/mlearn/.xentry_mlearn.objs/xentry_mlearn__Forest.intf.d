@@ -1,0 +1,1 @@
+lib/mlearn/forest.mli: Dataset Tree

@@ -1,0 +1,1 @@
+lib/mlearn/metrics.ml: Array Dataset Format Tree

@@ -1,0 +1,1 @@
+lib/mlearn/metrics.mli: Dataset Format Tree

@@ -1,0 +1,1 @@
+lib/mlearn/tree.ml: Array Dataset Format List Printf String Xentry_util

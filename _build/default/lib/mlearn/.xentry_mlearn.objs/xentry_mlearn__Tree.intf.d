@@ -1,0 +1,1 @@
+lib/mlearn/tree.mli: Dataset Format

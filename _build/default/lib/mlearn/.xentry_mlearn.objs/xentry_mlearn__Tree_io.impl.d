@@ -1,0 +1,1 @@
+lib/mlearn/tree_io.ml: Array Buffer Int64 List Printf String Tree

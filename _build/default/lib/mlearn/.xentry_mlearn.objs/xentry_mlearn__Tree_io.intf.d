@@ -1,0 +1,1 @@
+lib/mlearn/tree_io.mli: Tree

@@ -1,0 +1,27 @@
+(** WEKA interchange: ARFF and CSV serialization of datasets.
+
+    The paper built its models with WEKA ("We utilize the
+    implementation of machine learning algorithms in WEKA [28]"); this
+    module writes the training corpora in WEKA's ARFF format (and
+    plain CSV) so they can be loaded into WEKA directly, and parses
+    them back for round-tripping. *)
+
+val to_arff : ?relation:string -> Dataset.t -> string
+(** Render as ARFF: one numeric attribute per feature plus a nominal
+    [class] attribute with values [c0..c(n-1)]. *)
+
+val of_arff : string -> Dataset.t
+(** Parse an ARFF document produced by {!to_arff} (numeric attributes,
+    nominal class last).  Raises [Failure] with a line-located message
+    on malformed input. *)
+
+val to_csv : Dataset.t -> string
+(** Header row of feature names plus [class]; one sample per line. *)
+
+val of_csv : string -> Dataset.t
+(** Parse CSV produced by {!to_csv}. *)
+
+val save : string -> string -> unit
+(** [save path contents] writes a file. *)
+
+val load : string -> string

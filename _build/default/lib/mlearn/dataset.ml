@@ -1,0 +1,79 @@
+type sample = { features : float array; label : int }
+
+type t = {
+  feature_names : string array;
+  n_classes : int;
+  data : sample array;
+}
+
+let create ~feature_names ~n_classes samples =
+  if n_classes < 2 then invalid_arg "Dataset.create: need at least 2 classes";
+  let arity = Array.length feature_names in
+  List.iter
+    (fun s ->
+      if Array.length s.features <> arity then
+        invalid_arg "Dataset.create: sample arity mismatch";
+      if s.label < 0 || s.label >= n_classes then
+        invalid_arg "Dataset.create: label out of range")
+    samples;
+  { feature_names; n_classes; data = Array.of_list samples }
+
+let feature_names t = t.feature_names
+let n_features t = Array.length t.feature_names
+let n_classes t = t.n_classes
+let length t = Array.length t.data
+let sample t i = t.data.(i)
+let samples t = t.data
+
+let class_counts t =
+  let counts = Array.make t.n_classes 0 in
+  Array.iter (fun s -> counts.(s.label) <- counts.(s.label) + 1) t.data;
+  counts
+
+let entropy t =
+  let n = float_of_int (length t) in
+  if n = 0.0 then 0.0
+  else
+    Array.fold_left
+      (fun acc c ->
+        if c = 0 then acc
+        else
+          let p = float_of_int c /. n in
+          acc -. (p *. (log p /. log 2.0)))
+      0.0 (class_counts t)
+
+let with_data t data = { t with data }
+
+let split_by_threshold t ~feature ~threshold =
+  if feature < 0 || feature >= n_features t then
+    invalid_arg "Dataset.split_by_threshold: bad feature index";
+  let le, gt =
+    Array.to_list t.data
+    |> List.partition (fun s -> s.features.(feature) <= threshold)
+  in
+  (with_data t (Array.of_list le), with_data t (Array.of_list gt))
+
+let subset t indices =
+  with_data t (Array.map (fun i -> t.data.(i)) indices)
+
+let train_test_split rng t ~train_fraction =
+  if train_fraction < 0.0 || train_fraction > 1.0 then
+    invalid_arg "Dataset.train_test_split: fraction out of [0, 1]";
+  let order = Array.init (length t) (fun i -> i) in
+  Xentry_util.Rng.shuffle rng order;
+  let n_train =
+    int_of_float (Float.round (train_fraction *. float_of_int (length t)))
+  in
+  ( subset t (Array.sub order 0 n_train),
+    subset t (Array.sub order n_train (length t - n_train)) )
+
+let append a b =
+  if a.feature_names <> b.feature_names || a.n_classes <> b.n_classes then
+    invalid_arg "Dataset.append: incompatible datasets";
+  with_data a (Array.append a.data b.data)
+
+let pp_summary ppf t =
+  let counts = class_counts t in
+  Format.fprintf ppf "%d samples, %d features, classes:" (length t)
+    (n_features t);
+  Array.iteri (fun c n -> Format.fprintf ppf " %d:%d" c n) counts

@@ -1,0 +1,45 @@
+(** Labelled datasets for classifier training and evaluation.
+
+    A sample is a feature vector with an integer class label; for
+    Xentry's VM-transition detection the features are the five of
+    Table I and the labels are 0 = correct execution, 1 = incorrect
+    (paper §III-B). *)
+
+type sample = { features : float array; label : int }
+
+type t
+
+val create : feature_names:string array -> n_classes:int -> sample list -> t
+(** Raises [Invalid_argument] when a sample's arity differs from the
+    feature-name count or a label is outside \[0, n_classes). *)
+
+val feature_names : t -> string array
+val n_features : t -> int
+val n_classes : t -> int
+val length : t -> int
+val sample : t -> int -> sample
+val samples : t -> sample array
+(** The backing array (do not mutate). *)
+
+val class_counts : t -> int array
+(** Occurrences of each label. *)
+
+val entropy : t -> float
+(** Shannon entropy (bits) of the label distribution — the paper's
+    worked example: a 10/5 split of 15 samples has entropy
+    [-(10/15)log2(10/15) - (5/15)log2(5/15)]. *)
+
+val split_by_threshold : t -> feature:int -> threshold:float -> t * t
+(** Partition into ([<= threshold], [> threshold]). *)
+
+val subset : t -> int array -> t
+(** Select samples by index (with repetition allowed — used for
+    bootstrap bagging). *)
+
+val train_test_split : Xentry_util.Rng.t -> t -> train_fraction:float -> t * t
+(** Shuffled partition. *)
+
+val append : t -> t -> t
+(** Concatenate two compatible datasets. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type t = { members : Tree.t array; n_classes : int }
+
+let train ?(trees = 15) ?config ~seed ds =
+  if trees < 1 then invalid_arg "Forest.train: need at least one tree";
+  let rng = Xentry_util.Rng.create seed in
+  let n = Dataset.length ds in
+  let members =
+    Array.init trees (fun k ->
+        let indices =
+          Array.init n (fun _ -> Xentry_util.Rng.int rng (max 1 n))
+        in
+        let boot = Dataset.subset ds indices in
+        let config =
+          match config with
+          | Some c -> { c with Tree.seed = seed + (k * 7919) }
+          | None ->
+              Tree.random_tree_config ~n_features:(Dataset.n_features ds)
+                ~seed:(seed + (k * 7919))
+        in
+        Tree.train ~config boot)
+  in
+  { members; n_classes = Dataset.n_classes ds }
+
+let predict_detail t features =
+  let votes = Array.make t.n_classes 0 in
+  Array.iter
+    (fun tree ->
+      let l = Tree.predict tree features in
+      votes.(l) <- votes.(l) + 1)
+    t.members;
+  let best = ref 0 in
+  Array.iteri (fun c n -> if n > votes.(!best) then best := c) votes;
+  ( !best,
+    float_of_int votes.(!best) /. float_of_int (Array.length t.members) )
+
+let predict t features = fst (predict_detail t features)
+
+let size t = Array.length t.members
+let trees t = t.members
+
+let total_comparisons t features =
+  Array.fold_left
+    (fun acc tree ->
+      let _, _, c = Tree.predict_detail tree features in
+      acc + c)
+    0 t.members

@@ -1,0 +1,34 @@
+(** Bagged ensembles of random trees.
+
+    The paper's detector is a single random tree; ensembles are the
+    natural extension it leaves for future work ("develop new
+    techniques to further increase the detection coverage and reduce
+    the false positive rate").  This module provides bootstrap-bagged
+    random trees with majority voting, used by the ablation bench to
+    quantify how far an ensemble moves accuracy and the
+    false-positive rate against the single-tree deployment cost. *)
+
+type t
+
+val train :
+  ?trees:int ->
+  ?config:Tree.config ->
+  seed:int ->
+  Dataset.t ->
+  t
+(** [train ~seed ds] fits [trees] (default 15) random trees, each on a
+    bootstrap resample of [ds] (sampling with replacement, same
+    size). *)
+
+val predict : t -> float array -> int
+(** Majority vote. *)
+
+val predict_detail : t -> float array -> int * float
+(** (label, fraction of votes for it). *)
+
+val size : t -> int
+val trees : t -> Tree.t array
+
+val total_comparisons : t -> float array -> int
+(** Summed traversal cost across members — the ensemble's per-VM-entry
+    price in the cost model. *)

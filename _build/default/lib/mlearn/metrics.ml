@@ -1,0 +1,56 @@
+type confusion = {
+  true_positive : int;
+  false_positive : int;
+  true_negative : int;
+  false_negative : int;
+}
+
+let confusion ~expected ~predicted =
+  if Array.length expected <> Array.length predicted then
+    invalid_arg "Metrics.confusion: length mismatch";
+  let c = ref { true_positive = 0; false_positive = 0; true_negative = 0; false_negative = 0 } in
+  Array.iteri
+    (fun i e ->
+      let p = predicted.(i) in
+      if e < 0 || e > 1 || p < 0 || p > 1 then
+        invalid_arg "Metrics.confusion: labels must be binary";
+      c :=
+        (match (e, p) with
+        | 1, 1 -> { !c with true_positive = !c.true_positive + 1 }
+        | 0, 1 -> { !c with false_positive = !c.false_positive + 1 }
+        | 0, 0 -> { !c with true_negative = !c.true_negative + 1 }
+        | _ -> { !c with false_negative = !c.false_negative + 1 }))
+    expected;
+  !c
+
+let ratio a b = if a + b = 0 then 0.0 else float_of_int a /. float_of_int (a + b)
+
+let accuracy c =
+  ratio
+    (c.true_positive + c.true_negative)
+    (c.false_positive + c.false_negative)
+
+let precision c = ratio c.true_positive c.false_positive
+let recall c = ratio c.true_positive c.false_negative
+let false_positive_rate c = ratio c.false_positive c.true_negative
+
+let f1 c =
+  let p = precision c and r = recall c in
+  if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)
+
+let evaluate_predict predict ds =
+  let n = Dataset.length ds in
+  let expected = Array.make n 0 and predicted = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let s = Dataset.sample ds i in
+    expected.(i) <- s.Dataset.label;
+    predicted.(i) <- predict s.Dataset.features
+  done;
+  confusion ~expected ~predicted
+
+let evaluate tree ds = evaluate_predict (Tree.predict tree) ds
+
+let pp ppf c =
+  Format.fprintf ppf "tp=%d fp=%d tn=%d fn=%d acc=%.3f fpr=%.4f" c.true_positive
+    c.false_positive c.true_negative c.false_negative (accuracy c)
+    (false_positive_rate c)

@@ -1,0 +1,37 @@
+(** Classifier evaluation.
+
+    The paper reports accuracy for both tree algorithms (random tree
+    98.6% vs decision tree 96.1%) and a false-positive rate of 0.7%
+    used in the recovery-overhead study (§VI).  Conventions here:
+    class 1 ("incorrect execution") is the positive class, so a false
+    positive is a correct execution flagged as faulty — the event that
+    triggers an unnecessary recovery. *)
+
+type confusion = {
+  true_positive : int;
+  false_positive : int;
+  true_negative : int;
+  false_negative : int;
+}
+
+val confusion : expected:int array -> predicted:int array -> confusion
+(** Binary confusion matrix (labels other than 0/1 raise).  Arrays
+    must have equal length. *)
+
+val accuracy : confusion -> float
+val precision : confusion -> float
+val recall : confusion -> float
+(** Detection coverage of actual incorrect executions. *)
+
+val false_positive_rate : confusion -> float
+(** FP / (FP + TN): fraction of correct executions misflagged. *)
+
+val f1 : confusion -> float
+
+val evaluate : Tree.t -> Dataset.t -> confusion
+(** Run the tree over every sample. *)
+
+val evaluate_predict : (float array -> int) -> Dataset.t -> confusion
+(** Same for an arbitrary predictor (e.g. a forest). *)
+
+val pp : Format.formatter -> confusion -> unit

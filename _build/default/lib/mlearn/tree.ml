@@ -1,0 +1,229 @@
+type node =
+  | Leaf of { label : int; confidence : float; population : int }
+  | Split of { feature : int; threshold : float; low : node; high : node }
+
+type t = { root : node; feature_names : string array; n_classes : int }
+
+type config = {
+  max_depth : int;
+  min_samples_leaf : int;
+  min_gain : float;
+  features_per_split : [ `All | `Random of int ];
+  seed : int;
+}
+
+let default_config =
+  {
+    max_depth = 12;
+    min_samples_leaf = 2;
+    min_gain = 1e-4;
+    features_per_split = `All;
+    seed = 1;
+  }
+
+let random_tree_config ~n_features ~seed =
+  let k =
+    max 1 (1 + int_of_float (floor (log (float_of_int n_features) /. log 2.0)))
+  in
+  { default_config with features_per_split = `Random k; seed }
+
+let majority_label ds =
+  let counts = Dataset.class_counts ds in
+  let best = ref 0 in
+  Array.iteri (fun c n -> if n > counts.(!best) then best := c) counts;
+  let total = Dataset.length ds in
+  let confidence =
+    if total = 0 then 0.0
+    else float_of_int counts.(!best) /. float_of_int total
+  in
+  (!best, confidence, total)
+
+let make_leaf ds =
+  let label, confidence, population = majority_label ds in
+  Leaf { label; confidence; population }
+
+let entropy_of_counts counts total =
+  if total = 0 then 0.0
+  else
+    let n = float_of_int total in
+    Array.fold_left
+      (fun acc c ->
+        if c = 0 then acc
+        else
+          let p = float_of_int c /. n in
+          acc -. (p *. (log p /. log 2.0)))
+      0.0 counts
+
+(* For each candidate feature, sort the samples by value once and sweep
+   left-to-right with incremental class counts, evaluating the entropy
+   deduction D at every boundary between distinct values.  O(n log n)
+   per feature instead of O(n^2). *)
+let best_split ds ~features =
+  let samples = Dataset.samples ds in
+  let n = Array.length samples in
+  let k = Dataset.n_classes ds in
+  let total_counts = Dataset.class_counts ds in
+  let parent_entropy = entropy_of_counts total_counts n in
+  let best = ref None in
+  Array.iter
+    (fun feature ->
+      let order = Array.init n (fun i -> i) in
+      Array.sort
+        (fun a b ->
+          compare samples.(a).Dataset.features.(feature)
+            samples.(b).Dataset.features.(feature))
+        order;
+      let left = Array.make k 0 in
+      let right = Array.copy total_counts in
+      for pos = 0 to n - 2 do
+        let s = samples.(order.(pos)) in
+        left.(s.Dataset.label) <- left.(s.Dataset.label) + 1;
+        right.(s.Dataset.label) <- right.(s.Dataset.label) - 1;
+        let v = s.Dataset.features.(feature) in
+        let v' = samples.(order.(pos + 1)).Dataset.features.(feature) in
+        if v <> v' then begin
+          let nl = pos + 1 in
+          let nr = n - nl in
+          let pl = float_of_int nl /. float_of_int n in
+          let pr = float_of_int nr /. float_of_int n in
+          let gain =
+            parent_entropy
+            -. ((pl *. entropy_of_counts left nl)
+               +. (pr *. entropy_of_counts right nr))
+          in
+          let threshold = (v +. v') /. 2.0 in
+          match !best with
+          | Some (_, _, g) when g >= gain -> ()
+          | _ -> best := Some (feature, threshold, gain)
+        end
+      done)
+    features;
+  !best
+
+let is_pure ds =
+  let counts = Dataset.class_counts ds in
+  Array.exists (fun c -> c = Dataset.length ds) counts
+
+let train ?(config = default_config) ds =
+  if Dataset.length ds = 0 then invalid_arg "Tree.train: empty dataset";
+  let rng = Xentry_util.Rng.create config.seed in
+  let nf = Dataset.n_features ds in
+  let pick_features () =
+    match config.features_per_split with
+    | `All -> Array.init nf (fun i -> i)
+    | `Random k ->
+        Xentry_util.Rng.sample_without_replacement rng (min k nf) nf
+  in
+  let rec grow ds depth =
+    if
+      depth >= config.max_depth
+      || Dataset.length ds <= config.min_samples_leaf
+      || is_pure ds
+    then make_leaf ds
+    else
+      match best_split ds ~features:(pick_features ()) with
+      | None -> make_leaf ds
+      | Some (feature, threshold, gain) ->
+          if gain < config.min_gain then make_leaf ds
+          else
+            let le, gt = Dataset.split_by_threshold ds ~feature ~threshold in
+            if Dataset.length le = 0 || Dataset.length gt = 0 then make_leaf ds
+            else
+              Split
+                {
+                  feature;
+                  threshold;
+                  low = grow le (depth + 1);
+                  high = grow gt (depth + 1);
+                }
+  in
+  {
+    root = grow ds 0;
+    feature_names = Dataset.feature_names ds;
+    n_classes = Dataset.n_classes ds;
+  }
+
+let predict_detail t features =
+  let rec go node comparisons =
+    match node with
+    | Leaf { label; confidence; _ } -> (label, confidence, comparisons)
+    | Split { feature; threshold; low; high } ->
+        let next = if features.(feature) <= threshold then low else high in
+        go next (comparisons + 1)
+  in
+  go t.root 0
+
+let predict t features =
+  let label, _, _ = predict_detail t features in
+  label
+
+let rec node_depth = function
+  | Leaf _ -> 0
+  | Split { low; high; _ } -> 1 + max (node_depth low) (node_depth high)
+
+let depth t = node_depth t.root
+
+let rec count_nodes = function
+  | Leaf _ -> 1
+  | Split { low; high; _ } -> 1 + count_nodes low + count_nodes high
+
+let node_count t = count_nodes t.root
+
+let rec count_leaves = function
+  | Leaf _ -> 1
+  | Split { low; high; _ } -> count_leaves low + count_leaves high
+
+let leaf_count t = count_leaves t.root
+
+let max_comparisons t = depth t
+
+let of_parts ~root ~feature_names ~n_classes =
+  if n_classes < 2 then invalid_arg "Tree.of_parts: need at least 2 classes";
+  let nf = Array.length feature_names in
+  let rec validate = function
+    | Leaf { label; _ } ->
+        if label < 0 || label >= n_classes then
+          invalid_arg "Tree.of_parts: leaf label out of range"
+    | Split { feature; low; high; _ } ->
+        if feature < 0 || feature >= nf then
+          invalid_arg "Tree.of_parts: split feature out of range";
+        validate low;
+        validate high
+  in
+  validate root;
+  { root; feature_names; n_classes }
+
+let rules t =
+  let rec go node path acc =
+    match node with
+    | Leaf { label; confidence; population } ->
+        let conditions =
+          match path with
+          | [] -> "always"
+          | _ -> String.concat " and " (List.rev path)
+        in
+        Printf.sprintf "if %s then class %d (%.0f%%, n=%d)" conditions label
+          (100.0 *. confidence) population
+        :: acc
+    | Split { feature; threshold; low; high } ->
+        let name = t.feature_names.(feature) in
+        let acc =
+          go low (Printf.sprintf "%s <= %g" name threshold :: path) acc
+        in
+        go high (Printf.sprintf "%s > %g" name threshold :: path) acc
+  in
+  List.rev (go t.root [] [])
+
+let pp ppf t =
+  let rec go ppf node indent =
+    match node with
+    | Leaf { label; confidence; population } ->
+        Format.fprintf ppf "%sclass %d (%.0f%%, n=%d)@\n" indent label
+          (100.0 *. confidence) population
+    | Split { feature; threshold; low; high } ->
+        Format.fprintf ppf "%s%s <= %g?@\n" indent t.feature_names.(feature)
+          threshold;
+        go ppf low (indent ^ "  ");
+        go ppf high (indent ^ "  ")
+  in
+  go ppf t.root ""

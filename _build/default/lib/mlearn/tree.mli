@@ -1,0 +1,73 @@
+(** Entropy-based decision trees (paper §III-B).
+
+    Construction greedily selects, at each node, the (feature,
+    threshold) cut maximizing the expected entropy deduction
+    [D(T, Tl, Tr) = Entropy(T) - (Pl*Entropy(Tl) + Pr*Entropy(Tr))]
+    over candidate thresholds placed between consecutive distinct
+    feature values — exactly the paper's worked RT=100/RT=200 example.
+    The random-tree variant restricts each split to a random subset of
+    [floor(log2 k) + 1] features (three of Xentry's five), the
+    randomization WEKA's RandomTree applies.
+
+    Prediction is a chain of integer-comparable threshold tests, which
+    is why the paper deems the model cheap enough to run at every VM
+    entry. *)
+
+type node =
+  | Leaf of { label : int; confidence : float; population : int }
+  | Split of { feature : int; threshold : float; low : node; high : node }
+      (** [low] when [value <= threshold]. *)
+
+type t = private {
+  root : node;
+  feature_names : string array;
+  n_classes : int;
+}
+
+type config = {
+  max_depth : int;  (** default 12 *)
+  min_samples_leaf : int;  (** default 2 *)
+  min_gain : float;  (** stop when best gain falls below (default 1e-4) *)
+  features_per_split : [ `All | `Random of int ];
+  seed : int;  (** feature subsampling stream for [`Random] *)
+}
+
+val default_config : config
+(** [`All] features — the plain decision tree. *)
+
+val random_tree_config : n_features:int -> seed:int -> config
+(** The paper's random-tree setting: [floor(log2 k) + 1] random
+    features per split. *)
+
+val train : ?config:config -> Dataset.t -> t
+(** Raises [Invalid_argument] on an empty dataset. *)
+
+val predict : t -> float array -> int
+
+val predict_detail : t -> float array -> int * float * int
+(** (label, leaf confidence, comparisons performed) — the comparison
+    count feeds the detection cost model. *)
+
+val depth : t -> int
+val node_count : t -> int
+val leaf_count : t -> int
+
+val max_comparisons : t -> int
+(** Worst-case traversal length. *)
+
+val rules : t -> string list
+(** Human-readable decision rules, one per leaf. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_parts :
+  root:node -> feature_names:string array -> n_classes:int -> t
+(** Reassemble a tree from serialized parts (see {!Tree_io}).
+    Validates that every split's feature index and every leaf's label
+    are in range; raises [Invalid_argument] otherwise. *)
+
+val best_split :
+  Dataset.t -> features:int array -> (int * float * float) option
+(** Exposed for testing: the (feature, threshold, gain) maximizing
+    information gain over the given candidate features, or [None] when
+    nothing splits. *)

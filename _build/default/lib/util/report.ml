@@ -1,0 +1,159 @@
+let pad s n =
+  let len = String.length s in
+  if len >= n then s else s ^ String.make (n - len) ' '
+
+let table ~header ~rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let render_row row =
+    String.concat "  "
+      (List.map2 (fun cell w -> pad cell w) row widths)
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  let body = List.map render_row rows in
+  String.concat "\n" ((render_row header :: rule :: body) @ [ "" ])
+
+let bar_chart ?(width = 40) ?(unit_label = "") entries =
+  let vmax =
+    List.fold_left (fun acc (_, v) -> max acc v) 0.0 entries
+  in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+  in
+  let line (label, v) =
+    let n =
+      if vmax <= 0.0 then 0
+      else int_of_float (Float.round (v /. vmax *. float_of_int width))
+    in
+    Printf.sprintf "%s  %s %g%s" (pad label label_w) (String.make n '#') v
+      unit_label
+  in
+  String.concat "\n" (List.map line entries) ^ "\n"
+
+let grouped_bars ?(width = 30) ~series_names entries =
+  let vmax =
+    List.fold_left
+      (fun acc (_, vs) -> List.fold_left max acc vs)
+      0.0 entries
+  in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+  in
+  let series_w =
+    List.fold_left (fun acc s -> max acc (String.length s)) 0 series_names
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (category, values) ->
+      List.iteri
+        (fun i v ->
+          let label = if i = 0 then category else "" in
+          let series = List.nth series_names i in
+          let n =
+            if vmax <= 0.0 then 0
+            else int_of_float (Float.round (v /. vmax *. float_of_int width))
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%s  %s  %s %g\n" (pad label label_w)
+               (pad series series_w) (String.make n '#') v))
+        values)
+    entries;
+  Buffer.contents buf
+
+let box_plot_row ?(width = 60) ~lo ~hi box =
+  let open Stats in
+  let span = hi -. lo in
+  let span = if span <= 0.0 then 1.0 else span in
+  let pos v =
+    let p = (v -. lo) /. span in
+    max 0 (min (width - 1) (int_of_float (p *. float_of_int (width - 1))))
+  in
+  let line = Bytes.make width ' ' in
+  let p_min = pos box.bmin
+  and p_q1 = pos box.q1
+  and p_med = pos box.bmedian
+  and p_q3 = pos box.q3
+  and p_max = pos box.bmax in
+  for i = p_min to p_max do
+    Bytes.set line i '-'
+  done;
+  for i = p_q1 to p_q3 do
+    Bytes.set line i '='
+  done;
+  Bytes.set line p_min '|';
+  Bytes.set line p_max '|';
+  Bytes.set line p_q1 '[';
+  Bytes.set line p_q3 ']';
+  Bytes.set line p_med '@';
+  Bytes.to_string line
+
+let cdf_plot ?(width = 60) ?(height = 12) series =
+  (* Find x-range across all series. *)
+  let xmin, xmax =
+    List.fold_left
+      (fun (lo, hi) (_, pts) ->
+        Array.fold_left (fun (lo, hi) (x, _) -> (min lo x, max hi x)) (lo, hi) pts)
+      (infinity, neg_infinity)
+      series
+  in
+  let span = if xmax -. xmin <= 0.0 then 1.0 else xmax -. xmin in
+  let grid = Array.make_matrix height width ' ' in
+  let marks = [| '*'; 'o'; '+'; 'x'; '%' |] in
+  List.iteri
+    (fun si (_, pts) ->
+      let mark = marks.(si mod Array.length marks) in
+      (* For each column, find the fraction reached by this series. *)
+      for col = 0 to width - 1 do
+        let x = xmin +. (float_of_int col /. float_of_int (width - 1) *. span) in
+        (* Fraction of the last point with x-coordinate <= x. *)
+        let frac =
+          Array.fold_left
+            (fun acc (px, pf) -> if px <= x then max acc pf else acc)
+            0.0 pts
+        in
+        let row =
+          height - 1 - int_of_float (frac *. float_of_int (height - 1))
+        in
+        let row = max 0 (min (height - 1) row) in
+        if grid.(row).(col) = ' ' then grid.(row).(col) <- mark
+      done)
+    series;
+  let buf = Buffer.create ((width + 8) * (height + 2)) in
+  Array.iteri
+    (fun i row ->
+      let frac = 1.0 -. (float_of_int i /. float_of_int (height - 1)) in
+      Buffer.add_string buf (Printf.sprintf "%5.0f%% |" (100.0 *. frac));
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (Printf.sprintf "       %s\n" (String.make width '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "       %-10g%*s\n" xmin (width - 10)
+       (Printf.sprintf "%g" xmax));
+  List.iteri
+    (fun si (name, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "       %c = %s\n" marks.(si mod Array.length marks) name))
+    series;
+  Buffer.contents buf
+
+let percent v =
+  if Float.abs v >= 10.0 then Printf.sprintf "%.1f%%" v
+  else if Float.abs v >= 1.0 then Printf.sprintf "%.2g%%" v
+  else Printf.sprintf "%.2g%%" v
+
+let section title =
+  let rule = String.make (String.length title + 8) '=' in
+  Printf.sprintf "\n%s\n==  %s  ==\n%s\n" rule title rule

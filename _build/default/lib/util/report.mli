@@ -1,0 +1,38 @@
+(** Plain-text rendering of experiment results.
+
+    The bench harness prints paper-shaped rows (tables, bar charts, box
+    plots, CDFs) to stdout; this module owns the formatting so every
+    figure reproduction reports consistently. *)
+
+val table : header:string list -> rows:string list list -> string
+(** Render an aligned table with a header rule.  Rows shorter than the
+    header are padded with empty cells. *)
+
+val bar_chart :
+  ?width:int -> ?unit_label:string -> (string * float) list -> string
+(** Horizontal bar chart scaled to the maximum value.  [width] is the
+    maximum bar width in characters (default 40). *)
+
+val grouped_bars :
+  ?width:int ->
+  series_names:string list ->
+  (string * float list) list ->
+  string
+(** Several bars per category (e.g. Fig 7's two overhead series); each
+    row is [category, values] aligned with [series_names]. *)
+
+val box_plot_row : ?width:int -> lo:float -> hi:float -> Stats.box -> string
+(** One ASCII box plot (|---[  |  ]---|) positioned on a log-ready
+    numeric axis from [lo] to [hi]. *)
+
+val cdf_plot :
+  ?width:int -> ?height:int -> (string * (float * float) array) list -> string
+(** Multi-series CDF rendered as a character grid; each series is a
+    list of (x, fraction) points, fractions in [0, 1]. *)
+
+val percent : float -> string
+(** Format a percentage with adaptive precision, e.g. ["2.5%"],
+    ["0.19%"]. *)
+
+val section : string -> string
+(** Banner used between figure reproductions. *)

@@ -1,0 +1,64 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator, the fault-injection campaigns and
+    the machine-learning pipeline flows through this module so that
+    every experiment is reproducible from a single integer seed.  The
+    generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): tiny
+    state, excellent statistical quality for simulation purposes, and a
+    well-defined [split] operation for creating independent streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] draws from [t] to seed a statistically independent
+    generator.  Use one split stream per subsystem so that adding draws
+    in one place does not perturb another. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound). Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in \[lo, hi\] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box–Muller normal deviate. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** [exp] of a Gaussian draw; used for heavy-tailed activation rates. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential deviate with the given rate (mean [1/rate]). *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val weighted_choice : t -> ('a * float) array -> 'a
+(** [weighted_choice t items] picks proportionally to the non-negative
+    weights.  Raises [Invalid_argument] on an empty array or if all
+    weights are zero. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] draws [k] distinct integers from
+    \[0, n).  Raises [Invalid_argument] if [k > n]. *)

@@ -1,0 +1,1 @@
+lib/vmm/domain.ml: Format Int64 Layout Memory Printf Xentry_isa Xentry_machine

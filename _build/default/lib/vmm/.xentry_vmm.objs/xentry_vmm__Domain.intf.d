@@ -1,0 +1,1 @@
+lib/vmm/domain.mli: Format Xentry_isa Xentry_machine

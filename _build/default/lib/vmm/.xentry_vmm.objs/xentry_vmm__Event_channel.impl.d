@@ -1,0 +1,1 @@
+lib/vmm/event_channel.ml: Int64 Layout Memory Xentry_machine Xentry_util

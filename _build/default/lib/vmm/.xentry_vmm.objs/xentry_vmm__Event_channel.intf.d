@@ -1,0 +1,1 @@
+lib/vmm/event_channel.mli: Xentry_machine

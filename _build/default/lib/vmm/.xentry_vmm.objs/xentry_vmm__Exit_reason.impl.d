@@ -1,0 +1,1 @@
+lib/vmm/exit_reason.ml: Array Format Hypercall Printf String Xentry_machine

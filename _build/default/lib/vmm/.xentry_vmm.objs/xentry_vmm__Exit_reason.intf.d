@@ -1,0 +1,1 @@
+lib/vmm/exit_reason.mli: Format Hypercall Xentry_machine

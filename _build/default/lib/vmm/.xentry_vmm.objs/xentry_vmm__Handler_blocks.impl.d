@@ -1,0 +1,1 @@
+lib/vmm/handler_blocks.ml: Cond Exit_reason Instr Int64 Layout List Operand Printf Program Reg Xentry_isa

@@ -1,0 +1,1 @@
+lib/vmm/handler_blocks.mli: Cond Exit_reason Operand Program Reg Xentry_isa

@@ -1,0 +1,1 @@
+lib/vmm/handlers.ml: Array Cond Event_channel Exit_reason Handler_blocks Hashtbl Hw_exception Hypercall Instr Int64 Layout Operand Program Reg Xentry_isa Xentry_machine

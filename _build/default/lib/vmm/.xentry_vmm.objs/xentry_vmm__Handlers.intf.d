@@ -1,0 +1,1 @@
+lib/vmm/handlers.mli: Exit_reason Hypercall Xentry_isa

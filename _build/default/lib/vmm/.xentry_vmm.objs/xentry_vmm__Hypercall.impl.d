@@ -1,0 +1,1 @@
+lib/vmm/hypercall.ml: Array Format

@@ -1,0 +1,1 @@
+lib/vmm/hypercall.mli: Format

@@ -1,0 +1,1 @@
+lib/vmm/hypervisor.ml: Array Cpu Domain Event_channel Exit_reason Handlers Hw_exception Hypercall Int64 Layout List Memory Request Rng Scheduler Vtime Xentry_isa Xentry_machine Xentry_util

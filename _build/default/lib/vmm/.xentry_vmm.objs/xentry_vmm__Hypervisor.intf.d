@@ -1,0 +1,1 @@
+lib/vmm/hypervisor.mli: Domain Request Scheduler Xentry_isa Xentry_machine

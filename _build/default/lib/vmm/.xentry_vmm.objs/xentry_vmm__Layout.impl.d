@@ -1,0 +1,1 @@
+lib/vmm/layout.ml: Int64 Memory Xentry_machine

@@ -1,0 +1,1 @@
+lib/vmm/request.ml: Array Exit_reason Format Hypercall Int64 List

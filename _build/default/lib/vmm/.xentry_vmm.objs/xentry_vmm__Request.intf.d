@@ -1,0 +1,1 @@
+lib/vmm/request.mli: Exit_reason Format

@@ -1,0 +1,1 @@
+lib/vmm/scheduler.ml: Format List

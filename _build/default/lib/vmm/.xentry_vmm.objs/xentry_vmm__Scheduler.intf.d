@@ -1,0 +1,1 @@
+lib/vmm/scheduler.mli: Format

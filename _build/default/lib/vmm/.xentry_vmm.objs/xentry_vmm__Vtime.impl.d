@@ -1,0 +1,1 @@
+lib/vmm/vtime.ml: Int64 Layout Memory Xentry_machine

@@ -1,0 +1,1 @@
+lib/vmm/vtime.mli: Xentry_machine

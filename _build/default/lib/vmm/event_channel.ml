@@ -1,0 +1,92 @@
+open Xentry_machine
+
+type state = Free | Unbound | Interdomain | Pirq | Virq | Ipi
+
+let state_to_int = function
+  | Free -> 0
+  | Unbound -> 1
+  | Interdomain -> 2
+  | Pirq -> 3
+  | Virq -> 4
+  | Ipi -> 5
+
+let state_of_int = function
+  | 0 -> Some Free
+  | 1 -> Some Unbound
+  | 2 -> Some Interdomain
+  | 3 -> Some Pirq
+  | 4 -> Some Virq
+  | 5 -> Some Ipi
+  | _ -> None
+
+let check_port port =
+  if port < 0 || port >= Layout.evtchn_ports then
+    invalid_arg "Event_channel: port out of range"
+
+let entry ~dom ~port = Layout.evtchn_entry ~dom ~port
+
+let bind mem ~dom ~port ~state ~target_vcpu =
+  check_port port;
+  let e = entry ~dom ~port in
+  Memory.store64 mem
+    (Int64.add e Layout.evtchn_state)
+    (Int64.of_int (state_to_int state));
+  Memory.store64 mem
+    (Int64.add e Layout.evtchn_target)
+    (Int64.of_int target_vcpu)
+
+let port_state mem ~dom ~port =
+  check_port port;
+  let v =
+    Memory.load64 mem (Int64.add (entry ~dom ~port) Layout.evtchn_state)
+  in
+  state_of_int (Int64.to_int v)
+
+let pending_word_address ~dom ~port =
+  check_port port;
+  Int64.add
+    (Int64.add (Layout.shared_info dom) Layout.si_evtchn_pending)
+    (Int64.of_int (port / 64 * 8))
+
+let mask_word_address ~dom ~port =
+  check_port port;
+  Int64.add
+    (Int64.add (Layout.shared_info dom) Layout.si_evtchn_mask)
+    (Int64.of_int (port / 64 * 8))
+
+let bit_in_word ~port = port mod 64
+
+let set_bit mem addr bit value =
+  let w = Memory.load64 mem addr in
+  let w' =
+    if value then Xentry_util.Bits.set w bit else Xentry_util.Bits.clear w bit
+  in
+  Memory.store64 mem addr w'
+
+let get_bit mem addr bit = Xentry_util.Bits.test (Memory.load64 mem addr) bit
+
+let set_mask mem ~dom ~port masked =
+  set_bit mem (mask_word_address ~dom ~port) (bit_in_word ~port) masked
+
+let is_masked mem ~dom ~port =
+  get_bit mem (mask_word_address ~dom ~port) (bit_in_word ~port)
+
+let is_pending mem ~dom ~port =
+  get_bit mem (pending_word_address ~dom ~port) (bit_in_word ~port)
+
+let clear_pending mem ~dom ~port =
+  set_bit mem (pending_word_address ~dom ~port) (bit_in_word ~port) false
+
+let send mem ~dom ~port =
+  check_port port;
+  set_bit mem (pending_word_address ~dom ~port) (bit_in_word ~port) true;
+  if not (is_masked mem ~dom ~port) then begin
+    let target =
+      Int64.to_int
+        (Memory.load64 mem (Int64.add (entry ~dom ~port) Layout.evtchn_target))
+    in
+    let vcpu = max 0 (min (Layout.vcpus_per_domain - 1) target) in
+    Memory.store64 mem
+      (Int64.add (Layout.vcpu_info ~dom ~vcpu) Layout.vi_upcall_pending)
+      1L
+  end

@@ -1,0 +1,47 @@
+(** Event channels: Xen's asynchronous notification mechanism.
+
+    An event channel is a port in a per-domain table; signalling a port
+    sets its bit in the shared-info [evtchn_pending] bitmap and, unless
+    masked, flags the target VCPU's [upcall_pending] (the exact
+    [evtchn_set_pending] / [vcpu_mark_events_pending] control flow of
+    the paper's Fig 5b).  The reference implementations here define the
+    semantics the synthesized handlers must match and serve test
+    oracles and outcome classification. *)
+
+type state = Free | Unbound | Interdomain | Pirq | Virq | Ipi
+
+val state_to_int : state -> int
+val state_of_int : int -> state option
+
+val bind :
+  Xentry_machine.Memory.t ->
+  dom:int ->
+  port:int ->
+  state:state ->
+  target_vcpu:int ->
+  unit
+(** Initialize a port's table entry. *)
+
+val port_state : Xentry_machine.Memory.t -> dom:int -> port:int -> state option
+
+val set_mask : Xentry_machine.Memory.t -> dom:int -> port:int -> bool -> unit
+(** Mask or unmask a port in the shared-info mask bitmap. *)
+
+val is_masked : Xentry_machine.Memory.t -> dom:int -> port:int -> bool
+
+val is_pending : Xentry_machine.Memory.t -> dom:int -> port:int -> bool
+
+val clear_pending : Xentry_machine.Memory.t -> dom:int -> port:int -> unit
+
+val send : Xentry_machine.Memory.t -> dom:int -> port:int -> unit
+(** Reference semantics of [evtchn_set_pending]: set the pending bit;
+    if the port is unmasked, mark the target VCPU's upcall pending.
+    Raises [Invalid_argument] for an out-of-range port. *)
+
+val pending_word_address : dom:int -> port:int -> int64
+(** Address of the 64-bit pending word covering [port] (used when
+    synthesizing handler code). *)
+
+val mask_word_address : dom:int -> port:int -> int64
+
+val bit_in_word : port:int -> int

@@ -1,0 +1,104 @@
+type apic =
+  | Apic_timer
+  | Apic_error
+  | Apic_spurious
+  | Apic_thermal
+  | Apic_perf_counter
+  | Ipi_event_check
+  | Ipi_invalidate_tlb
+  | Ipi_call_function
+  | Ipi_reschedule
+  | Ipi_irq_move
+
+let all_apic =
+  [|
+    Apic_timer;
+    Apic_error;
+    Apic_spurious;
+    Apic_thermal;
+    Apic_perf_counter;
+    Ipi_event_check;
+    Ipi_invalidate_tlb;
+    Ipi_call_function;
+    Ipi_reschedule;
+    Ipi_irq_move;
+  |]
+
+type t =
+  | Irq of int
+  | Apic of apic
+  | Softirq
+  | Tasklet
+  | Exception of Xentry_machine.Hw_exception.t
+  | Hypercall of Hypercall.t
+
+let irq_lines = 16
+
+let all =
+  Array.concat
+    [
+      Array.init irq_lines (fun i -> Irq i);
+      Array.map (fun a -> Apic a) all_apic;
+      [| Softirq; Tasklet |];
+      Array.map (fun e -> Exception e) Xentry_machine.Hw_exception.all;
+      Array.map (fun h -> Hypercall h) Hypercall.all;
+    ]
+
+let count = Array.length all
+
+let apic_index a =
+  let rec find i = if all_apic.(i) == a then i else find (i + 1) in
+  find 0
+
+let to_id = function
+  | Irq n ->
+      if n < 0 || n >= irq_lines then invalid_arg "Exit_reason.to_id: bad irq";
+      n
+  | Apic a -> irq_lines + apic_index a
+  | Softirq -> irq_lines + Array.length all_apic
+  | Tasklet -> irq_lines + Array.length all_apic + 1
+  | Exception e ->
+      let base = irq_lines + Array.length all_apic + 2 in
+      let rec find i =
+        if Xentry_machine.Hw_exception.all.(i) == e then i else find (i + 1)
+      in
+      base + find 0
+  | Hypercall h ->
+      irq_lines + Array.length all_apic + 2
+      + Xentry_machine.Hw_exception.count + Hypercall.number h
+
+let of_id i = if i < 0 || i >= count then None else Some all.(i)
+
+let apic_name = function
+  | Apic_timer -> "apic_timer"
+  | Apic_error -> "apic_error"
+  | Apic_spurious -> "apic_spurious"
+  | Apic_thermal -> "apic_thermal"
+  | Apic_perf_counter -> "apic_perf_counter"
+  | Ipi_event_check -> "ipi_event_check"
+  | Ipi_invalidate_tlb -> "ipi_invalidate_tlb"
+  | Ipi_call_function -> "ipi_call_function"
+  | Ipi_reschedule -> "ipi_reschedule"
+  | Ipi_irq_move -> "ipi_irq_move"
+
+let name = function
+  | Irq n -> Printf.sprintf "irq%d" n
+  | Apic a -> apic_name a
+  | Softirq -> "softirq"
+  | Tasklet -> "tasklet"
+  | Exception e ->
+      "exception_"
+      ^ String.lowercase_ascii
+          (String.concat ""
+             (String.split_on_char '#' (Xentry_machine.Hw_exception.name e)))
+  | Hypercall h -> "hypercall_" ^ Hypercall.name h
+
+let category = function
+  | Irq _ -> "irq"
+  | Apic _ -> "apic"
+  | Softirq -> "softirq"
+  | Tasklet -> "tasklet"
+  | Exception _ -> "exception"
+  | Hypercall _ -> "hypercall"
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,54 @@
+(** VM exit reasons: why the hypervisor was activated.
+
+    The paper (§IV) intercepts five categories of hypervisor
+    executions: common device interrupts ([do_irq]), APIC-generated
+    interrupts (ten handlers), softirqs/tasklets, the 19 exceptions,
+    and the 38 hypercalls.  The exit reason is Xentry's first
+    classification feature (VMER in Table I): in full virtualization
+    it comes from the VMCS, in para-virtualization from the invoked
+    handler. *)
+
+(** The ten APIC interrupt handlers (category 2 in §IV). *)
+type apic =
+  | Apic_timer
+  | Apic_error
+  | Apic_spurious
+  | Apic_thermal
+  | Apic_perf_counter
+  | Ipi_event_check
+  | Ipi_invalidate_tlb
+  | Ipi_call_function
+  | Ipi_reschedule
+  | Ipi_irq_move
+
+type t =
+  | Irq of int  (** common device interrupt line, 0–15 *)
+  | Apic of apic
+  | Softirq
+  | Tasklet
+  | Exception of Xentry_machine.Hw_exception.t
+      (** guest-raised exception trapped by the hypervisor *)
+  | Hypercall of Hypercall.t
+
+val irq_lines : int
+(** Number of modelled device interrupt lines (16). *)
+
+val all : t array
+(** Every distinct exit reason (16 + 10 + 2 + 19 + 38 = 85). *)
+
+val count : int
+
+val to_id : t -> int
+(** Stable dense id in \[0, count), the VMER feature value. *)
+
+val of_id : int -> t option
+
+val name : t -> string
+
+val category : t -> string
+(** One of ["irq"], ["apic"], ["softirq"], ["tasklet"], ["exception"],
+    ["hypercall"]. *)
+
+val apic_name : apic -> string
+
+val pp : Format.formatter -> t -> unit

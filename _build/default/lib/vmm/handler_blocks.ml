@@ -1,0 +1,501 @@
+open Xentry_isa
+module A = Program.Asm
+
+type ctx = { reason : Exit_reason.t; mutable next_assert : int }
+
+let assert_id_base reason = Exit_reason.to_id reason * 16
+
+let make_ctx reason = { reason; next_assert = assert_id_base reason }
+
+let fresh_assert ctx =
+  let id = ctx.next_assert in
+  ctx.next_assert <- id + 1;
+  id
+
+let r g = Operand.reg g
+let i v = Operand.imm v
+let ii v = Operand.imm_int v
+let m ?index ?scale ?disp base = Operand.mem ?index ?scale ?disp base
+let mabs = Operand.mem_abs
+
+let mov b dst src = A.emit b (Instr.Mov (dst, src))
+let add b dst src = A.emit b (Instr.Alu (Instr.Add, dst, src))
+let sub b dst src = A.emit b (Instr.Alu (Instr.Sub, dst, src))
+let xor b dst src = A.emit b (Instr.Alu (Instr.Xor, dst, src))
+let or_ b dst src = A.emit b (Instr.Alu (Instr.Or, dst, src))
+let and_ b dst src = A.emit b (Instr.Alu (Instr.And, dst, src))
+let cmp b a c = A.emit b (Instr.Cmp (a, c))
+let test b a c = A.emit b (Instr.Test (a, c))
+let jmp b l = A.emit b (Instr.Jmp l)
+let jcc b c l = A.emit b (Instr.Jcc (c, l))
+let shl b dst n = A.emit b (Instr.Shift (Instr.Shl, dst, n))
+let shr b dst n = A.emit b (Instr.Shift (Instr.Shr, dst, n))
+let inc b dst = A.emit b (Instr.Inc dst)
+let dec b dst = A.emit b (Instr.Dec dst)
+
+let emit_assert ctx b ~name src kind =
+  A.emit b
+    (Instr.Assert
+       {
+         Instr.assert_id = fresh_assert ctx;
+         assert_name = Printf.sprintf "%s/%s" (Exit_reason.name ctx.reason) name;
+         assert_src = src;
+         assert_kind = kind;
+       })
+
+let emit_assert_range ctx b ~name src lo hi =
+  emit_assert ctx b ~name src (Instr.Assert_range (lo, hi))
+
+let emit_assert_equals ctx b ~name src v =
+  emit_assert ctx b ~name src (Instr.Assert_equals v)
+
+let emit_assert_nonzero ctx b ~name src =
+  emit_assert ctx b ~name src Instr.Assert_nonzero
+
+(* Guest registers saved/restored by the context-transfer code, in
+   user_regs slot order. *)
+let guest_regs = Reg.[ RAX; RBX; RCX; RDX; RSI; RDI ]
+
+let prologue ?(hardened = false) b =
+  (* As in Xen's PV entry path, the guest register file transits the
+     hypervisor stack: the entry stub pushes the guest GPRs (building
+     the cpu_user_regs frame), and the frame is then copied into the
+     current VCPU's save area.  A corrupted register is pushed
+     corrupted; a corrupted RSP faults immediately.
+
+     In the hardened variant (the paper's SVI selective-duplication
+     future work) the frame copy verifies each slot against the
+     still-live register: a mismatch means either the register or its
+     pushed copy was corrupted in flight, and BUG()s out instead of
+     handing the guest poisoned state. *)
+  List.iter (fun g -> A.emit b (Instr.Push (r g))) guest_regs;
+  (* Establish handler environment pointers (R12–R15 carry no guest
+     state in our convention). *)
+  mov b (r Reg.R12) (mabs Layout.global_current_dom);
+  mov b (r Reg.R15) (mabs Layout.global_current_vcpu);
+  mov b (r Reg.R14) (r Reg.R12);
+  add b (r Reg.R14) (i 0x1000L);
+  mov b (r Reg.R13) (i Layout.request_base);
+  (* Copy the stack frame into user_regs.  RDI was pushed last, so the
+     frame is in reverse register order from RSP upward. *)
+  let n = List.length guest_regs in
+  List.iteri
+    (fun k g ->
+      let frame_off = Int64.of_int ((n - 1 - k) * 8) in
+      mov b (r Reg.R10) (m Reg.RSP ~disp:frame_off);
+      if hardened then begin
+        let ok = A.fresh_label b "dup_ok" in
+        cmp b (r Reg.R10) (r g);
+        jcc b Cond.E ok;
+        A.emit b Instr.Ud2;
+        A.label b ok
+      end;
+      mov b (m Reg.R15 ~disp:(Int64.of_int (k * 8))) (r Reg.R10))
+    guest_regs
+
+let epilogue b =
+  (* BUG_ON-style integrity checks before touching guest state, as
+     Xen's exit path re-derives and validates its environment: the
+     cached current-VCPU and current-domain pointers must agree with
+     the per-CPU globals, the shared-info pointer with its derivation,
+     and the stack must unwind to the per-CPU stack top.  A corrupted
+     pointer reaches ud2 -> #UD instead of silently spraying the
+     domain block with guest-visible garbage. *)
+  let bug = A.fresh_label b "epi_bug" in
+  let ptr_ok = A.fresh_label b "epi_ptr_ok" in
+  mov b (r Reg.R10) (mabs Layout.global_current_vcpu);
+  cmp b (r Reg.R10) (r Reg.R15);
+  jcc b Cond.NE bug;
+  mov b (r Reg.R10) (mabs Layout.global_current_dom);
+  cmp b (r Reg.R10) (r Reg.R12);
+  jcc b Cond.NE bug;
+  add b (r Reg.R10) (i 0x1000L);
+  cmp b (r Reg.R10) (r Reg.R14);
+  jcc b Cond.NE bug;
+  jmp b ptr_ok;
+  A.label b bug;
+  A.emit b Instr.Ud2;
+  A.label b ptr_ok;
+  (* validate_guest_context: Xen's exit path audits the frame it is
+     about to resume (address-range classification, sanitized flag
+     bits).  The audit branches on each value's upper half, so
+     corruption there perturbs the dynamic signature; low-half data
+     corruption passes silently — exactly the split between
+     transition-detectable and silent data errors. *)
+  mov b (r Reg.R11) (i 0L);
+  List.iteri
+    (fun k g ->
+      ignore g;
+      let next = A.fresh_label b "vgc_next" in
+      mov b (r Reg.R9) (m Reg.R15 ~disp:(Int64.of_int (k * 8)));
+      shr b (r Reg.R9) 32;
+      test b (r Reg.R9) (r Reg.R9);
+      jcc b Cond.E next;
+      add b (r Reg.R11) (i 1L);
+      A.label b next)
+    guest_regs;
+  let rip_ok = A.fresh_label b "vgc_rip_ok" in
+  mov b (r Reg.R9) (m Reg.R15 ~disp:Layout.vcpu_user_rip);
+  shr b (r Reg.R9) 32;
+  test b (r Reg.R9) (r Reg.R9);
+  jcc b Cond.E rip_ok;
+  add b (r Reg.R11) (i 1L);
+  A.label b rip_ok;
+  (* Reload the (possibly updated) guest state from the save area and
+     discard the stack frame. *)
+  List.iteri
+    (fun k g -> mov b (r g) (m Reg.R15 ~disp:(Int64.of_int (k * 8))))
+    guest_regs;
+  A.emit b
+    (Instr.Alu
+       (Instr.Add, r Reg.RSP, i (Int64.of_int (8 * List.length guest_regs))));
+  (* The stack must be fully unwound (single-CPU host: the per-CPU
+     stack top is a constant). *)
+  let sp_ok = A.fresh_label b "epi_sp_ok" in
+  mov b (r Reg.R10) (i (Layout.stack_top ~cpu:0));
+  cmp b (r Reg.R10) (r Reg.RSP);
+  jcc b Cond.E sp_ok;
+  A.emit b Instr.Ud2;
+  A.label b sp_ok;
+  (* Final current-pointer re-check at the VM-entry boundary: the
+     reload sequence above reads through R15, so a corruption landing
+     mid-epilogue must still be caught before the guest resumes. *)
+  let final_ok = A.fresh_label b "epi_final_ok" in
+  mov b (r Reg.R10) (mabs Layout.global_current_vcpu);
+  cmp b (r Reg.R10) (r Reg.R15);
+  jcc b Cond.E final_ok;
+  A.emit b Instr.Ud2;
+  A.label b final_ok;
+  A.emit b Instr.Vmentry
+
+let store_guest_rax b src = mov b (m Reg.R15 ~disp:0L) src
+
+let load_arg b n dst = mov b (r dst) (mabs (Layout.request_arg n))
+
+let advance_guest_rip b len =
+  mov b (r Reg.R10) (m Reg.R15 ~disp:Layout.vcpu_user_rip);
+  add b (r Reg.R10) (ii len);
+  mov b (m Reg.R15 ~disp:Layout.vcpu_user_rip) (r Reg.R10)
+
+(* Deliver the port in RDI: the paper's Fig 5b control flow.  Scratch:
+   R8–R11. *)
+let evtchn_deliver ctx b ~out =
+  let masked = A.fresh_label b "evtchn_masked" in
+  let already = A.fresh_label b "evtchn_already" in
+  cmp b (r Reg.RDI) (ii Layout.evtchn_ports);
+  jcc b Cond.AE out;
+  (* evtchn_set_pending: set the port's bit in the pending bitmap. *)
+  A.emit b
+    (Instr.Bts (m Reg.R14 ~disp:Layout.si_evtchn_pending, r Reg.RDI));
+  (* Masked ports do not raise an upcall. *)
+  A.emit b (Instr.Bt (m Reg.R14 ~disp:Layout.si_evtchn_mask, r Reg.RDI));
+  jcc b Cond.B masked;
+  (* Find the target VCPU from the channel entry:
+     entry = dom_base + 0x2000 + port*16. *)
+  mov b (r Reg.R10) (r Reg.RDI);
+  shl b (r Reg.R10) 4;
+  add b (r Reg.R10) (r Reg.R12);
+  mov b (r Reg.R8) (m Reg.R10 ~disp:(Int64.add 0x2000L Layout.evtchn_target));
+  emit_assert_range ctx b ~name:"evtchn_target_vcpu" (r Reg.R8) 0L
+    (Int64.of_int (Layout.vcpus_per_domain - 1));
+  (* vcpu_info = shared_info + 0x100 + vcpu*0x40 *)
+  shl b (r Reg.R8) 6;
+  add b (r Reg.R8) (r Reg.R14);
+  mov b (r Reg.R11)
+    (m Reg.R8 ~disp:(Int64.add 0x100L Layout.vi_upcall_pending));
+  (* vcpu_mark_events_pending: skip when an upcall is already
+     pending — the test/je of Fig 5b. *)
+  test b (r Reg.R11) (r Reg.R11);
+  jcc b Cond.NE already;
+  mov b (m Reg.R8 ~disp:(Int64.add 0x100L Layout.vi_upcall_pending)) (i 1L);
+  A.label b already;
+  A.label b masked
+
+(* Read TSC, scale, store system time, publish versioned snapshot. *)
+let time_update ?(hardened = false) ctx b =
+  A.emit b Instr.Rdtsc;
+  shl b (r Reg.RDX) 32;
+  or_ b (r Reg.RAX) (r Reg.RDX);
+  if hardened then begin
+    (* The paper's SVI rdtsc-variation check: two adjacent reads must
+       be close; a wild delta means the first value was corrupted. *)
+    mov b (r Reg.R8) (r Reg.RAX);
+    A.emit b Instr.Rdtsc;
+    shl b (r Reg.RDX) 32;
+    or_ b (r Reg.RAX) (r Reg.RDX);
+    mov b (r Reg.R10) (r Reg.RAX);
+    sub b (r Reg.R10) (r Reg.R8);
+    let delta_ok = A.fresh_label b "tsc_delta_ok" in
+    cmp b (r Reg.R10) (i 256L);
+    jcc b Cond.BE delta_ok;
+    A.emit b Instr.Ud2;
+    A.label b delta_ok
+  end;
+  mov b (mabs Layout.time_last_tsc) (r Reg.RAX);
+  mov b (r Reg.R9) (r Reg.RAX) (* keep raw tsc *);
+  A.emit b (Instr.Imul (Reg.RAX, mabs Layout.time_tsc_mul));
+  shr b (r Reg.RAX) Layout.tsc_shift_value;
+  if hardened then begin
+    (* Duplicate the scaling computation from the kept raw TSC and
+       compare: selective value duplication over the time path. *)
+    mov b (r Reg.R10) (r Reg.R9);
+    A.emit b (Instr.Imul (Reg.R10, mabs Layout.time_tsc_mul));
+    shr b (r Reg.R10) Layout.tsc_shift_value;
+    let scale_ok = A.fresh_label b "tsc_scale_ok" in
+    cmp b (r Reg.RAX) (r Reg.R10);
+    jcc b Cond.E scale_ok;
+    A.emit b Instr.Ud2;
+    A.label b scale_ok
+  end;
+  (* Monotonicity guard, as Xen's time code has: system time never
+     runs backwards; a regression takes the clamp path (whose extra
+     instructions surface in the dynamic signature). *)
+  let mono_ok = A.fresh_label b "time_mono_ok" in
+  mov b (r Reg.R10) (mabs Layout.time_system_time);
+  cmp b (r Reg.RAX) (r Reg.R10);
+  jcc b Cond.AE mono_ok;
+  mov b (r Reg.RAX) (r Reg.R10);
+  add b (r Reg.RAX) (i 1L);
+  A.label b mono_ok;
+  mov b (mabs Layout.time_system_time) (r Reg.RAX);
+  (* Seqlock publish into vcpu0's time fields. *)
+  let vi = 0x100L in
+  mov b (r Reg.R10) (m Reg.R14 ~disp:(Int64.add vi Layout.vi_time_version));
+  inc b (r Reg.R10);
+  mov b (m Reg.R14 ~disp:(Int64.add vi Layout.vi_time_version)) (r Reg.R10);
+  mov b (m Reg.R14 ~disp:(Int64.add vi Layout.vi_tsc_timestamp)) (r Reg.R9);
+  mov b (m Reg.R14 ~disp:(Int64.add vi Layout.vi_system_time)) (r Reg.RAX);
+  emit_assert_nonzero ctx b ~name:"time_version_odd" (r Reg.R10);
+  inc b (r Reg.R10);
+  mov b (m Reg.R14 ~disp:(Int64.add vi Layout.vi_time_version)) (r Reg.R10);
+  (* Derive and publish the wall clock (seconds and nanoseconds) from
+     the scaled time — a long-lived time value in RAX/RDX, as in Xen's
+     update_wallclock path. *)
+  mov b (r Reg.R10) (i 1_000_000_000L);
+  A.emit b (Instr.Idiv (r Reg.R10));
+  mov b (m Reg.R14 ~disp:Layout.si_wc_sec) (r Reg.RAX);
+  mov b (m Reg.R14 ~disp:Layout.si_wc_nsec) (r Reg.RDX);
+  mov b (mabs Layout.time_wall_sec) (r Reg.RAX);
+  mov b (mabs Layout.time_wall_nsec) (r Reg.RDX)
+
+let jiffies_tick b = add b (mabs Layout.global_jiffies) (i 1L)
+
+let copy_from_guest ctx b ~count_words_max =
+  ignore count_words_max;
+  mov b (r Reg.RCX) (r Reg.RDX);
+  (* The debug assertion checks the buffer's hard capacity, not the
+     caller's limit: a moderately corrupted count slips through (extra
+     dynamic instructions, the paper's Fig 5a) while a wildly corrupted
+     one either trips the assertion or walks off the buffer into a
+     page fault. *)
+  emit_assert_range ctx b ~name:"copy_count" (r Reg.RCX) 0L
+    (Int64.of_int Layout.buffer_words);
+  mov b (r Reg.RSI) (i Layout.guest_buffer);
+  mov b (r Reg.RDI) (i Layout.bounce_buffer);
+  A.emit b Instr.Rep_movsq
+
+let checksum_bounce b =
+  let loop = A.fresh_label b "cksum_loop" in
+  let done_ = A.fresh_label b "cksum_done" in
+  mov b (r Reg.RCX) (r Reg.RDX);
+  mov b (r Reg.RSI) (i Layout.bounce_buffer);
+  xor b (r Reg.RAX) (r Reg.RAX);
+  A.label b loop;
+  test b (r Reg.RCX) (r Reg.RCX);
+  jcc b Cond.E done_;
+  xor b (r Reg.RAX) (m Reg.RSI);
+  add b (r Reg.RSI) (i 8L);
+  dec b (r Reg.RCX);
+  jmp b loop;
+  A.label b done_
+
+(* Three-level walk of the synthetic page table for the VA in RDI.
+   Levels use fixed bases (the synthetic tables are contiguous), with
+   index extraction and accessed-bit updates that mirror a real walk's
+   memory traffic. *)
+let pt_walk ctx b ~not_present =
+  ignore ctx;
+  let level lvl shift =
+    let base = Layout.pt_level_base lvl in
+    mov b (r Reg.R10) (r Reg.RDI);
+    shr b (r Reg.R10) shift;
+    and_ b (r Reg.R10) (i 511L);
+    shl b (r Reg.R10) 3;
+    add b (r Reg.R10) (i base);
+    mov b (r Reg.R9) (m Reg.R10);
+    A.emit b (Instr.Bt (r Reg.R9, i 0L)) (* present bit *);
+    jcc b Cond.AE not_present;
+    or_ b (r Reg.R9) (i Layout.pte_accessed);
+    mov b (m Reg.R10) (r Reg.R9)
+  in
+  (* Non-canonical guest addresses are not a hypervisor bug: they take
+     the explicit not-present path (Xen injects the fault back to the
+     guest). *)
+  mov b (r Reg.R11) (r Reg.RDI);
+  shr b (r Reg.R11) 47;
+  test b (r Reg.R11) (r Reg.R11);
+  jcc b Cond.NE not_present;
+  level 3 30;
+  level 2 21;
+  level 1 12
+
+let deliver_pending_traps ctx b =
+  let loop = A.fresh_label b "trap_loop" in
+  let next = A.fresh_label b "trap_next" in
+  let done_ = A.fresh_label b "trap_done" in
+  mov b (r Reg.R10) (i 0L);
+  A.label b loop;
+  cmp b (r Reg.R10) (ii Layout.vcpu_trap_slots);
+  jcc b Cond.GE done_;
+  (* slot address = r15 + pending_traps + slot*8 *)
+  mov b (r Reg.R9)
+    (m Reg.R15 ~index:Reg.R10 ~scale:8 ~disp:Layout.vcpu_pending_traps);
+  cmp b (r Reg.R9) (i (-1L));
+  jcc b Cond.E next;
+  (* Listing 1: the obtained trap number must be within the vector
+     range before it is handed to the VCPU. *)
+  emit_assert_range ctx b ~name:"trap_number" (r Reg.R9) 0L 31L;
+  mov b (m Reg.R14 ~disp:(Int64.add 0x100L Layout.vi_pending_sel)) (r Reg.R9);
+  (* consume the slot *)
+  mov b (r Reg.R8) (i (-1L));
+  mov b (r Reg.R11) (r Reg.R10);
+  shl b (r Reg.R11) 3;
+  add b (r Reg.R11) (r Reg.R15);
+  mov b (m Reg.R11 ~disp:Layout.vcpu_pending_traps) (r Reg.R8);
+  A.label b next;
+  inc b (r Reg.R10);
+  jmp b loop;
+  A.label b done_
+
+let queue_guest_trap ctx b =
+  let loop = A.fresh_label b "queue_loop" in
+  let store = A.fresh_label b "queue_store" in
+  let full = A.fresh_label b "queue_full" in
+  emit_assert_range ctx b ~name:"queued_trap_number" (r Reg.R9) 0L 31L;
+  mov b (r Reg.R10) (i 0L);
+  A.label b loop;
+  cmp b (r Reg.R10) (ii Layout.vcpu_trap_slots);
+  jcc b Cond.GE full;
+  mov b (r Reg.R11)
+    (m Reg.R15 ~index:Reg.R10 ~scale:8 ~disp:Layout.vcpu_pending_traps);
+  cmp b (r Reg.R11) (i (-1L));
+  jcc b Cond.E store;
+  inc b (r Reg.R10);
+  jmp b loop;
+  A.label b store;
+  shl b (r Reg.R10) 3;
+  add b (r Reg.R10) (r Reg.R15);
+  mov b (m Reg.R10 ~disp:Layout.vcpu_pending_traps) (r Reg.R9);
+  A.label b full
+
+let context_switch ctx b =
+  let idle = A.fresh_label b "switch_idle" in
+  let done_ = A.fresh_label b "switch_done" in
+  mov b (m Reg.R15 ~disp:Layout.vcpu_running) (i 0L);
+  mov b (r Reg.R10) (mabs Layout.global_runqueue_head);
+  test b (r Reg.R10) (r Reg.R10);
+  jcc b Cond.E idle;
+  (* Dispatch the next VCPU. *)
+  mov b (mabs Layout.global_current_vcpu) (r Reg.R10);
+  mov b (r Reg.R15) (r Reg.R10);
+  (* Domain base backs out the fixed vcpu-area offset. *)
+  mov b (r Reg.R11) (r Reg.R15);
+  sub b (r Reg.R11) (i 0x8000L);
+  mov b (mabs Layout.global_current_dom) (r Reg.R11);
+  mov b (r Reg.R12) (r Reg.R11);
+  mov b (r Reg.R14) (r Reg.R11);
+  add b (r Reg.R14) (i 0x1000L);
+  mov b (m Reg.R15 ~disp:Layout.vcpu_running) (i 1L);
+  jmp b done_;
+  A.label b idle;
+  (* Listing 2: before idling the physical CPU, the VCPU we keep must
+     already be the idle VCPU. *)
+  emit_assert_equals ctx b ~name:"is_idle_vcpu" (m Reg.R15 ~disp:Layout.vcpu_is_idle)
+    1L;
+  mov b (m Reg.R15 ~disp:Layout.vcpu_running) (i 1L);
+  A.label b done_
+
+let apic_eoi b vector =
+  mov b (mabs Layout.apic_eoi) (ii vector)
+
+(* Exit-path bookkeeping run by every handler before VM entry, as
+   Xen's exit path does (event-channel work check, stat accounting).
+   The block lengthens the handler body with pointer-dependent loads
+   (page-fault-prone under pointer corruption) and data-dependent
+   branches whose outcomes feed the dynamic signature. *)
+let exit_audit ?(hardened = false) ctx b =
+  let reason_id = Exit_reason.to_id ctx.reason in
+  (* State-sanity assertions on the exit path (Xen asserts the same
+     invariants): the current VCPU must be marked running and the
+     shared-info pointer must be page-aligned.  These catch pointer
+     corruptions that landed on mapped-but-wrong memory, which the
+     later BUG_ON integrity checks would otherwise turn into #UD. *)
+  emit_assert_equals ctx b ~name:"vcpu_is_running"
+    (m Reg.R15 ~disp:Layout.vcpu_running) 1L;
+  emit_assert ctx b ~name:"shared_info_aligned" (r Reg.R14)
+    (Instr.Assert_aligned 12);
+  (* Per-reason activation counter (hv-globals page, above the region
+     compared for corruption so accounting differences do not masquerade
+     as system corruption). *)
+  let stat = Int64.add Layout.hv_global_base (Int64.of_int (0x400 + (reason_id * 8))) in
+  mov b (r Reg.R10) (mabs stat);
+  add b (r Reg.R10) (i 1L);
+  mov b (mabs stat) (r Reg.R10);
+  (* Fold the current domain's pending words; any pending-and-unmasked
+     work marks the event-check note, a data-dependent branch. *)
+  let none = A.fresh_label b "audit_none" in
+  let scan_done = A.fresh_label b "audit_done" in
+  mov b (r Reg.R8) (i 0L);
+  for k = 0 to 7 do
+    mov b (r Reg.R9)
+      (m Reg.R14 ~disp:(Int64.add Layout.si_evtchn_pending (Int64.of_int (k * 8))));
+    or_ b (r Reg.R8) (r Reg.R9)
+  done;
+  test b (r Reg.R8) (r Reg.R8);
+  jcc b Cond.E none;
+  mov b (mabs (Int64.add Layout.hv_global_base 0x3F8L)) (i 1L);
+  jmp b scan_done;
+  A.label b none;
+  mov b (mabs (Int64.add Layout.hv_global_base 0x3F8L)) (i 0L);
+  A.label b scan_done;
+  (* Refresh the guest's time snapshot when it is stale, as Xen's
+     update_vcpu_system_time does on the way back to the guest.  The
+     refresh transits scratch registers, so a fault here corrupts the
+     time values the guest reads — the silent-SDC channel behind the
+     paper's Table II. *)
+  let fresh = A.fresh_label b "audit_time_fresh" in
+  mov b (r Reg.R9) (mabs Layout.time_system_time);
+  cmp b (r Reg.R9)
+    (m Reg.R14 ~disp:(Int64.add 0x100L Layout.vi_system_time));
+  jcc b Cond.E fresh;
+  if hardened then begin
+    (* Double-read the global time before republishing it. *)
+    let reread_ok = A.fresh_label b "audit_reread_ok" in
+    cmp b (r Reg.R9) (mabs Layout.time_system_time);
+    jcc b Cond.E reread_ok;
+    A.emit b Instr.Ud2;
+    A.label b reread_ok
+  end;
+  mov b (m Reg.R14 ~disp:(Int64.add 0x100L Layout.vi_system_time)) (r Reg.R9);
+  mov b (r Reg.R10) (mabs Layout.time_last_tsc);
+  mov b (m Reg.R14 ~disp:(Int64.add 0x100L Layout.vi_tsc_timestamp))
+    (r Reg.R10);
+  A.label b fresh;
+  (* Walk the pending-trap slots looking for deliverable work — a
+     bounded loop whose trip count depends on VCPU state. *)
+  let loop = A.fresh_label b "audit_loop" in
+  let next = A.fresh_label b "audit_next" in
+  let fin = A.fresh_label b "audit_fin" in
+  mov b (r Reg.R11) (i 0L);
+  A.label b loop;
+  cmp b (r Reg.R11) (ii Layout.vcpu_trap_slots);
+  jcc b Cond.GE fin;
+  mov b (r Reg.R9)
+    (m Reg.R15 ~index:Reg.R11 ~scale:8 ~disp:Layout.vcpu_pending_traps);
+  cmp b (r Reg.R9) (i (-1L));
+  jcc b Cond.E next;
+  add b (r Reg.R10) (i 1L);
+  A.label b next;
+  inc b (r Reg.R11);
+  jmp b loop;
+  A.label b fin

@@ -1,0 +1,128 @@
+(** Reusable assembler fragments for synthesized hypervisor handlers.
+
+    Every handler program follows the same register conventions:
+
+    - at VM exit the CPU registers RAX, RBX, RCX, RDX, RSI, RDI carry
+      the guest's values (hardware-saved in real VMX; seeded by the
+      driver here);
+    - the {!prologue} saves them into the current VCPU's [user_regs]
+      and establishes the handler environment: R12 = current domain
+      base, R13 = request page, R14 = current shared-info page, R15 =
+      current VCPU area;
+    - blocks use RAX–RDX, RSI, RDI and R8–R11 as scratch and must not
+      clobber R12–R15;
+    - the {!epilogue} reloads the guest registers from [user_regs]
+      (honouring any context switch that moved R15) and executes
+      [Vmentry].
+
+    Faults injected during the prologue corrupt saved guest state;
+    faults in a body corrupt hypervisor work; faults in the epilogue
+    corrupt the state the guest resumes with — together they realize
+    the propagation paths of the paper's Fig 2. *)
+
+open Xentry_isa
+
+type ctx = { reason : Exit_reason.t; mutable next_assert : int }
+(** Per-program context: names and numbers the assertions emitted for
+    one handler so detections can be attributed. *)
+
+val make_ctx : Exit_reason.t -> ctx
+
+val assert_id_base : Exit_reason.t -> int
+(** First assertion id allotted to a reason (16 ids per reason). *)
+
+(** {1 Emission helpers} *)
+
+val mov : Program.Asm.builder -> Operand.t -> Operand.t -> unit
+val add : Program.Asm.builder -> Operand.t -> Operand.t -> unit
+val sub : Program.Asm.builder -> Operand.t -> Operand.t -> unit
+val cmp : Program.Asm.builder -> Operand.t -> Operand.t -> unit
+val test : Program.Asm.builder -> Operand.t -> Operand.t -> unit
+val jmp : Program.Asm.builder -> string -> unit
+val jcc : Program.Asm.builder -> Cond.t -> string -> unit
+val inc : Program.Asm.builder -> Operand.t -> unit
+val dec : Program.Asm.builder -> Operand.t -> unit
+
+val emit_assert_range :
+  ctx -> Program.Asm.builder -> name:string -> Operand.t -> int64 -> int64 -> unit
+(** Boundary assertion (paper Listing 1 style). *)
+
+val emit_assert_equals :
+  ctx -> Program.Asm.builder -> name:string -> Operand.t -> int64 -> unit
+(** Condition assertion (paper Listing 2 style). *)
+
+val emit_assert_nonzero :
+  ctx -> Program.Asm.builder -> name:string -> Operand.t -> unit
+
+(** {1 Context transfer} *)
+
+val prologue : ?hardened:bool -> Program.Asm.builder -> unit
+(** [~hardened:true] (default false) enables the paper's SVI
+    selective-duplication future work: the frame copy verifies each
+    slot against the still-live register, BUG()ing on mismatch. *)
+
+val epilogue : Program.Asm.builder -> unit
+
+val store_guest_rax : Program.Asm.builder -> Operand.t -> unit
+(** Set the guest's RAX save slot (hypercall return value). *)
+
+val load_arg : Program.Asm.builder -> int -> Reg.gpr -> unit
+(** [load_arg b n dst] loads request argument [n] into [dst]. *)
+
+val advance_guest_rip : Program.Asm.builder -> int -> unit
+(** Skip the emulated instruction in the guest (e.g. [cpuid] is 2
+    bytes). *)
+
+(** {1 Subsystem blocks} *)
+
+val evtchn_deliver : ctx -> Program.Asm.builder -> out:string -> unit
+(** Deliver the event-channel port in RDI to the current domain:
+    bounds check, set pending bit, honour the mask, mark the target
+    VCPU's upcall pending unless already set (Fig 5b's control flow).
+    Jumps to [out] on an invalid port; falls through when done. *)
+
+val time_update : ?hardened:bool -> ctx -> Program.Asm.builder -> unit
+(** Read the TSC, scale it with the time-area constants, store
+    [system_time], and publish a seqlock-versioned snapshot into the
+    current VCPU's time area.  [~hardened:true] adds the SVI
+    rdtsc-variation check and a duplicated scaling computation. *)
+
+val jiffies_tick : Program.Asm.builder -> unit
+
+val copy_from_guest :
+  ctx -> Program.Asm.builder -> count_words_max:int -> unit
+(** Bounded [rep movsq] from the guest buffer into the bounce buffer;
+    the word count is taken from RDX (Fig 5a's [copy_from_user]
+    shape).  Leaves the count in RDX. *)
+
+val checksum_bounce : Program.Asm.builder -> unit
+(** XOR-fold RDX words of the bounce buffer into RAX. *)
+
+val pt_walk : ctx -> Program.Asm.builder -> not_present:string -> unit
+(** Walk the synthetic three-level page table for the virtual address
+    in RDI, setting accessed bits; jumps to [not_present] when a level
+    misses. *)
+
+val deliver_pending_traps : ctx -> Program.Asm.builder -> unit
+(** Listing 1: scan the VCPU's pending-trap slots, assert each trap
+    number is within range, deliver it to the vcpu_info and clear the
+    slot. *)
+
+val queue_guest_trap : ctx -> Program.Asm.builder -> unit
+(** Queue the trap number in R9 into the first free pending-trap slot
+    of the current VCPU. *)
+
+val context_switch : ctx -> Program.Asm.builder -> unit
+(** Switch to the VCPU at the head of the run queue, updating the
+    current-vcpu/domain globals and R12/R14/R15.  When the queue is
+    empty, asserts the current VCPU is the idle VCPU (Listing 2)
+    before leaving it in place. *)
+
+val apic_eoi : Program.Asm.builder -> int -> unit
+(** Signal end-of-interrupt for the given vector. *)
+
+val exit_audit : ?hardened:bool -> ctx -> Program.Asm.builder -> unit
+(** Exit-path bookkeeping every handler runs before VM entry:
+    per-reason stat accounting, a pending-event scan over the shared
+    info, and a pending-trap walk — pointer-dependent loads and
+    data-dependent branches matching Xen's exit path. *)

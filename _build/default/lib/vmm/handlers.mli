@@ -1,0 +1,41 @@
+(** Synthesized handler programs, one per VM-exit reason.
+
+    Each of the 85 exit reasons gets an assembled program built from
+    {!Handler_blocks}: interrupt service routines, softirq/tasklet
+    processing, exception handlers (page-table walks, privileged
+    instruction emulation, trap injection) and the 38 hypercalls
+    grouped by {!Hypercall.shape} but parameterized per call so their
+    dynamic signatures differ.
+
+    Request-page argument conventions (written by the driver before a
+    run; indices into {!Layout.request_arg}):
+
+    - IRQs: the IRQ descriptor's [port] field routes the interrupt
+      (0 = in-hypervisor action).
+    - Softirq: the pending bitmap is read from
+      {!Layout.global_softirq_pending}.
+    - Tasklet: the list is walked from {!Layout.global_tasklet_head}.
+    - Exception #PF: arg0 = faulting virtual address.
+    - Exception #GP: arg0 = emulation selector (0 cpuid, 1 rdtsc,
+      2 I/O port, 3 MSR write).
+    - Other exceptions: the vector itself is queued to the guest.
+    - Hypercalls: arg0 is the primary count/port/op, arg1 a secondary
+      operand; the guest's RDX carries copy word counts. *)
+
+val program : ?hardened:bool -> Exit_reason.t -> Xentry_isa.Program.t
+(** The handler for a reason (memoized; the same program object is
+    returned on every call).  [~hardened:true] selects the
+    selective-duplication variant of the paper's SVI future work:
+    frame-copy verification, rdtsc-variation checks and duplicated
+    time computations. *)
+
+val all_programs :
+  ?hardened:bool -> unit -> (Exit_reason.t * Xentry_isa.Program.t) array
+(** Every reason's handler, in id order. *)
+
+val static_instruction_count : ?hardened:bool -> unit -> int
+(** Total static instructions across all synthesized handlers. *)
+
+val table_limit : Hypercall.t -> int
+(** Per-hypercall bound used by table/batch/copy bodies (varies by
+    hypercall number so signatures stay distinguishable). *)

@@ -1,0 +1,162 @@
+type t =
+  | Set_trap_table
+  | Mmu_update
+  | Set_gdt
+  | Stack_switch
+  | Set_callbacks
+  | Fpu_taskswitch
+  | Sched_op_compat
+  | Platform_op
+  | Set_debugreg
+  | Get_debugreg
+  | Update_descriptor
+  | Memory_op
+  | Multicall
+  | Update_va_mapping
+  | Set_timer_op
+  | Event_channel_op_compat
+  | Xen_version
+  | Console_io
+  | Physdev_op_compat
+  | Grant_table_op
+  | Vm_assist
+  | Update_va_mapping_otherdomain
+  | Iret
+  | Vcpu_op
+  | Set_segment_base
+  | Mmuext_op
+  | Xsm_op
+  | Nmi_op
+  | Sched_op
+  | Callback_op
+  | Xenoprof_op
+  | Event_channel_op
+  | Physdev_op
+  | Hvm_op
+  | Sysctl
+  | Domctl
+  | Kexec_op
+  | Tmem_op
+
+let all =
+  [|
+    Set_trap_table;
+    Mmu_update;
+    Set_gdt;
+    Stack_switch;
+    Set_callbacks;
+    Fpu_taskswitch;
+    Sched_op_compat;
+    Platform_op;
+    Set_debugreg;
+    Get_debugreg;
+    Update_descriptor;
+    Memory_op;
+    Multicall;
+    Update_va_mapping;
+    Set_timer_op;
+    Event_channel_op_compat;
+    Xen_version;
+    Console_io;
+    Physdev_op_compat;
+    Grant_table_op;
+    Vm_assist;
+    Update_va_mapping_otherdomain;
+    Iret;
+    Vcpu_op;
+    Set_segment_base;
+    Mmuext_op;
+    Xsm_op;
+    Nmi_op;
+    Sched_op;
+    Callback_op;
+    Xenoprof_op;
+    Event_channel_op;
+    Physdev_op;
+    Hvm_op;
+    Sysctl;
+    Domctl;
+    Kexec_op;
+    Tmem_op;
+  |]
+
+let count = Array.length all
+
+let number h =
+  let rec find i = if all.(i) == h then i else find (i + 1) in
+  find 0
+
+let of_number n = if n < 0 || n >= count then None else Some all.(n)
+
+let name = function
+  | Set_trap_table -> "set_trap_table"
+  | Mmu_update -> "mmu_update"
+  | Set_gdt -> "set_gdt"
+  | Stack_switch -> "stack_switch"
+  | Set_callbacks -> "set_callbacks"
+  | Fpu_taskswitch -> "fpu_taskswitch"
+  | Sched_op_compat -> "sched_op_compat"
+  | Platform_op -> "platform_op"
+  | Set_debugreg -> "set_debugreg"
+  | Get_debugreg -> "get_debugreg"
+  | Update_descriptor -> "update_descriptor"
+  | Memory_op -> "memory_op"
+  | Multicall -> "multicall"
+  | Update_va_mapping -> "update_va_mapping"
+  | Set_timer_op -> "set_timer_op"
+  | Event_channel_op_compat -> "event_channel_op_compat"
+  | Xen_version -> "xen_version"
+  | Console_io -> "console_io"
+  | Physdev_op_compat -> "physdev_op_compat"
+  | Grant_table_op -> "grant_table_op"
+  | Vm_assist -> "vm_assist"
+  | Update_va_mapping_otherdomain -> "update_va_mapping_otherdomain"
+  | Iret -> "iret"
+  | Vcpu_op -> "vcpu_op"
+  | Set_segment_base -> "set_segment_base"
+  | Mmuext_op -> "mmuext_op"
+  | Xsm_op -> "xsm_op"
+  | Nmi_op -> "nmi_op"
+  | Sched_op -> "sched_op"
+  | Callback_op -> "callback_op"
+  | Xenoprof_op -> "xenoprof_op"
+  | Event_channel_op -> "event_channel_op"
+  | Physdev_op -> "physdev_op"
+  | Hvm_op -> "hvm_op"
+  | Sysctl -> "sysctl"
+  | Domctl -> "domctl"
+  | Kexec_op -> "kexec_op"
+  | Tmem_op -> "tmem_op"
+
+type shape =
+  | Table_write
+  | Mmu_batch
+  | Copy_buffer
+  | Event_op
+  | Sched
+  | Timer
+  | Grant
+  | Query
+  | Control
+
+let shape = function
+  | Set_trap_table | Set_gdt | Update_descriptor | Set_callbacks
+  | Set_debugreg ->
+      Table_write
+  | Mmu_update | Update_va_mapping | Update_va_mapping_otherdomain
+  | Mmuext_op | Memory_op ->
+      Mmu_batch
+  | Console_io | Multicall | Xenoprof_op | Tmem_op -> Copy_buffer
+  | Event_channel_op | Event_channel_op_compat | Physdev_op
+  | Physdev_op_compat | Nmi_op | Callback_op ->
+      Event_op
+  | Sched_op | Sched_op_compat | Stack_switch | Iret | Fpu_taskswitch ->
+      Sched
+  | Set_timer_op | Vcpu_op -> Timer
+  | Grant_table_op -> Grant
+  | Xen_version | Get_debugreg | Set_segment_base | Vm_assist | Xsm_op
+  | Hvm_op ->
+      Query
+  | Platform_op | Sysctl | Domctl | Kexec_op -> Control
+
+let pp ppf h = Format.pp_print_string ppf (name h)

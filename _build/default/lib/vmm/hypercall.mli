@@ -1,0 +1,79 @@
+(** The hypercall table of Xen 4.1.2.
+
+    The paper (§IV) intercepts "38 hypercalls in current Xen 4.1.2" by
+    replacing hypercall-page entries; this module enumerates the same
+    table so every hypercall has a stable number, a name and a body
+    shape used to synthesize its handler. *)
+
+type t =
+  | Set_trap_table
+  | Mmu_update
+  | Set_gdt
+  | Stack_switch
+  | Set_callbacks
+  | Fpu_taskswitch
+  | Sched_op_compat
+  | Platform_op
+  | Set_debugreg
+  | Get_debugreg
+  | Update_descriptor
+  | Memory_op
+  | Multicall
+  | Update_va_mapping
+  | Set_timer_op
+  | Event_channel_op_compat
+  | Xen_version
+  | Console_io
+  | Physdev_op_compat
+  | Grant_table_op
+  | Vm_assist
+  | Update_va_mapping_otherdomain
+  | Iret
+  | Vcpu_op
+  | Set_segment_base
+  | Mmuext_op
+  | Xsm_op
+  | Nmi_op
+  | Sched_op
+  | Callback_op
+  | Xenoprof_op
+  | Event_channel_op
+  | Physdev_op
+  | Hvm_op
+  | Sysctl
+  | Domctl
+  | Kexec_op
+  | Tmem_op
+
+val all : t array
+(** The 38 hypercalls in hypercall-number order. *)
+
+val count : int
+(** 38. *)
+
+val number : t -> int
+(** Position in the hypercall table. *)
+
+val of_number : int -> t option
+
+val name : t -> string
+(** Xen name, e.g. ["event_channel_op"]. *)
+
+(** Shape of the handler body synthesized for a hypercall.  Several
+    hypercalls share a shape but are parameterized differently (table
+    sizes, validation bounds, loop scales), so their dynamic feature
+    vectors remain distinguishable. *)
+type shape =
+  | Table_write  (** validate and write entries into a table *)
+  | Mmu_batch  (** batched page-table updates with a count argument *)
+  | Copy_buffer  (** copy_from_guest / process / copy_to_guest *)
+  | Event_op  (** event-channel manipulation *)
+  | Sched  (** scheduling: possible context switch *)
+  | Timer  (** time computation and deadline programming *)
+  | Grant  (** grant-table map/copy *)
+  | Query  (** small read-mostly query *)
+  | Control  (** control-plane operation (domctl/sysctl style) *)
+
+val shape : t -> shape
+
+val pp : Format.formatter -> t -> unit

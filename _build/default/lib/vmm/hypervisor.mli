@@ -1,0 +1,79 @@
+(** The simulated virtualized host: memory, CPU, domains, scheduler
+    and the synthesized hypervisor.
+
+    One {!t} models a physical server running a Xen-like hypervisor
+    with a control domain (Dom0) and guest domains.  The request
+    lifecycle mirrors a VM exit:
+
+    {ol
+    {- {!prepare} stages a request: writes the request page, applies
+       the reason's structure preconditions (softirq bits, tasklet
+       chains, page-table entries, IRQ bindings, buffer contents), and
+       publishes the scheduler's current VCPU to the hypervisor
+       globals;}
+    {- {!execute} seeds the CPU with the guest register file and runs
+       the reason's handler program from VM exit to VM entry (or to a
+       fault/assertion/watchdog stop), optionally with a fault
+       injection;}
+    {- {!retire} synchronizes the OCaml-side scheduler with any
+       context switch the handler performed (live host only).}}
+
+    {!clone} deep-copies the host so a fault-injection campaign can run
+    a golden and a faulted execution of the same prepared request from
+    identical states. *)
+
+type t
+
+val create :
+  ?seed:int -> ?cpus:int -> ?domains:int -> ?hardened:bool -> unit -> t
+(** [create ()] builds a host with [domains] guests (default 3: Dom0 +
+    two DomUs, the paper's setup) and [cpus] CPUs (default 1 —
+    handler execution is per-CPU).  [seed] drives deterministic
+    initialization of buffers and bindings.  [hardened] selects the
+    selective-duplication handler variants (paper SVI future work). *)
+
+val is_hardened : t -> bool
+
+val memory : t -> Xentry_machine.Memory.t
+val cpu : t -> Xentry_machine.Cpu.t
+val domains : t -> Domain.t array
+val scheduler : t -> Scheduler.t
+val current_domain : t -> Domain.t
+val exits_handled : t -> int
+
+val set_assertions_enabled : t -> bool -> unit
+(** Toggle Xentry's software-assertion runtime detection. *)
+
+val prepare : t -> Request.t -> unit
+
+val execute :
+  t ->
+  ?inject:Xentry_machine.Cpu.injection ->
+  ?fuel:int ->
+  ?on_step:(int -> int Xentry_isa.Instr.t -> unit) ->
+  Request.t ->
+  Xentry_machine.Cpu.run_result
+(** Run the handler for a prepared request.  Default fuel 50_000.
+    [on_step] observes each executed instruction (see
+    {!Xentry_machine.Trace}). *)
+
+val retire : t -> Request.t -> unit
+(** Advance scheduler state after a fault-free execution. *)
+
+val handle : t -> Request.t -> Xentry_machine.Cpu.run_result
+(** [prepare] + [execute] + [retire] in one step (the fault-free fast
+    path used by workload simulation). *)
+
+val clone : t -> t
+(** Deep copy: memory contents, CPU architectural state and TSC, and
+    scheduler ordering.  The clone evolves independently. *)
+
+val guest_output_regions : t -> (string * int64 * int) list
+(** Every region whose post-execution contents are guest-visible or
+    system-critical, labelled for consequence classification: per
+    domain (user_regs, pending traps, shared info, event channels,
+    grants), the time areas, and the hypervisor globals. *)
+
+val observed_current_vcpu : t -> int64
+(** The current-VCPU pointer as the handler left it in memory (used to
+    detect context switches and corrupted scheduler state). *)

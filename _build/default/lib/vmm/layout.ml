@@ -1,0 +1,167 @@
+let code_base = 0x0010_0000L
+let hv_stack_base = 0x0020_0000L
+let hv_stack_size = 16 * 1024
+let hv_global_base = 0x0030_0000L
+let irq_desc_base = 0x0031_0000L
+let time_area_base = 0x0032_0000L
+let request_base = 0x0034_0000L
+let tasklet_pool_base = 0x0035_0000L
+let scratch_base = 0x0040_0000L
+let pt_root_base = 0x0050_0000L
+
+let ( ++ ) = Int64.add
+let off n = Int64.of_int n
+
+let stack_top ~cpu =
+  (* Leave one word of headroom below the next stack. *)
+  hv_stack_base ++ off (((cpu + 1) * hv_stack_size) - 8)
+
+(* Hypervisor globals *)
+let global_current_vcpu = hv_global_base ++ 0x00L
+let global_runqueue_head = hv_global_base ++ 0x08L
+let global_softirq_pending = hv_global_base ++ 0x10L
+let global_tasklet_head = hv_global_base ++ 0x18L
+let global_jiffies = hv_global_base ++ 0x20L
+let global_current_dom = hv_global_base ++ 0x28L
+
+(* IRQ descriptors *)
+let irq_desc line = irq_desc_base ++ off (line * 32)
+let irq_desc_status = 0L
+let irq_desc_action = 8L
+let irq_desc_count = 16L
+let irq_desc_port = 24L
+
+(* Time area *)
+let time_tsc_mul = time_area_base ++ 0x00L
+let time_tsc_shift = time_area_base ++ 0x08L
+let time_last_tsc = time_area_base ++ 0x10L
+let time_system_time = time_area_base ++ 0x18L
+let time_wall_sec = time_area_base ++ 0x20L
+let time_wall_nsec = time_area_base ++ 0x28L
+let time_deadline = time_area_base ++ 0x30L
+let tsc_mul_value = 2_863_311_531L (* ~ (2/3) * 2^32 *)
+let tsc_shift_value = 32
+
+let scale_tsc tsc =
+  Int64.shift_right_logical (Int64.mul tsc tsc_mul_value) tsc_shift_value
+
+(* Request page *)
+let request_arg i =
+  if i < 0 || i > 7 then invalid_arg "Layout.request_arg";
+  request_base ++ off (i * 8)
+
+(* Tasklets *)
+let tasklet_pool_nodes = 64
+let tasklet_node i =
+  if i < 0 || i >= tasklet_pool_nodes then invalid_arg "Layout.tasklet_node";
+  tasklet_pool_base ++ off (i * 32)
+
+let tasklet_fn = 0L
+let tasklet_data = 8L
+let tasklet_next = 16L
+let tasklet_done = 24L
+
+(* Scratch buffers.  Only the buffers themselves are mapped (4 pages of
+   guest buffer, 8 of bounce buffer): hosts are cloned for every fault
+   injection, so the mapped set is kept minimal, and a corrupted copy
+   count walks off the buffer into unmapped space quickly. *)
+let guest_buffer = scratch_base
+let bounce_buffer = scratch_base ++ 0x40000L
+let buffer_words = 2048
+
+(* Page tables: three levels, one page of 512 entries each level. *)
+let pt_level_base = function
+  | 3 -> pt_root_base
+  | 2 -> pt_root_base ++ 0x1000L
+  | 1 -> pt_root_base ++ 0x2000L
+  | _ -> invalid_arg "Layout.pt_level_base: level must be 1, 2 or 3"
+
+let pte_present = 1L
+let pte_accessed = 0x20L
+
+(* Per-domain block *)
+let max_domains = 8
+let vcpus_per_domain = 1
+
+let dom_base d =
+  if d < 0 || d >= max_domains then invalid_arg "Layout.dom_base";
+  0x1000_0000L ++ off (d * 0x10_0000)
+
+let dom_struct d = dom_base d
+let dom_id_field = 0L
+let dom_is_control = 8L
+let dom_state = 16L
+
+let shared_info d = dom_base d ++ 0x1000L
+let si_evtchn_pending = 0x00L
+let si_evtchn_mask = 0x40L
+let si_wc_sec = 0x80L
+let si_wc_nsec = 0x88L
+
+let vcpu_info ~dom ~vcpu =
+  if vcpu < 0 || vcpu >= vcpus_per_domain then invalid_arg "Layout.vcpu_info";
+  shared_info dom ++ off (0x100 + (vcpu * 0x40))
+
+let vi_upcall_pending = 0x00L
+let vi_pending_sel = 0x08L
+let vi_time_version = 0x10L
+let vi_tsc_timestamp = 0x18L
+let vi_system_time = 0x20L
+
+let evtchn_ports = 256
+
+let evtchn_entry ~dom ~port =
+  if port < 0 || port >= evtchn_ports then invalid_arg "Layout.evtchn_entry";
+  dom_base dom ++ 0x2000L ++ off (port * 16)
+
+let evtchn_state = 0L
+let evtchn_target = 8L
+
+let grant_entries = 128
+
+let grant_entry ~dom i =
+  if i < 0 || i >= grant_entries then invalid_arg "Layout.grant_entry";
+  dom_base dom ++ 0x4000L ++ off (i * 16)
+
+let grant_flags = 0L
+let grant_frame = 8L
+
+let vcpu_area ~dom ~vcpu =
+  if vcpu < 0 || vcpu >= vcpus_per_domain then invalid_arg "Layout.vcpu_area";
+  dom_base dom ++ 0x8000L ++ off (vcpu * 0x1000)
+
+let vcpu_user_regs = 0x000L
+let vcpu_user_rip = 0x080L
+let vcpu_user_rflags = 0x088L
+let vcpu_is_idle = 0x100L
+let vcpu_running = 0x108L
+let vcpu_pending_traps = 0x140L
+let vcpu_trap_slots = 8
+
+let map_host mem ~cpus ~domains =
+  if domains < 1 || domains > max_domains then
+    invalid_arg "Layout.map_host: domain count out of range";
+  if cpus < 1 || cpus > 16 then
+    invalid_arg "Layout.map_host: cpu count out of range";
+  let open Xentry_machine in
+  Memory.map_region mem ~addr:hv_stack_base ~size:(cpus * hv_stack_size);
+  Memory.map_region mem ~addr:hv_global_base ~size:4096;
+  Memory.map_region mem ~addr:irq_desc_base ~size:4096;
+  Memory.map_region mem ~addr:time_area_base ~size:4096;
+  Memory.map_region mem ~addr:request_base ~size:4096;
+  Memory.map_region mem ~addr:tasklet_pool_base ~size:4096;
+  Memory.map_region mem ~addr:guest_buffer ~size:0x4000;
+  Memory.map_region mem ~addr:bounce_buffer ~size:0x8000;
+  Memory.map_region mem ~addr:pt_root_base ~size:(3 * 4096);
+  for d = 0 to domains - 1 do
+    (* One 64 KiB block covers the domain struct, shared info, event
+       channels, grant table and vcpu areas. *)
+    Memory.map_region mem ~addr:(dom_base d) ~size:0x10000
+  done
+
+(* APIC model and miscellaneous scratch (within already mapped pages). *)
+let apic_eoi = irq_desc_base ++ 0x800L
+let apic_log = irq_desc_base ++ 0x808L
+let tlb_scratch = hv_global_base ++ 0x100L
+let crash_record = hv_global_base ++ 0x200L
+let rcu_list = hv_global_base ++ 0x300L

@@ -1,0 +1,191 @@
+(** Physical-memory layout of the simulated virtualized host.
+
+    All hypervisor data structures live in simulated memory at fixed
+    addresses so that synthesized handler programs can address them and
+    so that a flipped pointer bit lands either in a different (wrong
+    but mapped) structure — silent corruption — or in unmapped space —
+    a page fault, the dominant detection channel in the paper's Fig 8.
+
+    The map, chosen to keep structures sparse (most single-bit address
+    corruptions leave the mapped set):
+
+    {v
+    0x0010_0000  handler text (synthetic; instruction-index based)
+    0x0020_0000  per-CPU hypervisor stacks (16 KiB each)
+    0x0030_0000  hypervisor globals (current vcpu, runqueue, softirq…)
+    0x0031_0000  IRQ descriptor table (16 lines x 32 bytes)
+    0x0032_0000  time area (tsc scale, system time, deadlines)
+    0x0034_0000  per-exit request page (args written at VM exit)
+    0x0035_0000  tasklet node pool
+    0x0040_0000  scratch buffers (guest buffer, hypervisor bounce)
+    0x0050_0000  synthetic 3-level page tables
+    0x1000_0000 + d*0x10_0000  per-domain block d
+    v} *)
+
+val code_base : int64
+val hv_stack_base : int64
+val hv_stack_size : int
+(* per CPU *)
+val hv_global_base : int64
+val irq_desc_base : int64
+val time_area_base : int64
+val request_base : int64
+val tasklet_pool_base : int64
+val scratch_base : int64
+val pt_root_base : int64
+
+val stack_top : cpu:int -> int64
+(** Initial RSP for a CPU's hypervisor stack. *)
+
+(** {1 Hypervisor globals} (offsets from [hv_global_base]) *)
+
+val global_current_vcpu : int64
+(* pointer to current vcpu area *)
+val global_runqueue_head : int64
+(* pointer to next vcpu area *)
+val global_softirq_pending : int64
+(* pending softirq bitmap *)
+val global_tasklet_head : int64
+(* pointer to first tasklet node *)
+val global_jiffies : int64
+val global_current_dom : int64
+(* pointer to current domain block *)
+
+(** {1 IRQ descriptors} *)
+
+val irq_desc : int -> int64
+(** Base of the descriptor for an IRQ line (32 bytes: status,
+    action id, count, bound event-channel port). *)
+
+val irq_desc_status : int64
+val irq_desc_action : int64
+val irq_desc_count : int64
+val irq_desc_port : int64
+(* {1 Time area} (offsets from [time_area_base]) *)
+
+val time_tsc_mul : int64
+val time_tsc_shift : int64
+val time_last_tsc : int64
+val time_system_time : int64
+val time_wall_sec : int64
+val time_wall_nsec : int64
+val time_deadline : int64
+
+val tsc_mul_value : int64
+(* Constant scale factor programmed into the time area. *)
+
+val tsc_shift_value : int
+(* Constant shift programmed into the time area. *)
+
+val scale_tsc : int64 -> int64
+(** The reference time computation the handlers implement:
+    [(tsc * tsc_mul_value) >> tsc_shift_value] (logical shift). *)
+
+(** {1 Request page} *)
+
+val request_arg : int -> int64
+(** Address of request argument [i] (0–7). *)
+
+(** {1 Tasklet pool} *)
+
+val tasklet_node : int -> int64
+(** 32-byte nodes: function id, data, next pointer, done flag. *)
+
+val tasklet_fn : int64
+val tasklet_data : int64
+val tasklet_next : int64
+val tasklet_done : int64
+val tasklet_pool_nodes : int
+(* {1 Scratch buffers} *)
+
+val guest_buffer : int64
+(* Source buffer for guest-to-hypervisor copies. *)
+
+val bounce_buffer : int64
+(* The hypervisor-side bounce buffer. *)
+
+val buffer_words : int
+(* Capacity of each buffer in 64-bit words. *)
+
+(** {1 Page tables} *)
+
+val pt_level_base : int -> int64
+(** Base of page-table level 3 (root), 2 or 1. *)
+
+val pte_present : int64
+(* Present bit in a synthetic PTE. *)
+
+val pte_accessed : int64
+(* {1 Per-domain block} *)
+
+val max_domains : int
+val vcpus_per_domain : int
+
+val dom_base : int -> int64
+val dom_struct : int -> int64
+val dom_id_field : int64
+val dom_is_control : int64
+val dom_state : int64
+
+val shared_info : int -> int64
+val si_evtchn_pending : int64
+(* 8 words = 512 bits *)
+val si_evtchn_mask : int64
+val si_wc_sec : int64
+val si_wc_nsec : int64
+
+val vcpu_info : dom:int -> vcpu:int -> int64
+val vi_upcall_pending : int64
+val vi_pending_sel : int64
+val vi_time_version : int64
+val vi_tsc_timestamp : int64
+val vi_system_time : int64
+
+val evtchn_ports : int
+val evtchn_entry : dom:int -> port:int -> int64
+(** 16 bytes per port: state word, target vcpu. *)
+
+val evtchn_state : int64
+val evtchn_target : int64
+
+val grant_entries : int
+val grant_entry : dom:int -> int -> int64
+(** 16 bytes: flags|domid word, frame address. *)
+
+val grant_flags : int64
+val grant_frame : int64
+
+val vcpu_area : dom:int -> vcpu:int -> int64
+val vcpu_user_regs : int64
+(* 16 GPR slots, then RIP at +0x80, RFLAGS at +0x88. *)
+
+val vcpu_user_rip : int64
+val vcpu_user_rflags : int64
+val vcpu_is_idle : int64
+val vcpu_running : int64
+val vcpu_pending_traps : int64
+(* Array of 8 trap slots (Listing 1's FIRST..LAST scan). *)
+
+val vcpu_trap_slots : int
+
+val map_host : Xentry_machine.Memory.t -> cpus:int -> domains:int -> unit
+(** Map every region above for a host with the given CPU and domain
+    counts.  Raises [Invalid_argument] if counts exceed the layout's
+    capacity. *)
+
+(** {1 APIC and miscellaneous hypervisor scratch} *)
+
+val apic_eoi : int64
+(** End-of-interrupt register of the local APIC page. *)
+
+val apic_log : int64
+(** Error/status log word of the local APIC model. *)
+
+val tlb_scratch : int64
+(** Per-CPU TLB-shootdown scratch words (4). *)
+
+val crash_record : int64
+(** Crash-dump record written by fatal exception handlers (8 words). *)
+
+val rcu_list : int64
+(** RCU callback counters processed by the RCU softirq (16 words). *)

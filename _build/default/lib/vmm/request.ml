@@ -1,0 +1,25 @@
+type t = { reason : Exit_reason.t; args : int64 array; guest : int64 array }
+
+let guest_reg_count = 6
+
+let pad n default xs =
+  Array.init n (fun i -> match List.nth_opt xs i with Some v -> v | None -> default)
+
+let make ~reason ~args ~guest =
+  let args = pad 8 0L args in
+  let guest = pad guest_reg_count 0L guest in
+  (match reason with
+  | Exit_reason.Hypercall h ->
+      (* Hypercall ABI: RAX carries the hypercall number and RDI, RSI,
+         RDX the first three arguments — always, or the handler would
+         read unrelated guest values as arguments. *)
+      guest.(0) <- Int64.of_int (Hypercall.number h);
+      guest.(5) <- args.(0);
+      guest.(4) <- args.(1);
+      guest.(3) <- args.(2)
+  | _ -> ());
+  { reason; args; guest }
+
+let pp ppf t =
+  Format.fprintf ppf "%a(args=%Ld,%Ld,%Ld)" Exit_reason.pp t.reason t.args.(0)
+    t.args.(1) t.args.(2)

@@ -1,0 +1,25 @@
+(** A VM-exit request: why the hypervisor is being activated and with
+    what context.
+
+    Workload models (lib/workload) produce streams of requests; the
+    {!Hypervisor} stages each one (request page, structure
+    preconditions, guest register file) and runs the reason's handler.
+    Argument conventions per reason are documented in {!Handlers}. *)
+
+type t = {
+  reason : Exit_reason.t;
+  args : int64 array;  (** request-page arguments (up to 8) *)
+  guest : int64 array;
+      (** guest register seed: RAX, RBX, RCX, RDX, RSI, RDI *)
+}
+
+val guest_reg_count : int
+(** 6. *)
+
+val make : reason:Exit_reason.t -> args:int64 list -> guest:int64 list -> t
+(** Pads/truncates [args] to 8 and [guest] to 6.  For hypercalls the
+    guest RAX is forced to the hypercall number (the PV calling
+    convention) and RDI/RSI/RDX default to args 0–2 when the caller
+    passes fewer guest values. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+open Xentry_machine
+
+let init mem =
+  Memory.store64 mem Layout.time_tsc_mul Layout.tsc_mul_value;
+  Memory.store64 mem Layout.time_tsc_shift (Int64.of_int Layout.tsc_shift_value);
+  Memory.store64 mem Layout.time_last_tsc 0L;
+  Memory.store64 mem Layout.time_system_time 0L;
+  Memory.store64 mem Layout.time_wall_sec 1_404_172_800L (* fixed epoch *);
+  Memory.store64 mem Layout.time_wall_nsec 0L;
+  Memory.store64 mem Layout.time_deadline 0L;
+  Memory.store64 mem Layout.global_jiffies 0L
+
+let expected_system_time ~tsc = Layout.scale_tsc tsc
+
+let read_system_time mem = Memory.load64 mem Layout.time_system_time
+let read_last_tsc mem = Memory.load64 mem Layout.time_last_tsc
+let read_deadline mem = Memory.load64 mem Layout.time_deadline
+let jiffies mem = Memory.load64 mem Layout.global_jiffies
+
+let time_regions () =
+  [
+    ("time/system_time", Layout.time_system_time, 8);
+    ("time/last_tsc", Layout.time_last_tsc, 8);
+    ("time/deadline", Layout.time_deadline, 8);
+    ("time/wallclock", Layout.time_wall_sec, 16);
+  ]

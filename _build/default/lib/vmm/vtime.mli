@@ -1,0 +1,31 @@
+(** Hypervisor timekeeping.
+
+    Xen converts raw TSC readings to nanoseconds with a multiply-shift
+    (the per-CPU [tsc_to_system_mul] / [tsc_shift] pair) and exports
+    system time to guests through vcpu_info.  Time values are the
+    paper's single largest class of undetected faults (Table II: 53%):
+    a corrupted time computation alters no control flow and trips no
+    assertion, surfacing only as an SDC in the guest.  This module owns
+    the reference computation against which handler outputs are
+    checked. *)
+
+val init : Xentry_machine.Memory.t -> unit
+(** Program the scale constants into the time area and zero the
+    dynamic fields. *)
+
+val expected_system_time : tsc:int64 -> int64
+(** The value a correct handler must compute for a TSC reading:
+    [(tsc * tsc_to_system_mul) >> tsc_shift]. *)
+
+val read_system_time : Xentry_machine.Memory.t -> int64
+(** Current [system_time] field in the time area. *)
+
+val read_last_tsc : Xentry_machine.Memory.t -> int64
+
+val read_deadline : Xentry_machine.Memory.t -> int64
+
+val jiffies : Xentry_machine.Memory.t -> int64
+
+val time_regions : unit -> (string * int64 * int) list
+(** Regions holding time values, for golden-run comparison and for
+    attributing undetected faults to the "time values" class. *)

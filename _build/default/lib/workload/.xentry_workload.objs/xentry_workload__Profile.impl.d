@@ -1,0 +1,1 @@
+lib/workload/profile.ml: Array Exit_reason Float Handlers Hashtbl Hypercall Hypervisor Int64 List Request Rng Xentry_machine Xentry_util Xentry_vmm

@@ -1,0 +1,1 @@
+lib/workload/stream.mli: Profile Xentry_util Xentry_vmm

@@ -1,0 +1,23 @@
+open Xentry_util
+
+type t = {
+  profile : Profile.t;
+  mode : Profile.virt_mode;
+  rng : Rng.t;
+}
+
+let create profile mode rng = { profile; mode; rng }
+
+let profile t = t.profile
+let mode t = t.mode
+
+let next_request t = Profile.sample_request t.profile t.mode t.rng
+
+let next_second t ~max_events =
+  let rate = Profile.sample_activation_rate t.profile t.mode t.rng in
+  let n = min max_events (int_of_float rate) in
+  (rate, List.init n (fun _ -> next_request t))
+
+let activation_rates t ~seconds =
+  Array.init seconds (fun _ ->
+      Profile.sample_activation_rate t.profile t.mode t.rng)

@@ -1,0 +1,28 @@
+(** Activation streams: timed sequences of VM exits.
+
+    Turns a {!Profile} into the event stream a running benchmark
+    induces: per-second activation counts (Fig 3's measurements) and
+    the corresponding requests.  Streams are deterministic given the
+    RNG. *)
+
+type t
+
+val create :
+  Profile.t -> Profile.virt_mode -> Xentry_util.Rng.t -> t
+
+val profile : t -> Profile.t
+val mode : t -> Profile.virt_mode
+
+val next_request : t -> Xentry_vmm.Request.t
+(** The next VM exit in the stream. *)
+
+val next_second : t -> max_events:int -> float * Xentry_vmm.Request.t list
+(** Simulate one second of wall-clock: returns the drawn activation
+    rate and up to [max_events] of its requests (the full count is the
+    returned rate; generating hundreds of thousands of request values
+    per second would be wasteful when callers only execute a
+    sample). *)
+
+val activation_rates : t -> seconds:int -> float array
+(** Per-second activation frequencies over a measurement window —
+    the raw data behind one Fig 3 box. *)

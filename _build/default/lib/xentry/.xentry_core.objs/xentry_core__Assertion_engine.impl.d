@@ -1,0 +1,1 @@
+lib/xentry/assertion_engine.ml: Array Exit_reason Format Handlers Hashtbl Instr List Program Xentry_isa Xentry_vmm

@@ -1,0 +1,1 @@
+lib/xentry/assertion_engine.mli: Format Xentry_isa Xentry_vmm

@@ -1,0 +1,1 @@
+lib/xentry/cost_model.ml: Array Framework List Xentry_util Xentry_workload

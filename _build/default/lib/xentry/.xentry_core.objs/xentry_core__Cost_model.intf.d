@@ -1,0 +1,1 @@
+lib/xentry/cost_model.mli: Framework Xentry_util Xentry_workload

@@ -1,0 +1,1 @@
+lib/xentry/exception_filter.ml: Array Format Hw_exception List Xentry_machine

@@ -1,0 +1,1 @@
+lib/xentry/exception_filter.mli: Format Xentry_machine

@@ -1,0 +1,1 @@
+lib/xentry/features.ml: Array Format List Xentry_machine Xentry_mlearn Xentry_util Xentry_vmm

@@ -1,0 +1,1 @@
+lib/xentry/features.mli: Format Xentry_machine Xentry_mlearn Xentry_vmm

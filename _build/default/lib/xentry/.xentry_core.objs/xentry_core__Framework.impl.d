@@ -1,0 +1,1 @@
+lib/xentry/framework.ml: Cpu Exception_filter Format Printf Transition_detector Xentry_machine

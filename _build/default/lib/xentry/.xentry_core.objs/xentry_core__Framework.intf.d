@@ -1,0 +1,1 @@
+lib/xentry/framework.mli: Format Transition_detector Xentry_machine Xentry_vmm

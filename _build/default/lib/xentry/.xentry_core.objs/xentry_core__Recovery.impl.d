@@ -1,0 +1,1 @@
+lib/xentry/recovery.ml: Array List Xentry_util Xentry_workload

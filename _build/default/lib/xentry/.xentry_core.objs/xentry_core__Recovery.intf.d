@@ -1,0 +1,1 @@
+lib/xentry/recovery.mli: Xentry_util Xentry_workload

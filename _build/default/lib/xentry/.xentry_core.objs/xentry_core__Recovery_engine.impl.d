@@ -1,0 +1,1 @@
+lib/xentry/recovery_engine.ml: Array Bytes Char Cpu Hypervisor Int64 Layout List Memory Xentry_machine Xentry_vmm

@@ -1,0 +1,1 @@
+lib/xentry/recovery_engine.mli: Xentry_machine Xentry_vmm

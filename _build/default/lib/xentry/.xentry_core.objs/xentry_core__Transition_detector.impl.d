@@ -1,0 +1,1 @@
+lib/xentry/transition_detector.ml: Array Features Forest Format Tree Xentry_mlearn

@@ -1,0 +1,1 @@
+lib/xentry/transition_detector.mli: Format Xentry_machine Xentry_mlearn Xentry_vmm

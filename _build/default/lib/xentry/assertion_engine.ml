@@ -1,0 +1,50 @@
+open Xentry_isa
+open Xentry_vmm
+
+type kind = Boundary | Condition
+
+type info = { id : int; name : string; kind : kind; reason : Exit_reason.t }
+
+type t = { by_id : (int, info) Hashtbl.t }
+
+let kind_of_assert_kind = function
+  | Instr.Assert_range _ | Instr.Assert_aligned _ -> Boundary
+  | Instr.Assert_nonzero | Instr.Assert_zero | Instr.Assert_equals _ ->
+      Condition
+
+let build () =
+  let by_id = Hashtbl.create 128 in
+  Array.iter
+    (fun (reason, program) ->
+      Array.iter
+        (fun instr ->
+          match instr with
+          | Instr.Assert a ->
+              Hashtbl.replace by_id a.Instr.assert_id
+                {
+                  id = a.Instr.assert_id;
+                  name = a.Instr.assert_name;
+                  kind = kind_of_assert_kind a.Instr.assert_kind;
+                  reason;
+                }
+          | _ -> ())
+        program.Program.code)
+    (Handlers.all_programs ());
+  { by_id }
+
+let count t = Hashtbl.length t.by_id
+let find t id = Hashtbl.find_opt t.by_id id
+
+let all t =
+  Hashtbl.fold (fun _ info acc -> info :: acc) t.by_id []
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let count_by_kind t kind =
+  Hashtbl.fold (fun _ i acc -> if i.kind = kind then acc + 1 else acc) t.by_id 0
+
+let assertions_in t reason =
+  all t |> List.filter (fun i -> i.reason = reason)
+
+let pp_kind ppf = function
+  | Boundary -> Format.pp_print_string ppf "boundary"
+  | Condition -> Format.pp_print_string ppf "condition"

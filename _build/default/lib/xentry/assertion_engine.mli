@@ -1,0 +1,39 @@
+(** The software-assertion side of runtime detection (paper §III-A).
+
+    Xentry's assertions are the debug predicates already present in
+    the hypervisor source, promoted to always-on checks: boundary
+    assertions on values with defined ranges (Listing 1) and condition
+    assertions on states critical to correct execution (Listing 2).
+    This module indexes every assertion compiled into the synthesized
+    handlers so detections can be attributed and the assertion budget
+    (coverage vs. cost) analyzed. *)
+
+type kind =
+  | Boundary  (** Listing 1: value within a defined range *)
+  | Condition  (** Listing 2: a critical state predicate *)
+
+type info = {
+  id : int;
+  name : string;
+  kind : kind;
+  reason : Xentry_vmm.Exit_reason.t;  (** handler containing it *)
+}
+
+type t
+
+val build : unit -> t
+(** Scan all synthesized handler programs for [Assert] instructions. *)
+
+val count : t -> int
+val find : t -> int -> info option
+val all : t -> info list
+
+val count_by_kind : t -> kind -> int
+
+val assertions_in : t -> Xentry_vmm.Exit_reason.t -> info list
+
+val kind_of_assert_kind : Xentry_isa.Instr.assert_kind -> kind
+(** Range/alignment checks are [Boundary]; equality/zero checks are
+    [Condition]. *)
+
+val pp_kind : Format.formatter -> kind -> unit

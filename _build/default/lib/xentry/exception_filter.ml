@@ -1,0 +1,31 @@
+open Xentry_machine
+
+type context = Host_mode | Guest_servicing
+type verdict = Fatal | Benign
+
+let classify (e : Hw_exception.t) context =
+  match context with
+  | Host_mode -> (
+      match e with
+      | Hw_exception.DB | Hw_exception.BP | Hw_exception.NMI -> Benign
+      | _ -> Fatal)
+  | Guest_servicing -> (
+      match e with
+      | Hw_exception.PF | Hw_exception.GP | Hw_exception.DE | Hw_exception.UD
+      | Hw_exception.BR | Hw_exception.OF | Hw_exception.NM | Hw_exception.MF
+      | Hw_exception.AC | Hw_exception.XM | Hw_exception.DB | Hw_exception.BP
+      | Hw_exception.NMI ->
+          Benign
+      | Hw_exception.DF | Hw_exception.MC | Hw_exception.TS | Hw_exception.NP
+      | Hw_exception.SS | Hw_exception.CSO ->
+          Fatal)
+
+let is_detection e context = classify e context = Fatal
+
+let fatal_set context =
+  Array.to_list Hw_exception.all
+  |> List.filter (fun e -> classify e context = Fatal)
+
+let pp_verdict ppf = function
+  | Fatal -> Format.pp_print_string ppf "fatal"
+  | Benign -> Format.pp_print_string ppf "benign"

@@ -1,0 +1,32 @@
+(** Fatal hardware exception detection (paper §III-A).
+
+    Hardware exceptions are cheap error signals, but "exceptions do not
+    necessarily indicate failures": some are legal during correct
+    operation (minor/major page faults and general-protection traps
+    raised on behalf of guests).  The filter distinguishes exceptions
+    raised {e while the CPU executes hypervisor code} — where any of
+    the fatal set indicates corruption — from exceptions that are part
+    of normal guest servicing. *)
+
+type context =
+  | Host_mode  (** raised by hypervisor code itself *)
+  | Guest_servicing
+      (** raised on behalf of a guest (trapped guest exception being
+          handled, demand paging, emulation) *)
+
+type verdict = Fatal | Benign
+
+val classify : Xentry_machine.Hw_exception.t -> context -> verdict
+(** In [Host_mode] everything except debug traps ([#DB], [#BP]) and
+    [#NMI] is fatal.  In [Guest_servicing], page faults,
+    general-protection and arithmetic exceptions are benign (they
+    belong to the guest), while [#DF], [#MC], [#TS], [#NP], [#SS] and
+    [#CSO] remain fatal. *)
+
+val is_detection :
+  Xentry_machine.Hw_exception.t -> context -> bool
+(** [classify e ctx = Fatal]. *)
+
+val fatal_set : context -> Xentry_machine.Hw_exception.t list
+
+val pp_verdict : Format.formatter -> verdict -> unit

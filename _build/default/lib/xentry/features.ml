@@ -1,0 +1,38 @@
+let names = [| "VMER"; "RT"; "BR"; "RM"; "WM" |]
+let count = Array.length names
+
+let descriptions =
+  [
+    ("VMER", "VM exit reason", "Xentry");
+    ("RT", "# of committed instructions", "INST_RETIRED");
+    ("BR", "# of branch instructions", "BR_INST_RETIRED");
+    ("RM", "# of read memory access", "MEM_INST_RETIRED.LOADS");
+    ("WM", "# of write memory access", "MEM_INST_RETIRED.STORES");
+  ]
+
+let of_run ~reason (snapshot : Xentry_machine.Pmu.snapshot) =
+  [|
+    float_of_int (Xentry_vmm.Exit_reason.to_id reason);
+    float_of_int snapshot.Xentry_machine.Pmu.inst;
+    float_of_int snapshot.Xentry_machine.Pmu.branches;
+    float_of_int snapshot.Xentry_machine.Pmu.loads;
+    float_of_int snapshot.Xentry_machine.Pmu.stores;
+  |]
+
+let label_correct = 0
+let label_incorrect = 1
+
+let dataset_of_samples pairs =
+  Xentry_mlearn.Dataset.create ~feature_names:names ~n_classes:2
+    (List.map
+       (fun (features, label) -> { Xentry_mlearn.Dataset.features; label })
+       pairs)
+
+let pp_table1 ppf () =
+  Format.fprintf ppf "%s"
+    (Xentry_util.Report.table
+       ~header:[ "Features"; "H/W & S/W Support"; "Synonyms" ]
+       ~rows:
+         (List.map
+            (fun (syn, desc, support) -> [ desc; support; syn ])
+            descriptions))

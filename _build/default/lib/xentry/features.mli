@@ -1,0 +1,35 @@
+(** The five VM-transition detection features (paper Table I).
+
+    Xentry characterizes each hypervisor execution by its VM exit
+    reason plus four performance-counter readings collected between VM
+    exit and VM entry.  The features deliberately do not represent
+    control flow explicitly; they capture its dynamic signature
+    through instruction and memory-access patterns. *)
+
+val names : string array
+(** [|"VMER"; "RT"; "BR"; "RM"; "WM"|] — the paper's synonyms. *)
+
+val count : int
+(** 5. *)
+
+val descriptions : (string * string * string) list
+(** Table I rows: (synonym, feature description, H/W-S/W support). *)
+
+val of_run :
+  reason:Xentry_vmm.Exit_reason.t -> Xentry_machine.Pmu.snapshot -> float array
+(** Assemble the feature vector for one completed hypervisor
+    execution. *)
+
+val label_correct : int
+(** Dataset label for correct executions (0). *)
+
+val label_incorrect : int
+(** Dataset label for incorrect executions (1). *)
+
+val dataset_of_samples :
+  (float array * int) list -> Xentry_mlearn.Dataset.t
+(** Wrap feature/label pairs into a dataset with the Table I feature
+    names. *)
+
+val pp_table1 : Format.formatter -> unit -> unit
+(** Render Table I. *)

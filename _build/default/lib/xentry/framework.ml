@@ -1,0 +1,61 @@
+open Xentry_machine
+
+type technique = Hw_exception_detection | Sw_assertion | Vm_transition
+
+type config = {
+  hw_exceptions : bool;
+  sw_assertions : bool;
+  vm_transition : bool;
+}
+
+let full_config = { hw_exceptions = true; sw_assertions = true; vm_transition = true }
+let runtime_only = { full_config with vm_transition = false }
+let disabled = { hw_exceptions = false; sw_assertions = false; vm_transition = false }
+
+type verdict =
+  | Clean
+  | Detected of { technique : technique; latency : int option }
+
+let process config ~detector ~reason (result : Cpu.run_result) =
+  let latency = Cpu.detection_latency result in
+  match result.Cpu.stop with
+  | Cpu.Hw_fault { exn; _ } ->
+      if
+        config.hw_exceptions
+        && Exception_filter.is_detection exn Exception_filter.Host_mode
+      then Detected { technique = Hw_exception_detection; latency }
+      else Clean
+  | Cpu.Out_of_fuel ->
+      (* A hung hypervisor execution trips the watchdog NMI: hardware
+         detection with a long latency. *)
+      if config.hw_exceptions then
+        Detected { technique = Hw_exception_detection; latency }
+      else Clean
+  | Cpu.Assertion_failure _ ->
+      if config.sw_assertions then
+        Detected { technique = Sw_assertion; latency }
+      else Clean
+  | Cpu.Halted -> Clean
+  | Cpu.Vm_entry -> (
+      match (config.vm_transition, detector) with
+      | true, Some det -> (
+          match
+            Transition_detector.classify det ~reason result.Cpu.final_pmu
+          with
+          | Transition_detector.Incorrect, _ ->
+              Detected { technique = Vm_transition; latency }
+          | Transition_detector.Correct, _ -> Clean)
+      | _ -> Clean)
+
+let technique_name = function
+  | Hw_exception_detection -> "H/W Exception"
+  | Sw_assertion -> "S/W Assertion"
+  | Vm_transition -> "VM Transition Detection"
+
+let pp_verdict ppf = function
+  | Clean -> Format.pp_print_string ppf "clean"
+  | Detected { technique; latency } ->
+      Format.fprintf ppf "detected by %s%s" (technique_name technique)
+        (match latency with
+        | Some l -> Printf.sprintf " (latency %d instructions)" l
+        | None -> "")

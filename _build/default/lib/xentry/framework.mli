@@ -1,0 +1,56 @@
+(** The integrated Xentry framework (paper Fig 4).
+
+    Combines runtime detection (fatal hardware exceptions + software
+    assertions, active throughout the hypervisor execution) with VM
+    transition detection (active at every VM entry) and attributes
+    each detection to its technique — the attribution behind the
+    paper's Fig 8 stack and Fig 10 latency curves. *)
+
+type technique =
+  | Hw_exception_detection
+  | Sw_assertion
+  | Vm_transition
+
+type config = {
+  hw_exceptions : bool;
+  sw_assertions : bool;
+  vm_transition : bool;
+}
+
+val full_config : config
+
+val runtime_only : config
+(** Fig 7's "runtime detection" series. *)
+
+val disabled : config
+(** The unprotected baseline. *)
+
+type verdict =
+  | Clean
+      (** execution completed and the transition detector (if enabled)
+          accepted its signature *)
+  | Detected of { technique : technique; latency : int option }
+      (** [latency] = instructions from fault activation to detection,
+          when a fault was injected and activated (Fig 10's metric) *)
+
+val process :
+  config ->
+  detector:Transition_detector.t option ->
+  reason:Xentry_vmm.Exit_reason.t ->
+  Xentry_machine.Cpu.run_result ->
+  verdict
+(** Interpret one hypervisor execution's outcome.
+
+    - A hardware fault stop is a detection when [hw_exceptions] is on
+      and the exception is fatal in host mode; a watchdog (out-of-fuel)
+      stop counts as a hardware detection too (hangs are caught by the
+      watchdog NMI).
+    - An assertion-failure stop is a detection when [sw_assertions] is
+      on (the CPU only stops on assertions when they are enabled).
+    - On VM entry, the transition detector classifies the PMU
+      signature when [vm_transition] is on and a detector is
+      provided. *)
+
+val technique_name : technique -> string
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,42 @@
+(** Lightweight recovery by checkpoint and re-execution.
+
+    The paper designs detection and leaves recovery as future work,
+    but sketches the mechanism (§VI): keep a redundant copy of the
+    critical hypervisor data and the VM exit reason at every VM exit
+    (~1,900 ns on the Xeon E5506), and on a positive detection —
+    true or false — restore the copy and re-execute the hypervisor
+    execution, roughly doubling its time.  Soft errors are transient,
+    so the re-execution is fault-free.
+
+    This module implements that mechanism on the simulated host: a
+    checkpoint captures every region a handler may write (domain
+    blocks, hypervisor globals, IRQ descriptors, time area, tasklet
+    pool, bounce buffer, page tables, the hypervisor stack) plus the
+    TSC, restore rolls them back, and {!recover} re-executes the
+    request.  Because detection always fires before VM entry, a
+    recovered execution is architecturally identical to a fault-free
+    one — the property the recovery study (bench `recovery`)
+    verifies. *)
+
+type checkpoint
+
+val checkpoint : Xentry_vmm.Hypervisor.t -> checkpoint
+(** Snapshot the critical state (call after {!Xentry_vmm.Hypervisor.prepare},
+    i.e. at the VM exit boundary). *)
+
+val checkpoint_bytes : checkpoint -> int
+(** Size of the saved state (the cost driver behind the paper's
+    1,900 ns estimate). *)
+
+val restore : Xentry_vmm.Hypervisor.t -> checkpoint -> unit
+(** Roll the host back to the checkpoint (memory regions and TSC). *)
+
+val recover :
+  Xentry_vmm.Hypervisor.t ->
+  checkpoint ->
+  ?fuel:int ->
+  Xentry_vmm.Request.t ->
+  Xentry_machine.Cpu.run_result
+(** [restore] + re-execute the request's handler.  The transient fault
+    is gone, so the result is a fault-free execution from the restored
+    state. *)

@@ -1,0 +1,46 @@
+(** VM transition detection (paper §III-B).
+
+    At every VM entry, after the original hypervisor execution
+    relinquishes control, Xentry reads the performance counters,
+    assembles the Table I feature vector and runs the trained
+    classifier.  An "incorrect" verdict means the finished execution's
+    dynamic signature does not match any fault-free signature for its
+    exit reason — valid-but-wrong control flow caught before the guest
+    resumes. *)
+
+type classifier =
+  | Single_tree of Xentry_mlearn.Tree.t  (** the paper's deployment *)
+  | Ensemble of Xentry_mlearn.Forest.t  (** future-work extension *)
+  | Thresholded of Xentry_mlearn.Tree.t * float
+      (** flag incorrect when the leaf's class frequencies put
+          P(incorrect) at or above the threshold — a
+          coverage / false-positive trade-off knob *)
+
+type t
+
+val create : classifier -> t
+
+val of_tree : Xentry_mlearn.Tree.t -> t
+
+val with_threshold :
+  Xentry_mlearn.Tree.t -> min_incorrect_probability:float -> t
+(** Thresholded detector; 0.5 behaves like the plain tree.  Raises
+    [Invalid_argument] outside \[0, 1\]. *)
+
+type verdict = Correct | Incorrect
+
+val classify :
+  t ->
+  reason:Xentry_vmm.Exit_reason.t ->
+  Xentry_machine.Pmu.snapshot ->
+  verdict * int
+(** (verdict, integer comparisons performed) — the comparison count is
+    the detection's per-VM-entry cost. *)
+
+val classify_features : t -> float array -> verdict * int
+
+val worst_case_comparisons : t -> int
+
+val classifier : t -> classifier
+
+val pp_verdict : Format.formatter -> verdict -> unit

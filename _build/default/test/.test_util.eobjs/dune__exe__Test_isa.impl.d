@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Cond Flags Format Instr List Operand Printf Program QCheck QCheck_alcotest Reg String Xentry_isa

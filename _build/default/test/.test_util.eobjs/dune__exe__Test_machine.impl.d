@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Cond Cpu Hw_exception Instr Int64 List Memory Operand Pmu Printf Program QCheck QCheck_alcotest Reg Trace Xentry_isa Xentry_machine

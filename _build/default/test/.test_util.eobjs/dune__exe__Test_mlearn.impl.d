@@ -1,0 +1,1 @@
+test/test_mlearn.ml: Alcotest Arff Array Dataset Forest List Metrics QCheck QCheck_alcotest String Tree Tree_io Xentry_mlearn Xentry_util

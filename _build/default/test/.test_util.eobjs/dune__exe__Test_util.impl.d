@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bits Gen Hashtbl List Option QCheck QCheck_alcotest Report Rng Stats String Xentry_util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cpu Exit_reason Float Hashtbl Hypervisor List Profile QCheck QCheck_alcotest Request Rng Stream Xentry_machine Xentry_util Xentry_vmm Xentry_workload

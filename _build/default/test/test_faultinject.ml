@@ -1,0 +1,366 @@
+(* Tests for Xentry_faultinject: the fault model, consequence
+   classification, campaign mechanics, aggregation and the training
+   pipeline. *)
+
+open Xentry_machine
+open Xentry_vmm
+open Xentry_core
+open Xentry_faultinject
+
+(* --- Fault model ------------------------------------------------------- *)
+
+let test_fault_sample_ranges () =
+  let rng = Xentry_util.Rng.create 3 in
+  for _ = 1 to 500 do
+    let f = Fault.sample rng ~max_step:100 in
+    Alcotest.(check bool) "bit range" true (f.Fault.bit >= 0 && f.Fault.bit < 64);
+    Alcotest.(check bool) "step range" true (f.Fault.step >= 0 && f.Fault.step < 100)
+  done
+
+let test_fault_targets_all_arch_registers () =
+  let rng = Xentry_util.Rng.create 4 in
+  let seen = Hashtbl.create 18 in
+  for _ = 1 to 2000 do
+    let f = Fault.sample rng ~max_step:10 in
+    Hashtbl.replace seen (Xentry_isa.Reg.arch_name f.Fault.target) ()
+  done;
+  (* All 18 architectural registers should be hit eventually. *)
+  Alcotest.(check int) "all registers targeted" 18 (Hashtbl.length seen)
+
+let test_fault_to_injection () =
+  let f = { Fault.target = Xentry_isa.Reg.Rip; bit = 5; step = 9 } in
+  let i = Fault.to_injection f in
+  Alcotest.(check int) "bit" 5 i.Cpu.inj_bit;
+  Alcotest.(check int) "step" 9 i.Cpu.inj_step
+
+(* --- Consequence classification ------------------------------------------- *)
+
+let prepared_pair () =
+  let host = Hypervisor.create ~seed:21 () in
+  let req =
+    Request.make
+      ~reason:(Exit_reason.Hypercall Hypercall.Event_channel_op)
+      ~args:[ 12L; 0L ] ~guest:[]
+  in
+  Hypervisor.prepare host req;
+  let a = Hypervisor.clone host in
+  let b = Hypervisor.clone host in
+  ignore (Hypervisor.execute a req);
+  ignore (Hypervisor.execute b req);
+  (a, b)
+
+let test_classify_identical_hosts_no_diffs () =
+  let a, b = prepared_pair () in
+  Alcotest.(check int) "no diffs between identical runs" 0
+    (List.length (Classify.diffs ~golden:a ~faulted:b))
+
+let test_classify_detects_user_reg_diff () =
+  let a, b = prepared_pair () in
+  let dom = (Hypervisor.current_domain b).Domain.id in
+  Domain.set_user_reg (Hypervisor.domains b).(dom) ~vcpu:0 Xentry_isa.Reg.RBX
+    0xDEADL;
+  let diffs = Classify.diffs ~golden:a ~faulted:b in
+  Alcotest.(check bool) "user gpr diff found" true
+    (List.exists
+       (function
+         | Classify.Dom_diff { cls = Classify.User_gpr _; _ } -> true
+         | _ -> false)
+       diffs)
+
+let test_classify_consequences_by_region () =
+  let a, b = prepared_pair () in
+  let cur = (Hypervisor.current_domain b).Domain.id in
+  (* Corrupt another domain's event channels: one-VM failure (or
+     all-VM when it is the control domain). *)
+  let other = if cur = 2 then 1 else 2 in
+  Memory.store64 (Hypervisor.memory b)
+    (Layout.evtchn_entry ~dom:other ~port:3)
+    999L;
+  let diffs = Classify.diffs ~golden:a ~faulted:b in
+  Alcotest.(check bool) "one vm failure" true
+    (Classify.consequence ~current_dom:cur ~faulted_stop:Cpu.Vm_entry diffs
+    = Outcome.Long_latency Outcome.One_vm_failure)
+
+let test_classify_dom0_is_all_vm () =
+  let a, b = prepared_pair () in
+  let cur = (Hypervisor.current_domain b).Domain.id in
+  if cur <> 0 then begin
+    Memory.store64 (Hypervisor.memory b)
+      (Layout.evtchn_entry ~dom:0 ~port:3)
+      999L;
+    let diffs = Classify.diffs ~golden:a ~faulted:b in
+    Alcotest.(check bool) "control domain corruption is all-vm" true
+      (Classify.consequence ~current_dom:cur ~faulted_stop:Cpu.Vm_entry diffs
+      = Outcome.Long_latency Outcome.All_vm_failure)
+  end
+
+let test_classify_time_only_is_sdc () =
+  let a, b = prepared_pair () in
+  let cur = (Hypervisor.current_domain b).Domain.id in
+  Memory.store64 (Hypervisor.memory b) Layout.time_system_time 0x1234L;
+  let diffs = Classify.diffs ~golden:a ~faulted:b in
+  Alcotest.(check bool) "time corruption is SDC" true
+    (Classify.consequence ~current_dom:cur ~faulted_stop:Cpu.Vm_entry diffs
+    = Outcome.Long_latency Outcome.App_sdc)
+
+let test_classify_crash_stop_short_latency () =
+  let a, b = prepared_pair () in
+  Alcotest.(check bool) "hw fault is short latency" true
+    (Classify.consequence ~current_dom:0
+       ~faulted_stop:(Cpu.Hw_fault { exn = Hw_exception.PF; detail = 0L })
+       (Classify.diffs ~golden:a ~faulted:b)
+    = Outcome.Short_latency Outcome.Hv_crash);
+  Alcotest.(check bool) "hang is short latency" true
+    (Classify.consequence ~current_dom:0 ~faulted_stop:Cpu.Out_of_fuel []
+    = Outcome.Short_latency Outcome.Hv_hang)
+
+let test_classify_masked () =
+  let a, b = prepared_pair () in
+  Alcotest.(check bool) "identical outputs masked" true
+    (Classify.consequence ~current_dom:0 ~faulted_stop:Cpu.Vm_entry
+       (Classify.diffs ~golden:a ~faulted:b)
+    = Outcome.Masked)
+
+let test_undetected_attribution () =
+  let fault = { Fault.target = Xentry_isa.Reg.Gpr Xentry_isa.Reg.RAX; bit = 1; step = 1 } in
+  Alcotest.(check bool) "signature deviation is mis-classify" true
+    (Classify.undetected_class ~fault ~signature_differs:true []
+    = Outcome.Mis_classify);
+  Alcotest.(check bool) "time-only diffs are time values" true
+    (Classify.undetected_class ~fault ~signature_differs:false
+       [ Classify.Global_time_diff ]
+    = Outcome.Time_values);
+  Alcotest.(check bool) "stack diffs are stack values" true
+    (Classify.undetected_class ~fault ~signature_differs:false
+       [ Classify.Stack_diff;
+         Classify.Guest_reg_diff (Xentry_isa.Reg.RBX, 5L) ]
+    = Outcome.Stack_values);
+  Alcotest.(check bool) "rsp faults are stack values" true
+    (Classify.undetected_class
+       ~fault:{ fault with Fault.target = Xentry_isa.Reg.Gpr Xentry_isa.Reg.RSP }
+       ~signature_differs:false
+       [ Classify.Guest_reg_diff (Xentry_isa.Reg.RBX, 5L) ]
+    = Outcome.Stack_values);
+  Alcotest.(check bool) "plain data corruption is other" true
+    (Classify.undetected_class ~fault ~signature_differs:false
+       [ Classify.Guest_reg_diff (Xentry_isa.Reg.RBX, 5L) ]
+    = Outcome.Other_values)
+
+(* --- Campaign ------------------------------------------------------------------ *)
+
+let small_campaign ?detector () =
+  Campaign.run
+    (Campaign.default_config ?detector ~benchmark:Xentry_workload.Profile.Postmark
+       ~injections:400 ~seed:17 ())
+
+let test_campaign_record_count () =
+  Alcotest.(check int) "one record per injection" 400
+    (List.length (small_campaign ()))
+
+let test_campaign_deterministic () =
+  let key r =
+    ( r.Outcome.fault.Fault.bit,
+      r.Outcome.fault.Fault.step,
+      Outcome.consequence_name r.Outcome.consequence )
+  in
+  Alcotest.(check bool) "same seed, same records" true
+    (List.map key (small_campaign ()) = List.map key (small_campaign ()))
+
+let test_campaign_outcome_mix () =
+  let records = small_campaign () in
+  let s = Report.summarize records in
+  (* The paper's campaign: ~59% of injections manifested; most
+     manifested faults crash the hypervisor and are caught by the
+     fatal-exception channel.  Shapes, not exact values. *)
+  Alcotest.(check bool) "some faults activate" true (s.Report.activated > 50);
+  Alcotest.(check bool) "some manifest" true (s.Report.manifested > 30);
+  Alcotest.(check bool) "hw dominates" true
+    (s.Report.techniques.Report.hw_exception > s.Report.techniques.Report.sw_assertion);
+  Alcotest.(check bool) "high coverage" true (s.Report.coverage > 0.80)
+
+let test_campaign_latencies_recorded () =
+  let records = small_campaign () in
+  let s = Report.summarize records in
+  let hw = List.assoc Framework.Hw_exception_detection s.Report.latencies_by_technique in
+  Alcotest.(check bool) "hw latencies recorded" true (Array.length hw > 10);
+  Array.iter
+    (fun l -> Alcotest.(check bool) "latency non-negative" true (l >= 0))
+    hw
+
+let test_campaign_signature_present_on_vm_entry () =
+  List.iter
+    (fun r ->
+      match r.Outcome.signature with
+      | Some _ -> ()
+      | None ->
+          (* No signature means the run stopped before VM entry: the
+             verdict cannot be a transition detection. *)
+          Alcotest.(check bool) "no transition verdict without signature" true
+            (match r.Outcome.verdict with
+            | Framework.Detected { technique = Framework.Vm_transition; _ } ->
+                false
+            | _ -> true))
+    (small_campaign ())
+
+let test_campaign_fault_free_baseline () =
+  let runs =
+    Campaign.run_fault_free ~seed:5 ~benchmark:Xentry_workload.Profile.Mcf
+      ~mode:Xentry_workload.Profile.PV ~runs:100
+  in
+  Alcotest.(check int) "requested count" 100 (List.length runs);
+  List.iter
+    (fun (_, snapshot) ->
+      Alcotest.(check bool) "non-trivial execution" true (snapshot.Pmu.inst > 20))
+    runs
+
+(* --- Report ----------------------------------------------------------------------- *)
+
+let test_report_percentages_sum () =
+  let s = Report.summarize (small_campaign ()) in
+  let total =
+    List.fold_left (fun acc (_, p) -> acc +. p) 0.0 (Report.technique_percentages s)
+  in
+  Alcotest.(check (float 0.01)) "fig8 stack sums to 100%" 100.0 total
+
+let test_report_undetected_percentages_sum () =
+  let s = Report.summarize (small_campaign ()) in
+  let total =
+    List.fold_left (fun acc (_, p) -> acc +. p) 0.0 (Report.undetected_percentages s)
+  in
+  if s.Report.techniques.Report.undetected > 0 then
+    Alcotest.(check (float 0.01)) "tableII sums to 100%" 100.0 total
+
+let test_report_empty () =
+  let s = Report.summarize [] in
+  Alcotest.(check int) "no injections" 0 s.Report.total_injections;
+  Alcotest.(check (float 0.0)) "coverage 0" 0.0 s.Report.coverage
+
+(* --- Training pipeline --------------------------------------------------------------- *)
+
+let test_training_collect_labels () =
+  let corpus =
+    Training.collect ~seed:31
+      ~benchmarks:[ Xentry_workload.Profile.Postmark ]
+      ~mode:Xentry_workload.Profile.PV ~injections_per_benchmark:800
+      ~fault_free_per_benchmark:200
+  in
+  Alcotest.(check bool) "correct samples collected" true (corpus.Training.correct > 300);
+  Alcotest.(check bool) "incorrect samples collected" true
+    (corpus.Training.incorrect > 0);
+  Alcotest.(check int) "dataset size matches counters"
+    (corpus.Training.correct + corpus.Training.incorrect)
+    (Xentry_mlearn.Dataset.length corpus.Training.dataset)
+
+let test_training_pipeline_accuracy () =
+  let train =
+    Training.collect ~seed:32
+      ~benchmarks:[ Xentry_workload.Profile.Postmark; Xentry_workload.Profile.Mcf ]
+      ~mode:Xentry_workload.Profile.PV ~injections_per_benchmark:800
+      ~fault_free_per_benchmark:200
+  in
+  let test =
+    Training.collect ~seed:33
+      ~benchmarks:[ Xentry_workload.Profile.Postmark; Xentry_workload.Profile.Mcf ]
+      ~mode:Xentry_workload.Profile.PV ~injections_per_benchmark:400
+      ~fault_free_per_benchmark:100
+  in
+  let tr = Training.train_and_evaluate ~train ~test () in
+  let open Xentry_mlearn in
+  (* Paper: 96.1% (decision tree) and 98.6% (random tree). *)
+  Alcotest.(check bool) "decision tree accuracy > 0.9" true
+    (Metrics.accuracy tr.Training.decision_tree_eval > 0.9);
+  Alcotest.(check bool) "random tree accuracy > 0.9" true
+    (Metrics.accuracy tr.Training.random_tree_eval > 0.9);
+  (* Paper §VI: false positive rate 0.7%. *)
+  Alcotest.(check bool) "random tree fpr < 2%" true
+    (Metrics.false_positive_rate tr.Training.random_tree_eval < 0.02);
+  (* The deployed detector flags deviant signatures. *)
+  let det = Training.detector tr in
+  ignore (Transition_detector.worst_case_comparisons det)
+
+let test_detector_improves_campaign_coverage () =
+  let train =
+    Training.collect ~seed:35
+      ~benchmarks:[ Xentry_workload.Profile.Postmark ]
+      ~mode:Xentry_workload.Profile.PV ~injections_per_benchmark:1500
+      ~fault_free_per_benchmark:300
+  in
+  let test =
+    Training.collect ~seed:36
+      ~benchmarks:[ Xentry_workload.Profile.Postmark ]
+      ~mode:Xentry_workload.Profile.PV ~injections_per_benchmark:300
+      ~fault_free_per_benchmark:100
+  in
+  let tr = Training.train_and_evaluate ~train ~test () in
+  let det = Training.detector tr in
+  let without = Report.summarize (small_campaign ()) in
+  let with_det = Report.summarize (small_campaign ~detector:det ()) in
+  Alcotest.(check bool) "detector never lowers coverage" true
+    (with_det.Report.coverage >= without.Report.coverage -. 1e-9)
+
+(* --- qcheck --------------------------------------------------------------------------- *)
+
+let prop_consequence_total =
+  QCheck.Test.make ~name:"every record has a coherent consequence" ~count:1
+    QCheck.unit
+    (fun () ->
+      List.for_all
+        (fun r ->
+          match r.Outcome.consequence with
+          | Outcome.Not_activated -> not r.Outcome.activated
+          | Outcome.Masked | Outcome.Short_latency _ | Outcome.Long_latency _ ->
+              r.Outcome.activated)
+        (small_campaign ()))
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_consequence_total ] in
+  Alcotest.run "xentry_faultinject"
+    [
+      ( "fault",
+        [
+          Alcotest.test_case "sample ranges" `Quick test_fault_sample_ranges;
+          Alcotest.test_case "targets all registers" `Quick
+            test_fault_targets_all_arch_registers;
+          Alcotest.test_case "to injection" `Quick test_fault_to_injection;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "identical no diffs" `Quick
+            test_classify_identical_hosts_no_diffs;
+          Alcotest.test_case "user reg diff" `Quick test_classify_detects_user_reg_diff;
+          Alcotest.test_case "region consequences" `Quick
+            test_classify_consequences_by_region;
+          Alcotest.test_case "dom0 all-vm" `Quick test_classify_dom0_is_all_vm;
+          Alcotest.test_case "time sdc" `Quick test_classify_time_only_is_sdc;
+          Alcotest.test_case "crash short latency" `Quick
+            test_classify_crash_stop_short_latency;
+          Alcotest.test_case "masked" `Quick test_classify_masked;
+          Alcotest.test_case "undetected attribution" `Quick
+            test_undetected_attribution;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "record count" `Slow test_campaign_record_count;
+          Alcotest.test_case "deterministic" `Slow test_campaign_deterministic;
+          Alcotest.test_case "outcome mix" `Slow test_campaign_outcome_mix;
+          Alcotest.test_case "latencies" `Slow test_campaign_latencies_recorded;
+          Alcotest.test_case "signature coherence" `Slow
+            test_campaign_signature_present_on_vm_entry;
+          Alcotest.test_case "fault-free baseline" `Quick
+            test_campaign_fault_free_baseline;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "fig8 sums" `Slow test_report_percentages_sum;
+          Alcotest.test_case "tableII sums" `Slow test_report_undetected_percentages_sum;
+          Alcotest.test_case "empty" `Quick test_report_empty;
+        ] );
+      ( "training",
+        [
+          Alcotest.test_case "collect labels" `Slow test_training_collect_labels;
+          Alcotest.test_case "pipeline accuracy" `Slow test_training_pipeline_accuracy;
+          Alcotest.test_case "detector helps" `Slow
+            test_detector_improves_campaign_coverage;
+        ] );
+      ("properties", qsuite);
+    ]

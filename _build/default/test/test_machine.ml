@@ -1,0 +1,899 @@
+(* Tests for Xentry_machine: sparse memory, hardware exception vectors,
+   the PMU, and the CPU interpreter including fault injection and
+   def-use activation tracking. *)
+
+open Xentry_isa
+open Xentry_machine
+
+let code_base = 0x100000L
+let stack_top = 0x20000L
+let data_base = 0x30000L
+
+(* Build a CPU with a mapped stack and a small data region. *)
+let fresh_cpu () =
+  let mem = Memory.create () in
+  Memory.map_region mem ~addr:0x10000L ~size:0x10000 (* stack *);
+  Memory.map_region mem ~addr:data_base ~size:0x10000 (* data *);
+  let cpu = Cpu.create mem in
+  Cpu.set_gpr cpu Reg.RSP stack_top;
+  cpu
+
+let run ?entry ?fuel ?inject cpu program =
+  Cpu.run cpu ~program ~code_base ?entry ?fuel ?inject ()
+
+let prog name build = Program.assemble name build
+
+let stop_testable = Alcotest.testable Cpu.pp_stop ( = )
+
+(* --- Memory ---------------------------------------------------------------- *)
+
+let test_memory_roundtrip_64 () =
+  let m = Memory.create () in
+  Memory.map_region m ~addr:0x1000L ~size:4096;
+  Memory.store64 m 0x1008L 0xDEADBEEFCAFEBABEL;
+  Alcotest.(check int64) "roundtrip" 0xDEADBEEFCAFEBABEL (Memory.load64 m 0x1008L)
+
+let test_memory_unaligned_crosspage () =
+  let m = Memory.create () in
+  Memory.map_region m ~addr:0x1000L ~size:8192;
+  (* Word straddling the page boundary at 0x2000. *)
+  Memory.store64 m 0x1FFDL 0x1122334455667788L;
+  Alcotest.(check int64) "cross-page roundtrip" 0x1122334455667788L
+    (Memory.load64 m 0x1FFDL)
+
+let test_memory_fault_unmapped () =
+  let m = Memory.create () in
+  (match Memory.load64 m 0x9999L with
+  | _ -> Alcotest.fail "expected fault"
+  | exception Memory.Fault { write = false; _ } -> ());
+  match Memory.store64 m 0x9999L 1L with
+  | _ -> Alcotest.fail "expected fault"
+  | exception Memory.Fault { write = true; _ } -> ()
+
+let test_memory_fault_partial_word () =
+  let m = Memory.create () in
+  Memory.map_region m ~addr:0x1000L ~size:4096;
+  (* The last byte of the word falls off the mapped page. *)
+  match Memory.load64 m 0x1FFCL with
+  | _ -> Alcotest.fail "expected fault"
+  | exception Memory.Fault _ -> ()
+
+let test_memory_map_idempotent () =
+  let m = Memory.create () in
+  Memory.map_region m ~addr:0x1000L ~size:4096;
+  Memory.store64 m 0x1000L 77L;
+  Memory.map_region m ~addr:0x1000L ~size:4096;
+  Alcotest.(check int64) "remap preserves contents" 77L (Memory.load64 m 0x1000L)
+
+let test_memory_unmap () =
+  let m = Memory.create () in
+  Memory.map_region m ~addr:0x1000L ~size:4096;
+  Memory.unmap_region m ~addr:0x1000L ~size:4096;
+  Alcotest.(check bool) "unmapped" false (Memory.is_mapped m 0x1000L)
+
+let test_memory_copy_independent () =
+  let m = Memory.create () in
+  Memory.map_region m ~addr:0x1000L ~size:4096;
+  Memory.store64 m 0x1000L 1L;
+  let c = Memory.copy m in
+  Memory.store64 m 0x1000L 2L;
+  Alcotest.(check int64) "copy unaffected" 1L (Memory.load64 c 0x1000L)
+
+let test_memory_first_difference () =
+  let a = Memory.create () and b = Memory.create () in
+  Memory.map_region a ~addr:0x1000L ~size:4096;
+  Memory.map_region b ~addr:0x1000L ~size:4096;
+  Memory.store64 a 0x1010L 0x1L;
+  Alcotest.(check (option int64)) "difference found" (Some 0x1010L)
+    (Memory.first_difference a b ~addr:0x1000L ~len:4096);
+  Memory.store64 b 0x1010L 0x1L;
+  Alcotest.(check (option int64)) "now equal" None
+    (Memory.first_difference a b ~addr:0x1000L ~len:4096);
+  Alcotest.(check bool) "region_equal agrees" true
+    (Memory.region_equal a b ~addr:0x1000L ~len:4096)
+
+let test_memory_region_equal_unmapped_vs_mapped () =
+  let a = Memory.create () and b = Memory.create () in
+  Memory.map_region a ~addr:0x1000L ~size:4096;
+  Alcotest.(check bool) "mapped zero differs from unmapped" false
+    (Memory.region_equal a b ~addr:0x1000L ~len:16)
+
+(* --- Hw_exception ------------------------------------------------------------ *)
+
+let test_hw_exception_19_vectors () =
+  Alcotest.(check int) "19 exceptions" 19 Hw_exception.count
+
+let test_hw_exception_vector_roundtrip () =
+  Array.iter
+    (fun e ->
+      match Hw_exception.of_vector (Hw_exception.vector e) with
+      | Some e' ->
+          Alcotest.(check string) "roundtrip" (Hw_exception.name e)
+            (Hw_exception.name e')
+      | None -> Alcotest.fail "vector lookup failed")
+    Hw_exception.all
+
+let test_hw_exception_vector_15_reserved () =
+  Alcotest.(check bool) "vector 15 is reserved" true
+    (Hw_exception.of_vector 15 = None)
+
+(* --- Pmu ------------------------------------------------------------------ *)
+
+let test_pmu_disabled_ignores () =
+  let p = Pmu.create () in
+  Pmu.add p Pmu.Inst_retired 5;
+  Alcotest.(check int) "ignored while disabled" 0 (Pmu.read p Pmu.Inst_retired)
+
+let test_pmu_enable_counts () =
+  let p = Pmu.create () in
+  Pmu.enable p;
+  Pmu.add p Pmu.Inst_retired 5;
+  Pmu.add p Pmu.Mem_loads 2;
+  Alcotest.(check int) "inst" 5 (Pmu.read p Pmu.Inst_retired);
+  Alcotest.(check int) "loads" 2 (Pmu.read p Pmu.Mem_loads);
+  Pmu.disable p;
+  Pmu.add p Pmu.Inst_retired 5;
+  Alcotest.(check int) "frozen after disable" 5 (Pmu.read p Pmu.Inst_retired)
+
+let test_pmu_enable_zeroes () =
+  let p = Pmu.create () in
+  Pmu.enable p;
+  Pmu.add p Pmu.Br_inst_retired 3;
+  Pmu.enable p;
+  Alcotest.(check int) "re-enable zeroes" 0 (Pmu.read p Pmu.Br_inst_retired)
+
+let test_pmu_snapshot () =
+  let p = Pmu.create () in
+  Pmu.enable p;
+  Pmu.add p Pmu.Inst_retired 10;
+  Pmu.add p Pmu.Br_inst_retired 2;
+  Pmu.add p Pmu.Mem_loads 4;
+  Pmu.add p Pmu.Mem_stores 1;
+  let s = Pmu.snapshot p in
+  Alcotest.(check int) "inst" 10 s.Pmu.inst;
+  Alcotest.(check int) "br" 2 s.Pmu.branches;
+  Alcotest.(check int) "loads" 4 s.Pmu.loads;
+  Alcotest.(check int) "stores" 1 s.Pmu.stores
+
+(* --- Cpu: basic execution ----------------------------------------------------- *)
+
+let test_cpu_mov_add () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "mov-add" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm 40L));
+        emit b (Instr.Alu (Instr.Add, Operand.reg Reg.RAX, Operand.imm 2L));
+        emit b Instr.Vmentry)
+  in
+  let r = run cpu p in
+  Alcotest.check stop_testable "clean vm entry" Cpu.Vm_entry r.Cpu.stop;
+  Alcotest.(check int64) "42" 42L (Cpu.get_gpr cpu Reg.RAX);
+  Alcotest.(check int) "3 instructions retired" 3 r.Cpu.final_pmu.Pmu.inst
+
+let test_cpu_memory_ops () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "mem" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RSI, Operand.imm data_base));
+        emit b (Instr.Mov (Operand.mem Reg.RSI, Operand.imm 99L));
+        emit b (Instr.Mov (Operand.reg Reg.RBX, Operand.mem Reg.RSI));
+        emit b Instr.Vmentry)
+  in
+  let r = run cpu p in
+  Alcotest.check stop_testable "vm entry" Cpu.Vm_entry r.Cpu.stop;
+  Alcotest.(check int64) "load back" 99L (Cpu.get_gpr cpu Reg.RBX);
+  Alcotest.(check int) "one load" 1 r.Cpu.final_pmu.Pmu.loads;
+  Alcotest.(check int) "one store" 1 r.Cpu.final_pmu.Pmu.stores
+
+let test_cpu_loop_branch_counting () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "loop" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RCX, Operand.imm 5L));
+        label b "top";
+        emit b (Instr.Dec (Operand.reg Reg.RCX));
+        emit b (Instr.Jcc (Cond.NE, "top"));
+        emit b Instr.Vmentry)
+  in
+  let r = run cpu p in
+  Alcotest.check stop_testable "vm entry" Cpu.Vm_entry r.Cpu.stop;
+  (* 1 mov + 5*(dec+jcc) + vmentry = 12 *)
+  Alcotest.(check int) "retired" 12 r.Cpu.final_pmu.Pmu.inst;
+  Alcotest.(check int) "branches" 5 r.Cpu.final_pmu.Pmu.branches
+
+let test_cpu_call_ret () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "call" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Call "fn");
+        emit b Instr.Vmentry;
+        label b "fn";
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm 7L));
+        emit b Instr.Ret)
+  in
+  let r = run cpu p in
+  Alcotest.check stop_testable "vm entry" Cpu.Vm_entry r.Cpu.stop;
+  Alcotest.(check int64) "callee ran" 7L (Cpu.get_gpr cpu Reg.RAX);
+  Alcotest.(check int64) "stack balanced" stack_top (Cpu.get_gpr cpu Reg.RSP)
+
+let test_cpu_push_pop () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "stack" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Push (Operand.imm 123L));
+        emit b (Instr.Pop (Operand.reg Reg.RDX));
+        emit b Instr.Vmentry)
+  in
+  ignore (run cpu p);
+  Alcotest.(check int64) "popped" 123L (Cpu.get_gpr cpu Reg.RDX)
+
+let test_cpu_rep_movsq () =
+  let cpu = fresh_cpu () in
+  Memory.store64 (Cpu.memory cpu) data_base 11L;
+  Memory.store64 (Cpu.memory cpu) (Int64.add data_base 8L) 22L;
+  let dst = Int64.add data_base 0x100L in
+  let p =
+    prog "copy" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RSI, Operand.imm data_base));
+        emit b (Instr.Mov (Operand.reg Reg.RDI, Operand.imm dst));
+        emit b (Instr.Mov (Operand.reg Reg.RCX, Operand.imm 2L));
+        emit b Instr.Rep_movsq;
+        emit b Instr.Vmentry)
+  in
+  let r = run cpu p in
+  Alcotest.check stop_testable "vm entry" Cpu.Vm_entry r.Cpu.stop;
+  Alcotest.(check int64) "copied[0]" 11L (Memory.load64 (Cpu.memory cpu) dst);
+  Alcotest.(check int64) "copied[1]" 22L
+    (Memory.load64 (Cpu.memory cpu) (Int64.add dst 8L));
+  Alcotest.(check int) "loads = element count" 2 r.Cpu.final_pmu.Pmu.loads;
+  Alcotest.(check int) "stores = element count" 2 r.Cpu.final_pmu.Pmu.stores;
+  (* 3 movs + 2 rep iterations + 1 rep exit check + vmentry = 7
+     retired (the rep prefix re-executes per element, x86-style). *)
+  Alcotest.(check int) "rep retires per element" 7 r.Cpu.final_pmu.Pmu.inst
+
+let test_cpu_idiv () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "div" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm 17L));
+        emit b (Instr.Mov (Operand.reg Reg.RBX, Operand.imm 5L));
+        emit b (Instr.Idiv (Operand.reg Reg.RBX));
+        emit b Instr.Vmentry)
+  in
+  ignore (run cpu p);
+  Alcotest.(check int64) "quotient" 3L (Cpu.get_gpr cpu Reg.RAX);
+  Alcotest.(check int64) "remainder" 2L (Cpu.get_gpr cpu Reg.RDX)
+
+let test_cpu_divide_by_zero_faults () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "div0" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm 17L));
+        emit b (Instr.Mov (Operand.reg Reg.RBX, Operand.imm 0L));
+        emit b (Instr.Idiv (Operand.reg Reg.RBX));
+        emit b Instr.Vmentry)
+  in
+  let r = run cpu p in
+  match r.Cpu.stop with
+  | Cpu.Hw_fault { exn = Hw_exception.DE; _ } -> ()
+  | s -> Alcotest.failf "expected #DE, got %a" Cpu.pp_stop s
+
+let test_cpu_unmapped_access_page_faults () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "wild" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RSI, Operand.imm 0xDEAD0000L));
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.mem Reg.RSI));
+        emit b Instr.Vmentry)
+  in
+  let r = run cpu p in
+  match r.Cpu.stop with
+  | Cpu.Hw_fault { exn = Hw_exception.PF; detail } ->
+      Alcotest.(check int64) "faulting address" 0xDEAD0000L detail
+  | s -> Alcotest.failf "expected #PF, got %a" Cpu.pp_stop s
+
+let test_cpu_jmp_table_dispatch () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "dispatch" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm 1L));
+        emit b (Instr.Jmp_table (Operand.reg Reg.RAX, [| "a"; "b" |]));
+        label b "a";
+        emit b (Instr.Mov (Operand.reg Reg.RBX, Operand.imm 100L));
+        emit b Instr.Vmentry;
+        label b "b";
+        emit b (Instr.Mov (Operand.reg Reg.RBX, Operand.imm 200L));
+        emit b Instr.Vmentry)
+  in
+  ignore (run cpu p);
+  Alcotest.(check int64) "dispatched to b" 200L (Cpu.get_gpr cpu Reg.RBX)
+
+let test_cpu_jmp_table_out_of_range_gp () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "dispatch-bad" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm 99L));
+        emit b (Instr.Jmp_table (Operand.reg Reg.RAX, [| "a" |]));
+        label b "a";
+        emit b Instr.Vmentry)
+  in
+  let r = run cpu p in
+  match r.Cpu.stop with
+  | Cpu.Hw_fault { exn = Hw_exception.GP; _ } -> ()
+  | s -> Alcotest.failf "expected #GP, got %a" Cpu.pp_stop s
+
+let test_cpu_cpuid_deterministic () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "cpuid" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm 1L));
+        emit b Instr.Cpuid;
+        emit b Instr.Vmentry)
+  in
+  ignore (run cpu p);
+  let a1 = Cpu.get_gpr cpu Reg.RAX and b1 = Cpu.get_gpr cpu Reg.RBX in
+  let cpu2 = fresh_cpu () in
+  ignore (run cpu2 p);
+  Alcotest.(check int64) "same rax" a1 (Cpu.get_gpr cpu2 Reg.RAX);
+  Alcotest.(check int64) "same rbx" b1 (Cpu.get_gpr cpu2 Reg.RBX)
+
+let test_cpu_rdtsc_monotonic () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "tsc" (fun b ->
+        let open Program.Asm in
+        emit b Instr.Rdtsc;
+        emit b (Instr.Mov (Operand.reg Reg.RBX, Operand.reg Reg.RAX));
+        emit b Instr.Rdtsc;
+        emit b Instr.Vmentry)
+  in
+  ignore (run cpu p);
+  let first = Cpu.get_gpr cpu Reg.RBX and second = Cpu.get_gpr cpu Reg.RAX in
+  Alcotest.(check bool) "tsc advanced" true (Int64.compare second first > 0)
+
+let test_cpu_out_of_fuel () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "spin" (fun b ->
+        let open Program.Asm in
+        label b "top";
+        emit b (Instr.Jmp "top"))
+  in
+  let r = run ~fuel:100 cpu p in
+  Alcotest.check stop_testable "watchdog" Cpu.Out_of_fuel r.Cpu.stop
+
+let test_cpu_hlt () =
+  let cpu = fresh_cpu () in
+  let p = prog "halt" (fun b -> Program.Asm.emit b (Instr.Hlt : string Instr.t)) in
+  let r = run cpu p in
+  Alcotest.check stop_testable "halted" Cpu.Halted r.Cpu.stop
+
+let test_cpu_entry_label () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "entries" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm 1L));
+        emit b Instr.Vmentry;
+        label b "alt";
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm 2L));
+        emit b Instr.Vmentry)
+  in
+  ignore (run ~entry:"alt" cpu p);
+  Alcotest.(check int64) "alternate entry" 2L (Cpu.get_gpr cpu Reg.RAX)
+
+(* --- Cpu: assertions ---------------------------------------------------------- *)
+
+let assert_range_instr ?(id = 1) lo hi src : string Instr.t =
+  Instr.Assert
+    {
+      Instr.assert_id = id;
+      assert_name = "test-range";
+      assert_src = src;
+      assert_kind = Instr.Assert_range (lo, hi);
+    }
+
+let test_cpu_assertion_pass () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "assert-ok" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm 5L));
+        emit b (assert_range_instr 0L 10L (Operand.reg Reg.RAX));
+        emit b Instr.Vmentry)
+  in
+  let r = run cpu p in
+  Alcotest.check stop_testable "passes" Cpu.Vm_entry r.Cpu.stop
+
+let test_cpu_assertion_violation_detected () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "assert-bad" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm 50L));
+        emit b (assert_range_instr 0L 10L (Operand.reg Reg.RAX));
+        emit b Instr.Vmentry)
+  in
+  let r = run cpu p in
+  match r.Cpu.stop with
+  | Cpu.Assertion_failure { observed; _ } ->
+      Alcotest.(check int64) "observed value" 50L observed
+  | s -> Alcotest.failf "expected assertion failure, got %a" Cpu.pp_stop s
+
+let test_cpu_assertion_disabled_is_silent () =
+  let cpu = fresh_cpu () in
+  Cpu.set_assertions_enabled cpu false;
+  let p =
+    prog "assert-off" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm 50L));
+        emit b (assert_range_instr 0L 10L (Operand.reg Reg.RAX));
+        emit b Instr.Vmentry)
+  in
+  let r = run cpu p in
+  Alcotest.check stop_testable "no detection when disabled" Cpu.Vm_entry
+    r.Cpu.stop
+
+let test_cpu_assertion_kinds () =
+  let kinds =
+    [
+      (Instr.Assert_nonzero, 1L, true);
+      (Instr.Assert_nonzero, 0L, false);
+      (Instr.Assert_zero, 0L, true);
+      (Instr.Assert_zero, 3L, false);
+      (Instr.Assert_equals 7L, 7L, true);
+      (Instr.Assert_equals 7L, 8L, false);
+      (Instr.Assert_aligned 3, 16L, true);
+      (Instr.Assert_aligned 3, 12L, false);
+    ]
+  in
+  List.iteri
+    (fun i (kind, value, should_pass) ->
+      let cpu = fresh_cpu () in
+      let p =
+        prog "assert-kind" (fun b ->
+            let open Program.Asm in
+            emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm value));
+            emit b
+              (Instr.Assert
+                 {
+                   Instr.assert_id = 100 + i;
+                   assert_name = "kind";
+                   assert_src = Operand.reg Reg.RAX;
+                   assert_kind = kind;
+                 });
+            emit b Instr.Vmentry)
+      in
+      let r = run cpu p in
+      let passed = r.Cpu.stop = Cpu.Vm_entry in
+      Alcotest.(check bool) (Printf.sprintf "kind case %d" i) should_pass passed)
+    kinds
+
+(* --- Cpu: fault injection & activation tracking ------------------------------- *)
+
+let straightline_prog n =
+  prog "straight" (fun b ->
+      let open Program.Asm in
+      for i = 1 to n do
+        emit b (Instr.Mov (Operand.reg Reg.RBX, Operand.imm (Int64.of_int i)))
+      done;
+      emit b Instr.Vmentry)
+
+let test_inject_overwritten_not_activated () =
+  let cpu = fresh_cpu () in
+  (* RBX is overwritten by every instruction; injecting into it before
+     a write means the fault is never activated. *)
+  let inject =
+    { Cpu.inj_target = Reg.Gpr Reg.RBX; inj_bit = 5; inj_step = 2 }
+  in
+  let r = run ~inject cpu (straightline_prog 6) in
+  (match r.Cpu.activation with
+  | Some { fate = Cpu.Overwritten _; _ } -> ()
+  | Some { fate = f; _ } ->
+      Alcotest.failf "expected Overwritten, got %s"
+        (match f with
+        | Cpu.Activated _ -> "Activated"
+        | Cpu.Never_touched -> "Never_touched"
+        | Cpu.Overwritten _ -> "Overwritten")
+  | None -> Alcotest.fail "no activation report");
+  Alcotest.check stop_testable "run unaffected" Cpu.Vm_entry r.Cpu.stop
+
+let test_inject_read_activates () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "reader" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm 1L));
+        emit b (Instr.Alu (Instr.Add, Operand.reg Reg.RBX, Operand.reg Reg.RAX));
+        emit b Instr.Vmentry)
+  in
+  let inject = { Cpu.inj_target = Reg.Gpr Reg.RAX; inj_bit = 3; inj_step = 1 } in
+  let r = run ~inject cpu p in
+  (match r.Cpu.activation with
+  | Some { fate = Cpu.Activated step; _ } ->
+      Alcotest.(check int) "activated at add" 1 step
+  | _ -> Alcotest.fail "expected activation");
+  (* 1 xor 8 = 9 *)
+  Alcotest.(check int64) "corrupted value propagated" 9L (Cpu.get_gpr cpu Reg.RBX)
+
+let test_inject_rip_faults () =
+  let cpu = fresh_cpu () in
+  (* Flipping a high bit of RIP sends the fetch far outside the code
+     region: #PF on the next fetch. *)
+  let inject = { Cpu.inj_target = Reg.Rip; inj_bit = 40; inj_step = 2 } in
+  let r = run ~inject cpu (straightline_prog 8) in
+  (match r.Cpu.stop with
+  | Cpu.Hw_fault { exn = Hw_exception.PF; _ } -> ()
+  | s -> Alcotest.failf "expected #PF from corrupted RIP, got %a" Cpu.pp_stop s);
+  match r.Cpu.activation with
+  | Some { fate = Cpu.Activated _; _ } -> ()
+  | _ -> Alcotest.fail "RIP fault should activate at next fetch"
+
+let test_inject_rip_low_bit_misaligned_ud () =
+  let cpu = fresh_cpu () in
+  (* Bit 1 misaligns RIP within the 8-byte instruction slots: #UD. *)
+  let inject = { Cpu.inj_target = Reg.Rip; inj_bit = 1; inj_step = 2 } in
+  let r = run ~inject cpu (straightline_prog 8) in
+  match r.Cpu.stop with
+  | Cpu.Hw_fault { exn = Hw_exception.UD; _ } -> ()
+  | s -> Alcotest.failf "expected #UD, got %a" Cpu.pp_stop s
+
+let test_inject_rip_slot_bit_lands_elsewhere () =
+  let cpu = fresh_cpu () in
+  (* Bit 3 = one instruction slot: execution continues at the wrong but
+     valid instruction — incorrect control flow with no exception. *)
+  let inject = { Cpu.inj_target = Reg.Rip; inj_bit = 3; inj_step = 2 } in
+  let r = run ~inject cpu (straightline_prog 8) in
+  Alcotest.check stop_testable "silent wrong-path run" Cpu.Vm_entry r.Cpu.stop
+
+let test_inject_loop_counter_changes_counts () =
+  let loop_prog =
+    prog "loop" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RCX, Operand.imm 8L));
+        label b "top";
+        emit b (Instr.Dec (Operand.reg Reg.RCX));
+        emit b (Instr.Jcc (Cond.NE, "top"));
+        emit b Instr.Vmentry)
+  in
+  let golden = run (fresh_cpu ()) loop_prog in
+  let inject = { Cpu.inj_target = Reg.Gpr Reg.RCX; inj_bit = 2; inj_step = 1 } in
+  let faulted = run ~inject (fresh_cpu ()) loop_prog in
+  Alcotest.(check bool) "retired count differs" true
+    (golden.Cpu.final_pmu.Pmu.inst <> faulted.Cpu.final_pmu.Pmu.inst)
+
+let test_inject_never_reached () =
+  let cpu = fresh_cpu () in
+  let inject =
+    { Cpu.inj_target = Reg.Gpr Reg.RAX; inj_bit = 0; inj_step = 10_000 }
+  in
+  let r = run ~inject cpu (straightline_prog 3) in
+  match r.Cpu.activation with
+  | Some { fate = Cpu.Never_touched; _ } -> ()
+  | _ -> Alcotest.fail "expected Never_touched when step is beyond the run"
+
+let test_detection_latency () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "latency" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RSI, Operand.imm data_base));
+        (* Some filler, then a load through RSI. *)
+        emit b (Instr.Mov (Operand.reg Reg.RBX, Operand.imm 0L));
+        emit b (Instr.Mov (Operand.reg Reg.RBX, Operand.imm 0L));
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.mem Reg.RSI));
+        emit b Instr.Vmentry)
+  in
+  (* Corrupt RSI's high bit after instruction 1; activation happens at
+     the load (step 3), the #PF fires there too: latency 0. *)
+  let inject = { Cpu.inj_target = Reg.Gpr Reg.RSI; inj_bit = 45; inj_step = 1 } in
+  let r = run ~inject cpu p in
+  (match r.Cpu.stop with
+  | Cpu.Hw_fault { exn = Hw_exception.PF; _ } -> ()
+  | s -> Alcotest.failf "expected #PF, got %a" Cpu.pp_stop s);
+  match Cpu.detection_latency r with
+  | Some lat -> Alcotest.(check bool) "small latency" true (lat <= 1)
+  | None -> Alcotest.fail "expected a latency"
+
+let test_flip_register_bit_direct () =
+  let cpu = fresh_cpu () in
+  Cpu.set_gpr cpu Reg.R9 0L;
+  Cpu.flip_register_bit cpu (Reg.Gpr Reg.R9) 4;
+  Alcotest.(check int64) "bit set" 16L (Cpu.get_gpr cpu Reg.R9);
+  Cpu.flip_register_bit cpu (Reg.Gpr Reg.R9) 4;
+  Alcotest.(check int64) "bit cleared" 0L (Cpu.get_gpr cpu Reg.R9)
+
+let test_memory_zero_size_map () =
+  let m = Memory.create () in
+  Memory.map_region m ~addr:0x1000L ~size:0;
+  Alcotest.(check bool) "nothing mapped" false (Memory.is_mapped m 0x1000L)
+
+let test_memory_negative_size_rejected () =
+  let m = Memory.create () in
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Memory.map_region: negative size") (fun () ->
+      Memory.map_region m ~addr:0x1000L ~size:(-1))
+
+let test_cpu_rep_with_zero_count () =
+  (* rep with RCX = 0 copies nothing and continues cleanly. *)
+  let cpu = fresh_cpu () in
+  let p =
+    prog "rep0" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RCX, Operand.imm 0L));
+        emit b (Instr.Mov (Operand.reg Reg.RSI, Operand.imm data_base));
+        emit b (Instr.Mov (Operand.reg Reg.RDI, Operand.imm (Int64.add data_base 64L)));
+        emit b Instr.Rep_movsq;
+        emit b Instr.Vmentry)
+  in
+  let r = run cpu p in
+  Alcotest.check stop_testable "clean" Cpu.Vm_entry r.Cpu.stop;
+  Alcotest.(check int) "no element traffic" 0 r.Cpu.final_pmu.Pmu.loads
+
+let test_cpu_ud2_raises_invalid_opcode () =
+  let cpu = fresh_cpu () in
+  let p = prog "bug" (fun b -> Program.Asm.emit b (Instr.Ud2 : string Instr.t)) in
+  let r = run cpu p in
+  match r.Cpu.stop with
+  | Cpu.Hw_fault { exn = Hw_exception.UD; _ } -> ()
+  | s -> Alcotest.failf "expected #UD, got %a" Cpu.pp_stop s
+
+let test_cpu_bit_ops () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "bits" (fun b ->
+        let open Program.Asm in
+        (* bts on a memory bitmap with a bit index beyond 64 selects
+           the right word (x86 bitstring addressing). *)
+        emit b (Instr.Mov (Operand.reg Reg.RSI, Operand.imm data_base));
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm 70L));
+        emit b (Instr.Bts (Operand.mem Reg.RSI, Operand.reg Reg.RAX));
+        emit b (Instr.Bt (Operand.mem Reg.RSI, Operand.reg Reg.RAX));
+        (* CF must now be set: record it via a conditional move path. *)
+        emit b (Instr.Mov (Operand.reg Reg.RBX, Operand.imm 0L));
+        emit b (Instr.Jcc (Cond.AE, "done"));
+        emit b (Instr.Mov (Operand.reg Reg.RBX, Operand.imm 1L));
+        label b "done";
+        emit b Instr.Vmentry)
+  in
+  let r = run cpu p in
+  Alcotest.check stop_testable "clean" Cpu.Vm_entry r.Cpu.stop;
+  Alcotest.(check int64) "bit 70 observed set" 1L (Cpu.get_gpr cpu Reg.RBX);
+  (* Word 1 (bits 64..127) holds bit 6. *)
+  Alcotest.(check int64) "stored in second word" 64L
+    (Memory.load64 (Cpu.memory cpu) (Int64.add data_base 8L))
+
+let test_cpu_shift_var () =
+  let cpu = fresh_cpu () in
+  let p =
+    prog "shlx" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Mov (Operand.reg Reg.RAX, Operand.imm 1L));
+        emit b (Instr.Mov (Operand.reg Reg.RCX, Operand.imm 12L));
+        emit b (Instr.Shift_var (Instr.Shl, Operand.reg Reg.RAX, Reg.RCX));
+        emit b Instr.Vmentry)
+  in
+  ignore (run cpu p);
+  Alcotest.(check int64) "1 << 12" 4096L (Cpu.get_gpr cpu Reg.RAX)
+
+(* --- Trace ------------------------------------------------------------------- *)
+
+let test_trace_records_instructions () =
+  let cpu = fresh_cpu () in
+  let trace = Trace.create ~capacity:128 () in
+  let p = straightline_prog 5 in
+  ignore
+    (Cpu.run cpu ~program:p ~code_base ~on_step:(Trace.hook trace) ());
+  (* 5 movs + vmentry *)
+  Alcotest.(check int) "all instructions seen" 6 (Trace.total trace);
+  Alcotest.(check int) "window holds them" 6 (Trace.length trace);
+  let steps = List.map (fun e -> e.Trace.step) (Trace.entries trace) in
+  Alcotest.(check (list int)) "oldest first" [ 0; 1; 2; 3; 4; 5 ] steps
+
+let test_trace_ring_keeps_tail () =
+  let cpu = fresh_cpu () in
+  let trace = Trace.create ~capacity:4 () in
+  ignore
+    (Cpu.run cpu ~program:(straightline_prog 10) ~code_base
+       ~on_step:(Trace.hook trace) ());
+  Alcotest.(check int) "total counts everything" 11 (Trace.total trace);
+  Alcotest.(check int) "window capped" 4 (Trace.length trace);
+  match Trace.entries trace with
+  | first :: _ -> Alcotest.(check int) "window is the tail" 7 first.Trace.step
+  | [] -> Alcotest.fail "empty window"
+
+let test_trace_diff_point_finds_divergence () =
+  let p =
+    prog "branchy" (fun b ->
+        let open Program.Asm in
+        emit b (Instr.Test (Operand.reg Reg.RAX, Operand.reg Reg.RAX));
+        emit b (Instr.Jcc (Cond.E, "zero"));
+        emit b (Instr.Mov (Operand.reg Reg.RBX, Operand.imm 1L));
+        emit b Instr.Vmentry;
+        label b "zero";
+        emit b (Instr.Mov (Operand.reg Reg.RBX, Operand.imm 2L));
+        emit b Instr.Vmentry)
+  in
+  let run_with rax =
+    let cpu = fresh_cpu () in
+    Cpu.set_gpr cpu Reg.RAX rax;
+    let trace = Trace.create () in
+    ignore (Cpu.run cpu ~program:p ~code_base ~on_step:(Trace.hook trace) ());
+    trace
+  in
+  let a = run_with 0L and b = run_with 1L in
+  Alcotest.(check (option int)) "diverges after the branch" (Some 2)
+    (Trace.diff_point a b);
+  let c = run_with 1L and d = run_with 1L in
+  Alcotest.(check (option int)) "identical runs do not diverge" None
+    (Trace.diff_point c d)
+
+let test_trace_clear () =
+  let trace = Trace.create () in
+  Trace.hook trace 0 (Instr.Nop : int Instr.t);
+  Trace.clear trace;
+  Alcotest.(check int) "cleared" 0 (Trace.length trace);
+  Alcotest.(check int) "total reset" 0 (Trace.total trace)
+
+(* --- qcheck ------------------------------------------------------------------ *)
+
+let prop_memory_roundtrip =
+  QCheck.Test.make ~name:"memory 64-bit roundtrip at any offset" ~count:200
+    QCheck.(pair int64 (int_range 0 4088))
+    (fun (v, off) ->
+      let m = Memory.create () in
+      Memory.map_region m ~addr:0x4000L ~size:8192;
+      let addr = Int64.add 0x4000L (Int64.of_int off) in
+      Memory.store64 m addr v;
+      Memory.load64 m addr = v)
+
+let prop_loop_iterations_match_counter =
+  QCheck.Test.make ~name:"loop retires 2 instructions per iteration" ~count:50
+    QCheck.(int_range 1 200)
+    (fun n ->
+      let cpu = fresh_cpu () in
+      let p =
+        prog "loopn" (fun b ->
+            let open Program.Asm in
+            emit b (Instr.Mov (Operand.reg Reg.RCX, Operand.imm (Int64.of_int n)));
+            label b "top";
+            emit b (Instr.Dec (Operand.reg Reg.RCX));
+            emit b (Instr.Jcc (Cond.NE, "top"));
+            emit b Instr.Vmentry)
+      in
+      let r = run ~fuel:10_000 cpu p in
+      r.Cpu.final_pmu.Pmu.inst = 2 + (2 * n))
+
+let prop_injection_preserves_or_detects =
+  QCheck.Test.make
+    ~name:"every injected run stops with a well-defined reason" ~count:200
+    QCheck.(triple (int_range 0 17) (int_range 0 63) (int_range 0 20))
+    (fun (reg_idx, bit, step) ->
+      let cpu = fresh_cpu () in
+      let target = Reg.all_arch.(reg_idx) in
+      let inject = { Cpu.inj_target = target; inj_bit = bit; inj_step = step } in
+      let r = run ~fuel:5_000 ~inject cpu (straightline_prog 16) in
+      match r.Cpu.stop with
+      | Cpu.Vm_entry | Cpu.Hw_fault _ | Cpu.Assertion_failure _ | Cpu.Halted
+      | Cpu.Out_of_fuel ->
+          r.Cpu.activation <> None)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_memory_roundtrip;
+        prop_loop_iterations_match_counter;
+        prop_injection_preserves_or_detects;
+      ]
+  in
+  Alcotest.run "xentry_machine"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_memory_roundtrip_64;
+          Alcotest.test_case "unaligned cross-page" `Quick
+            test_memory_unaligned_crosspage;
+          Alcotest.test_case "fault unmapped" `Quick test_memory_fault_unmapped;
+          Alcotest.test_case "fault partial word" `Quick
+            test_memory_fault_partial_word;
+          Alcotest.test_case "map idempotent" `Quick test_memory_map_idempotent;
+          Alcotest.test_case "unmap" `Quick test_memory_unmap;
+          Alcotest.test_case "copy independent" `Quick test_memory_copy_independent;
+          Alcotest.test_case "first difference" `Quick test_memory_first_difference;
+          Alcotest.test_case "mapped vs unmapped differ" `Quick
+            test_memory_region_equal_unmapped_vs_mapped;
+        ] );
+      ( "hw_exception",
+        [
+          Alcotest.test_case "19 vectors" `Quick test_hw_exception_19_vectors;
+          Alcotest.test_case "vector roundtrip" `Quick
+            test_hw_exception_vector_roundtrip;
+          Alcotest.test_case "vector 15 reserved" `Quick
+            test_hw_exception_vector_15_reserved;
+        ] );
+      ( "pmu",
+        [
+          Alcotest.test_case "disabled ignores" `Quick test_pmu_disabled_ignores;
+          Alcotest.test_case "enable counts" `Quick test_pmu_enable_counts;
+          Alcotest.test_case "enable zeroes" `Quick test_pmu_enable_zeroes;
+          Alcotest.test_case "snapshot" `Quick test_pmu_snapshot;
+        ] );
+      ( "cpu-exec",
+        [
+          Alcotest.test_case "mov/add" `Quick test_cpu_mov_add;
+          Alcotest.test_case "memory ops" `Quick test_cpu_memory_ops;
+          Alcotest.test_case "loop branch counting" `Quick
+            test_cpu_loop_branch_counting;
+          Alcotest.test_case "call/ret" `Quick test_cpu_call_ret;
+          Alcotest.test_case "push/pop" `Quick test_cpu_push_pop;
+          Alcotest.test_case "rep movsq" `Quick test_cpu_rep_movsq;
+          Alcotest.test_case "idiv" `Quick test_cpu_idiv;
+          Alcotest.test_case "divide by zero" `Quick test_cpu_divide_by_zero_faults;
+          Alcotest.test_case "unmapped access" `Quick
+            test_cpu_unmapped_access_page_faults;
+          Alcotest.test_case "jmp table dispatch" `Quick test_cpu_jmp_table_dispatch;
+          Alcotest.test_case "jmp table out of range" `Quick
+            test_cpu_jmp_table_out_of_range_gp;
+          Alcotest.test_case "cpuid deterministic" `Quick
+            test_cpu_cpuid_deterministic;
+          Alcotest.test_case "rdtsc monotonic" `Quick test_cpu_rdtsc_monotonic;
+          Alcotest.test_case "out of fuel" `Quick test_cpu_out_of_fuel;
+          Alcotest.test_case "hlt" `Quick test_cpu_hlt;
+          Alcotest.test_case "entry label" `Quick test_cpu_entry_label;
+        ] );
+      ( "cpu-assertions",
+        [
+          Alcotest.test_case "pass" `Quick test_cpu_assertion_pass;
+          Alcotest.test_case "violation detected" `Quick
+            test_cpu_assertion_violation_detected;
+          Alcotest.test_case "disabled is silent" `Quick
+            test_cpu_assertion_disabled_is_silent;
+          Alcotest.test_case "all kinds" `Quick test_cpu_assertion_kinds;
+        ] );
+      ( "machine-edges",
+        [
+          Alcotest.test_case "zero-size map" `Quick test_memory_zero_size_map;
+          Alcotest.test_case "negative size" `Quick test_memory_negative_size_rejected;
+          Alcotest.test_case "rep zero count" `Quick test_cpu_rep_with_zero_count;
+          Alcotest.test_case "ud2" `Quick test_cpu_ud2_raises_invalid_opcode;
+          Alcotest.test_case "bit ops" `Quick test_cpu_bit_ops;
+          Alcotest.test_case "variable shift" `Quick test_cpu_shift_var;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records" `Quick test_trace_records_instructions;
+          Alcotest.test_case "ring tail" `Quick test_trace_ring_keeps_tail;
+          Alcotest.test_case "diff point" `Quick test_trace_diff_point_finds_divergence;
+          Alcotest.test_case "clear" `Quick test_trace_clear;
+        ] );
+      ( "cpu-injection",
+        [
+          Alcotest.test_case "overwritten not activated" `Quick
+            test_inject_overwritten_not_activated;
+          Alcotest.test_case "read activates" `Quick test_inject_read_activates;
+          Alcotest.test_case "rip high bit faults" `Quick test_inject_rip_faults;
+          Alcotest.test_case "rip misalignment #UD" `Quick
+            test_inject_rip_low_bit_misaligned_ud;
+          Alcotest.test_case "rip slot bit silent" `Quick
+            test_inject_rip_slot_bit_lands_elsewhere;
+          Alcotest.test_case "loop counter perturbs counts" `Quick
+            test_inject_loop_counter_changes_counts;
+          Alcotest.test_case "never reached" `Quick test_inject_never_reached;
+          Alcotest.test_case "detection latency" `Quick test_detection_latency;
+          Alcotest.test_case "flip direct" `Quick test_flip_register_bit_direct;
+        ] );
+      ("properties", qsuite);
+    ]

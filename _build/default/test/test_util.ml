@@ -1,0 +1,428 @@
+(* Tests for Xentry_util: RNG, bit manipulation, statistics, report
+   rendering. *)
+
+open Xentry_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Substring search used to sanity-check rendered reports. *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- Rng ---------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.copy a in
+  let x = Rng.next_int64 a in
+  let y = Rng.next_int64 b in
+  Alcotest.(check int64) "copy continues from same state" x y;
+  ignore (Rng.next_int64 a);
+  (* advancing [a] further must not affect [b] *)
+  let a' = Rng.next_int64 a and b' = Rng.next_int64 b in
+  Alcotest.(check bool) "streams diverge after extra draw" true (a' <> b')
+
+let test_rng_split_independent () =
+  let a = Rng.create 13 in
+  let b = Rng.split a in
+  let xs = Array.init 10 (fun _ -> Rng.next_int64 a) in
+  let ys = Array.init 10 (fun _ -> Rng.next_int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_invalid () =
+  let r = Rng.create 5 in
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_rng_int_in () =
+  let r = Rng.create 6 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r (-3) 4 in
+    Alcotest.(check bool) "in [-3,4]" true (v >= -3 && v <= 4)
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_bernoulli_extremes () =
+  let r = Rng.create 11 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never true" false (Rng.bernoulli r 0.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always true" true (Rng.bernoulli r 1.0)
+  done
+
+let test_rng_bernoulli_rate () =
+  let r = Rng.create 12 in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (abs_float (rate -. 0.3) < 0.02)
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create 21 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian r ~mu:5.0 ~sigma:2.0) in
+  let m = Stats.mean xs in
+  let s = Stats.stddev xs in
+  Alcotest.(check bool) "mean near 5" true (abs_float (m -. 5.0) < 0.05);
+  Alcotest.(check bool) "stddev near 2" true (abs_float (s -. 2.0) < 0.05)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 22 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Rng.exponential r ~rate:2.0) in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (m -. 0.5) < 0.02)
+
+let test_rng_choice () =
+  let r = Rng.create 31 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    let v = Rng.choice r a in
+    Alcotest.(check bool) "member" true (Array.mem v a)
+  done
+
+let test_rng_weighted_choice () =
+  let r = Rng.create 32 in
+  let items = [| ("a", 1.0); ("b", 0.0); ("c", 3.0) |] in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.weighted_choice r items in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  Alcotest.(check bool) "zero weight never chosen" true
+    (not (Hashtbl.mem counts "b"));
+  let a = float_of_int (Hashtbl.find counts "a") in
+  let c = float_of_int (Hashtbl.find counts "c") in
+  Alcotest.(check bool) "c ~3x a" true (c /. a > 2.5 && c /. a < 3.6)
+
+let test_rng_weighted_choice_invalid () =
+  let r = Rng.create 33 in
+  Alcotest.check_raises "all-zero weights rejected"
+    (Invalid_argument "Rng.weighted_choice: zero total weight") (fun () ->
+      ignore (Rng.weighted_choice r [| ("a", 0.0) |]))
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 41 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_rng_sample_without_replacement () =
+  let r = Rng.create 43 in
+  let s = Rng.sample_without_replacement r 10 100 in
+  Alcotest.(check int) "ten draws" 10 (Array.length s);
+  let distinct = List.sort_uniq compare (Array.to_list s) in
+  Alcotest.(check int) "all distinct" 10 (List.length distinct);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 100))
+    s
+
+(* --- Bits ---------------------------------------------------------------- *)
+
+let test_bits_flip_involution () =
+  let w = 0x123456789ABCDEFL in
+  for i = 0 to 63 do
+    Alcotest.(check int64) "double flip restores" w Bits.(flip (flip w i) i)
+  done
+
+let test_bits_flip_changes_one_bit () =
+  let w = 0xFF00FF00FF00FF0L in
+  for i = 0 to 63 do
+    Alcotest.(check int) "hamming 1" 1 (Bits.hamming w (Bits.flip w i))
+  done
+
+let test_bits_test_set_clear () =
+  let w = 0L in
+  let w = Bits.set w 5 in
+  Alcotest.(check bool) "bit 5 set" true (Bits.test w 5);
+  Alcotest.(check bool) "bit 6 clear" false (Bits.test w 6);
+  let w = Bits.clear w 5 in
+  Alcotest.(check int64) "cleared" 0L w
+
+let test_bits_popcount () =
+  Alcotest.(check int) "zero" 0 (Bits.popcount 0L);
+  Alcotest.(check int) "all ones" 64 (Bits.popcount (-1L));
+  Alcotest.(check int) "0xF0" 4 (Bits.popcount 0xF0L)
+
+let test_bits_low_bits () =
+  Alcotest.(check int64) "low 8" 0xCDL (Bits.low_bits 0xABCDL 8);
+  Alcotest.(check int64) "width 0" 0L (Bits.low_bits (-1L) 0);
+  Alcotest.(check int64) "width 64 identity" (-1L) (Bits.low_bits (-1L) 64)
+
+let test_bits_bounds () =
+  Alcotest.check_raises "bit 64 rejected"
+    (Invalid_argument "Bits: bit index out of [0, 63]") (fun () ->
+      ignore (Bits.flip 0L 64))
+
+let test_bits_to_hex () =
+  Alcotest.(check string) "padded" "00000000000000ff" (Bits.to_hex 0xFFL)
+
+(* --- Stats ---------------------------------------------------------------- *)
+
+let test_stats_mean_stddev () =
+  check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  check_float "empty mean" 0.0 (Stats.mean [||]);
+  check_float "stddev" (sqrt (2.0 /. 3.0)) (Stats.stddev [| 1.0; 2.0; 3.0 |])
+
+let test_stats_quantile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "q0" 1.0 (Stats.quantile xs 0.0);
+  check_float "q1" 5.0 (Stats.quantile xs 1.0);
+  check_float "median" 3.0 (Stats.median xs);
+  check_float "q25" 2.0 (Stats.quantile xs 0.25);
+  (* interpolation *)
+  check_float "interp" 1.5 (Stats.quantile [| 1.0; 2.0 |] 0.5)
+
+let test_stats_quantile_unsorted () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  check_float "median of unsorted" 3.0 (Stats.median xs)
+
+let test_stats_box_summary () =
+  let xs = Array.init 101 (fun i -> float_of_int i) in
+  let b = Stats.box_summary xs in
+  check_float "min" 0.0 b.Stats.bmin;
+  check_float "q1" 25.0 b.Stats.q1;
+  check_float "median" 50.0 b.Stats.bmedian;
+  check_float "q3" 75.0 b.Stats.q3;
+  check_float "max" 100.0 b.Stats.bmax
+
+let test_stats_cdf () =
+  let c = Stats.cdf_of_samples [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "below all" 0.0 (Stats.cdf_eval c 0.5);
+  check_float "half" 0.5 (Stats.cdf_eval c 2.0);
+  check_float "above all" 1.0 (Stats.cdf_eval c 10.0);
+  check_float "inverse 0.5" 2.0 (Stats.cdf_inverse c 0.5);
+  check_float "inverse 1.0" 4.0 (Stats.cdf_inverse c 1.0)
+
+let test_stats_cdf_points_monotone () =
+  let c = Stats.cdf_of_samples [| 3.0; 1.0; 2.0; 2.0 |] in
+  let pts = Stats.cdf_points c in
+  Array.iteri
+    (fun i (x, f) ->
+      if i > 0 then begin
+        let px, pf = pts.(i - 1) in
+        Alcotest.(check bool) "x nondecreasing" true (x >= px);
+        Alcotest.(check bool) "f nondecreasing" true (f >= pf)
+      end)
+    pts;
+  check_float "last fraction is 1" 1.0 (snd pts.(Array.length pts - 1))
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:4 [| 0.0; 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check int) "bins" 4 (Array.length h.Stats.counts);
+  Alcotest.(check int) "total preserved" 5
+    (Array.fold_left ( + ) 0 h.Stats.counts);
+  Alcotest.(check int) "edges" 5 (Array.length h.Stats.edges)
+
+let test_stats_percentage_breakdown () =
+  let pct = Stats.percentage_breakdown [ ("a", 1); ("b", 3) ] in
+  check_float "a" 25.0 (List.assoc "a" pct);
+  check_float "b" 75.0 (List.assoc "b" pct);
+  let zeros = Stats.percentage_breakdown [ ("a", 0) ] in
+  check_float "all zero input" 0.0 (List.assoc "a" zeros)
+
+(* --- Report --------------------------------------------------------------- *)
+
+let test_report_table () =
+  let s =
+    Report.table ~header:[ "name"; "value" ]
+      ~rows:[ [ "alpha"; "1" ]; [ "b" ] ]
+  in
+  Alcotest.(check bool) "contains header" true (contains s "name");
+  Alcotest.(check bool) "contains row" true (contains s "alpha")
+
+let test_report_bar_chart () =
+  let s = Report.bar_chart [ ("x", 1.0); ("y", 2.0) ] in
+  Alcotest.(check bool) "y bar longer than x bar" true
+    (String.length s > 0 && contains s "##")
+
+let test_report_percent () =
+  Alcotest.(check string) "ten plus" "12.3%" (Report.percent 12.34);
+  Alcotest.(check bool) "small positive nonempty" true
+    (String.length (Report.percent 0.19) > 0)
+
+let test_report_box_plot_row () =
+  let b = Stats.box_summary [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let row = Report.box_plot_row ~width:40 ~lo:0.0 ~hi:6.0 b in
+  Alcotest.(check int) "width respected" 40 (String.length row);
+  Alcotest.(check bool) "has median marker" true
+    (String.contains row '@')
+
+let test_report_cdf_plot () =
+  let pts = [| (0.0, 0.1); (50.0, 0.5); (100.0, 1.0) |] in
+  let s = Report.cdf_plot ~width:30 ~height:8 [ ("series", pts) ] in
+  Alcotest.(check bool) "mentions series" true (contains s "series")
+
+let test_stats_histogram_single_value () =
+  (* Degenerate sample: all mass in one bin, no division by zero. *)
+  let h = Stats.histogram ~bins:4 [| 5.0; 5.0; 5.0 |] in
+  Alcotest.(check int) "total preserved" 3 (Array.fold_left ( + ) 0 h.Stats.counts)
+
+let test_stats_quantile_invalid () =
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Stats.quantile: q outside [0, 1]") (fun () ->
+      ignore (Stats.quantile [| 1.0 |] 1.5));
+  Alcotest.check_raises "empty sample"
+    (Invalid_argument "Stats.quantile: empty sample") (fun () ->
+      ignore (Stats.quantile [||] 0.5))
+
+let test_rng_int_in_invalid () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Rng.int_in: hi < lo")
+    (fun () -> ignore (Rng.int_in r 5 4))
+
+let test_report_grouped_bars_alignment () =
+  let s =
+    Report.grouped_bars ~series_names:[ "a"; "b" ]
+      [ ("cat", [ 1.0; 2.0 ]) ]
+  in
+  Alcotest.(check bool) "both series rendered" true
+    (contains s "a" && contains s "b")
+
+let test_report_table_pads_short_rows () =
+  let s = Report.table ~header:[ "x"; "y"; "z" ] ~rows:[ [ "1" ] ] in
+  Alcotest.(check bool) "renders without exception" true (String.length s > 0)
+
+(* --- qcheck properties --------------------------------------------------- *)
+
+let prop_quantile_within_range =
+  QCheck.Test.make ~name:"quantile stays within sample range" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 40) (float_range (-1000.) 1000.)) (float_range 0.0 1.0))
+    (fun (xs, q) ->
+      let xs = Array.of_list xs in
+      let v = Stats.quantile xs q in
+      v >= Stats.minimum xs -. 1e-9 && v <= Stats.maximum xs +. 1e-9)
+
+let prop_flip_is_involution =
+  QCheck.Test.make ~name:"bit flip is an involution" ~count:500
+    QCheck.(pair int64 (int_range 0 63))
+    (fun (w, i) -> Bits.(flip (flip w i) i) = w)
+
+let prop_cdf_eval_monotone =
+  QCheck.Test.make ~name:"cdf_eval is monotone" ~count:200
+    QCheck.(triple (list_of_size Gen.(int_range 1 30) (float_range (-100.) 100.)) (float_range (-200.) 200.) (float_range 0.0 50.0))
+    (fun (xs, x, dx) ->
+      let c = Stats.cdf_of_samples (Array.of_list xs) in
+      Stats.cdf_eval c x <= Stats.cdf_eval c (x +. dx))
+
+let prop_sample_without_replacement_distinct =
+  QCheck.Test.make ~name:"sample without replacement yields distinct values"
+    ~count:200
+    QCheck.(pair small_nat small_nat)
+    (fun (k, extra) ->
+      let n = k + extra + 1 in
+      let r = Rng.create (k + (extra * 1000) + 17) in
+      let s = Rng.sample_without_replacement r k n in
+      List.length (List.sort_uniq compare (Array.to_list s)) = k)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_quantile_within_range;
+        prop_flip_is_involution;
+        prop_cdf_eval_monotone;
+        prop_sample_without_replacement_distinct;
+      ]
+  in
+  Alcotest.run "xentry_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy independence" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int invalid bound" `Quick test_rng_int_invalid;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Slow test_rng_bernoulli_rate;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+          Alcotest.test_case "choice membership" `Quick test_rng_choice;
+          Alcotest.test_case "weighted choice" `Slow test_rng_weighted_choice;
+          Alcotest.test_case "weighted choice invalid" `Quick
+            test_rng_weighted_choice_invalid;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample without replacement" `Quick
+            test_rng_sample_without_replacement;
+        ] );
+      ( "bits",
+        [
+          Alcotest.test_case "flip involution" `Quick test_bits_flip_involution;
+          Alcotest.test_case "flip hamming" `Quick test_bits_flip_changes_one_bit;
+          Alcotest.test_case "test/set/clear" `Quick test_bits_test_set_clear;
+          Alcotest.test_case "popcount" `Quick test_bits_popcount;
+          Alcotest.test_case "low_bits" `Quick test_bits_low_bits;
+          Alcotest.test_case "bounds" `Quick test_bits_bounds;
+          Alcotest.test_case "to_hex" `Quick test_bits_to_hex;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
+          Alcotest.test_case "quantile" `Quick test_stats_quantile;
+          Alcotest.test_case "quantile unsorted" `Quick test_stats_quantile_unsorted;
+          Alcotest.test_case "box summary" `Quick test_stats_box_summary;
+          Alcotest.test_case "cdf" `Quick test_stats_cdf;
+          Alcotest.test_case "cdf points monotone" `Quick
+            test_stats_cdf_points_monotone;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "percentage breakdown" `Quick
+            test_stats_percentage_breakdown;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "histogram single value" `Quick
+            test_stats_histogram_single_value;
+          Alcotest.test_case "quantile invalid" `Quick test_stats_quantile_invalid;
+          Alcotest.test_case "int_in invalid" `Quick test_rng_int_in_invalid;
+          Alcotest.test_case "grouped bars" `Quick test_report_grouped_bars_alignment;
+          Alcotest.test_case "table pads" `Quick test_report_table_pads_short_rows;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table" `Quick test_report_table;
+          Alcotest.test_case "bar chart" `Quick test_report_bar_chart;
+          Alcotest.test_case "percent" `Quick test_report_percent;
+          Alcotest.test_case "box plot row" `Quick test_report_box_plot_row;
+          Alcotest.test_case "cdf plot" `Quick test_report_cdf_plot;
+        ] );
+      ("properties", qsuite);
+    ]
