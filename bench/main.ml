@@ -3,10 +3,19 @@
    Fig 7, Fig 8, Fig 9, Fig 10, Table II, Fig 11), plus an ablation
    study and Bechamel micro-benchmarks of the pipeline kernels.
 
-   Usage:  dune exec bench/main.exe [-- EXPERIMENT]
+   Usage:  dune exec bench/main.exe [-- OPTION... EXPERIMENT...]
    where EXPERIMENT is one of: all fig3 table1 accuracy fig6 fig7 fig8
-   fig9 fig10 table2 fig11 ablation recovery hardening micro
+   fig9 fig10 table2 fig11 ablation recovery hardening speedup micro
    (default: all).
+
+   Options:
+     -j N, --jobs N   run campaigns on N worker domains (0 = the
+                      runtime's recommended count); default from
+                      XENTRY_JOBS, else 1.  Results are bit-identical
+                      for every N.
+     --json FILE      write per-experiment wall-clock timings and
+                      campaign sizes as JSON (perf trajectory for
+                      BENCH_*.json tracking).
 
    XENTRY_SCALE scales campaign sizes (default 1.0 = paper scale:
    23,400 training + 17,700 testing injections, 30,000 for the
@@ -22,12 +31,41 @@ open Xentry_faultinject
 
 let scale =
   match Sys.getenv_opt "XENTRY_SCALE" with
-  | Some s -> ( try max 0.01 (float_of_string s) with _ -> 1.0)
+  | Some s -> (
+      try
+        let v = float_of_string s in
+        if v > 0.0 then v else 1.0
+      with _ -> 1.0)
   | None -> 1.0
 
-let scaled n = max 60 (int_of_float (float_of_int n *. scale))
+(* Campaign sizes floor at one injection; when the floor bites, say so
+   rather than silently inflating a tiny XENTRY_SCALE smoke run. *)
+let scaled n =
+  let v = int_of_float (float_of_int n *. scale) in
+  if v < 1 then begin
+    Printf.eprintf
+      "[scale] %d x %.4f rounds to %d; clamping to 1 injection (smoke run)\n%!"
+      n scale v;
+    1
+  end
+  else v
+
 let print = print_string
 let printf = Printf.printf
+
+(* Worker domains for the campaign engine; set by -j/--jobs, seeded
+   from XENTRY_JOBS.  Parsed before any experiment runs, so the lazy
+   pipeline/campaign artifacts below see the final value. *)
+let jobs = ref (Pool.default_jobs ())
+let json_path : string option ref = ref None
+
+(* --json accumulators: per-phase and per-experiment wall clock plus
+   the campaign sizes behind them. *)
+let phase_timings : (string * float * int) list ref = ref []
+let experiment_timings : (string * float) list ref = ref []
+let speedup_result : (int * int * float * float * bool) option ref = ref None
+let record_phase name seconds injections =
+  phase_timings := (name, seconds, injections) :: !phase_timings
 
 let benchmarks = Array.to_list Profile.all_benchmarks
 
@@ -41,13 +79,17 @@ let trained =
   lazy
     (let train_injections = scaled 23_400 in
      let test_injections = scaled 17_700 in
-     printf "[pipeline] training detector: %d training + %d testing injections...\n%!"
-       train_injections test_injections;
+     printf
+       "[pipeline] training detector: %d training + %d testing injections (jobs %d)...\n%!"
+       train_injections test_injections !jobs;
      let t0 = Unix.gettimeofday () in
      let result =
-       Training.default_pipeline ~seed:2014 ~train_injections ~test_injections ()
+       Training.default_pipeline ~jobs:!jobs ~seed:2014 ~train_injections
+         ~test_injections ()
      in
-     printf "[pipeline] done in %.1fs\n%!" (Unix.gettimeofday () -. t0);
+     let dt = Unix.gettimeofday () -. t0 in
+     printf "[pipeline] done in %.1fs\n%!" dt;
+     record_phase "pipeline" dt (train_injections + test_injections);
      result)
 
 let detector = lazy (Training.detector (Lazy.force trained))
@@ -55,20 +97,22 @@ let detector = lazy (Training.detector (Lazy.force trained))
 let campaign_records =
   lazy
     (let per_benchmark = scaled (30_000 / 6) in
-     printf "[campaign] %d injections x %d benchmarks...\n%!" per_benchmark
-       (List.length benchmarks);
+     printf "[campaign] %d injections x %d benchmarks (jobs %d)...\n%!"
+       per_benchmark (List.length benchmarks) !jobs;
      let t0 = Unix.gettimeofday () in
      let det = Lazy.force detector in
      let records =
        List.mapi
          (fun i b ->
            ( b,
-             Campaign.run
+             Campaign.run ~jobs:!jobs
                (Campaign.default_config ~detector:det ~benchmark:b
                   ~injections:per_benchmark ~seed:(77 + (i * 1009)) ()) ))
          benchmarks
      in
-     printf "[campaign] done in %.1fs\n%!" (Unix.gettimeofday () -. t0);
+     let dt = Unix.gettimeofday () -. t0 in
+     printf "[campaign] done in %.1fs\n%!" dt;
+     record_phase "coverage-campaign" dt (per_benchmark * List.length benchmarks);
      records)
 
 let merged_summary =
@@ -592,7 +636,7 @@ let modes () =
           (fun b ->
             let s =
               Report.summarize
-                (Campaign.run
+                (Campaign.run ~jobs:!jobs
                    {
                      (Campaign.default_config ~detector:det ~benchmark:b
                         ~injections ~seed:91 ())
@@ -735,7 +779,7 @@ let hardening () =
   let injections = scaled 3_000 in
   let campaign hardened b =
     Report.summarize
-      (Campaign.run
+      (Campaign.run ~jobs:!jobs
          (Campaign.default_config ~hardened ~benchmark:b ~injections ~seed:5 ()))
   in
   let rows =
@@ -777,6 +821,38 @@ let hardening () =
      handlers.  Faults that strike before the first copy exists remain\n\
      irreducible, as the paper anticipates ('some of such errors may\n\
      be captured..., but not all').\n"
+
+(* ------------------------------------------------------------------ *)
+(* Speedup: the parallel campaign engine against its serial fallback   *)
+(* ------------------------------------------------------------------ *)
+
+let speedup () =
+  print (R.section "Parallel campaign engine: speedup and determinism");
+  let injections = scaled 2_000 in
+  let par_jobs = max 2 !jobs in
+  let config =
+    Campaign.default_config ~benchmark:Profile.Postmark ~injections ~seed:2014 ()
+  in
+  let timed j =
+    let t0 = Unix.gettimeofday () in
+    let records = Campaign.run ~jobs:j config in
+    (Unix.gettimeofday () -. t0, records)
+  in
+  let serial_s, serial_records = timed 1 in
+  let parallel_s, parallel_records = timed par_jobs in
+  let identical = serial_records = parallel_records in
+  let ratio = serial_s /. Float.max 1e-9 parallel_s in
+  printf "%d injections (%d shards of %d), postmark PV\n" injections
+    ((injections + Campaign.shard_size - 1) / Campaign.shard_size)
+    Campaign.shard_size;
+  printf "jobs=1   %.3fs\n" serial_s;
+  printf "jobs=%-3d %.3fs   speedup %.2fx\n" par_jobs parallel_s ratio;
+  printf "records bit-identical across jobs: %b\n" identical;
+  if par_jobs = 2 && !jobs < 2 then
+    printf "(pass -j N or set XENTRY_JOBS to sweep a wider worker count)\n";
+  record_phase "speedup-serial" serial_s injections;
+  record_phase "speedup-parallel" parallel_s injections;
+  speedup_result := Some (injections, par_jobs, serial_s, parallel_s, identical)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per table/figure               *)
@@ -905,25 +981,120 @@ let experiments =
     ("exposure", exposure);
     ("recovery", recovery);
     ("hardening", hardening);
+    ("speedup", speedup);
     ("micro", micro);
   ]
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: names when names <> [] -> names
-    | _ -> [ "all" ]
+(* --- machine-readable timing output ------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path =
+  match open_out path with
+  | exception Sys_error msg ->
+      Printf.eprintf "[json] cannot write %s: %s\n%!" path msg;
+      exit 1
+  | oc ->
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"scale\": %g,\n" scale;
+  out "  \"jobs\": %d,\n" !jobs;
+  out "  \"campaign_sizes\": {\n";
+  out "    \"train_injections\": %d,\n" (scaled 23_400);
+  out "    \"test_injections\": %d,\n" (scaled 17_700);
+  out "    \"coverage_injections\": %d,\n" (scaled (30_000 / 6) * 6);
+  out "    \"shard_size\": %d\n" Campaign.shard_size;
+  out "  },\n";
+  let entries fmt1 items =
+    List.iteri
+      (fun i item ->
+        fmt1 item;
+        if i < List.length items - 1 then out ",\n" else out "\n")
+      items
   in
+  out "  \"phases\": [\n";
+  entries
+    (fun (name, seconds, injections) ->
+      out "    {\"name\": \"%s\", \"seconds\": %.6f, \"injections\": %d}"
+        (json_escape name) seconds injections)
+    (List.rev !phase_timings);
+  out "  ],\n";
+  (match !speedup_result with
+  | Some (injections, par_jobs, serial_s, parallel_s, identical) ->
+      out
+        "  \"speedup\": {\"injections\": %d, \"jobs\": %d, \"serial_seconds\": \
+         %.6f, \"parallel_seconds\": %.6f, \"speedup\": %.3f, \"identical\": \
+         %b},\n"
+        injections par_jobs serial_s parallel_s
+        (serial_s /. Float.max 1e-9 parallel_s)
+        identical
+  | None -> ());
+  out "  \"experiments\": [\n";
+  entries
+    (fun (name, seconds) ->
+      out "    {\"name\": \"%s\", \"seconds\": %.6f}" (json_escape name) seconds)
+    (List.rev !experiment_timings);
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  printf "[json] wrote %s\n" path
+
+(* --- argument parsing --------------------------------------------- *)
+
+let usage () =
+  printf "usage: main.exe [-j N] [--json FILE] [EXPERIMENT...]\navailable: %s\n"
+    (String.concat ", " (List.map fst experiments))
+
+let parse_args () =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--jobs") :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some 0 -> jobs := Pool.recommended_jobs (); go acc rest
+        | Some j when j > 0 -> jobs := j; go acc rest
+        | _ ->
+            printf "invalid job count %S\n" v;
+            usage ();
+            exit 2)
+    | "--json" :: path :: rest -> json_path := Some path; go acc rest
+    | ("-h" | "--help") :: _ -> usage (); exit 0
+    | ("-j" | "--jobs" | "--json") :: [] ->
+        printf "missing value for final option\n";
+        usage ();
+        exit 2
+    | name :: rest -> go (name :: acc) rest
+  in
+  go [] (List.tl (Array.to_list Sys.argv))
+
+let () =
+  let requested = parse_args () in
+  let requested = if requested = [] then [ "all" ] else requested in
   let to_run =
     if List.mem "all" requested then List.map fst experiments else requested
   in
-  printf "Xentry benchmark harness (scale %.2f; set XENTRY_SCALE to adjust)\n"
-    scale;
+  printf
+    "Xentry benchmark harness (scale %.2f, jobs %d; set XENTRY_SCALE / -j to \
+     adjust)\n"
+    scale !jobs;
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          experiment_timings :=
+            (name, Unix.gettimeofday () -. t0) :: !experiment_timings
       | None ->
           printf "unknown experiment %S; available: %s\n" name
             (String.concat ", " (List.map fst experiments)))
-    to_run
+    to_run;
+  Option.iter write_json !json_path

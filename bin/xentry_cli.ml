@@ -61,6 +61,19 @@ let mode_arg =
 let seed_arg =
   Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
+let jobs_arg =
+  let doc =
+    "Worker domains for campaign execution (0 means the runtime's \
+     recommended count for this machine; default $(b,XENTRY_JOBS), else 1). \
+     Campaign results are bit-identical for every value."
+  in
+  Arg.(
+    value
+    & opt int (Xentry_util.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs j = if j <= 0 then Xentry_util.Pool.recommended_jobs () else j
+
 (* --- simulate ------------------------------------------------------------- *)
 
 let simulate benchmark mode exits seed =
@@ -102,19 +115,20 @@ let simulate_cmd =
 
 (* --- inject ------------------------------------------------------------------ *)
 
-let inject benchmark mode injections seed with_detector =
+let inject benchmark mode injections seed jobs with_detector =
+  let jobs = resolve_jobs jobs in
   let detector =
     if not with_detector then None
     else begin
       prerr_endline "training detector (use --no-detector to skip)...";
       let train =
-        Training.collect ~seed:(seed + 1) ~benchmarks:[ benchmark ] ~mode
+        Training.collect ~jobs ~seed:(seed + 1) ~benchmarks:[ benchmark ] ~mode
           ~injections_per_benchmark:(max 500 (injections / 2))
-          ~fault_free_per_benchmark:(max 200 (injections / 8))
+          ~fault_free_per_benchmark:(max 200 (injections / 8)) ()
       in
       let test =
-        Training.collect ~seed:(seed + 2) ~benchmarks:[ benchmark ] ~mode
-          ~injections_per_benchmark:300 ~fault_free_per_benchmark:100
+        Training.collect ~jobs ~seed:(seed + 2) ~benchmarks:[ benchmark ] ~mode
+          ~injections_per_benchmark:300 ~fault_free_per_benchmark:100 ()
       in
       Some (Training.detector (Training.train_and_evaluate ~train ~test ()))
     end
@@ -123,7 +137,7 @@ let inject benchmark mode injections seed with_detector =
     { (Campaign.default_config ?detector ~benchmark ~injections ~seed ()) with
       Campaign.mode }
   in
-  let summary = Report.summarize (Campaign.run config) in
+  let summary = Report.summarize (Campaign.run ~jobs config) in
   Printf.printf "injections: %d  activated: %d  manifested: %d  coverage: %.1f%%\n"
     summary.Report.total_injections summary.Report.activated
     summary.Report.manifested
@@ -153,13 +167,14 @@ let inject_cmd =
     (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
     Term.(
       const inject $ benchmark_arg $ mode_arg $ injections $ seed_arg
-      $ with_detector)
+      $ jobs_arg $ with_detector)
 
 (* --- train -------------------------------------------------------------------- *)
 
-let train train_injections test_injections seed show_rules =
+let train train_injections test_injections seed jobs show_rules =
   let trained =
-    Training.default_pipeline ~seed ~train_injections ~test_injections ()
+    Training.default_pipeline ~jobs:(resolve_jobs jobs) ~seed ~train_injections
+      ~test_injections ()
   in
   let open Xentry_mlearn in
   let corpus name (c : Training.corpus) =
@@ -203,7 +218,7 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Run the VM-transition detector training pipeline")
-    Term.(const train $ ti $ te $ seed_arg $ rules)
+    Term.(const train $ ti $ te $ seed_arg $ jobs_arg $ rules)
 
 (* --- handlers ------------------------------------------------------------------- *)
 
@@ -232,18 +247,19 @@ let handlers_cmd =
 
 (* --- export --------------------------------------------------------------------- *)
 
-let export arff_path c_path injections seed =
+let export arff_path c_path injections seed jobs =
+  let jobs = resolve_jobs jobs in
   let benchmarks = Array.to_list Profile.all_benchmarks in
   let n = List.length benchmarks in
   prerr_endline "collecting corpus and training the random tree...";
   let train =
-    Training.collect ~seed ~benchmarks ~mode:Profile.PV
+    Training.collect ~jobs ~seed ~benchmarks ~mode:Profile.PV
       ~injections_per_benchmark:(max 200 (injections / n))
-      ~fault_free_per_benchmark:(max 100 (injections / n / 4))
+      ~fault_free_per_benchmark:(max 100 (injections / n / 4)) ()
   in
   let test =
-    Training.collect ~seed:(seed + 1) ~benchmarks ~mode:Profile.PV
-      ~injections_per_benchmark:200 ~fault_free_per_benchmark:100
+    Training.collect ~jobs ~seed:(seed + 1) ~benchmarks ~mode:Profile.PV
+      ~injections_per_benchmark:200 ~fault_free_per_benchmark:100 ()
   in
   let trained = Training.train_and_evaluate ~train ~test () in
   (match arff_path with
@@ -284,7 +300,7 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Export the training corpus (WEKA ARFF) and the classifier (C)")
-    Term.(const export $ arff $ c $ injections $ seed_arg)
+    Term.(const export $ arff $ c $ injections $ seed_arg $ jobs_arg)
 
 (* --- features ------------------------------------------------------------------- *)
 

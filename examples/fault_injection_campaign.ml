@@ -20,13 +20,13 @@ let () =
     Training.collect ~seed:11
       ~benchmarks:[ Xentry_workload.Profile.Canneal; Xentry_workload.Profile.Postmark ]
       ~mode:Xentry_workload.Profile.PV ~injections_per_benchmark:1200
-      ~fault_free_per_benchmark:400
+      ~fault_free_per_benchmark:400 ()
   in
   let test =
     Training.collect ~seed:12
       ~benchmarks:[ Xentry_workload.Profile.Canneal ]
       ~mode:Xentry_workload.Profile.PV ~injections_per_benchmark:400
-      ~fault_free_per_benchmark:100
+      ~fault_free_per_benchmark:100 ()
   in
   let detector = Training.detector (Training.train_and_evaluate ~train ~test ()) in
   let records =

@@ -25,12 +25,12 @@ let () =
   let train =
     Training.collect ~seed:1 ~benchmarks:[ Profile.Postmark ]
       ~mode:Profile.PV ~injections_per_benchmark:800
-      ~fault_free_per_benchmark:300
+      ~fault_free_per_benchmark:300 ()
   in
   let test =
     Training.collect ~seed:2 ~benchmarks:[ Profile.Postmark ]
       ~mode:Profile.PV ~injections_per_benchmark:300
-      ~fault_free_per_benchmark:100
+      ~fault_free_per_benchmark:100 ()
   in
   let trained = Training.train_and_evaluate ~train ~test () in
   let detector = Training.detector trained in

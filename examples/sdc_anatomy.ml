@@ -133,12 +133,12 @@ let () =
   let train =
     Training.collect ~seed:21 ~benchmarks:[ Xentry_workload.Profile.Postmark ]
       ~mode:Xentry_workload.Profile.PV ~injections_per_benchmark:5000
-      ~fault_free_per_benchmark:1500
+      ~fault_free_per_benchmark:1500 ()
   in
   let test =
     Training.collect ~seed:22 ~benchmarks:[ Xentry_workload.Profile.Postmark ]
       ~mode:Xentry_workload.Profile.PV ~injections_per_benchmark:300
-      ~fault_free_per_benchmark:100
+      ~fault_free_per_benchmark:100 ()
   in
   let detector = Training.detector (Training.train_and_evaluate ~train ~test ()) in
   let check label req result =

@@ -17,11 +17,11 @@ let () =
   print_endline "collecting training corpus (fault injections + fault-free runs)...";
   let train =
     Training.collect ~seed:2014 ~benchmarks ~mode:Xentry_workload.Profile.PV
-      ~injections_per_benchmark:1500 ~fault_free_per_benchmark:400
+      ~injections_per_benchmark:1500 ~fault_free_per_benchmark:400 ()
   in
   let test =
     Training.collect ~seed:9 ~benchmarks ~mode:Xentry_workload.Profile.PV
-      ~injections_per_benchmark:700 ~fault_free_per_benchmark:200
+      ~injections_per_benchmark:700 ~fault_free_per_benchmark:200 ()
   in
   Printf.printf "training corpus: %d samples (%d correct, %d incorrect)\n"
     (Dataset.length train.Training.dataset)

@@ -36,7 +36,9 @@ let activated (result : Cpu.run_result) =
   | Some { fate = Cpu.Activated _; _ } -> true
   | _ -> false
 
-let run config =
+(* One shard: the original strictly-serial campaign loop, on a host
+   whose state evolves injection to injection within the shard. *)
+let run_shard config =
   let profile = Xentry_workload.Profile.get config.benchmark in
   let rng = Xentry_util.Rng.create config.seed in
   let request_rng = Xentry_util.Rng.split rng in
@@ -127,7 +129,35 @@ let run config =
   done;
   List.rev !records
 
-let run_fault_free ~seed ~benchmark ~mode ~runs =
+(* Campaigns are cut into fixed-size shards whose seeds derive from
+   (campaign seed, shard index) alone.  The decomposition is a pure
+   function of the config — never of the worker count — so merging
+   shard results in shard order yields bit-identical records for any
+   [jobs].  100 injections is enough intra-shard host evolution to
+   keep the "successive injections see evolving system state" property
+   while leaving paper-scale campaigns hundreds of shards to balance
+   across workers. *)
+let shard_size = 100
+
+let shard_configs config =
+  if config.injections <= 0 then []
+  else
+    let nshards = (config.injections + shard_size - 1) / shard_size in
+    List.init nshards (fun s ->
+        {
+          config with
+          injections = min shard_size (config.injections - (s * shard_size));
+          seed = Xentry_util.Rng.derive config.seed s;
+        })
+
+let run ?jobs config =
+  let jobs =
+    match jobs with Some j -> j | None -> Xentry_util.Pool.default_jobs ()
+  in
+  let pool = Xentry_util.Pool.create ~jobs in
+  List.concat (Xentry_util.Pool.map_list pool run_shard (shard_configs config))
+
+let fault_free_shard ~seed ~benchmark ~mode ~runs =
   let profile = Xentry_workload.Profile.get benchmark in
   let rng = Xentry_util.Rng.create seed in
   let host = Hypervisor.create ~seed:(seed lxor 0xFACE) () in
@@ -136,3 +166,18 @@ let run_fault_free ~seed ~benchmark ~mode ~runs =
       let req = Xentry_workload.Profile.sample_request profile mode rng in
       let result = Hypervisor.handle host req in
       (req.Request.reason, result.Cpu.final_pmu))
+
+let run_fault_free ?jobs ~seed ~benchmark ~mode ~runs () =
+  let jobs =
+    match jobs with Some j -> j | None -> Xentry_util.Pool.default_jobs ()
+  in
+  let pool = Xentry_util.Pool.create ~jobs in
+  let nshards = if runs <= 0 then 0 else (runs + shard_size - 1) / shard_size in
+  let shards =
+    List.init nshards (fun s ->
+        (Xentry_util.Rng.derive seed s, min shard_size (runs - (s * shard_size))))
+  in
+  List.concat
+    (Xentry_util.Pool.map_list pool
+       (fun (seed, runs) -> fault_free_shard ~seed ~benchmark ~mode ~runs)
+       shards)

@@ -40,14 +40,25 @@ val default_config :
   config
 (** PV mode, full framework, fuel 20_000, baseline handlers. *)
 
-val run : config -> Outcome.record list
-(** Execute the campaign; one record per injection, in order. *)
+val shard_size : int
+(** Injections per shard (100).  Campaigns are decomposed into
+    fixed-size shards seeded by [Rng.derive (config.seed, index)]; the
+    decomposition depends only on the config, never on the worker
+    count. *)
+
+val run : ?jobs:int -> config -> Outcome.record list
+(** Execute the campaign; one record per injection, in order.  Shards
+    run on [jobs] domains ([Pool.default_jobs ()] when omitted, i.e.
+    [XENTRY_JOBS] or serial) and merge in shard order, so the record
+    list is bit-identical for every [jobs] value. *)
 
 val run_fault_free :
+  ?jobs:int ->
   seed:int ->
   benchmark:Xentry_workload.Profile.benchmark ->
   mode:Xentry_workload.Profile.virt_mode ->
   runs:int ->
+  unit ->
   (Xentry_vmm.Exit_reason.t * Xentry_machine.Pmu.snapshot) list
 (** Fault-free executions of the benchmark's stream — the correct
     training samples and the false-positive test population. *)

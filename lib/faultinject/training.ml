@@ -9,8 +9,8 @@ type corpus = {
   incorrect : int;
 }
 
-let collect ~seed ~benchmarks ~mode ~injections_per_benchmark
-    ~fault_free_per_benchmark =
+let collect ?jobs ~seed ~benchmarks ~mode ~injections_per_benchmark
+    ~fault_free_per_benchmark () =
   let samples = ref [] in
   let correct = ref 0 and incorrect = ref 0 in
   List.iteri
@@ -27,7 +27,7 @@ let collect ~seed ~benchmarks ~mode ~injections_per_benchmark
           hardened = false;
         }
       in
-      let records = Campaign.run config in
+      let records = Campaign.run ?jobs config in
       List.iter
         (fun r ->
           match r.Outcome.signature with
@@ -57,8 +57,8 @@ let collect ~seed ~benchmarks ~mode ~injections_per_benchmark
               end)
         records;
       let fault_free =
-        Campaign.run_fault_free ~seed:(seed + (i * 104729)) ~benchmark ~mode
-          ~runs:fault_free_per_benchmark
+        Campaign.run_fault_free ?jobs ~seed:(seed + (i * 104729)) ~benchmark
+          ~mode ~runs:fault_free_per_benchmark ()
       in
       List.iter
         (fun (reason, snapshot) ->
@@ -115,19 +115,19 @@ let train_and_evaluate ?(tree_seed = 1) ~train ~test () =
 
 let detector trained = Transition_detector.of_tree trained.random_tree
 
-let default_pipeline ?(seed = 2014) ?(train_injections = 23_400)
+let default_pipeline ?jobs ?(seed = 2014) ?(train_injections = 23_400)
     ?(test_injections = 17_700) () =
   let benchmarks = Array.to_list Xentry_workload.Profile.all_benchmarks in
   let n = List.length benchmarks in
   let train =
-    collect ~seed ~benchmarks ~mode:Xentry_workload.Profile.PV
+    collect ?jobs ~seed ~benchmarks ~mode:Xentry_workload.Profile.PV
       ~injections_per_benchmark:(train_injections / n)
-      ~fault_free_per_benchmark:(train_injections / n / 4)
+      ~fault_free_per_benchmark:(train_injections / n / 4) ()
   in
   let test =
-    collect ~seed:(seed lxor 0x7E57) ~benchmarks
+    collect ?jobs ~seed:(seed lxor 0x7E57) ~benchmarks
       ~mode:Xentry_workload.Profile.PV
       ~injections_per_benchmark:(test_injections / n)
-      ~fault_free_per_benchmark:(test_injections / n / 4)
+      ~fault_free_per_benchmark:(test_injections / n / 4) ()
   in
   train_and_evaluate ~tree_seed:(seed + 1) ~train ~test ()

@@ -19,11 +19,13 @@ type corpus = {
 }
 
 val collect :
+  ?jobs:int ->
   seed:int ->
   benchmarks:Xentry_workload.Profile.benchmark list ->
   mode:Xentry_workload.Profile.virt_mode ->
   injections_per_benchmark:int ->
   fault_free_per_benchmark:int ->
+  unit ->
   corpus
 (** Labels: an injection run that reaches VM entry is {e incorrect}
     when its fault activated and corrupted architectural outputs, and
@@ -48,6 +50,7 @@ val detector : trained -> Xentry_core.Transition_detector.t
     reached the higher accuracy). *)
 
 val default_pipeline :
+  ?jobs:int ->
   ?seed:int ->
   ?train_injections:int ->
   ?test_injections:int ->
@@ -55,4 +58,6 @@ val default_pipeline :
   trained
 (** The full §III-B pipeline over all six benchmarks with paper-scaled
     defaults (23,400 training injections, 17,700 testing ones, split
-    evenly across benchmarks, plus fault-free runs). *)
+    evenly across benchmarks, plus fault-free runs).  [jobs] fans the
+    underlying campaigns out over that many domains; the corpus is
+    identical for every value. *)

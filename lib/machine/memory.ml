@@ -3,9 +3,23 @@ exception Fault of { addr : int64; write : bool }
 let page_size = 4096
 let page_bits = 12
 
-type t = { pages : (int64, Bytes.t) Hashtbl.t }
+(* Pages are copy-on-write.  A page record is immutable data plus an
+   [owner] tag: the id of the one memory allowed to write it in place.
+   [copy] freezes every page of the source (owner 0 — nobody's) and
+   shares the records with the snapshot, so cloning costs one pointer
+   per page; whichever side writes a shared or frozen page first
+   replaces its own binding with a private duplicate.  The other
+   side's binding still reaches the original record, so writes never
+   alias across a snapshot in either direction. *)
+type page = { data : Bytes.t; mutable owner : int }
 
-let create () = { pages = Hashtbl.create 64 }
+type t = { id : int; pages : (int64, page) Hashtbl.t }
+
+let frozen = 0
+let next_id = Atomic.make 1
+let fresh_id () = Atomic.fetch_and_add next_id 1
+
+let create () = { id = fresh_id (); pages = Hashtbl.create 64 }
 
 let page_of addr = Int64.shift_right_logical addr page_bits
 let offset_of addr = Int64.to_int (Int64.logand addr 0xFFFL)
@@ -19,7 +33,8 @@ let map_region t ~addr ~size =
     let rec go p =
       if Int64.compare p last <= 0 then begin
         if not (Hashtbl.mem t.pages p) then
-          Hashtbl.replace t.pages p (Bytes.make page_size '\000');
+          Hashtbl.replace t.pages p
+            { data = Bytes.make page_size '\000'; owner = t.id };
         go (Int64.add p 1L)
       end
     in
@@ -38,20 +53,30 @@ let unmap_region t ~addr ~size =
     go first
   end
 
-let find_page t addr ~write =
+let read_page t addr =
   match Hashtbl.find_opt t.pages (page_of addr) with
-  | Some page -> page
-  | None -> raise (Fault { addr; write })
+  | Some p -> p.data
+  | None -> raise (Fault { addr; write = false })
+
+(* The write path's copy-on-write step: a page this memory does not
+   own is duplicated into a private binding before the first byte is
+   touched. *)
+let write_page t addr =
+  let key = page_of addr in
+  match Hashtbl.find_opt t.pages key with
+  | Some p when p.owner = t.id -> p.data
+  | Some p ->
+      let priv = { data = Bytes.copy p.data; owner = t.id } in
+      Hashtbl.replace t.pages key priv;
+      priv.data
+  | None -> raise (Fault { addr; write = true })
 
 let is_mapped t addr = Hashtbl.mem t.pages (page_of addr)
 
-let load8 t addr =
-  let page = find_page t addr ~write:false in
-  Char.code (Bytes.get page (offset_of addr))
+let load8 t addr = Char.code (Bytes.get (read_page t addr) (offset_of addr))
 
 let store8 t addr v =
-  let page = find_page t addr ~write:true in
-  Bytes.set page (offset_of addr) (Char.chr (v land 0xFF))
+  Bytes.set (write_page t addr) (offset_of addr) (Char.chr (v land 0xFF))
 
 let same_page a b = Int64.equal (page_of a) (page_of b)
 
@@ -59,8 +84,7 @@ let load64 t addr =
   let last = Int64.add addr 7L in
   if same_page addr last then
     (* Fast path: the whole word lives in one page. *)
-    let page = find_page t addr ~write:false in
-    Bytes.get_int64_le page (offset_of addr)
+    Bytes.get_int64_le (read_page t addr) (offset_of addr)
   else
     let rec go i acc =
       if i > 7 then acc
@@ -73,8 +97,7 @@ let load64 t addr =
 let store64 t addr v =
   let last = Int64.add addr 7L in
   if same_page addr last then
-    let page = find_page t addr ~write:true in
-    Bytes.set_int64_le page (offset_of addr) v
+    Bytes.set_int64_le (write_page t addr) (offset_of addr) v
   else
     for i = 0 to 7 do
       let b =
@@ -92,8 +115,10 @@ let blit_out t ~addr ~len =
   out
 
 (* Page-at-a-time comparison: ranges are walked in within-page chunks
-   so the hot path is a direct byte loop over two resident pages
-   instead of a hashtable probe per byte. *)
+   so the hot path is a direct byte loop over two resident pages —
+   and pages still shared between the two memories (the common case
+   for golden-vs-faulted hosts cloned from one snapshot) are skipped
+   without reading a byte. *)
 let first_difference a b ~addr ~len =
   let rec walk pos =
     if pos >= len then None
@@ -105,12 +130,16 @@ let first_difference a b ~addr ~len =
       let pb = Hashtbl.find_opt b.pages (page_of at) in
       match (pa, pb) with
       | None, None -> walk (pos + chunk)
+      | Some pg_a, Some pg_b when pg_a == pg_b ->
+          (* Shared since a snapshot and never written by either side:
+             identical by construction. *)
+          walk (pos + chunk)
       | Some pg_a, Some pg_b ->
           let off = offset_of at in
           let rec scan i =
             if i >= chunk then walk (pos + chunk)
-            else if Bytes.get pg_a (off + i) <> Bytes.get pg_b (off + i) then
-              Some (Int64.add at (Int64.of_int i))
+            else if Bytes.get pg_a.data (off + i) <> Bytes.get pg_b.data (off + i)
+            then Some (Int64.add at (Int64.of_int i))
             else scan (i + 1)
           in
           scan 0
@@ -126,8 +155,14 @@ let first_difference a b ~addr ~len =
 let region_equal a b ~addr ~len = first_difference a b ~addr ~len = None
 
 let copy t =
-  let pages = Hashtbl.create (Hashtbl.length t.pages) in
-  Hashtbl.iter (fun k v -> Hashtbl.replace pages k (Bytes.copy v)) t.pages;
-  { pages }
+  (* Freeze: after the snapshot neither side owns the shared pages, so
+     the first write on either side duplicates rather than mutates. *)
+  Hashtbl.iter (fun _ p -> p.owner <- frozen) t.pages;
+  { id = fresh_id (); pages = Hashtbl.copy t.pages }
 
 let mapped_bytes t = Hashtbl.length t.pages * page_size
+
+let private_pages t =
+  Hashtbl.fold (fun _ p acc -> if p.owner = t.id then acc + 1 else acc) t.pages 0
+
+let page_count t = Hashtbl.length t.pages

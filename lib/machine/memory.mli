@@ -49,7 +49,21 @@ val first_difference : t -> t -> addr:int64 -> len:int -> int64 option
 (** Address of the first differing byte in the range, if any. *)
 
 val copy : t -> t
-(** Deep copy (golden-run snapshot). *)
+(** Snapshot via copy-on-write: every page is shared between source
+    and copy and frozen; either side's first write to a shared page
+    duplicates it privately, so the two memories never observe each
+    other's subsequent writes.  Cloning is O(pages) pointer work, not
+    O(bytes), and ranges neither side has written compare equal in
+    O(1) per page ({!first_difference} skips shared pages). *)
 
 val mapped_bytes : t -> int
 (** Total bytes currently mapped (page-granular). *)
+
+val page_count : t -> int
+(** Number of mapped pages. *)
+
+val private_pages : t -> int
+(** Pages this memory owns exclusively (written since the last
+    snapshot involving them); [page_count t - private_pages t] pages
+    are shared with or frozen by snapshots.  Observability hook for
+    benchmarks and the copy-on-write tests. *)

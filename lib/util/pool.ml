@@ -1,0 +1,71 @@
+(* A fixed-size worker pool over OCaml 5 domains.
+
+   The pool fixes the worker count; worker domains are spawned per
+   [map] batch and joined before it returns.  Spawning costs tens of
+   microseconds — noise next to the multi-second campaign shards this
+   pool exists for — and keeps the process at [jobs] live domains at
+   most, well clear of the runtime's domain cap, with no shutdown
+   protocol or idle workers between batches.
+
+   Work distribution is a chunked work queue: items are claimed one at
+   a time from an atomic counter, so a slow chunk (an injection shard
+   that keeps crashing the simulated host early, say) does not stall
+   the even-split partitions a static slicing would impose. *)
+
+type t = { jobs : int }
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  { jobs }
+
+let jobs t = t.jobs
+
+let env_jobs () =
+  match Sys.getenv_opt "XENTRY_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some j
+      | _ -> None)
+
+let default_jobs () = Option.value (env_jobs ()) ~default:1
+
+let recommended_jobs () = Stdlib.Domain.recommended_domain_count ()
+
+let map t f arr =
+  let n = Array.length arr in
+  if t.jobs = 1 || n <= 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (match f arr.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              (* Keep the first failure; the others lose the race and
+                 are dropped with the partial results. *)
+              ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      Array.init (min t.jobs n - 1) (fun _ -> Stdlib.Domain.spawn worker)
+    in
+    (* The calling domain is the pool's first worker. *)
+    worker ();
+    Array.iter Stdlib.Domain.join spawned;
+    match Atomic.get failure with
+    | Some e -> raise e
+    | None ->
+        Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list t f l = Array.to_list (map t f (Array.of_list l))
+
+let parallel_map ~jobs f arr = map (create ~jobs) f arr

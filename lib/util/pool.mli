@@ -1,0 +1,52 @@
+(** Fixed-size worker pool over OCaml 5 domains.
+
+    The parallel campaign engine's substrate: a pool fixes a worker
+    count [jobs] and maps functions over arrays of independent work
+    items (injection shards, benchmark chunks) on that many domains.
+    Items are claimed from a chunked work queue (an atomic cursor), so
+    uneven item costs balance dynamically.
+
+    Determinism is the caller's contract: [map] always returns results
+    in item order, and a pool never reorders, drops or duplicates
+    items, so a [f] that is itself deterministic per item yields
+    bit-identical output for every [jobs] value — including the
+    serial fallback.
+
+    With [jobs = 1] (or a single item) no domain is ever spawned and
+    [map] is exactly [Array.map]. *)
+
+type t
+(** A pool configuration; holds no OS resources.  Worker domains live
+    only for the duration of each [map] batch. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] makes a pool of [jobs] workers (the calling domain
+    counts as one).  Raises [Invalid_argument] when [jobs < 1]. *)
+
+val jobs : t -> int
+(** The configured worker count. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f arr] applies [f] to every element, in parallel on up to
+    [jobs t] domains, and returns the results in element order.  If
+    any application raises, the first such exception is re-raised in
+    the caller after all workers have stopped (in-flight items finish;
+    unclaimed items are abandoned). *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] over lists, preserving order. *)
+
+val parallel_map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** One-shot [map] without naming the pool. *)
+
+val env_jobs : unit -> int option
+(** The [XENTRY_JOBS] environment override, when set to a valid
+    positive integer. *)
+
+val default_jobs : unit -> int
+(** [XENTRY_JOBS] when set, else 1 (serial: campaigns parallelize only
+    when asked to). *)
+
+val recommended_jobs : unit -> int
+(** The runtime's recommended domain count for this machine (what
+    [-j 0] should mean in a CLI). *)

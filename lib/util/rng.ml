@@ -20,6 +20,16 @@ let next_int64 t =
 
 let split t = { state = next_int64 t }
 
+let derive seed idx =
+  if idx < 0 then invalid_arg "Rng.derive: negative index";
+  (* Stateless SplitMix64 draw at position [idx + 1] of the stream
+     seeded by [seed]: shards of a campaign get seeds that are a pure
+     function of (campaign seed, shard index), independent of how many
+     shards any particular worker executes. *)
+  Int64.to_int
+    (mix (Int64.add (Int64.of_int seed)
+            (Int64.mul (Int64.of_int (idx + 1)) golden_gamma)))
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free modulo is fine for simulation: bias is < 2^-38 for

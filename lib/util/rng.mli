@@ -21,6 +21,13 @@ val split : t -> t
     generator.  Use one split stream per subsystem so that adding draws
     in one place does not perturb another. *)
 
+val derive : int -> int -> int
+(** [derive seed idx] is a statelessly mixed seed for the [idx]-th
+    shard of a computation seeded by [seed] — a pure function of its
+    arguments, so sharded work reseeds identically no matter which
+    worker runs which shard.  Raises [Invalid_argument] when
+    [idx < 0]. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

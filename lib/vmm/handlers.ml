@@ -641,16 +641,22 @@ let build ~hardened reason =
       B.exit_audit ~hardened ctx b;
       B.epilogue b)
 
+(* Synthesized programs are immutable once built; the cache itself is
+   mutated from every campaign worker domain, so probes and inserts
+   are serialized (building twice would be harmless, a torn Hashtbl
+   resize would not). *)
 let cache : (int * bool, Program.t) Hashtbl.t = Hashtbl.create 197
+let cache_mutex = Mutex.create ()
 
 let program ?(hardened = false) reason =
   let key = (Exit_reason.to_id reason, hardened) in
-  match Hashtbl.find_opt cache key with
-  | Some p -> p
-  | None ->
-      let p = build ~hardened reason in
-      Hashtbl.replace cache key p;
-      p
+  Mutex.protect cache_mutex (fun () ->
+      match Hashtbl.find_opt cache key with
+      | Some p -> p
+      | None ->
+          let p = build ~hardened reason in
+          Hashtbl.replace cache key p;
+          p)
 
 let all_programs ?(hardened = false) () =
   Array.map (fun reason -> (reason, program ~hardened reason)) Exit_reason.all

@@ -288,22 +288,27 @@ let sample_request t mode rng =
 let mean_length_cache : (benchmark * virt_mode, float) Hashtbl.t =
   Hashtbl.create 12
 
+(* Serialized: the measurement host is rebuilt per miss, so concurrent
+   callers from worker domains only need the table itself protected. *)
+let mean_length_mutex = Mutex.create ()
+
 let mean_handler_length t mode =
-  match Hashtbl.find_opt mean_length_cache (t.bench, mode) with
-  | Some v -> v
-  | None ->
-      let host = Hypervisor.create ~seed:17 () in
-      let rng = Rng.create 4242 in
-      let n = 300 in
-      let total = ref 0 in
-      for _ = 1 to n do
-        let req = sample_request t mode rng in
-        let result = Hypervisor.handle host req in
-        total := !total + result.Xentry_machine.Cpu.steps
-      done;
-      let v = float_of_int !total /. float_of_int n in
-      Hashtbl.replace mean_length_cache (t.bench, mode) v;
-      v
+  Mutex.protect mean_length_mutex (fun () ->
+      match Hashtbl.find_opt mean_length_cache (t.bench, mode) with
+      | Some v -> v
+      | None ->
+          let host = Hypervisor.create ~seed:17 () in
+          let rng = Rng.create 4242 in
+          let n = 300 in
+          let total = ref 0 in
+          for _ = 1 to n do
+            let req = sample_request t mode rng in
+            let result = Hypervisor.handle host req in
+            total := !total + result.Xentry_machine.Cpu.steps
+          done;
+          let v = float_of_int !total /. float_of_int n in
+          Hashtbl.replace mean_length_cache (t.bench, mode) v;
+          v)
 
 (* Physical-host activation bands behind Figs 7 and 11: calibrated so
    that a ~280 ns per-exit detection cost yields sub-1% overheads for

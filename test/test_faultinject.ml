@@ -166,6 +166,54 @@ let test_campaign_deterministic () =
   Alcotest.(check bool) "same seed, same records" true
     (List.map key (small_campaign ()) = List.map key (small_campaign ()))
 
+let test_campaign_jobs_bit_identical () =
+  (* ISSUE acceptance: running the same campaign with jobs ∈ {1,2,4}
+     must produce structurally identical record lists.  Sharding is a
+     pure function of the config, so the worker count only changes who
+     executes each shard, never what it computes. *)
+  let config =
+    Campaign.default_config ~benchmark:Xentry_workload.Profile.Postmark
+      ~injections:400 ~seed:17 ()
+  in
+  let baseline = Campaign.run ~jobs:1 config in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d identical to jobs=1" jobs)
+        true
+        (Campaign.run ~jobs config = baseline))
+    [ 2; 4 ]
+
+let test_campaign_fault_free_jobs_identical () =
+  let run jobs =
+    Campaign.run_fault_free ~jobs ~seed:5
+      ~benchmark:Xentry_workload.Profile.Mcf ~mode:Xentry_workload.Profile.PV
+      ~runs:250 ()
+  in
+  Alcotest.(check bool) "fault-free baseline independent of jobs" true
+    (run 1 = run 4)
+
+let test_hypervisor_cow_clone_no_alias () =
+  (* A COW-cloned hypervisor must never alias writes into its parent:
+     clone, mutate the clone's memory, diff. *)
+  let host = Hypervisor.create ~seed:21 () in
+  let golden = Hypervisor.clone host in
+  let faulted = Hypervisor.clone host in
+  let addr = Layout.time_system_time in
+  let before = Memory.load64 (Hypervisor.memory golden) addr in
+  Memory.store64 (Hypervisor.memory faulted) addr 0xBAD0_0001L;
+  Alcotest.(check int64) "parent readback unchanged" before
+    (Memory.load64 (Hypervisor.memory golden) addr);
+  Alcotest.(check int64) "host untouched by either clone" before
+    (Memory.load64 (Hypervisor.memory host) addr);
+  Alcotest.(check bool) "diff sees the clone's private write" true
+    (List.length (Classify.diffs ~golden ~faulted) > 0);
+  (* And the reverse direction: a parent write after cloning must not
+     leak into an existing clone. *)
+  Memory.store64 (Hypervisor.memory host) addr 0xBAD0_0002L;
+  Alcotest.(check int64) "clone unaffected by later parent write" before
+    (Memory.load64 (Hypervisor.memory golden) addr)
+
 let test_campaign_outcome_mix () =
   let records = small_campaign () in
   let s = Report.summarize records in
@@ -205,7 +253,7 @@ let test_campaign_signature_present_on_vm_entry () =
 let test_campaign_fault_free_baseline () =
   let runs =
     Campaign.run_fault_free ~seed:5 ~benchmark:Xentry_workload.Profile.Mcf
-      ~mode:Xentry_workload.Profile.PV ~runs:100
+      ~mode:Xentry_workload.Profile.PV ~runs:100 ()
   in
   Alcotest.(check int) "requested count" 100 (List.length runs);
   List.iter
@@ -242,7 +290,7 @@ let test_training_collect_labels () =
     Training.collect ~seed:31
       ~benchmarks:[ Xentry_workload.Profile.Postmark ]
       ~mode:Xentry_workload.Profile.PV ~injections_per_benchmark:800
-      ~fault_free_per_benchmark:200
+      ~fault_free_per_benchmark:200 ()
   in
   Alcotest.(check bool) "correct samples collected" true (corpus.Training.correct > 300);
   Alcotest.(check bool) "incorrect samples collected" true
@@ -256,13 +304,13 @@ let test_training_pipeline_accuracy () =
     Training.collect ~seed:32
       ~benchmarks:[ Xentry_workload.Profile.Postmark; Xentry_workload.Profile.Mcf ]
       ~mode:Xentry_workload.Profile.PV ~injections_per_benchmark:800
-      ~fault_free_per_benchmark:200
+      ~fault_free_per_benchmark:200 ()
   in
   let test =
     Training.collect ~seed:33
       ~benchmarks:[ Xentry_workload.Profile.Postmark; Xentry_workload.Profile.Mcf ]
       ~mode:Xentry_workload.Profile.PV ~injections_per_benchmark:400
-      ~fault_free_per_benchmark:100
+      ~fault_free_per_benchmark:100 ()
   in
   let tr = Training.train_and_evaluate ~train ~test () in
   let open Xentry_mlearn in
@@ -283,13 +331,13 @@ let test_detector_improves_campaign_coverage () =
     Training.collect ~seed:35
       ~benchmarks:[ Xentry_workload.Profile.Postmark ]
       ~mode:Xentry_workload.Profile.PV ~injections_per_benchmark:1500
-      ~fault_free_per_benchmark:300
+      ~fault_free_per_benchmark:300 ()
   in
   let test =
     Training.collect ~seed:36
       ~benchmarks:[ Xentry_workload.Profile.Postmark ]
       ~mode:Xentry_workload.Profile.PV ~injections_per_benchmark:300
-      ~fault_free_per_benchmark:100
+      ~fault_free_per_benchmark:100 ()
   in
   let tr = Training.train_and_evaluate ~train ~test () in
   let det = Training.detector tr in
@@ -342,6 +390,12 @@ let () =
         [
           Alcotest.test_case "record count" `Slow test_campaign_record_count;
           Alcotest.test_case "deterministic" `Slow test_campaign_deterministic;
+          Alcotest.test_case "jobs bit-identical" `Slow
+            test_campaign_jobs_bit_identical;
+          Alcotest.test_case "fault-free jobs identical" `Quick
+            test_campaign_fault_free_jobs_identical;
+          Alcotest.test_case "hypervisor cow no alias" `Quick
+            test_hypervisor_cow_clone_no_alias;
           Alcotest.test_case "outcome mix" `Slow test_campaign_outcome_mix;
           Alcotest.test_case "latencies" `Slow test_campaign_latencies_recorded;
           Alcotest.test_case "signature coherence" `Slow

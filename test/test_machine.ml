@@ -79,6 +79,51 @@ let test_memory_copy_independent () =
   Memory.store64 m 0x1000L 2L;
   Alcotest.(check int64) "copy unaffected" 1L (Memory.load64 c 0x1000L)
 
+let test_memory_cow_copy_isolated () =
+  (* The reverse direction of [copy independent]: writing through the
+     copy must not leak into the original either. *)
+  let m = Memory.create () in
+  Memory.map_region m ~addr:0x1000L ~size:4096;
+  Memory.store64 m 0x1000L 1L;
+  let c = Memory.copy m in
+  Memory.store64 c 0x1000L 9L;
+  Alcotest.(check int64) "original unaffected" 1L (Memory.load64 m 0x1000L);
+  Alcotest.(check int64) "copy sees its write" 9L (Memory.load64 c 0x1000L)
+
+let test_memory_cow_sharing_accounting () =
+  let m = Memory.create () in
+  Memory.map_region m ~addr:0x1000L ~size:(4 * 4096);
+  Memory.store64 m 0x1000L 1L;
+  Alcotest.(check int) "fresh mapping is privately owned" 4
+    (Memory.private_pages m);
+  let c = Memory.copy m in
+  Alcotest.(check int) "snapshot freezes the parent's pages" 0
+    (Memory.private_pages m);
+  Alcotest.(check int) "copy starts fully shared" 0 (Memory.private_pages c);
+  Alcotest.(check int) "copy maps the same pages" (Memory.page_count m)
+    (Memory.page_count c);
+  Memory.store64 c 0x2000L 7L;
+  Alcotest.(check int) "first write privatises one page" 1
+    (Memory.private_pages c);
+  Memory.store64 c 0x2008L 8L;
+  Alcotest.(check int) "second write to same page reuses it" 1
+    (Memory.private_pages c);
+  Alcotest.(check int) "parent still fully shared" 0 (Memory.private_pages m)
+
+let test_memory_cow_clone_chain () =
+  let a = Memory.create () in
+  Memory.map_region a ~addr:0x1000L ~size:4096;
+  Memory.store64 a 0x1000L 1L;
+  let b = Memory.copy a in
+  let c = Memory.copy b in
+  Memory.store64 b 0x1000L 2L;
+  Memory.store64 c 0x1000L 3L;
+  Alcotest.(check int64) "grandparent keeps its value" 1L
+    (Memory.load64 a 0x1000L);
+  Alcotest.(check int64) "middle generation isolated" 2L
+    (Memory.load64 b 0x1000L);
+  Alcotest.(check int64) "leaf isolated" 3L (Memory.load64 c 0x1000L)
+
 let test_memory_first_difference () =
   let a = Memory.create () and b = Memory.create () in
   Memory.map_region a ~addr:0x1000L ~size:4096;
@@ -790,11 +835,46 @@ let prop_injection_preserves_or_detects =
       | Cpu.Out_of_fuel ->
           r.Cpu.activation <> None)
 
+let prop_cow_copy_matches_independent_model =
+  (* Interleave writes into a COW parent/copy pair and into a pair of
+     genuinely independent memories; both must end up byte-identical.
+     Each write is (to_copy, page, offset, value). *)
+  QCheck.Test.make ~name:"COW copy behaves like an eager deep copy" ~count:100
+    QCheck.(
+      list_of_size
+        Gen.(int_range 0 30)
+        (quad bool (int_range 0 3) (int_range 0 4088) int64))
+    (fun writes ->
+      let region = 4 * 4096 in
+      let seed_mem () =
+        let m = Memory.create () in
+        Memory.map_region m ~addr:0x1000L ~size:region;
+        Memory.store64 m 0x1000L 0x5EEDL;
+        m
+      in
+      let cow_parent = seed_mem () in
+      let cow_copy = Memory.copy cow_parent in
+      let ref_parent = seed_mem () in
+      let ref_copy = seed_mem () in
+      List.iter
+        (fun (to_copy, page, off, v) ->
+          let addr = Int64.of_int (0x1000 + (page * 4096) + off) in
+          if to_copy then (
+            Memory.store64 cow_copy addr v;
+            Memory.store64 ref_copy addr v)
+          else (
+            Memory.store64 cow_parent addr v;
+            Memory.store64 ref_parent addr v))
+        writes;
+      let image m = Memory.blit_out m ~addr:0x1000L ~len:region in
+      image cow_parent = image ref_parent && image cow_copy = image ref_copy)
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
       [
         prop_memory_roundtrip;
+        prop_cow_copy_matches_independent_model;
         prop_loop_iterations_match_counter;
         prop_injection_preserves_or_detects;
       ]
@@ -812,6 +892,11 @@ let () =
           Alcotest.test_case "map idempotent" `Quick test_memory_map_idempotent;
           Alcotest.test_case "unmap" `Quick test_memory_unmap;
           Alcotest.test_case "copy independent" `Quick test_memory_copy_independent;
+          Alcotest.test_case "cow copy isolated" `Quick
+            test_memory_cow_copy_isolated;
+          Alcotest.test_case "cow sharing accounting" `Quick
+            test_memory_cow_sharing_accounting;
+          Alcotest.test_case "cow clone chain" `Quick test_memory_cow_clone_chain;
           Alcotest.test_case "first difference" `Quick test_memory_first_difference;
           Alcotest.test_case "mapped vs unmapped differ" `Quick
             test_memory_region_equal_unmapped_vs_mapped;

@@ -152,6 +152,75 @@ let test_rng_sample_without_replacement () =
     (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 100))
     s
 
+let test_rng_derive_pure () =
+  Alcotest.(check int) "pure function of (seed, idx)" (Rng.derive 42 7)
+    (Rng.derive 42 7);
+  Alcotest.(check bool) "indices give distinct seeds" true
+    (Rng.derive 42 0 <> Rng.derive 42 1);
+  Alcotest.(check bool) "seeds give distinct streams" true
+    (Rng.derive 1 0 <> Rng.derive 2 0);
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Rng.derive: negative index") (fun () ->
+      ignore (Rng.derive 1 (-1)))
+
+let test_rng_derive_spread () =
+  (* Consecutive shard indices must not yield clustered seeds: the
+     derived values feed independent SplitMix64 streams. *)
+  let seeds = List.init 100 (fun i -> Rng.derive 2014 i) in
+  Alcotest.(check int) "100 distinct seeds" 100
+    (List.length (List.sort_uniq compare seeds))
+
+(* --- Pool ---------------------------------------------------------------- *)
+
+let test_pool_matches_serial () =
+  let input = Array.init 500 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expected = Array.map f input in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d matches Array.map" jobs)
+        expected
+        (Pool.parallel_map ~jobs f input))
+    [ 1; 2; 3; 4 ]
+
+let test_pool_preserves_order () =
+  let input = Array.init 64 string_of_int in
+  let out = Pool.parallel_map ~jobs:4 (fun s -> s ^ "!") input in
+  Array.iteri
+    (fun i s -> Alcotest.(check string) "slot order" (string_of_int i ^ "!") s)
+    out
+
+let test_pool_propagates_exception () =
+  let input = Array.init 32 (fun i -> i) in
+  Alcotest.check_raises "worker failure reaches the caller"
+    (Failure "boom 7") (fun () ->
+      ignore
+        (Pool.parallel_map ~jobs:4
+           (fun i -> if i = 7 then failwith "boom 7" else i)
+           input))
+
+let test_pool_invalid_jobs () =
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0))
+
+let test_pool_map_list () =
+  let pool = Pool.create ~jobs:3 in
+  Alcotest.(check (list int)) "list order preserved" [ 2; 4; 6; 8 ]
+    (Pool.map_list pool (fun x -> 2 * x) [ 1; 2; 3; 4 ])
+
+let test_pool_empty_and_singleton () =
+  Alcotest.(check (array int)) "empty input" [||]
+    (Pool.parallel_map ~jobs:4 (fun x -> x) [||]);
+  Alcotest.(check (array int)) "single item" [| 9 |]
+    (Pool.parallel_map ~jobs:4 (fun x -> x + 8) [| 1 |])
+
+let test_pool_jobs_accessor () =
+  Alcotest.(check int) "configured worker count" 5 (Pool.jobs (Pool.create ~jobs:5));
+  Alcotest.(check bool) "recommended jobs positive" true
+    (Pool.recommended_jobs () >= 1)
+
 (* --- Bits ---------------------------------------------------------------- *)
 
 let test_bits_flip_involution () =
@@ -340,6 +409,18 @@ let prop_cdf_eval_monotone =
       let c = Stats.cdf_of_samples (Array.of_list xs) in
       Stats.cdf_eval c x <= Stats.cdf_eval c (x +. dx))
 
+let prop_parallel_map_equals_serial =
+  QCheck.Test.make ~name:"parallel_map agrees with Array.map for any jobs"
+    ~count:100
+    QCheck.(
+      triple (int_range 1 4)
+        (list_of_size Gen.(int_range 0 200) small_int)
+        small_int)
+    (fun (jobs, xs, k) ->
+      let input = Array.of_list xs in
+      let f x = (x * 31) + k in
+      Pool.parallel_map ~jobs f input = Array.map f input)
+
 let prop_sample_without_replacement_distinct =
   QCheck.Test.make ~name:"sample without replacement yields distinct values"
     ~count:200
@@ -355,6 +436,7 @@ let () =
     List.map QCheck_alcotest.to_alcotest
       [
         prop_quantile_within_range;
+        prop_parallel_map_equals_serial;
         prop_flip_is_involution;
         prop_cdf_eval_monotone;
         prop_sample_without_replacement_distinct;
@@ -383,6 +465,22 @@ let () =
           Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
           Alcotest.test_case "sample without replacement" `Quick
             test_rng_sample_without_replacement;
+          Alcotest.test_case "derive is pure" `Quick test_rng_derive_pure;
+          Alcotest.test_case "derive spreads shard seeds" `Quick
+            test_rng_derive_spread;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "matches serial map" `Quick test_pool_matches_serial;
+          Alcotest.test_case "preserves slot order" `Quick
+            test_pool_preserves_order;
+          Alcotest.test_case "propagates worker exception" `Quick
+            test_pool_propagates_exception;
+          Alcotest.test_case "rejects jobs=0" `Quick test_pool_invalid_jobs;
+          Alcotest.test_case "map_list order" `Quick test_pool_map_list;
+          Alcotest.test_case "empty and singleton inputs" `Quick
+            test_pool_empty_and_singleton;
+          Alcotest.test_case "jobs accessors" `Quick test_pool_jobs_accessor;
         ] );
       ( "bits",
         [
