@@ -13,6 +13,10 @@
                       runtime's recommended count); default from
                       XENTRY_JOBS, else 1.  Results are bit-identical
                       for every N.
+     --engine E       interpreter engine for hypervisor execution:
+                      ref (match-based reference) or fast (threaded
+                      code); default from XENTRY_ENGINE, else fast.
+                      Results are bit-identical for both.
      --json FILE      write per-experiment wall-clock timings and
                       campaign sizes as JSON (perf trajectory for
                       BENCH_*.json tracking).
@@ -23,6 +27,7 @@
 
 open Xentry_util
 module R = Report  (* Xentry_util.Report: rendering *)
+module Mcpu = Xentry_machine.Cpu
 open Xentry_vmm
 open Xentry_workload
 open Xentry_mlearn
@@ -64,6 +69,9 @@ let json_path : string option ref = ref None
 let phase_timings : (string * float * int) list ref = ref []
 let experiment_timings : (string * float) list ref = ref []
 let speedup_result : (int * int * float * float * bool) option ref = ref None
+
+(* micro's engine comparison: (ref steps/s, fast steps/s, ref==fast). *)
+let micro_engine_result : (float * float * bool) option ref = ref None
 let record_phase name seconds injections =
   phase_timings := (name, seconds, injections) :: !phase_timings
 
@@ -958,7 +966,65 @@ let micro () =
     results;
   print
     (R.table ~header:[ "kernel"; "time" ]
-       ~rows:(List.sort compare !rows))
+       ~rows:(List.sort compare !rows));
+
+  (* Engine comparison: dynamic steps per second executing the same
+     handler request stream under the reference and the threaded-code
+     engine, plus a full divergence check (any mismatch in stop
+     reason, step count or PMU counters fails the harness — this is
+     what the bench-smoke runtest alias relies on). *)
+  printf "\nengine throughput (postmark PV handler stream):\n";
+  let n_reqs = 250 in
+  let reqs =
+    let stream = Stream.create profile Profile.PV (Rng.create 17) in
+    List.init n_reqs (fun _ -> Stream.next_request stream)
+  in
+  let fingerprints engine =
+    let host = Hypervisor.create ~seed:7 ~engine () in
+    List.map
+      (fun req ->
+        let r = Hypervisor.handle host req in
+        (r.Mcpu.stop, r.Mcpu.steps, r.Mcpu.final_pmu))
+      reqs
+  in
+  let identical = fingerprints Mcpu.Ref = fingerprints Mcpu.Fast in
+  let throughput engine =
+    let host = Hypervisor.create ~seed:7 ~engine () in
+    (* Warm pass: populates the handler memo (and the compile cache),
+       so the timed loop measures execution, not synthesis. *)
+    List.iter (fun req -> ignore (Hypervisor.handle host req)) reqs;
+    (* Steps per second of handler *execution*: prepare/retire (the
+       engine-independent request staging and scheduler sync) run
+       outside the timed window, so the metric isolates the
+       interpreter.  A handler run is tens of microseconds, so the two
+       clock reads bracketing it are noise. *)
+    let steps = ref 0 in
+    let exec_time = ref 0.0 in
+    while !exec_time < 0.4 do
+      List.iter
+        (fun req ->
+          Hypervisor.prepare host req;
+          let t0 = Unix.gettimeofday () in
+          let r = Hypervisor.execute host req in
+          exec_time := !exec_time +. (Unix.gettimeofday () -. t0);
+          steps := !steps + r.Mcpu.steps;
+          Hypervisor.retire host req)
+        reqs
+    done;
+    float_of_int !steps /. !exec_time
+  in
+  let ref_sps = throughput Mcpu.Ref in
+  let fast_sps = throughput Mcpu.Fast in
+  printf "  ref   %11.0f steps/s\n" ref_sps;
+  printf "  fast  %11.0f steps/s   speedup %.2fx\n" fast_sps
+    (fast_sps /. Float.max 1e-9 ref_sps);
+  printf "  ref/fast results identical over %d requests: %b\n" n_reqs identical;
+  micro_engine_result := Some (ref_sps, fast_sps, identical);
+  if not identical then begin
+    Printf.eprintf
+      "FATAL: ref and fast engines diverged on the handler stream\n%!";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
@@ -1008,6 +1074,7 @@ let write_json path =
   out "{\n";
   out "  \"scale\": %g,\n" scale;
   out "  \"jobs\": %d,\n" !jobs;
+  out "  \"engine\": \"%s\",\n" (Mcpu.engine_name (Mcpu.default_engine ()));
   out "  \"campaign_sizes\": {\n";
   out "    \"train_injections\": %d,\n" (scaled 23_400);
   out "    \"test_injections\": %d,\n" (scaled 17_700);
@@ -1038,6 +1105,15 @@ let write_json path =
         (serial_s /. Float.max 1e-9 parallel_s)
         identical
   | None -> ());
+  (match !micro_engine_result with
+  | Some (ref_sps, fast_sps, identical) ->
+      out
+        "  \"micro\": {\"ref_steps_per_sec\": %.1f, \"fast_steps_per_sec\": \
+         %.1f, \"engine_speedup\": %.3f, \"identical\": %b},\n"
+        ref_sps fast_sps
+        (fast_sps /. Float.max 1e-9 ref_sps)
+        identical
+  | None -> ());
   out "  \"experiments\": [\n";
   entries
     (fun (name, seconds) ->
@@ -1051,7 +1127,9 @@ let write_json path =
 (* --- argument parsing --------------------------------------------- *)
 
 let usage () =
-  printf "usage: main.exe [-j N] [--json FILE] [EXPERIMENT...]\navailable: %s\n"
+  printf
+    "usage: main.exe [-j N] [--engine ref|fast] [--json FILE] \
+     [EXPERIMENT...]\navailable: %s\n"
     (String.concat ", " (List.map fst experiments))
 
 let parse_args () =
@@ -1065,9 +1143,16 @@ let parse_args () =
             printf "invalid job count %S\n" v;
             usage ();
             exit 2)
+    | "--engine" :: v :: rest -> (
+        match Mcpu.engine_of_string v with
+        | Some e -> Mcpu.set_default_engine e; go acc rest
+        | None ->
+            printf "invalid engine %S (expected ref or fast)\n" v;
+            usage ();
+            exit 2)
     | "--json" :: path :: rest -> json_path := Some path; go acc rest
     | ("-h" | "--help") :: _ -> usage (); exit 0
-    | ("-j" | "--jobs" | "--json") :: [] ->
+    | ("-j" | "--jobs" | "--engine" | "--json") :: [] ->
         printf "missing value for final option\n";
         usage ();
         exit 2
@@ -1082,9 +1167,10 @@ let () =
     if List.mem "all" requested then List.map fst experiments else requested
   in
   printf
-    "Xentry benchmark harness (scale %.2f, jobs %d; set XENTRY_SCALE / -j to \
-     adjust)\n"
-    scale !jobs;
+    "Xentry benchmark harness (scale %.2f, jobs %d, engine %s; set \
+     XENTRY_SCALE / -j / --engine to adjust)\n"
+    scale !jobs
+    (Mcpu.engine_name (Mcpu.default_engine ()));
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with

@@ -74,9 +74,35 @@ let jobs_arg =
 
 let resolve_jobs j = if j <= 0 then Xentry_util.Pool.recommended_jobs () else j
 
+let engine_conv =
+  let parse s =
+    match Xentry_machine.Cpu.engine_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown engine %S (ref or fast)" s))
+  in
+  let print ppf e =
+    Format.pp_print_string ppf (Xentry_machine.Cpu.engine_name e)
+  in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  let doc =
+    "Interpreter engine for hypervisor execution: $(b,ref) (the match-based \
+     reference interpreter) or $(b,fast) (the threaded-code engine). \
+     Default from $(b,XENTRY_ENGINE), else fast.  Results are bit-identical \
+     for both."
+  in
+  Arg.(
+    value
+    & opt engine_conv (Xentry_machine.Cpu.default_engine ())
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let apply_engine e = Xentry_machine.Cpu.set_default_engine e
+
 (* --- simulate ------------------------------------------------------------- *)
 
-let simulate benchmark mode exits seed =
+let simulate benchmark mode exits seed engine =
+  apply_engine engine;
   let host = Hypervisor.create ~seed () in
   let profile = Profile.get benchmark in
   let stream = Stream.create profile mode (Xentry_util.Rng.create seed) in
@@ -111,11 +137,13 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a benchmark's VM-exit stream on a simulated host")
-    Term.(const simulate $ benchmark_arg $ mode_arg $ exits $ seed_arg)
+    Term.(
+      const simulate $ benchmark_arg $ mode_arg $ exits $ seed_arg $ engine_arg)
 
 (* --- inject ------------------------------------------------------------------ *)
 
-let inject benchmark mode injections seed jobs with_detector =
+let inject benchmark mode injections seed jobs engine with_detector =
+  apply_engine engine;
   let jobs = resolve_jobs jobs in
   let detector =
     if not with_detector then None
@@ -167,11 +195,12 @@ let inject_cmd =
     (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
     Term.(
       const inject $ benchmark_arg $ mode_arg $ injections $ seed_arg
-      $ jobs_arg $ with_detector)
+      $ jobs_arg $ engine_arg $ with_detector)
 
 (* --- train -------------------------------------------------------------------- *)
 
-let train train_injections test_injections seed jobs show_rules =
+let train train_injections test_injections seed jobs engine show_rules =
+  apply_engine engine;
   let trained =
     Training.default_pipeline ~jobs:(resolve_jobs jobs) ~seed ~train_injections
       ~test_injections ()
@@ -218,7 +247,7 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Run the VM-transition detector training pipeline")
-    Term.(const train $ ti $ te $ seed_arg $ jobs_arg $ rules)
+    Term.(const train $ ti $ te $ seed_arg $ jobs_arg $ engine_arg $ rules)
 
 (* --- handlers ------------------------------------------------------------------- *)
 

@@ -125,6 +125,30 @@ let regs_written instr =
 
 let reads_flags = function Jcc _ -> true | _ -> false
 
+(* --- packed metadata ---------------------------------------------------- *)
+
+(* One immediate-int word per instruction, computed at assembly time so
+   the interpreter's def-use tracking does two [land] tests instead of
+   allocating [regs_read]/[regs_written] lists and walking them with
+   [List.mem].  Layout (low to high):
+
+     bits  0..15   read-register bitmask (bit = Reg.gpr_index)
+     bits 16..31   written-register bitmask
+     bit  32       is_branch
+     bit  33       reads_flags
+     bit  34       writes_flags *)
+
+let meta_write_shift = 16
+let meta_branch_bit = 1 lsl 32
+let meta_reads_flags_bit = 1 lsl 33
+let meta_writes_flags_bit = 1 lsl 34
+
+let gpr_mask regs =
+  List.fold_left (fun acc g -> acc lor (1 lsl Reg.gpr_index g)) 0 regs
+
+let read_mask instr = gpr_mask (regs_read instr)
+let write_mask instr = gpr_mask (regs_written instr)
+
 let writes_flags = function
   | Alu _ | Shift _ | Shift_var _ | Cmp _ | Test _ | Inc _ | Dec _ | Neg _
   | Imul _ | Bt _ | Bts _ | Btr _ ->
@@ -134,6 +158,13 @@ let writes_flags = function
 let is_branch = function
   | Jmp _ | Jcc _ | Jmp_table _ | Call _ | Ret -> true
   | _ -> false
+
+let metadata instr =
+  read_mask instr
+  lor (write_mask instr lsl meta_write_shift)
+  lor (if is_branch instr then meta_branch_bit else 0)
+  lor (if reads_flags instr then meta_reads_flags_bit else 0)
+  lor (if writes_flags instr then meta_writes_flags_bit else 0)
 
 let mem_count op = if Operand.is_mem op then 1 else 0
 

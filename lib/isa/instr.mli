@@ -93,6 +93,25 @@ val regs_written : 'lbl t -> Reg.gpr list
 val reads_flags : 'lbl t -> bool
 val writes_flags : 'lbl t -> bool
 
+val read_mask : 'lbl t -> int
+(** {!regs_read} as a bitmask over {!Reg.gpr_index}. *)
+
+val write_mask : 'lbl t -> int
+(** {!regs_written} as a bitmask over {!Reg.gpr_index}. *)
+
+val metadata : 'lbl t -> int
+(** Packed per-instruction metadata word, computed once at assembly
+    time ({!Program.t.meta}) so the interpreter's hot paths replace
+    list walks with bit tests.  Layout: bits 0–15 read-register mask,
+    bits 16–31 written-register mask (both over {!Reg.gpr_index}),
+    bit 32 {!is_branch}, bit 33 {!reads_flags}, bit 34
+    {!writes_flags}. *)
+
+val meta_write_shift : int
+val meta_branch_bit : int
+val meta_reads_flags_bit : int
+val meta_writes_flags_bit : int
+
 val is_branch : 'lbl t -> bool
 (** Counted by the BR_INST_RETIRED performance event: jumps,
     conditional jumps, table dispatch, call and return. *)

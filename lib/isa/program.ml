@@ -1,15 +1,20 @@
 type t = {
   name : string;
   code : int Instr.t array;
+  meta : int array;
   labels : (string * int) list;
+  label_index : (string, int) Hashtbl.t;
+  uid : int;
 }
 
 let instruction_bytes = 8
 let length t = Array.length t.code
-let label_position t name = List.assoc_opt name t.labels
+let label_position t name = Hashtbl.find_opt t.label_index name
 
 exception Undefined_label of string
 exception Duplicate_label of string
+
+let next_uid = Atomic.make 0
 
 let pp ppf t =
   Format.fprintf ppf "%s (%d instructions):@\n" t.name (Array.length t.code);
@@ -28,10 +33,19 @@ module Asm = struct
     mutable instrs : string Instr.t list;  (* reversed *)
     mutable count : int;
     mutable blabels : (string * int) list;
+    btable : (string, int) Hashtbl.t;
     mutable fresh : int;
   }
 
-  let create bname = { bname; instrs = []; count = 0; blabels = []; fresh = 0 }
+  let create bname =
+    {
+      bname;
+      instrs = [];
+      count = 0;
+      blabels = [];
+      btable = Hashtbl.create 31;
+      fresh = 0;
+    }
 
   let emit b instr =
     b.instrs <- instr :: b.instrs;
@@ -40,7 +54,8 @@ module Asm = struct
   let emit_all b instrs = List.iter (emit b) instrs
 
   let label b name =
-    if List.mem_assoc name b.blabels then raise (Duplicate_label name);
+    if Hashtbl.mem b.btable name then raise (Duplicate_label name);
+    Hashtbl.replace b.btable name b.count;
     b.blabels <- (name, b.count) :: b.blabels
 
   let fresh_label b stem =
@@ -50,16 +65,23 @@ module Asm = struct
   let here b = b.count
 
   let assemble b =
-    let labels = List.rev b.blabels in
+    let label_index = Hashtbl.copy b.btable in
     let resolve name =
-      match List.assoc_opt name labels with
+      match Hashtbl.find_opt label_index name with
       | Some pos -> pos
       | None -> raise (Undefined_label name)
     in
     let code =
       Array.of_list (List.rev_map (Instr.map_label resolve) b.instrs)
     in
-    { name = b.bname; code; labels }
+    {
+      name = b.bname;
+      code;
+      meta = Array.map Instr.metadata code;
+      labels = List.rev b.blabels;
+      label_index;
+      uid = Atomic.fetch_and_add next_uid 1;
+    }
 end
 
 let assemble name build =

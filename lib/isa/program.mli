@@ -13,7 +13,14 @@
 type t = private {
   name : string;
   code : int Instr.t array;
+  meta : int array;
+      (** per-instruction packed metadata ({!Instr.metadata}), computed
+          once here so interpreters never walk register lists *)
   labels : (string * int) list;  (** resolved label positions *)
+  label_index : (string, int) Hashtbl.t;
+      (** O(1) label lookup backing {!label_position} *)
+  uid : int;
+      (** process-unique program id; compiled-engine caches key on it *)
 }
 
 val instruction_bytes : int

@@ -35,7 +35,43 @@ type t = {
   mutable assertions_on : bool;
   mutable watch : watch option;
   mutable steps : int;
+  mutable code_base : int64;
+      (* where the running program is mapped; compiled closures read it
+         to turn static instruction indices back into RIP values *)
+  mutable next_idx : int;
+      (* compiled-engine control-flow mailbox: the driver presets the
+         fall-through index before dispatching; branch closures
+         overwrite it with their static target and [ret] sets -1
+         ("target is data, look at rip") *)
+  mutable run_tsc_base : int64;
+      (* TSC at run start; the compiled engine settles TSC once per
+         run as [base + steps * tsc_step] instead of per step *)
 }
+
+(* --- engine selection ---------------------------------------------------- *)
+
+type engine = Ref | Fast
+
+let engine_name = function Ref -> "ref" | Fast -> "fast"
+
+let engine_of_string = function
+  | "ref" -> Some Ref
+  | "fast" -> Some Fast
+  | _ -> None
+
+let initial_engine =
+  match Sys.getenv_opt "XENTRY_ENGINE" with
+  | None -> Fast
+  | Some s -> (
+      match engine_of_string s with
+      | Some e -> e
+      | None ->
+          Printf.eprintf "xentry: ignoring unknown XENTRY_ENGINE=%S\n%!" s;
+          Fast)
+
+let default_engine_ref = ref initial_engine
+let default_engine () = !default_engine_ref
+let set_default_engine e = default_engine_ref := e
 
 let default_cpuid leaf =
   (* Deterministic synthetic CPUID: a fixed mixing of the leaf so that
@@ -63,6 +99,9 @@ let create ?(cpu_id = 0) ?(tsc_step = 3) ?(cpuid_fn = default_cpuid) mem =
     assertions_on = true;
     watch = None;
     steps = 0;
+    code_base = 0L;
+    next_idx = 0;
+    run_tsc_base = 0L;
   }
 
 let memory t = t.mem
@@ -93,18 +132,16 @@ let effective_address t (m : Operand.mem) =
   in
   Int64.add (Int64.add base index) m.disp
 
-let count ev n = fun t -> Pmu.add t.pmu_unit ev n
-
 let load_mem t addr =
   match Memory.load64 t.mem addr with
   | v ->
-      count Pmu.Mem_loads 1 t;
+      Pmu.add t.pmu_unit Pmu.Mem_loads 1;
       v
   | exception Memory.Fault { addr; _ } -> hw_fault Hw_exception.PF addr
 
 let store_mem t addr v =
   match Memory.store64 t.mem addr v with
-  | () -> count Pmu.Mem_stores 1 t
+  | () -> Pmu.add t.pmu_unit Pmu.Mem_stores 1
   | exception Memory.Fault { addr; _ } -> hw_fault Hw_exception.PF addr
 
 let eval t = function
@@ -153,15 +190,18 @@ let assertion_holds (kind : Instr.assert_kind) v =
 
 (* --- instruction execution ---------------------------------------------- *)
 
+(* [instruction_bytes] is 8, so index<->offset conversion is a shift;
+   misalignment is a [land] test.  Range is checked in Int64 before the
+   conversion to int: a bit-flipped RIP can put [off] beyond the native
+   int range, where [Int64.to_int] would wrap. *)
 let code_index ~code_base ~len rip =
   let off = Int64.sub rip code_base in
   if Int64.compare off 0L < 0 then hw_fault Hw_exception.PF rip
-  else
-    let bytes = Int64.of_int Program.instruction_bytes in
-    if Int64.rem off bytes <> 0L then hw_fault Hw_exception.UD rip
-    else
-      let idx = Int64.to_int (Int64.div off bytes) in
-      if idx >= len then hw_fault Hw_exception.PF rip else idx
+  else if Int64.logand off 7L <> 0L then hw_fault Hw_exception.UD rip
+  else if
+    Int64.compare off (Int64.of_int (len * Program.instruction_bytes)) >= 0
+  then hw_fault Hw_exception.PF rip
+  else Int64.to_int off lsr 3
 
 let rip_of_index ~code_base idx =
   Int64.add code_base (Int64.of_int (idx * Program.instruction_bytes))
@@ -173,18 +213,20 @@ let rip_of_index ~code_base idx =
 let retire_terminal t =
   t.steps <- t.steps + 1;
   t.tsc <- Int64.add t.tsc (Int64.of_int t.tsc_step);
-  count Pmu.Inst_retired 1 t
+  Pmu.add t.pmu_unit Pmu.Inst_retired 1
 
 let retire ?(n = 1) t fuel =
   t.steps <- t.steps + n;
   t.tsc <- Int64.add t.tsc (Int64.of_int (n * t.tsc_step));
-  count Pmu.Inst_retired n t;
+  Pmu.add t.pmu_unit Pmu.Inst_retired n;
   if t.steps > fuel then raise (Stopped Out_of_fuel)
 
-(* Update the def-use watch from the static read/write sets of the
-   instruction about to execute.  The instruction pointer is consumed
-   by every fetch, so a watched RIP activates immediately. *)
-let update_watch t instr =
+(* Update the def-use watch from the packed metadata word of the
+   instruction about to execute: two [land] tests against the read and
+   write register masks instead of walking allocated register lists.
+   The instruction pointer is consumed by every fetch, so a watched RIP
+   activates immediately (handled at the fetch site). *)
+let update_watch t meta =
   match t.watch with
   | None -> ()
   | Some w when w.fate <> Never_touched -> ()
@@ -192,16 +234,19 @@ let update_watch t instr =
       match w.target with
       | Reg.Rip -> w.fate <- Activated t.steps
       | Reg.Rflags ->
-          if Instr.reads_flags instr then w.fate <- Activated t.steps
-          else if Instr.writes_flags instr then w.fate <- Overwritten t.steps
+          if meta land Instr.meta_reads_flags_bit <> 0 then
+            w.fate <- Activated t.steps
+          else if meta land Instr.meta_writes_flags_bit <> 0 then
+            w.fate <- Overwritten t.steps
       | Reg.Gpr g ->
-          let mem reg list = List.mem reg list in
-          if mem g (Instr.regs_read instr) then w.fate <- Activated t.steps
-          else if mem g (Instr.regs_written instr) then
+          let bit = 1 lsl Reg.gpr_index g in
+          if meta land bit <> 0 then w.fate <- Activated t.steps
+          else if (meta lsr Instr.meta_write_shift) land bit <> 0 then
             w.fate <- Overwritten t.steps)
 
 let exec_alu t op dst src =
-  let a = eval t dst and b = eval t src in
+  let a = eval t dst in
+  let b = eval t src in
   let result =
     match (op : Instr.alu_op) with
     | Add -> Int64.add a b
@@ -327,8 +372,9 @@ let detection_latency r =
       | Halted -> None)
   | Some _ | None -> None
 
-let run t ~program ~code_base ?entry ?(fuel = 100_000) ?inject ?on_step () =
-  let len = Program.length program in
+(* --- run scaffolding shared by both engines ------------------------------ *)
+
+let start_run t ~program ~code_base ~entry =
   let entry_index =
     match entry with
     | None -> 0
@@ -338,38 +384,69 @@ let run t ~program ~code_base ?entry ?(fuel = 100_000) ?inject ?on_step () =
         | None -> raise (Program.Undefined_label label))
   in
   t.rip <- rip_of_index ~code_base entry_index;
+  t.code_base <- code_base;
   t.steps <- 0;
   t.watch <- None;
   Pmu.enable t.pmu_unit;
+  entry_index
+
+let make_injector t inject =
   let injected = ref false in
-  let maybe_inject () =
+  fun () ->
     match inject with
     | Some inj when (not !injected) && t.steps >= inj.inj_step ->
         injected := true;
         flip_register_bit t inj.inj_target inj.inj_bit;
         t.watch <- Some { target = inj.inj_target; fate = Never_touched }
     | Some _ | None -> ()
+
+(* The fetch consumes RIP, so a watched RIP activates at the fetch even
+   if the fetch itself faults. *)
+let watch_rip_fetch t =
+  match t.watch with
+  | Some ({ target = Reg.Rip; fate = Never_touched } as w) ->
+      w.fate <- Activated t.steps
+  | Some _ | None -> ()
+
+let finish_run t ~inject stop_reason =
+  Pmu.disable t.pmu_unit;
+  let activation =
+    match (inject, t.watch) with
+    | Some injection, Some w -> Some { injection; fate = w.fate }
+    | Some injection, None ->
+        (* Run ended before the injection step was reached. *)
+        Some { injection; fate = Never_touched }
+    | None, _ -> None
   in
+  {
+    stop = stop_reason;
+    steps = t.steps;
+    final_pmu = Pmu.snapshot t.pmu_unit;
+    activation;
+  }
+
+(* --- reference engine ---------------------------------------------------- *)
+
+let run t ~program ~code_base ?entry ?(fuel = 100_000) ?inject ?on_step () =
+  let len = Program.length program in
+  let meta = program.Program.meta in
+  let (_ : int) = start_run t ~program ~code_base ~entry in
+  let maybe_inject = make_injector t inject in
   let stop_reason =
     try
       let rec step () =
         maybe_inject ();
-        (* The fetch consumes RIP, so a watched RIP activates here even
-           if the fetch itself faults. *)
-        (match t.watch with
-        | Some ({ target = Reg.Rip; fate = Never_touched } as w) ->
-            w.fate <- Activated t.steps
-        | Some _ | None -> ());
+        watch_rip_fetch t;
         let idx = code_index ~code_base ~len t.rip in
         let instr = program.Program.code.(idx) in
-        update_watch t instr;
+        update_watch t meta.(idx);
         (match on_step with Some f -> f idx instr | None -> ());
         let next = rip_of_index ~code_base (idx + 1) in
         let goto target_idx = t.rip <- rip_of_index ~code_base target_idx in
         (* Loads and stores are counted at the access sites
            ([load_mem]/[store_mem]); only branch retirement is counted
            from the instruction shape. *)
-        if Instr.is_branch instr then count Pmu.Br_inst_retired 1 t;
+        if Instr.is_branch instr then Pmu.add t.pmu_unit Pmu.Br_inst_retired 1;
         t.rip <- next;
         (match instr with
         | Instr.Nop -> ()
@@ -387,10 +464,12 @@ let run t ~program ~code_base ?entry ?(fuel = 100_000) ?inject ?on_step () =
         | Instr.Bts (base, idx) -> exec_bit_op t base idx `Set
         | Instr.Btr (base, idx) -> exec_bit_op t base idx `Reset
         | Instr.Cmp (a, b) ->
-            let x = eval t a and y = eval t b in
+            let x = eval t a in
+            let y = eval t b in
             sub_flags t x y (Int64.sub x y)
         | Instr.Test (a, b) ->
-            let x = eval t a and y = eval t b in
+            let x = eval t a in
+            let y = eval t b in
             set_result_flags t (Int64.logand x y)
         | Instr.Inc dst ->
             let v = Int64.add (eval t dst) 1L in
@@ -422,7 +501,7 @@ let run t ~program ~code_base ?entry ?(fuel = 100_000) ?inject ?on_step () =
         | Instr.Jcc (c, target) -> if Cond.eval c t.rflags then goto target
         | Instr.Jmp_table (sel, targets) ->
             let v = eval t sel in
-            count Pmu.Mem_loads 1 t (* dispatch-table entry fetch *);
+            Pmu.add t.pmu_unit Pmu.Mem_loads 1 (* dispatch-table entry fetch *);
             if Int64.compare v 0L < 0
                || Int64.compare v (Int64.of_int (Array.length targets)) >= 0
             then hw_fault Hw_exception.GP v
@@ -453,7 +532,7 @@ let run t ~program ~code_base ?entry ?(fuel = 100_000) ?inject ?on_step () =
             raise (Stopped Halted)
         | Instr.Ud2 -> hw_fault Hw_exception.UD t.rip
         | Instr.Assert a ->
-            count Pmu.Br_inst_retired 1 t;
+            Pmu.add t.pmu_unit Pmu.Br_inst_retired 1;
             let v = eval t a.assert_src in
             if t.assertions_on && not (assertion_holds a.assert_kind v) then begin
               retire_terminal t;
@@ -468,21 +547,497 @@ let run t ~program ~code_base ?entry ?(fuel = 100_000) ?inject ?on_step () =
       step ()
     with Stopped reason -> reason
   in
-  Pmu.disable t.pmu_unit;
-  let activation =
-    match (inject, t.watch) with
-    | Some injection, Some w -> Some { injection; fate = w.fate }
-    | Some injection, None ->
-        (* Run ended before the injection step was reached. *)
-        Some { injection; fate = Never_touched }
-    | None, _ -> None
+  finish_run t ~inject stop_reason
+
+(* --- compiled (threaded-code) engine ------------------------------------- *)
+
+(* Each instruction of a program is pre-decoded once, at [compile]
+   time, into a closure [t -> unit] performing exactly the work of the
+   corresponding reference-interpreter match arm.  The driver loop then
+   dispatches through the closure array — no per-step shape matching,
+   no operand re-interpretation, no option tests in address
+   computation.  Closures capture only static data (register indices,
+   immediates, pre-scaled branch offsets); the one piece of dynamic
+   context, where the program is mapped, is read from [t.code_base],
+   which [start_run] sets.  A [compiled] value is therefore immutable
+   and safe to share across domains and across CPUs.
+
+   The closures keep three engine-private accounting contracts with
+   [run_compiled] (results stay bit-identical to the reference engine;
+   only *when* the bookkeeping happens differs):
+
+   - control flow goes through [t.next_idx]: the driver presets the
+     fall-through index, branch closures store their static target
+     index (and the RIP it denotes, for the injection-capable loop),
+     and [ret] — the only dynamic branch — stores -1 after writing
+     RIP.  Return addresses and UD fault addresses are static per
+     instruction slot, so no closure ever *reads* RIP;
+   - TSC is settled lazily as [run_tsc_base + steps * tsc_step]: only
+     [rdtsc] and the end of the run materialize it, instead of an
+     Int64 addition every step;
+   - INST_RETIRED is added once at the end of the run from the step
+     count, so terminal closures bump [t.steps] directly rather than
+     calling [retire_terminal]. *)
+
+type compiled = { source : Program.t; ops : (t -> unit) array }
+
+let compiled_source c = c.source
+
+(* Allocation-free flag writer.  [Flags.of_result] builds the new
+   RFLAGS image one {!Flags.set} at a time — five Int64 read-modify-
+   write rounds plus optional-argument wrapping, on every ALU/compare
+   step.  The compiled engine computes the five result bits in native
+   int arithmetic and merges them with two Int64 operations.  Bit
+   positions mirror [Flags.bit]: CF=0, PF=2, ZF=6, SF=7, OF=11. *)
+let cf_i = 0x1
+let pf_i = 0x4
+let zf_i = 0x40
+let sf_i = 0x80
+let of_i = 0x800
+let keep_mask = Int64.lognot 0x8C5L (* everything but CF|PF|ZF|SF|OF *)
+
+let result_bits ~carry ~overflow v =
+  (* Parity of the low byte by xor-folding; PF is set on even parity,
+     as [Flags.parity_low_byte] defines it. *)
+  let b = Int64.to_int v land 0xFF in
+  let p = b lxor (b lsr 4) in
+  let p = p lxor (p lsr 2) in
+  let p = p lxor (p lsr 1) in
+  (if Int64.equal v 0L then zf_i else 0)
+  lor (if Int64.compare v 0L < 0 then sf_i else 0)
+  lor (if p land 1 = 0 then pf_i else 0)
+  lor (if carry then cf_i else 0)
+  lor (if overflow then of_i else 0)
+
+let merge_flags t bits =
+  t.rflags <- Int64.logor (Int64.logand t.rflags keep_mask) (Int64.of_int bits)
+
+let set_result_flags_c t v =
+  merge_flags t (result_bits ~carry:false ~overflow:false v)
+
+let add_flags_c t a b r =
+  let carry = Int64.unsigned_compare r a < 0 in
+  let overflow =
+    Int64.compare (Int64.logand (Int64.logxor a r) (Int64.logxor b r)) 0L < 0
   in
-  {
-    stop = stop_reason;
-    steps = t.steps;
-    final_pmu = Pmu.snapshot t.pmu_unit;
-    activation;
-  }
+  merge_flags t (result_bits ~carry ~overflow r)
+
+let sub_flags_c t a b r =
+  let carry = Int64.unsigned_compare a b < 0 in
+  let overflow =
+    Int64.compare (Int64.logand (Int64.logxor a b) (Int64.logxor a r)) 0L < 0
+  in
+  merge_flags t (result_bits ~carry ~overflow r)
+
+(* Pre-decoded condition test over the int image of the flag bits —
+   the per-step equivalent of [Cond.eval] without the four [Flags.get]
+   Int64 bit-tests. *)
+let compile_cond (c : Cond.t) : int -> bool =
+  match c with
+  | Cond.E -> fun fl -> fl land zf_i <> 0
+  | Cond.NE -> fun fl -> fl land zf_i = 0
+  | Cond.L -> fun fl -> fl land sf_i <> 0 <> (fl land of_i <> 0)
+  | Cond.LE ->
+      fun fl -> fl land zf_i <> 0 || fl land sf_i <> 0 <> (fl land of_i <> 0)
+  | Cond.G ->
+      fun fl -> fl land zf_i = 0 && fl land sf_i <> 0 = (fl land of_i <> 0)
+  | Cond.GE -> fun fl -> fl land sf_i <> 0 = (fl land of_i <> 0)
+  | Cond.B -> fun fl -> fl land cf_i <> 0
+  | Cond.BE -> fun fl -> fl land cf_i <> 0 || fl land zf_i <> 0
+  | Cond.A -> fun fl -> fl land cf_i = 0 && fl land zf_i = 0
+  | Cond.AE -> fun fl -> fl land cf_i = 0
+  | Cond.S -> fun fl -> fl land sf_i <> 0
+  | Cond.NS -> fun fl -> fl land sf_i = 0
+
+let compile_ea (m : Operand.mem) =
+  let disp = m.disp in
+  match (m.base, m.index) with
+  | None, None -> fun _ -> disp
+  | Some b, None ->
+      let bi = Reg.gpr_index b in
+      fun t -> Int64.add t.regs.(bi) disp
+  | None, Some i ->
+      let ii = Reg.gpr_index i in
+      let scale = Int64.of_int m.scale in
+      fun t -> Int64.add (Int64.mul t.regs.(ii) scale) disp
+  | Some b, Some i ->
+      let bi = Reg.gpr_index b in
+      let ii = Reg.gpr_index i in
+      let scale = Int64.of_int m.scale in
+      fun t ->
+        Int64.add (Int64.add t.regs.(bi) (Int64.mul t.regs.(ii) scale)) disp
+
+let compile_eval = function
+  | Operand.Reg g ->
+      let i = Reg.gpr_index g in
+      fun t -> t.regs.(i)
+  | Operand.Imm v -> fun _ -> v
+  | Operand.Mem m ->
+      let ea = compile_ea m in
+      fun t -> load_mem t (ea t)
+
+let compile_write = function
+  | Operand.Reg g ->
+      let i = Reg.gpr_index g in
+      fun t v -> t.regs.(i) <- v
+  | Operand.Mem m ->
+      let ea = compile_ea m in
+      fun t v -> store_mem t (ea t) v
+  | Operand.Imm _ -> fun _ _ -> invalid_arg "Cpu: immediate as destination"
+
+let compile_instr idx (instr : int Instr.t) : t -> unit =
+  let self_off = Int64.of_int (idx * Program.instruction_bytes) in
+  let target_off i = Int64.of_int (i * Program.instruction_bytes) in
+  (* Offset of the instruction after this one: the return address a
+     [call] pushes and the faulting RIP a [ud2] reports, both already
+     advanced past the current instruction, exactly as the reference
+     engine observes them. *)
+  let next_off = target_off (idx + 1) in
+  match instr with
+  | Instr.Nop -> fun _ -> ()
+  | Instr.Mov (Operand.Reg d, Operand.Reg s) ->
+      let di = Reg.gpr_index d in
+      let si = Reg.gpr_index s in
+      fun t -> t.regs.(di) <- t.regs.(si)
+  | Instr.Mov (Operand.Reg d, Operand.Imm v) ->
+      let di = Reg.gpr_index d in
+      fun t -> t.regs.(di) <- v
+  | Instr.Mov (dst, src) ->
+      let ev = compile_eval src in
+      let wr = compile_write dst in
+      fun t -> wr t (ev t)
+  | Instr.Lea (g, op) -> (
+      match op with
+      | Operand.Mem m ->
+          let gi = Reg.gpr_index g in
+          let ea = compile_ea m in
+          fun t -> t.regs.(gi) <- ea t
+      | Operand.Reg _ | Operand.Imm _ ->
+          fun _ -> invalid_arg "Cpu: lea needs a memory operand")
+  | Instr.Alu (op, dst, src) -> (
+      let ed = compile_eval dst in
+      let es = compile_eval src in
+      let wr = compile_write dst in
+      match op with
+      | Instr.Add ->
+          fun t ->
+            let a = ed t in
+            let b = es t in
+            let r = Int64.add a b in
+            add_flags_c t a b r;
+            wr t r
+      | Instr.Sub ->
+          fun t ->
+            let a = ed t in
+            let b = es t in
+            let r = Int64.sub a b in
+            sub_flags_c t a b r;
+            wr t r
+      | Instr.And ->
+          fun t ->
+            let a = ed t in
+            let b = es t in
+            let r = Int64.logand a b in
+            set_result_flags_c t r;
+            wr t r
+      | Instr.Or ->
+          fun t ->
+            let a = ed t in
+            let b = es t in
+            let r = Int64.logor a b in
+            set_result_flags_c t r;
+            wr t r
+      | Instr.Xor ->
+          fun t ->
+            let a = ed t in
+            let b = es t in
+            let r = Int64.logxor a b in
+            set_result_flags_c t r;
+            wr t r)
+  | Instr.Shift (op, dst, n) -> (
+      let ed = compile_eval dst in
+      let wr = compile_write dst in
+      let n = n land 63 in
+      match op with
+      | Instr.Shl ->
+          fun t ->
+            let r = Int64.shift_left (ed t) n in
+            set_result_flags_c t r;
+            wr t r
+      | Instr.Shr ->
+          fun t ->
+            let r = Int64.shift_right_logical (ed t) n in
+            set_result_flags_c t r;
+            wr t r
+      | Instr.Sar ->
+          fun t ->
+            let r = Int64.shift_right (ed t) n in
+            set_result_flags_c t r;
+            wr t r)
+  | Instr.Shift_var (op, dst, cnt) -> (
+      let ed = compile_eval dst in
+      let wr = compile_write dst in
+      let ci = Reg.gpr_index cnt in
+      match op with
+      | Instr.Shl ->
+          fun t ->
+            let n = Int64.to_int (Int64.logand t.regs.(ci) 63L) in
+            let r = Int64.shift_left (ed t) n in
+            set_result_flags_c t r;
+            wr t r
+      | Instr.Shr ->
+          fun t ->
+            let n = Int64.to_int (Int64.logand t.regs.(ci) 63L) in
+            let r = Int64.shift_right_logical (ed t) n in
+            set_result_flags_c t r;
+            wr t r
+      | Instr.Sar ->
+          fun t ->
+            let n = Int64.to_int (Int64.logand t.regs.(ci) 63L) in
+            let r = Int64.shift_right (ed t) n in
+            set_result_flags_c t r;
+            wr t r)
+  | Instr.Bt (base, bidx) -> fun t -> exec_bit_op t base bidx `None
+  | Instr.Bts (base, bidx) -> fun t -> exec_bit_op t base bidx `Set
+  | Instr.Btr (base, bidx) -> fun t -> exec_bit_op t base bidx `Reset
+  | Instr.Cmp (a, b) ->
+      let ea' = compile_eval a in
+      let eb = compile_eval b in
+      fun t ->
+        let x = ea' t in
+        let y = eb t in
+        sub_flags_c t x y (Int64.sub x y)
+  | Instr.Test (a, b) ->
+      let ea' = compile_eval a in
+      let eb = compile_eval b in
+      fun t ->
+        let x = ea' t in
+        let y = eb t in
+        set_result_flags_c t (Int64.logand x y)
+  | Instr.Inc dst ->
+      let ed = compile_eval dst in
+      let wr = compile_write dst in
+      fun t ->
+        let v = Int64.add (ed t) 1L in
+        set_result_flags_c t v;
+        wr t v
+  | Instr.Dec dst ->
+      let ed = compile_eval dst in
+      let wr = compile_write dst in
+      fun t ->
+        let v = Int64.sub (ed t) 1L in
+        set_result_flags_c t v;
+        wr t v
+  | Instr.Neg dst ->
+      let ed = compile_eval dst in
+      let wr = compile_write dst in
+      fun t ->
+        let v = Int64.neg (ed t) in
+        set_result_flags_c t v;
+        wr t v
+  | Instr.Imul (g, src) ->
+      let gi = Reg.gpr_index g in
+      let es = compile_eval src in
+      fun t ->
+        let v = Int64.mul t.regs.(gi) (es t) in
+        set_result_flags_c t v;
+        t.regs.(gi) <- v
+  | Instr.Idiv src ->
+      let es = compile_eval src in
+      let rax = Reg.gpr_index Reg.RAX in
+      let rdx = Reg.gpr_index Reg.RDX in
+      fun t ->
+        let divisor = es t in
+        let dividend = t.regs.(rax) in
+        if divisor = 0L then hw_fault Hw_exception.DE 0L
+        else if dividend = Int64.min_int && divisor = -1L then
+          hw_fault Hw_exception.DE 0L
+        else begin
+          t.regs.(rax) <- Int64.div dividend divisor;
+          t.regs.(rdx) <- Int64.rem dividend divisor
+        end
+  | Instr.Jmp target ->
+      let off = target_off target in
+      fun t ->
+        t.rip <- Int64.add t.code_base off;
+        t.next_idx <- target
+  | Instr.Jcc (c, target) ->
+      let off = target_off target in
+      let test = compile_cond c in
+      fun t ->
+        if test (Int64.to_int t.rflags) then begin
+          t.rip <- Int64.add t.code_base off;
+          t.next_idx <- target
+        end
+  | Instr.Jmp_table (sel, targets) ->
+      let es = compile_eval sel in
+      let offs = Array.map target_off targets in
+      let n = Int64.of_int (Array.length targets) in
+      fun t ->
+        let v = es t in
+        Pmu.add t.pmu_unit Pmu.Mem_loads 1 (* dispatch-table entry fetch *);
+        if Int64.compare v 0L < 0 || Int64.compare v n >= 0 then
+          hw_fault Hw_exception.GP v
+        else begin
+          let i = Int64.to_int v in
+          t.rip <- Int64.add t.code_base offs.(i);
+          t.next_idx <- targets.(i)
+        end
+  | Instr.Call target ->
+      let off = target_off target in
+      fun t ->
+        (* The return address is static: the slot after this one.  If
+           the push faults, [next_idx] keeps the driver-preset
+           fall-through, matching the reference engine's RIP at the
+           fault. *)
+        exec_push t (Int64.add t.code_base next_off);
+        t.rip <- Int64.add t.code_base off;
+        t.next_idx <- target
+  | Instr.Ret ->
+      fun t ->
+        t.rip <- exec_pop t;
+        t.next_idx <- -1
+  | Instr.Push src ->
+      let es = compile_eval src in
+      fun t -> exec_push t (es t)
+  | Instr.Pop dst ->
+      let wr = compile_write dst in
+      fun t -> wr t (exec_pop t)
+  | Instr.Rep_movsq ->
+      fun t ->
+        if exec_rep_movsq t then begin
+          t.rip <- Int64.add t.code_base self_off;
+          t.next_idx <- idx
+        end
+  | Instr.Rep_stosq ->
+      fun t ->
+        if exec_rep_stosq t then begin
+          t.rip <- Int64.add t.code_base self_off;
+          t.next_idx <- idx
+        end
+  | Instr.Cpuid ->
+      fun t ->
+        let rax, rbx, rcx, rdx = t.cpuid_fn (get_gpr t Reg.RAX) in
+        set_gpr t Reg.RAX rax;
+        set_gpr t Reg.RBX rbx;
+        set_gpr t Reg.RCX rcx;
+        set_gpr t Reg.RDX rdx
+  | Instr.Rdtsc ->
+      let rax = Reg.gpr_index Reg.RAX in
+      let rdx = Reg.gpr_index Reg.RDX in
+      fun t ->
+        (* Materialize the lazily-maintained TSC: [t.steps] is the
+           number of instructions retired so far, exactly the count of
+           per-step [tsc_step] bumps the reference engine has applied
+           by the time rdtsc executes. *)
+        let tsc =
+          Int64.add t.run_tsc_base (Int64.of_int (t.steps * t.tsc_step))
+        in
+        t.tsc <- tsc;
+        t.regs.(rax) <- Int64.logand tsc 0xFFFFFFFFL;
+        t.regs.(rdx) <- Int64.shift_right_logical tsc 32
+  | Instr.Hlt ->
+      fun t ->
+        t.steps <- t.steps + 1;
+        raise (Stopped Halted)
+  | Instr.Ud2 -> fun t -> hw_fault Hw_exception.UD (Int64.add t.code_base next_off)
+  | Instr.Assert a ->
+      let ev = compile_eval a.Instr.assert_src in
+      let kind = a.Instr.assert_kind in
+      fun t ->
+        Pmu.add t.pmu_unit Pmu.Br_inst_retired 1;
+        let v = ev t in
+        if t.assertions_on && not (assertion_holds kind v) then begin
+          t.steps <- t.steps + 1;
+          raise (Stopped (Assertion_failure { assertion = a; observed = v }))
+        end
+  | Instr.Vmentry ->
+      fun t ->
+        t.steps <- t.steps + 1;
+        raise (Stopped Vm_entry)
+
+let compile program =
+  { source = program; ops = Array.mapi compile_instr program.Program.code }
+
+let run_compiled t ~compiled ~code_base ?entry ?(fuel = 100_000) ?inject
+    ?on_step () =
+  let program = compiled.source in
+  let ops = compiled.ops in
+  let meta = program.Program.meta in
+  let len = Array.length ops in
+  let entry_index = start_run t ~program ~code_base ~entry in
+  t.run_tsc_base <- t.tsc;
+  let br = ref 0 in
+  let stop_reason =
+    match (inject, on_step) with
+    | None, None -> (
+        (* Hot loop for the common case: no injection, no tracing (and
+           therefore no watch — only the injector arms one).  The loop
+           is driven by the instruction *index*: closures communicate
+           control flow through [t.next_idx], so a step is an array
+           load, a closure call and a few integer tests, with no RIP
+           decode, no Int64 allocation and no per-step PMU/TSC work.
+           RIP is materialized from the index only when the run stops;
+           [ret] (next_idx = -1) is the one branch whose target is
+           data and goes through the full RIP decode. *)
+        try
+          let rec step idx =
+            if idx >= len then begin
+              (* Fell off (or was sent past) the end of the program:
+                 same page fault the reference fetch raises. *)
+              t.next_idx <- idx;
+              hw_fault Hw_exception.PF (rip_of_index ~code_base idx)
+            end;
+            if meta.(idx) land Instr.meta_branch_bit <> 0 then incr br;
+            t.next_idx <- idx + 1;
+            ops.(idx) t;
+            t.steps <- t.steps + 1;
+            if t.steps > fuel then raise (Stopped Out_of_fuel);
+            let n = t.next_idx in
+            if n >= 0 then step n
+            else step (code_index ~code_base ~len t.rip)
+          in
+          step entry_index
+        with Stopped reason ->
+          (* Settle RIP where the reference engine would have left it:
+             the pending next index, unless [ret] already wrote RIP
+             itself. *)
+          if t.next_idx >= 0 then t.rip <- rip_of_index ~code_base t.next_idx;
+          reason)
+    | _ -> (
+        (* Injection- and tracing-capable loop: RIP stays authoritative
+           every step because the injector can flip bits in it and the
+           watch observes fetches. *)
+        let maybe_inject = make_injector t inject in
+        try
+          let rec step () =
+            maybe_inject ();
+            watch_rip_fetch t;
+            let idx = code_index ~code_base ~len t.rip in
+            let m = meta.(idx) in
+            update_watch t m;
+            (match on_step with
+            | Some f -> f idx program.Program.code.(idx)
+            | None -> ());
+            if m land Instr.meta_branch_bit <> 0 then incr br;
+            (* RIP was validated aligned and in range, so the next-RIP
+               is a plain +8 rather than a full index-to-address
+               conversion. *)
+            t.rip <- Int64.add t.rip 8L;
+            ops.(idx) t;
+            t.steps <- t.steps + 1;
+            if t.steps > fuel then raise (Stopped Out_of_fuel);
+            step ()
+          in
+          step ()
+        with Stopped reason -> reason)
+  in
+  (* Settle the batched accounting (see the compiled-engine header
+     comment) before the PMU snapshot. *)
+  Pmu.add t.pmu_unit Pmu.Inst_retired t.steps;
+  if !br > 0 then Pmu.add t.pmu_unit Pmu.Br_inst_retired !br;
+  t.tsc <- Int64.add t.run_tsc_base (Int64.of_int (t.steps * t.tsc_step));
+  finish_run t ~inject stop_reason
 
 let pp_stop ppf = function
   | Vm_entry -> Format.fprintf ppf "vm-entry"

@@ -45,6 +45,30 @@ val set_assertions_enabled : t -> bool -> unit
 
 val assertions_enabled : t -> bool
 
+(** {2 Engine selection}
+
+    Two interpreters execute programs with bit-identical semantics:
+
+    - [Ref], the reference engine: a per-step [match] over the
+      instruction shape ({!run}).  Simple, obviously correct, kept as
+      the oracle for differential testing.
+    - [Fast], the threaded-code engine: every instruction is
+      pre-decoded at {!compile} time into a closure, and the driver
+      loop dispatches through the closure array ({!run_compiled}).
+
+    The process default comes from the [XENTRY_ENGINE] environment
+    variable ([ref] or [fast]; default [fast]) and can be overridden
+    programmatically; the hypervisor and the CLI/bench [--engine]
+    flags consult it. *)
+
+type engine = Ref | Fast
+
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+
+val default_engine : unit -> engine
+val set_default_engine : engine -> unit
+
 type stop =
   | Vm_entry  (** reached the VM-entry boundary *)
   | Hw_fault of { exn : Hw_exception.t; detail : int64 }
@@ -97,6 +121,37 @@ val run :
     [inject] flips one register bit just before the given dynamic
     step; if the run stops earlier the injection never happens and
     [activation] reports [Never_touched] with the request echoed. *)
+
+(** {2 Threaded-code engine} *)
+
+type compiled
+(** A program pre-decoded into an array of execution closures plus the
+    packed per-instruction metadata from {!Xentry_isa.Program.t.meta}.
+    Immutable once built: safe to share across CPUs and across
+    domains, and therefore memoizable (keyed on
+    {!Xentry_isa.Program.t.uid}). *)
+
+val compile : Xentry_isa.Program.t -> compiled
+(** Pre-decode every instruction into a closure.  O(program length);
+    performed once per program, typically behind the hypervisor's
+    handler memo. *)
+
+val compiled_source : compiled -> Xentry_isa.Program.t
+
+val run_compiled :
+  t ->
+  compiled:compiled ->
+  code_base:int64 ->
+  ?entry:string ->
+  ?fuel:int ->
+  ?inject:injection ->
+  ?on_step:(int -> int Xentry_isa.Instr.t -> unit) ->
+  unit ->
+  run_result
+(** Exactly {!run}, executed by the threaded-code engine.  Produces
+    bit-identical results — same stop reason, step count, PMU
+    snapshot, registers and memory — for every program and injection
+    (enforced by a differential QCheck property in the test suite). *)
 
 val flip_register_bit : t -> Xentry_isa.Reg.arch -> int -> unit
 (** Unconditionally flip a bit in the live architectural state (used

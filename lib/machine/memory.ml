@@ -13,16 +13,69 @@ let page_bits = 12
    alias across a snapshot in either direction. *)
 type page = { data : Bytes.t; mutable owner : int }
 
-type t = { id : int; pages : (int64, page) Hashtbl.t }
+(* Software TLB: a direct-mapped translation cache (page number ->
+   Bytes.t) in front of the boxed-Int64 [Hashtbl] that backs the page
+   table.  Load/store/fetch paths hit the arrays below and skip both
+   the Int64 hashing and the [find_opt] option allocation.
+
+   Correctness hinges on invalidation, which is generation-based: an
+   entry is live only while its [gen] slot equals the memory's current
+   [generation].  The counter is bumped whenever a cached translation
+   could go stale wholesale:
+
+   - [copy] (snapshotting): the source loses ownership of every page,
+     so cached *write* translations would let it scribble on frozen
+     pages shared with the snapshot;
+   - [unmap_region]: cached translations would resurrect dead pages.
+
+   Privatisation (the first write to a shared/frozen page) replaces
+   only this memory's own binding, so it refreshes the affected slots
+   in place instead of bumping the generation.  The peer memory's TLB
+   is untouched — its binding still reaches the original record, which
+   nobody will mutate again. *)
+let tlb_bits = 7
+let tlb_slots = 1 lsl tlb_bits (* 128 *)
+
+type t = {
+  id : int;
+  pages : (int64, page) Hashtbl.t;
+  mutable generation : int;
+  (* read TLB: page may be shared; safe for loads only *)
+  r_tag : int64 array;
+  r_gen : int array;
+  r_data : Bytes.t array;
+  (* write TLB: page known owned by [id]; safe for in-place stores *)
+  w_tag : int64 array;
+  w_gen : int array;
+  w_data : Bytes.t array;
+}
 
 let frozen = 0
 let next_id = Atomic.make 1
 let fresh_id () = Atomic.fetch_and_add next_id 1
 
-let create () = { id = fresh_id (); pages = Hashtbl.create 64 }
+let no_bytes = Bytes.create 0
+
+let create () =
+  {
+    id = fresh_id ();
+    pages = Hashtbl.create 64;
+    (* Generation 1 with all-zero [gen] slots means a fresh TLB starts
+       empty without initializing the tag arrays to a sentinel. *)
+    generation = 1;
+    r_tag = Array.make tlb_slots 0L;
+    r_gen = Array.make tlb_slots 0;
+    r_data = Array.make tlb_slots no_bytes;
+    w_tag = Array.make tlb_slots 0L;
+    w_gen = Array.make tlb_slots 0;
+    w_data = Array.make tlb_slots no_bytes;
+  }
 
 let page_of addr = Int64.shift_right_logical addr page_bits
 let offset_of addr = Int64.to_int (Int64.logand addr 0xFFFL)
+let slot_of pn = Int64.to_int pn land (tlb_slots - 1)
+
+let flush_tlb t = t.generation <- t.generation + 1
 
 let map_region t ~addr ~size =
   if size < 0 then invalid_arg "Memory.map_region: negative size";
@@ -50,26 +103,60 @@ let unmap_region t ~addr ~size =
         go (Int64.add p 1L)
       end
     in
-    go first
+    go first;
+    flush_tlb t
   end
 
-let read_page t addr =
-  match Hashtbl.find_opt t.pages (page_of addr) with
-  | Some p -> p.data
+(* TLB fill helpers: record a translation at the current generation. *)
+let fill_read t slot pn data =
+  t.r_tag.(slot) <- pn;
+  t.r_gen.(slot) <- t.generation;
+  t.r_data.(slot) <- data
+
+let fill_write t slot pn data =
+  t.w_tag.(slot) <- pn;
+  t.w_gen.(slot) <- t.generation;
+  t.w_data.(slot) <- data
+
+let read_page_slow t addr pn slot =
+  match Hashtbl.find_opt t.pages pn with
+  | Some p ->
+      fill_read t slot pn p.data;
+      p.data
   | None -> raise (Fault { addr; write = false })
+
+let read_page t addr =
+  let pn = page_of addr in
+  let slot = slot_of pn in
+  if t.r_gen.(slot) = t.generation && Int64.equal t.r_tag.(slot) pn then
+    t.r_data.(slot)
+  else read_page_slow t addr pn slot
 
 (* The write path's copy-on-write step: a page this memory does not
    own is duplicated into a private binding before the first byte is
-   touched. *)
-let write_page t addr =
-  let key = page_of addr in
-  match Hashtbl.find_opt t.pages key with
-  | Some p when p.owner = t.id -> p.data
+   touched.  Both TLB slots are refreshed with the private bytes —
+   critically the *read* slot, which may still hold the shared
+   record's data. *)
+let write_page_slow t addr pn slot =
+  match Hashtbl.find_opt t.pages pn with
+  | Some p when p.owner = t.id ->
+      fill_write t slot pn p.data;
+      fill_read t slot pn p.data;
+      p.data
   | Some p ->
       let priv = { data = Bytes.copy p.data; owner = t.id } in
-      Hashtbl.replace t.pages key priv;
+      Hashtbl.replace t.pages pn priv;
+      fill_write t slot pn priv.data;
+      fill_read t slot pn priv.data;
       priv.data
   | None -> raise (Fault { addr; write = true })
+
+let write_page t addr =
+  let pn = page_of addr in
+  let slot = slot_of pn in
+  if t.w_gen.(slot) = t.generation && Int64.equal t.w_tag.(slot) pn then
+    t.w_data.(slot)
+  else write_page_slow t addr pn slot
 
 let is_mapped t addr = Hashtbl.mem t.pages (page_of addr)
 
@@ -156,9 +243,16 @@ let region_equal a b ~addr ~len = first_difference a b ~addr ~len = None
 
 let copy t =
   (* Freeze: after the snapshot neither side owns the shared pages, so
-     the first write on either side duplicates rather than mutates. *)
+     the first write on either side duplicates rather than mutates.
+     The source's cached translations die with the generation bump:
+     stale write entries would bypass the ownership check and scribble
+     on pages the snapshot now shares.  (Read entries are collateral
+     damage — they still point at the right bytes — but one wholesale
+     bump is cheaper than a tagged flush and [copy] is not a hot
+     path.) *)
   Hashtbl.iter (fun _ p -> p.owner <- frozen) t.pages;
-  { id = fresh_id (); pages = Hashtbl.copy t.pages }
+  flush_tlb t;
+  { (create ()) with pages = Hashtbl.copy t.pages }
 
 let mapped_bytes t = Hashtbl.length t.pages * page_size
 
@@ -166,3 +260,5 @@ let private_pages t =
   Hashtbl.fold (fun _ p acc -> if p.owner = t.id then acc + 1 else acc) t.pages 0
 
 let page_count t = Hashtbl.length t.pages
+
+let tlb_generation t = t.generation

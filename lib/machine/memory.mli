@@ -67,3 +67,9 @@ val private_pages : t -> int
     snapshot involving them); [page_count t - private_pages t] pages
     are shared with or frozen by snapshots.  Observability hook for
     benchmarks and the copy-on-write tests. *)
+
+val tlb_generation : t -> int
+(** Current generation of the software TLB fronting the page table.
+    Translations cached at an older generation are dead; {!copy} and
+    {!unmap_region} bump it.  Observability hook for the TLB
+    invalidation tests. *)

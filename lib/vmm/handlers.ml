@@ -641,22 +641,28 @@ let build ~hardened reason =
       B.exit_audit ~hardened ctx b;
       B.epilogue b)
 
-(* Synthesized programs are immutable once built; the cache itself is
+(* The memo now caches *compiled* programs: synthesizing a handler and
+   pre-decoding it into the threaded-code engine's closure array happen
+   together, once per (reason, hardened) pair, so both engines draw
+   from the same cache ([program] projects the source back out).
+   Compiled programs are immutable once built; the cache itself is
    mutated from every campaign worker domain, so probes and inserts
    are serialized (building twice would be harmless, a torn Hashtbl
    resize would not). *)
-let cache : (int * bool, Program.t) Hashtbl.t = Hashtbl.create 197
+let cache : (int * bool, Cpu.compiled) Hashtbl.t = Hashtbl.create 197
 let cache_mutex = Mutex.create ()
 
-let program ?(hardened = false) reason =
+let compiled ?(hardened = false) reason =
   let key = (Exit_reason.to_id reason, hardened) in
   Mutex.protect cache_mutex (fun () ->
       match Hashtbl.find_opt cache key with
-      | Some p -> p
+      | Some c -> c
       | None ->
-          let p = build ~hardened reason in
-          Hashtbl.replace cache key p;
-          p)
+          let c = Cpu.compile (build ~hardened reason) in
+          Hashtbl.replace cache key c;
+          c)
+
+let program ?hardened reason = Cpu.compiled_source (compiled ?hardened reason)
 
 let all_programs ?(hardened = false) () =
   Array.map (fun reason -> (reason, program ~hardened reason)) Exit_reason.all

@@ -29,6 +29,11 @@ val program : ?hardened:bool -> Exit_reason.t -> Xentry_isa.Program.t
     frame-copy verification, rdtsc-variation checks and duplicated
     time computations. *)
 
+val compiled : ?hardened:bool -> Exit_reason.t -> Xentry_machine.Cpu.compiled
+(** The same handler pre-decoded for the threaded-code engine.  The
+    memo caches compiled programs, so [program] and [compiled] for one
+    key always refer to the same underlying {!Xentry_isa.Program.t}. *)
+
 val all_programs :
   ?hardened:bool -> unit -> (Exit_reason.t * Xentry_isa.Program.t) array
 (** Every reason's handler, in id order. *)

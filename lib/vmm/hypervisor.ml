@@ -8,11 +8,13 @@ type t = {
   sched : Scheduler.t;
   rng : Rng.t;
   hardened : bool;
+  engine : Cpu.engine;
   mutable exits : int;
 }
 
 let memory t = t.mem
 let cpu t = t.cpu
+let engine t = t.engine
 let domains t = t.doms
 let scheduler t = t.sched
 let exits_handled t = t.exits
@@ -98,7 +100,11 @@ let init_bindings t =
       (Int64.of_int port)
   done
 
-let create ?(seed = 2014) ?(cpus = 1) ?(domains = 3) ?(hardened = false) () =
+let create ?(seed = 2014) ?(cpus = 1) ?(domains = 3) ?(hardened = false)
+    ?engine () =
+  let engine =
+    match engine with Some e -> e | None -> Cpu.default_engine ()
+  in
   let mem = Memory.create () in
   Layout.map_host mem ~cpus ~domains;
   let doms =
@@ -121,7 +127,7 @@ let create ?(seed = 2014) ?(cpus = 1) ?(domains = 3) ?(hardened = false) () =
       (List.init domains (fun d -> ({ Scheduler.dom = d; vcpu = 0 }, 256)))
   in
   let cpu = Cpu.create ~cpu_id:0 mem in
-  let t = { mem; cpu; doms; sched; rng; hardened; exits = 0 } in
+  let t = { mem; cpu; doms; sched; rng; hardened; engine; exits = 0 } in
   init_bindings t;
   fill_guest_buffer mem rng 512;
   publish_current t;
@@ -223,9 +229,15 @@ let seed_cpu t (req : Request.t) =
 let execute t ?inject ?(fuel = 50_000) ?on_step (req : Request.t) =
   seed_cpu t req;
   t.exits <- t.exits + 1;
-  Cpu.run t.cpu
-    ~program:(Handlers.program ~hardened:t.hardened req.Request.reason)
-    ~code_base:Layout.code_base ?inject ~fuel ?on_step ()
+  match t.engine with
+  | Cpu.Fast ->
+      Cpu.run_compiled t.cpu
+        ~compiled:(Handlers.compiled ~hardened:t.hardened req.Request.reason)
+        ~code_base:Layout.code_base ?inject ~fuel ?on_step ()
+  | Cpu.Ref ->
+      Cpu.run t.cpu
+        ~program:(Handlers.program ~hardened:t.hardened req.Request.reason)
+        ~code_base:Layout.code_base ?inject ~fuel ?on_step ()
 
 let causes_reschedule (req : Request.t) =
   match req.Request.reason with
@@ -262,6 +274,7 @@ let clone t =
     sched = Scheduler.copy t.sched;
     rng = Rng.copy t.rng;
     hardened = t.hardened;
+    engine = t.engine;
     exits = t.exits;
   }
 

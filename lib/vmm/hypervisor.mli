@@ -25,14 +25,26 @@
 type t
 
 val create :
-  ?seed:int -> ?cpus:int -> ?domains:int -> ?hardened:bool -> unit -> t
+  ?seed:int ->
+  ?cpus:int ->
+  ?domains:int ->
+  ?hardened:bool ->
+  ?engine:Xentry_machine.Cpu.engine ->
+  unit ->
+  t
 (** [create ()] builds a host with [domains] guests (default 3: Dom0 +
     two DomUs, the paper's setup) and [cpus] CPUs (default 1 —
     handler execution is per-CPU).  [seed] drives deterministic
     initialization of buffers and bindings.  [hardened] selects the
-    selective-duplication handler variants (paper SVI future work). *)
+    selective-duplication handler variants (paper SVI future work).
+    [engine] picks the interpreter {!execute} dispatches to (default:
+    {!Xentry_machine.Cpu.default_engine}, i.e. the [XENTRY_ENGINE]
+    environment variable or the fast threaded-code engine); {!clone}
+    preserves it. *)
 
 val is_hardened : t -> bool
+
+val engine : t -> Xentry_machine.Cpu.engine
 
 val memory : t -> Xentry_machine.Memory.t
 val cpu : t -> Xentry_machine.Cpu.t

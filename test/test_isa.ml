@@ -235,6 +235,76 @@ let test_instr_map_label () =
   | Instr.Jcc (Cond.E, 6) -> ()
   | _ -> Alcotest.fail "map_label did not transform"
 
+let test_instr_metadata_packs_lists () =
+  (* The packed metadata word must agree field-for-field with the
+     list/predicate view of the same instruction, for one instance of
+     every constructor the interpreter dispatches on. *)
+  let open Reg in
+  let samples : string Instr.t list =
+    [
+      Instr.Nop;
+      Instr.Mov (Operand.mem RDI, Operand.reg RAX);
+      Instr.Lea (RBX, Operand.mem ~index:RCX ~scale:8 RSI);
+      Instr.Alu (Instr.Add, Operand.reg RAX, Operand.mem RSI);
+      Instr.Shift (Instr.Shl, Operand.reg RDX, 3);
+      Instr.Shift_var (Instr.Sar, Operand.reg RDX, RCX);
+      Instr.Bt (Operand.mem RSI, Operand.reg RAX);
+      Instr.Bts (Operand.reg RBX, Operand.imm 5L);
+      Instr.Btr (Operand.reg RBX, Operand.imm 5L);
+      Instr.Cmp (Operand.reg R8, Operand.imm 1L);
+      Instr.Test (Operand.reg R9, Operand.reg R10);
+      Instr.Inc (Operand.reg R11);
+      Instr.Dec (Operand.mem RDI);
+      Instr.Neg (Operand.reg R12);
+      Instr.Imul (R13, Operand.reg R14);
+      Instr.Idiv (Operand.reg R15);
+      Instr.Jmp "l";
+      Instr.Jcc (Cond.LE, "l");
+      Instr.Jmp_table (Operand.reg RAX, [| "a"; "b" |]);
+      Instr.Call "l";
+      Instr.Ret;
+      Instr.Push (Operand.reg RBP);
+      Instr.Pop (Operand.reg RBP);
+      Instr.Rep_movsq;
+      Instr.Rep_stosq;
+      Instr.Cpuid;
+      Instr.Rdtsc;
+      Instr.Hlt;
+      Instr.Ud2;
+      Instr.Assert
+        {
+          Instr.assert_id = 1;
+          assert_name = "m";
+          assert_src = Operand.reg RAX;
+          assert_kind = Instr.Assert_nonzero;
+        };
+      Instr.Vmentry;
+    ]
+  in
+  let mask_of regs =
+    List.fold_left (fun acc g -> acc lor (1 lsl Reg.gpr_index g)) 0 regs
+  in
+  List.iteri
+    (fun k i ->
+      let ctx msg = Printf.sprintf "sample %d: %s" k msg in
+      let m = Instr.metadata i in
+      Alcotest.(check int) (ctx "read mask") (mask_of (Instr.regs_read i))
+        (m land 0xFFFF);
+      Alcotest.(check int) (ctx "read_mask fn agrees") (Instr.read_mask i)
+        (m land 0xFFFF);
+      Alcotest.(check int) (ctx "write mask")
+        (mask_of (Instr.regs_written i))
+        ((m lsr Instr.meta_write_shift) land 0xFFFF);
+      Alcotest.(check int) (ctx "write_mask fn agrees") (Instr.write_mask i)
+        ((m lsr Instr.meta_write_shift) land 0xFFFF);
+      Alcotest.(check bool) (ctx "branch bit") (Instr.is_branch i)
+        (m land Instr.meta_branch_bit <> 0);
+      Alcotest.(check bool) (ctx "reads-flags bit") (Instr.reads_flags i)
+        (m land Instr.meta_reads_flags_bit <> 0);
+      Alcotest.(check bool) (ctx "writes-flags bit") (Instr.writes_flags i)
+        (m land Instr.meta_writes_flags_bit <> 0))
+    samples
+
 (* --- Program / Asm -------------------------------------------------------------- *)
 
 let test_asm_label_resolution () =
@@ -374,6 +444,8 @@ let () =
           Alcotest.test_case "jcc reads flags" `Quick test_instr_jcc_reads_flags;
           Alcotest.test_case "loads/stores" `Quick test_instr_loads_stores;
           Alcotest.test_case "map_label" `Quick test_instr_map_label;
+          Alcotest.test_case "metadata packs lists" `Quick
+            test_instr_metadata_packs_lists;
         ] );
       ( "program",
         [

@@ -124,6 +124,79 @@ let test_memory_cow_clone_chain () =
     (Memory.load64 b 0x1000L);
   Alcotest.(check int64) "leaf isolated" 3L (Memory.load64 c 0x1000L)
 
+(* --- Memory: software TLB invalidation ------------------------------------- *)
+
+let test_tlb_generation_bumps () =
+  let m = Memory.create () in
+  Memory.map_region m ~addr:0x1000L ~size:4096;
+  let g0 = Memory.tlb_generation m in
+  ignore (Memory.copy m);
+  let g1 = Memory.tlb_generation m in
+  Alcotest.(check bool) "copy bumps the generation" true (g1 > g0);
+  Memory.unmap_region m ~addr:0x1000L ~size:4096;
+  Alcotest.(check bool) "unmap bumps the generation" true
+    (Memory.tlb_generation m > g1)
+
+let test_tlb_no_stale_after_snapshot () =
+  (* Warm the parent's read and write TLB slots, snapshot, then write
+     the parent again: the cached (pre-snapshot) translation must not
+     let the write reach the now-shared page, and the child must keep
+     reading the snapshot value. *)
+  let m = Memory.create () in
+  Memory.map_region m ~addr:0x1000L ~size:4096;
+  Memory.store64 m 0x1000L 1L (* warm write TLB *);
+  ignore (Memory.load64 m 0x1000L) (* warm read TLB *);
+  let c = Memory.copy m in
+  Memory.store64 m 0x1000L 2L (* must miss and re-privatise *);
+  Alcotest.(check int64) "child reads the snapshot value" 1L
+    (Memory.load64 c 0x1000L);
+  Alcotest.(check int64) "parent sees its new value" 2L (Memory.load64 m 0x1000L)
+
+let test_tlb_privatisation_refreshes_read_slot () =
+  (* After the copy reads a shared page (read TLB now points at the
+     parent-owned bytes), its first write duplicates the page; a later
+     read must see the private bytes, not the cached shared ones. *)
+  let m = Memory.create () in
+  Memory.map_region m ~addr:0x1000L ~size:4096;
+  Memory.store64 m 0x1000L 5L;
+  let c = Memory.copy m in
+  ignore (Memory.load64 c 0x1000L) (* cache the shared translation *);
+  Memory.store64 c 0x1000L 6L (* COW duplication *);
+  Alcotest.(check int64) "copy reads its own write" 6L (Memory.load64 c 0x1000L);
+  Alcotest.(check int64) "parent undisturbed" 5L (Memory.load64 m 0x1000L)
+
+let test_tlb_unmap_faults_after_warm () =
+  let m = Memory.create () in
+  Memory.map_region m ~addr:0x1000L ~size:4096;
+  Memory.store64 m 0x1000L 9L;
+  ignore (Memory.load64 m 0x1000L);
+  Memory.unmap_region m ~addr:0x1000L ~size:4096;
+  (match Memory.load64 m 0x1000L with
+  | _ -> Alcotest.fail "expected read fault after unmap"
+  | exception Memory.Fault _ -> ());
+  match Memory.store64 m 0x1000L 1L with
+  | _ -> Alcotest.fail "expected write fault after unmap"
+  | exception Memory.Fault _ -> ()
+
+let test_tlb_clone_chain_no_stale () =
+  (* a -> b -> c snapshot chain with translations cached at every
+     level before each copy; writes must stay isolated exactly as in
+     the eager-copy model. *)
+  let a = Memory.create () in
+  Memory.map_region a ~addr:0x1000L ~size:4096;
+  Memory.store64 a 0x1000L 1L;
+  ignore (Memory.load64 a 0x1000L);
+  let b = Memory.copy a in
+  ignore (Memory.load64 b 0x1000L);
+  let c = Memory.copy b in
+  ignore (Memory.load64 c 0x1000L);
+  Memory.store64 b 0x1000L 2L;
+  Memory.store64 c 0x1000L 3L;
+  Memory.store64 a 0x1000L 4L;
+  Alcotest.(check int64) "grandparent isolated" 4L (Memory.load64 a 0x1000L);
+  Alcotest.(check int64) "middle isolated" 2L (Memory.load64 b 0x1000L);
+  Alcotest.(check int64) "leaf isolated" 3L (Memory.load64 c 0x1000L)
+
 let test_memory_first_difference () =
   let a = Memory.create () and b = Memory.create () in
   Memory.map_region a ~addr:0x1000L ~size:4096;
@@ -869,14 +942,256 @@ let prop_cow_copy_matches_independent_model =
       let image m = Memory.blit_out m ~addr:0x1000L ~len:region in
       image cow_parent = image ref_parent && image cow_copy = image ref_copy)
 
+let prop_tlb_cow_with_reads =
+  (* Like the COW model property, but interleaving *reads* with the
+     writes so the software TLB caches translations at every point of
+     the sequence — a stale cached page would surface as a read that
+     disagrees with the eager-copy model.  Each op is
+     (is_read, to_copy, page, offset, value). *)
+  QCheck.Test.make ~name:"software TLB never serves stale COW pages" ~count:100
+    QCheck.(
+      list_of_size
+        Gen.(int_range 0 40)
+        (pair bool (quad bool (int_range 0 3) (int_range 0 4088) int64)))
+    (fun ops ->
+      let region = 4 * 4096 in
+      let seed_mem () =
+        let m = Memory.create () in
+        Memory.map_region m ~addr:0x1000L ~size:region;
+        Memory.store64 m 0x1000L 0x5EEDL;
+        m
+      in
+      let cow_parent = seed_mem () in
+      let cow_copy = Memory.copy cow_parent in
+      let ref_parent = seed_mem () in
+      let ref_copy = seed_mem () in
+      List.for_all
+        (fun (is_read, (to_copy, page, off, v)) ->
+          let addr = Int64.of_int (0x1000 + (page * 4096) + off) in
+          let cow, eager =
+            if to_copy then (cow_copy, ref_copy) else (cow_parent, ref_parent)
+          in
+          if is_read then Memory.load64 cow addr = Memory.load64 eager addr
+          else begin
+            Memory.store64 cow addr v;
+            Memory.store64 eager addr v;
+            true
+          end)
+        ops
+      &&
+      let image m = Memory.blit_out m ~addr:0x1000L ~len:region in
+      image cow_parent = image ref_parent && image cow_copy = image ref_copy)
+
+(* --- qcheck: compiled engine vs reference engine ------------------------------ *)
+
+(* Random programs over the full ISA, with a label on every slot so
+   any generated branch target resolves.  Memory operands are based on
+   registers seeded to point into the mapped data region, so accesses
+   usually hit mapped pages until the program (or an injection)
+   perturbs the base — which is exactly how the fault paths get
+   compared too.  Roughly a third of the cases carry no injection and
+   exercise the compiled engine's index-driven hot loop; the rest take
+   the injection-capable loop. *)
+
+let diff_gpr_gen = QCheck.Gen.oneofl (Array.to_list Reg.all_gprs)
+
+let diff_imm_gen =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map Int64.of_int (QCheck.Gen.int_range (-256) 256);
+      QCheck.Gen.oneofl [ 0L; 1L; -1L; Int64.min_int; Int64.max_int; data_base ];
+    ]
+
+let diff_mem_gen =
+  let open QCheck.Gen in
+  oneofl [ Reg.RSI; Reg.RDI; Reg.RBP ] >>= fun base ->
+  int_range 0 192 >>= fun disp ->
+  let disp = Int64.of_int disp in
+  bool >>= fun indexed ->
+  if indexed then
+    oneofl [ Reg.RBX; Reg.RCX ] >>= fun index ->
+    oneofl [ 1; 2; 4; 8 ] >>= fun scale ->
+    return (Operand.mem ~index ~scale ~disp base)
+  else return (Operand.mem ~disp base)
+
+let diff_dst_gen =
+  QCheck.Gen.frequency
+    [ (5, QCheck.Gen.map Operand.reg diff_gpr_gen); (2, diff_mem_gen) ]
+
+let diff_src_gen =
+  QCheck.Gen.frequency
+    [
+      (4, QCheck.Gen.map Operand.reg diff_gpr_gen);
+      (3, QCheck.Gen.map Operand.imm diff_imm_gen);
+      (2, diff_mem_gen);
+    ]
+
+let diff_instr_gen n =
+  let open QCheck.Gen in
+  let target = map (fun j -> "L" ^ string_of_int j) (int_range 0 n) in
+  let bit_base =
+    (* No immediate base: that is a programming error ([invalid_arg])
+       in both engines, not an architectural path. *)
+    frequency [ (3, map Operand.reg diff_gpr_gen); (1, diff_mem_gen) ]
+  in
+  frequency
+    [
+      (6, map2 (fun d s -> Instr.Mov (d, s)) diff_dst_gen diff_src_gen);
+      (1, map2 (fun g m -> Instr.Lea (g, m)) diff_gpr_gen diff_mem_gen);
+      ( 5,
+        map3
+          (fun op d s -> Instr.Alu (op, d, s))
+          (oneofl [ Instr.Add; Instr.Sub; Instr.And; Instr.Or; Instr.Xor ])
+          diff_dst_gen diff_src_gen );
+      ( 2,
+        map3
+          (fun op d k -> Instr.Shift (op, d, k))
+          (oneofl [ Instr.Shl; Instr.Shr; Instr.Sar ])
+          diff_dst_gen (int_range 0 70) );
+      ( 1,
+        map3
+          (fun op d g -> Instr.Shift_var (op, d, g))
+          (oneofl [ Instr.Shl; Instr.Shr; Instr.Sar ])
+          diff_dst_gen diff_gpr_gen );
+      (1, map2 (fun b i -> Instr.Bt (b, i)) bit_base diff_src_gen);
+      (1, map2 (fun b i -> Instr.Bts (b, i)) bit_base diff_src_gen);
+      (1, map2 (fun b i -> Instr.Btr (b, i)) bit_base diff_src_gen);
+      (2, map2 (fun a b -> Instr.Cmp (a, b)) diff_src_gen diff_src_gen);
+      (2, map2 (fun a b -> Instr.Test (a, b)) diff_src_gen diff_src_gen);
+      (1, map (fun d -> Instr.Inc d) diff_dst_gen);
+      (1, map (fun d -> Instr.Dec d) diff_dst_gen);
+      (1, map (fun d -> Instr.Neg d) diff_dst_gen);
+      (1, map2 (fun g s -> Instr.Imul (g, s)) diff_gpr_gen diff_src_gen);
+      (1, map (fun s -> Instr.Idiv s) diff_src_gen);
+      (2, map (fun l -> Instr.Jmp l) target);
+      ( 3,
+        map2
+          (fun c l -> Instr.Jcc (c, l))
+          (oneofl (Array.to_list Cond.all))
+          target );
+      ( 1,
+        map2
+          (fun s ls -> Instr.Jmp_table (s, ls))
+          diff_src_gen
+          (array_size (int_range 1 3) target) );
+      (1, map (fun l -> Instr.Call l) target);
+      (1, return Instr.Ret);
+      (2, map (fun s -> Instr.Push s) diff_src_gen);
+      (1, map (fun d -> Instr.Pop d) diff_dst_gen);
+      (1, return Instr.Rep_movsq);
+      (1, return Instr.Rep_stosq);
+      (1, return Instr.Cpuid);
+      (1, return Instr.Rdtsc);
+      ( 1,
+        map2
+          (fun src kind ->
+            Instr.Assert
+              {
+                Instr.assert_id = 1;
+                assert_name = "diff";
+                assert_src = src;
+                assert_kind = kind;
+              })
+          diff_src_gen
+          (oneof
+             [
+               map2 (fun a b -> Instr.Assert_range (a, b)) diff_imm_gen diff_imm_gen;
+               return Instr.Assert_nonzero;
+               return Instr.Assert_zero;
+               map (fun v -> Instr.Assert_equals v) diff_imm_gen;
+               map (fun k -> Instr.Assert_aligned k) (int_range 0 8);
+             ]) );
+      (1, return Instr.Nop);
+      (1, return Instr.Hlt);
+      (1, return Instr.Ud2);
+      (1, return Instr.Vmentry);
+    ]
+
+let diff_inject_gen =
+  let open QCheck.Gen in
+  map3
+    (fun r b s ->
+      { Cpu.inj_target = Reg.all_arch.(r); inj_bit = b; inj_step = s })
+    (int_range 0 (Array.length Reg.all_arch - 1))
+    (int_range 0 63) (int_range 0 40)
+
+let diff_case_gen =
+  let open QCheck.Gen in
+  int_range 1 20 >>= fun n ->
+  list_repeat n (diff_instr_gen n) >>= fun instrs ->
+  bool >>= fun fall_off ->
+  frequency [ (1, return None); (2, map Option.some diff_inject_gen) ]
+  >>= fun inject -> return (instrs, fall_off, inject)
+
+let diff_case_print (instrs, fall_off, inject) =
+  let pp_instr = Instr.pp Format.pp_print_string in
+  Format.asprintf "@[<v>%a@]%s%s"
+    (Format.pp_print_list pp_instr)
+    instrs
+    (if fall_off then "\n(no trailing vmentry)" else "")
+    (match inject with
+    | None -> ""
+    | Some i ->
+        Format.asprintf "\ninject{%s bit %d step %d}"
+          (Reg.arch_name i.Cpu.inj_target)
+          i.Cpu.inj_bit i.Cpu.inj_step)
+
+let diff_build_program instrs fall_off =
+  Program.assemble "diff" (fun b ->
+      List.iteri
+        (fun i ins ->
+          Program.Asm.label b ("L" ^ string_of_int i);
+          Program.Asm.emit b ins)
+        instrs;
+      Program.Asm.label b ("L" ^ string_of_int (List.length instrs));
+      (* Half the programs fall off the end instead, covering the
+         past-the-end fetch fault in both engines. *)
+      if not fall_off then Program.Asm.emit b Instr.Vmentry)
+
+let diff_seeded_cpu () =
+  let cpu = fresh_cpu () in
+  Cpu.set_gpr cpu Reg.RSI data_base;
+  Cpu.set_gpr cpu Reg.RDI (Int64.add data_base 0x800L);
+  Cpu.set_gpr cpu Reg.RBP (Int64.add data_base 0x100L);
+  Cpu.set_gpr cpu Reg.RCX 3L;
+  Memory.store64 (Cpu.memory cpu) data_base 0x5EEDL;
+  cpu
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"compiled engine matches reference engine" ~count:1500
+    (QCheck.make ~print:diff_case_print diff_case_gen)
+    (fun (instrs, fall_off, inject) ->
+      let p = diff_build_program instrs fall_off in
+      let compiled = Cpu.compile p in
+      let a = diff_seeded_cpu () in
+      let b = diff_seeded_cpu () in
+      let ra = Cpu.run a ~program:p ~code_base ~fuel:300 ?inject () in
+      let rb = Cpu.run_compiled b ~compiled ~code_base ~fuel:300 ?inject () in
+      ra.Cpu.stop = rb.Cpu.stop
+      && ra.Cpu.steps = rb.Cpu.steps
+      && ra.Cpu.final_pmu = rb.Cpu.final_pmu
+      && ra.Cpu.activation = rb.Cpu.activation
+      && Array.for_all
+           (fun g -> Cpu.get_gpr a g = Cpu.get_gpr b g)
+           Reg.all_gprs
+      && Cpu.get_rip a = Cpu.get_rip b
+      && Cpu.get_rflags a = Cpu.get_rflags b
+      && Cpu.get_tsc a = Cpu.get_tsc b
+      && Memory.region_equal (Cpu.memory a) (Cpu.memory b) ~addr:0x10000L
+           ~len:0x10000
+      && Memory.region_equal (Cpu.memory a) (Cpu.memory b) ~addr:data_base
+           ~len:0x10000)
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
       [
         prop_memory_roundtrip;
         prop_cow_copy_matches_independent_model;
+        prop_tlb_cow_with_reads;
         prop_loop_iterations_match_counter;
         prop_injection_preserves_or_detects;
+        prop_engines_agree;
       ]
   in
   Alcotest.run "xentry_machine"
@@ -900,6 +1215,15 @@ let () =
           Alcotest.test_case "first difference" `Quick test_memory_first_difference;
           Alcotest.test_case "mapped vs unmapped differ" `Quick
             test_memory_region_equal_unmapped_vs_mapped;
+          Alcotest.test_case "tlb generation bumps" `Quick
+            test_tlb_generation_bumps;
+          Alcotest.test_case "tlb no stale after snapshot" `Quick
+            test_tlb_no_stale_after_snapshot;
+          Alcotest.test_case "tlb privatisation refreshes read slot" `Quick
+            test_tlb_privatisation_refreshes_read_slot;
+          Alcotest.test_case "tlb unmap faults after warm" `Quick
+            test_tlb_unmap_faults_after_warm;
+          Alcotest.test_case "tlb clone chain" `Quick test_tlb_clone_chain_no_stale;
         ] );
       ( "hw_exception",
         [
