@@ -20,6 +20,11 @@
      --json FILE      write per-experiment wall-clock timings and
                       campaign sizes as JSON (perf trajectory for
                       BENCH_*.json tracking).
+     --telemetry FILE enable the Telemetry subsystem for the run and
+                      write its counters/histograms/events as JSON
+                      Lines to FILE at exit; the --json export gains
+                      a "telemetry" section.  Default from
+                      XENTRY_TELEMETRY.  Results are unaffected.
 
    XENTRY_SCALE scales campaign sizes (default 1.0 = paper scale:
    23,400 training + 17,700 testing injections, 30,000 for the
@@ -63,6 +68,7 @@ let printf = Printf.printf
    pipeline/campaign artifacts below see the final value. *)
 let jobs = ref (Pool.default_jobs ())
 let json_path : string option ref = ref None
+let telemetry_path : string option ref = ref (Sys.getenv_opt "XENTRY_TELEMETRY")
 
 (* --json accumulators: per-phase and per-experiment wall clock plus
    the campaign sizes behind them. *)
@@ -1114,6 +1120,7 @@ let write_json path =
         (fast_sps /. Float.max 1e-9 ref_sps)
         identical
   | None -> ());
+  if Telemetry.enabled () then out "  \"telemetry\": %s,\n" (Telemetry.to_json ());
   out "  \"experiments\": [\n";
   entries
     (fun (name, seconds) ->
@@ -1129,7 +1136,7 @@ let write_json path =
 let usage () =
   printf
     "usage: main.exe [-j N] [--engine ref|fast] [--json FILE] \
-     [EXPERIMENT...]\navailable: %s\n"
+     [--telemetry FILE] [EXPERIMENT...]\navailable: %s\n"
     (String.concat ", " (List.map fst experiments))
 
 let parse_args () =
@@ -1151,8 +1158,9 @@ let parse_args () =
             usage ();
             exit 2)
     | "--json" :: path :: rest -> json_path := Some path; go acc rest
+    | "--telemetry" :: path :: rest -> telemetry_path := Some path; go acc rest
     | ("-h" | "--help") :: _ -> usage (); exit 0
-    | ("-j" | "--jobs" | "--engine" | "--json") :: [] ->
+    | ("-j" | "--jobs" | "--engine" | "--json" | "--telemetry") :: [] ->
         printf "missing value for final option\n";
         usage ();
         exit 2
@@ -1162,6 +1170,7 @@ let parse_args () =
 
 let () =
   let requested = parse_args () in
+  Option.iter (fun _ -> Telemetry.enable ()) !telemetry_path;
   let requested = if requested = [] then [ "all" ] else requested in
   let to_run =
     if List.mem "all" requested then List.map fst experiments else requested
@@ -1183,4 +1192,9 @@ let () =
           printf "unknown experiment %S; available: %s\n" name
             (String.concat ", " (List.map fst experiments)))
     to_run;
-  Option.iter write_json !json_path
+  Option.iter write_json !json_path;
+  Option.iter
+    (fun path ->
+      Telemetry.export_file path;
+      printf "[telemetry] wrote %s\n" path)
+    !telemetry_path

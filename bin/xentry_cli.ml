@@ -99,10 +99,34 @@ let engine_arg =
 
 let apply_engine e = Xentry_machine.Cpu.set_default_engine e
 
+let telemetry_arg =
+  let doc =
+    "Write telemetry (counters, histograms, per-shard events) as JSON Lines \
+     to $(docv) when the run completes.  Default from $(b,XENTRY_TELEMETRY). \
+     Telemetry never affects results: campaign records are bit-identical \
+     with it on or off."
+  in
+  let env = Cmd.Env.info "XENTRY_TELEMETRY" in
+  Arg.(
+    value & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE" ~env ~doc)
+
+let with_telemetry path f =
+  match path with
+  | None -> f ()
+  | Some file ->
+      Xentry_util.Telemetry.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          Xentry_util.Telemetry.export_file file;
+          Printf.eprintf "telemetry written to %s\n%!" file)
+        f
+
 (* --- simulate ------------------------------------------------------------- *)
 
-let simulate benchmark mode exits seed engine =
+let simulate benchmark mode exits seed engine telemetry =
   apply_engine engine;
+  with_telemetry telemetry @@ fun () ->
   let host = Hypervisor.create ~seed () in
   let profile = Profile.get benchmark in
   let stream = Stream.create profile mode (Xentry_util.Rng.create seed) in
@@ -138,12 +162,14 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a benchmark's VM-exit stream on a simulated host")
     Term.(
-      const simulate $ benchmark_arg $ mode_arg $ exits $ seed_arg $ engine_arg)
+      const simulate $ benchmark_arg $ mode_arg $ exits $ seed_arg $ engine_arg
+      $ telemetry_arg)
 
 (* --- inject ------------------------------------------------------------------ *)
 
-let inject benchmark mode injections seed jobs engine with_detector =
+let inject benchmark mode injections seed jobs engine with_detector telemetry =
   apply_engine engine;
+  with_telemetry telemetry @@ fun () ->
   let jobs = resolve_jobs jobs in
   let detector =
     if not with_detector then None
@@ -195,12 +221,14 @@ let inject_cmd =
     (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
     Term.(
       const inject $ benchmark_arg $ mode_arg $ injections $ seed_arg
-      $ jobs_arg $ engine_arg $ with_detector)
+      $ jobs_arg $ engine_arg $ with_detector $ telemetry_arg)
 
 (* --- train -------------------------------------------------------------------- *)
 
-let train train_injections test_injections seed jobs engine show_rules =
+let train train_injections test_injections seed jobs engine show_rules
+    telemetry =
   apply_engine engine;
+  with_telemetry telemetry @@ fun () ->
   let trained =
     Training.default_pipeline ~jobs:(resolve_jobs jobs) ~seed ~train_injections
       ~test_injections ()
@@ -247,7 +275,9 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Run the VM-transition detector training pipeline")
-    Term.(const train $ ti $ te $ seed_arg $ jobs_arg $ engine_arg $ rules)
+    Term.(
+      const train $ ti $ te $ seed_arg $ jobs_arg $ engine_arg $ rules
+      $ telemetry_arg)
 
 (* --- handlers ------------------------------------------------------------------- *)
 
@@ -276,7 +306,8 @@ let handlers_cmd =
 
 (* --- export --------------------------------------------------------------------- *)
 
-let export arff_path c_path injections seed jobs =
+let export arff_path c_path injections seed jobs telemetry =
+  with_telemetry telemetry @@ fun () ->
   let jobs = resolve_jobs jobs in
   let benchmarks = Array.to_list Profile.all_benchmarks in
   let n = List.length benchmarks in
@@ -329,7 +360,9 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Export the training corpus (WEKA ARFF) and the classifier (C)")
-    Term.(const export $ arff $ c $ injections $ seed_arg $ jobs_arg)
+    Term.(
+      const export $ arff $ c $ injections $ seed_arg $ jobs_arg
+      $ telemetry_arg)
 
 (* --- features ------------------------------------------------------------------- *)
 

@@ -36,9 +36,52 @@ let activated (result : Cpu.run_result) =
   | Some { fate = Cpu.Activated _; _ } -> true
   | _ -> false
 
+(* Telemetry: verdict tallies across the campaign, a shard wall-time
+   histogram, and one event per shard (seed, size, wall clock, verdict
+   breakdown).  Recording happens after a shard's records are final,
+   so it cannot perturb the RNG streams or the records themselves —
+   campaigns stay bit-identical with telemetry on or off. *)
+module Tm = Xentry_util.Telemetry
+
+let tm_verdict_hw = Tm.counter "campaign.verdict.hw_exception"
+let tm_verdict_sw = Tm.counter "campaign.verdict.sw_assertion"
+let tm_verdict_vm = Tm.counter "campaign.verdict.vm_transition"
+let tm_verdict_clean = Tm.counter "campaign.verdict.clean"
+let tm_shard_wall = lazy (Tm.histogram "campaign.shard.ns")
+
+let record_shard_telemetry config records ~wall =
+  let hw = ref 0 and sw = ref 0 and vm = ref 0 and clean = ref 0 in
+  List.iter
+    (fun r ->
+      match r.Outcome.verdict with
+      | Framework.Clean -> incr clean
+      | Framework.Detected { technique = Framework.Hw_exception_detection; _ }
+        ->
+          incr hw
+      | Framework.Detected { technique = Framework.Sw_assertion; _ } -> incr sw
+      | Framework.Detected { technique = Framework.Vm_transition; _ } ->
+          incr vm)
+    records;
+  Tm.add tm_verdict_hw !hw;
+  Tm.add tm_verdict_sw !sw;
+  Tm.add tm_verdict_vm !vm;
+  Tm.add tm_verdict_clean !clean;
+  Tm.observe_span (Lazy.force tm_shard_wall) wall;
+  Tm.event "campaign.shard"
+    [
+      ("seed", Tm.Int config.seed);
+      ("injections", Tm.Int config.injections);
+      ("wall_s", Tm.Float wall);
+      ("hw_exception", Tm.Int !hw);
+      ("sw_assertion", Tm.Int !sw);
+      ("vm_transition", Tm.Int !vm);
+      ("clean", Tm.Int !clean);
+    ]
+
 (* One shard: the original strictly-serial campaign loop, on a host
    whose state evolves injection to injection within the shard. *)
 let run_shard config =
+  let t0 = if !Tm.enabled_ref then Unix.gettimeofday () else 0.0 in
   let profile = Xentry_workload.Profile.get config.benchmark in
   let rng = Xentry_util.Rng.create config.seed in
   let request_rng = Xentry_util.Rng.split rng in
@@ -127,7 +170,11 @@ let run_shard config =
       :: !records;
     Hypervisor.retire host req
   done;
-  List.rev !records
+  let shard_records = List.rev !records in
+  if !Tm.enabled_ref then
+    record_shard_telemetry config shard_records
+      ~wall:(Unix.gettimeofday () -. t0);
+  shard_records
 
 (* Campaigns are cut into fixed-size shards whose seeds derive from
    (campaign seed, shard index) alone.  The decomposition is a pure
@@ -155,7 +202,9 @@ let run ?jobs config =
     match jobs with Some j -> j | None -> Xentry_util.Pool.default_jobs ()
   in
   let pool = Xentry_util.Pool.create ~jobs in
-  List.concat (Xentry_util.Pool.map_list pool run_shard (shard_configs config))
+  Tm.with_span "campaign.run" (fun () ->
+      List.concat
+        (Xentry_util.Pool.map_list pool run_shard (shard_configs config)))
 
 let fault_free_shard ~seed ~benchmark ~mode ~runs =
   let profile = Xentry_workload.Profile.get benchmark in

@@ -9,8 +9,11 @@ type corpus = {
   incorrect : int;
 }
 
+module Tm = Xentry_util.Telemetry
+
 let collect ?jobs ~seed ~benchmarks ~mode ~injections_per_benchmark
     ~fault_free_per_benchmark () =
+  Tm.with_span "training.collect" @@ fun () ->
   let samples = ref [] in
   let correct = ref 0 and incorrect = ref 0 in
   List.iteri
@@ -68,6 +71,15 @@ let collect ?jobs ~seed ~benchmarks ~mode ~injections_per_benchmark
             :: !samples)
         fault_free)
     benchmarks;
+  if Tm.enabled () then
+    Tm.event "training.corpus"
+      [
+        ("seed", Tm.Int seed);
+        ("benchmarks", Tm.Int (List.length benchmarks));
+        ("samples", Tm.Int (List.length !samples));
+        ("correct", Tm.Int !correct);
+        ("incorrect", Tm.Int !incorrect);
+      ];
   {
     dataset = Features.dataset_of_samples !samples;
     injection_runs = injections_per_benchmark * List.length benchmarks;

@@ -54,6 +54,19 @@ let frozen = 0
 let next_id = Atomic.make 1
 let fresh_id () = Atomic.fetch_and_add next_id 1
 
+(* Telemetry: probe outcomes for both TLBs plus COW privatisations.
+   Hot paths pre-check [Telemetry.enabled_ref] (one load + one
+   predictable branch) so the disabled interpreter loop pays near
+   nothing; the slow paths record unconditionally through the
+   (internally gated) counter API. *)
+module Tm = Xentry_util.Telemetry
+
+let tm_read_hit = Tm.counter "memory.tlb.read.hit"
+let tm_read_miss = Tm.counter "memory.tlb.read.miss"
+let tm_write_hit = Tm.counter "memory.tlb.write.hit"
+let tm_write_miss = Tm.counter "memory.tlb.write.miss"
+let tm_cow = Tm.counter "memory.cow.privatise"
+
 let no_bytes = Bytes.create 0
 
 let create () =
@@ -119,6 +132,7 @@ let fill_write t slot pn data =
   t.w_data.(slot) <- data
 
 let read_page_slow t addr pn slot =
+  Tm.incr tm_read_miss;
   match Hashtbl.find_opt t.pages pn with
   | Some p ->
       fill_read t slot pn p.data;
@@ -128,8 +142,10 @@ let read_page_slow t addr pn slot =
 let read_page t addr =
   let pn = page_of addr in
   let slot = slot_of pn in
-  if t.r_gen.(slot) = t.generation && Int64.equal t.r_tag.(slot) pn then
+  if t.r_gen.(slot) = t.generation && Int64.equal t.r_tag.(slot) pn then begin
+    if !Tm.enabled_ref then Tm.incr tm_read_hit;
     t.r_data.(slot)
+  end
   else read_page_slow t addr pn slot
 
 (* The write path's copy-on-write step: a page this memory does not
@@ -138,12 +154,14 @@ let read_page t addr =
    critically the *read* slot, which may still hold the shared
    record's data. *)
 let write_page_slow t addr pn slot =
+  Tm.incr tm_write_miss;
   match Hashtbl.find_opt t.pages pn with
   | Some p when p.owner = t.id ->
       fill_write t slot pn p.data;
       fill_read t slot pn p.data;
       p.data
   | Some p ->
+      Tm.incr tm_cow;
       let priv = { data = Bytes.copy p.data; owner = t.id } in
       Hashtbl.replace t.pages pn priv;
       fill_write t slot pn priv.data;
@@ -154,8 +172,10 @@ let write_page_slow t addr pn slot =
 let write_page t addr =
   let pn = page_of addr in
   let slot = slot_of pn in
-  if t.w_gen.(slot) = t.generation && Int64.equal t.w_tag.(slot) pn then
+  if t.w_gen.(slot) = t.generation && Int64.equal t.w_tag.(slot) pn then begin
+    if !Tm.enabled_ref then Tm.incr tm_write_hit;
     t.w_data.(slot)
+  end
   else write_page_slow t addr pn slot
 
 let is_mapped t addr = Hashtbl.mem t.pages (page_of addr)

@@ -32,33 +32,71 @@ let default_jobs () = Option.value (env_jobs ()) ~default:1
 
 let recommended_jobs () = Stdlib.Domain.recommended_domain_count ()
 
+(* Telemetry: the per-item histogram times each work item, the
+   queue-wait histogram records how long an item sat in the queue
+   before a worker claimed it (claim time minus batch start — the
+   dispatch spread a static partitioning would hide), and each worker
+   emits one summary event per batch.  Workers write into their own
+   domain-local buffers; [map] joins every worker before returning, so
+   a drain that follows the batch sees all of it. *)
+let tm_item = lazy (Telemetry.histogram "pool.item.ns")
+let tm_wait = lazy (Telemetry.histogram "pool.queue_wait.ns")
+
+let timed_apply f x =
+  let start = Unix.gettimeofday () in
+  let v = f x in
+  Telemetry.observe_span (Lazy.force tm_item) (Unix.gettimeofday () -. start);
+  v
+
 let map t f arr =
   let n = Array.length arr in
-  if t.jobs = 1 || n <= 1 then Array.map f arr
+  if t.jobs = 1 || n <= 1 then
+    if !Telemetry.enabled_ref then Array.map (timed_apply f) arr
+    else Array.map f arr
   else begin
+    let telemetry = !Telemetry.enabled_ref in
+    let t0 = if telemetry then Unix.gettimeofday () else 0.0 in
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
-    let worker () =
+    let worker widx () =
+      let items = ref 0 in
+      let busy = ref 0.0 in
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n && Atomic.get failure = None then begin
+          let start = if telemetry then Unix.gettimeofday () else 0.0 in
+          if telemetry then
+            Telemetry.observe_span (Lazy.force tm_wait) (start -. t0);
           (match f arr.(i) with
           | v -> results.(i) <- Some v
           | exception e ->
               (* Keep the first failure; the others lose the race and
                  are dropped with the partial results. *)
               ignore (Atomic.compare_and_set failure None (Some e)));
+          if telemetry then begin
+            let dur = Unix.gettimeofday () -. start in
+            Telemetry.observe_span (Lazy.force tm_item) dur;
+            incr items;
+            busy := !busy +. dur
+          end;
           loop ()
         end
       in
-      loop ()
+      loop ();
+      if telemetry then
+        Telemetry.event "pool.worker"
+          [
+            ("worker", Telemetry.Int widx);
+            ("items", Telemetry.Int !items);
+            ("busy_s", Telemetry.Float !busy);
+          ]
     in
     let spawned =
-      Array.init (min t.jobs n - 1) (fun _ -> Stdlib.Domain.spawn worker)
+      Array.init (min t.jobs n - 1) (fun k -> Stdlib.Domain.spawn (worker (k + 1)))
     in
     (* The calling domain is the pool's first worker. *)
-    worker ();
+    worker 0 ();
     Array.iter Stdlib.Domain.join spawned;
     match Atomic.get failure with
     | Some e -> raise e

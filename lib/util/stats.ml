@@ -8,10 +8,17 @@ let stddev xs =
   else
     let m = mean xs in
     let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
-    sqrt (ss /. float_of_int n)
+    (* Bessel's correction: the n < 2 guard already declares this a
+       sample statistic, so divide by the sample degrees of freedom. *)
+    sqrt (ss /. float_of_int (n - 1))
 
-let minimum xs = Array.fold_left min infinity xs
-let maximum xs = Array.fold_left max neg_infinity xs
+let minimum xs =
+  if Array.length xs = 0 then invalid_arg "Stats.minimum: empty sample";
+  Array.fold_left min infinity xs
+
+let maximum xs =
+  if Array.length xs = 0 then invalid_arg "Stats.maximum: empty sample";
+  Array.fold_left max neg_infinity xs
 
 let sorted_copy xs =
   let ys = Array.copy xs in

@@ -9,10 +9,15 @@ val mean : float array -> float
 (** Arithmetic mean; 0 on an empty array. *)
 
 val stddev : float array -> float
-(** Population standard deviation; 0 on arrays shorter than 2. *)
+(** Sample standard deviation (Bessel-corrected, [n - 1] degrees of
+    freedom); 0 on arrays shorter than 2. *)
 
 val minimum : float array -> float
+(** Raises [Invalid_argument] on an empty array, like every other
+    order statistic in this module. *)
+
 val maximum : float array -> float
+(** Raises [Invalid_argument] on an empty array. *)
 
 val quantile : float array -> float -> float
 (** [quantile xs q] for [q] in \[0, 1\], linear interpolation between

@@ -1,0 +1,314 @@
+(* Metrics/tracing substrate.  See the .mli for the contract; the
+   implementation notes here are about domain safety.
+
+   Counters are arrays of Atomic cells indexed by (domain id mod
+   shards): increments stay mostly uncontended under the worker pool
+   (which runs a handful of domains), reads fold the shards.
+
+   Histograms and events cannot use one atomic per bucket without
+   making every observation a read-modify-write on shared cache lines,
+   so each recording domain gets a private part (bucket array + event
+   list) allocated on first touch through Domain.DLS; the part is also
+   linked into the metric's registry under a mutex at that moment, so
+   export/merge sees every part even after its worker domain has
+   terminated (Pool joins workers before campaigns return, which
+   orders their writes before the drain). *)
+
+let enabled_ref = ref false
+let enabled () = !enabled_ref
+let enable () = enabled_ref := true
+let disable () = enabled_ref := false
+
+let shards = 16
+let domain_slot () = (Stdlib.Domain.self () :> int) land (shards - 1)
+
+(* --- counters ------------------------------------------------------ *)
+
+type counter = { c_name : string; cells : int Atomic.t array }
+
+let make_counter name =
+  { c_name = name; cells = Array.init shards (fun _ -> Atomic.make 0) }
+
+let incr c =
+  if !enabled_ref then ignore (Atomic.fetch_and_add c.cells.(domain_slot ()) 1)
+
+let add c n =
+  if !enabled_ref then ignore (Atomic.fetch_and_add c.cells.(domain_slot ()) n)
+
+let counter_value c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.cells
+
+(* --- histograms ---------------------------------------------------- *)
+
+let buckets = 65 (* one per bit length of a non-negative value, plus <= 0 *)
+
+let bucket_of_value v =
+  if v <= 0 then 0
+  else
+    let rec go b v = if v = 0 then b else go (b + 1) (v lsr 1) in
+    go 0 v
+
+let bucket_bounds = function
+  | 0 -> (min_int, 0)
+  | b when b >= 1 && b < buckets -> (1 lsl (b - 1), (1 lsl b) - 1)
+  | b -> invalid_arg (Printf.sprintf "Telemetry.bucket_bounds: bucket %d" b)
+
+type part = {
+  bucket_counts : int array;
+  mutable p_count : int;
+  mutable p_sum : int;
+}
+
+type histogram = {
+  h_name : string;
+  h_lock : Mutex.t;
+  h_parts : part list ref;
+  h_key : part Stdlib.Domain.DLS.key;
+}
+
+let make_histogram name =
+  let h_lock = Mutex.create () in
+  let h_parts = ref [] in
+  let h_key =
+    Stdlib.Domain.DLS.new_key (fun () ->
+        let p =
+          { bucket_counts = Array.make buckets 0; p_count = 0; p_sum = 0 }
+        in
+        Mutex.protect h_lock (fun () -> h_parts := p :: !h_parts);
+        p)
+  in
+  { h_name = name; h_lock; h_parts; h_key }
+
+let observe h v =
+  if !enabled_ref then begin
+    let p = Stdlib.Domain.DLS.get h.h_key in
+    let b = bucket_of_value v in
+    p.bucket_counts.(b) <- p.bucket_counts.(b) + 1;
+    p.p_count <- p.p_count + 1;
+    p.p_sum <- p.p_sum + v
+  end
+
+let observe_span h seconds = observe h (int_of_float (seconds *. 1e9))
+
+(* Merged view; parts list is read under the lock, the per-part fields
+   are only written by their owning domain (already joined, or the
+   caller itself, when summaries are taken). *)
+let histogram_parts h = Mutex.protect h.h_lock (fun () -> !(h.h_parts))
+
+let histogram_count h =
+  List.fold_left (fun acc p -> acc + p.p_count) 0 (histogram_parts h)
+
+let histogram_sum h =
+  List.fold_left (fun acc p -> acc + p.p_sum) 0 (histogram_parts h)
+
+let merged_buckets h =
+  let out = Array.make buckets 0 in
+  List.iter
+    (fun p ->
+      Array.iteri (fun i c -> out.(i) <- out.(i) + c) p.bucket_counts)
+    (histogram_parts h);
+  out
+
+(* --- registry ------------------------------------------------------ *)
+
+type metric = Counter of counter | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let counter name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter c) -> c
+      | Some (Histogram _) ->
+          invalid_arg
+            (Printf.sprintf "Telemetry.counter: %S is a histogram" name)
+      | None ->
+          let c = make_counter name in
+          Hashtbl.replace registry name (Counter c);
+          c)
+
+let histogram name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Histogram h) -> h
+      | Some (Counter _) ->
+          invalid_arg
+            (Printf.sprintf "Telemetry.histogram: %S is a counter" name)
+      | None ->
+          let h = make_histogram name in
+          Hashtbl.replace registry name (Histogram h);
+          h)
+
+let metrics_sorted () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* --- spans and events ---------------------------------------------- *)
+
+let with_span name f =
+  if not !enabled_ref then f ()
+  else begin
+    let h = histogram (name ^ ".ns") in
+    let t0 = Unix.gettimeofday () in
+    let finally () = observe_span h (Unix.gettimeofday () -. t0) in
+    Fun.protect ~finally f
+  end
+
+type field = Int of int | Float of float | String of string | Bool of bool
+
+type event_record = { ev_name : string; ev_fields : (string * field) list }
+
+(* Per-domain event buffers, newest first; registration mirrors the
+   histogram parts. *)
+let event_parts : event_record list ref list ref = ref []
+let event_lock = Mutex.create ()
+
+let event_key : event_record list ref Stdlib.Domain.DLS.key =
+  Stdlib.Domain.DLS.new_key (fun () ->
+      let buf = ref [] in
+      Mutex.protect event_lock (fun () -> event_parts := buf :: !event_parts);
+      buf)
+
+let event name fields =
+  if !enabled_ref then begin
+    let buf = Stdlib.Domain.DLS.get event_key in
+    buf := { ev_name = name; ev_fields = fields } :: !buf
+  end
+
+let merged_events () =
+  (* Buffers in registration order (oldest domain last in the list),
+     each buffer restored to append order. *)
+  Mutex.protect event_lock (fun () -> !event_parts)
+  |> List.rev_map (fun buf -> List.rev !buf)
+  |> List.concat
+
+let reset () =
+  List.iter
+    (function
+      | _, Counter c -> Array.iter (fun a -> Atomic.set a 0) c.cells
+      | _, Histogram h ->
+          List.iter
+            (fun p ->
+              Array.fill p.bucket_counts 0 buckets 0;
+              p.p_count <- 0;
+              p.p_sum <- 0)
+            (histogram_parts h))
+    (metrics_sorted ());
+  Mutex.protect event_lock (fun () ->
+      List.iter (fun buf -> buf := []) !event_parts)
+
+(* --- JSON rendering ------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.17g" f else "0"
+
+let field_json = function
+  | Int i -> string_of_int i
+  | Float f -> json_float f
+  | String s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Bool b -> string_of_bool b
+
+let fields_json fields =
+  fields
+  |> List.map (fun (k, v) ->
+         Printf.sprintf "\"%s\": %s" (json_escape k) (field_json v))
+  |> String.concat ", "
+
+(* Non-empty buckets as [[lo, hi, count], ...]; bucket 0's lower bound
+   is rendered as 0 (no JSON-representable min_int needed: observed
+   values below zero are clamped into that bucket anyway). *)
+let histogram_buckets_json h =
+  let merged = merged_buckets h in
+  let cells = ref [] in
+  for b = buckets - 1 downto 0 do
+    if merged.(b) > 0 then begin
+      let lo, hi = bucket_bounds b in
+      let lo = max lo 0 in
+      cells := Printf.sprintf "[%d, %d, %d]" lo hi merged.(b) :: !cells
+    end
+  done;
+  "[" ^ String.concat ", " !cells ^ "]"
+
+let histogram_body h =
+  Printf.sprintf "\"count\": %d, \"sum\": %d, \"buckets\": %s"
+    (histogram_count h) (histogram_sum h) (histogram_buckets_json h)
+
+let event_line e =
+  Printf.sprintf "{\"type\": \"event\", \"name\": \"%s\", \"fields\": {%s}}"
+    (json_escape e.ev_name) (fields_json e.ev_fields)
+
+let export oc =
+  let metrics = metrics_sorted () in
+  let events = merged_events () in
+  let n_counters =
+    List.length (List.filter (function _, Counter _ -> true | _ -> false) metrics)
+  in
+  Printf.fprintf oc
+    "{\"type\": \"meta\", \"schema\": \"xentry-telemetry-v1\", \"counters\": \
+     %d, \"histograms\": %d, \"events\": %d}\n"
+    n_counters
+    (List.length metrics - n_counters)
+    (List.length events);
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c ->
+          Printf.fprintf oc
+            "{\"type\": \"counter\", \"name\": \"%s\", \"value\": %d}\n"
+            (json_escape name) (counter_value c)
+      | Histogram h ->
+          Printf.fprintf oc
+            "{\"type\": \"histogram\", \"name\": \"%s\", %s}\n"
+            (json_escape name) (histogram_body h))
+    metrics;
+  List.iter (fun e -> output_string oc (event_line e ^ "\n")) events
+
+let export_file path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> export oc)
+
+let to_json () =
+  let metrics = metrics_sorted () in
+  let counters =
+    List.filter_map
+      (function
+        | name, Counter c ->
+            Some
+              (Printf.sprintf "\"%s\": %d" (json_escape name)
+                 (counter_value c))
+        | _ -> None)
+      metrics
+  in
+  let histograms =
+    List.filter_map
+      (function
+        | name, Histogram h ->
+            Some
+              (Printf.sprintf "\"%s\": {%s}" (json_escape name)
+                 (histogram_body h))
+        | _ -> None)
+      metrics
+  in
+  let events = List.map event_line (merged_events ()) in
+  Printf.sprintf
+    "{\"counters\": {%s}, \"histograms\": {%s}, \"events\": [%s]}"
+    (String.concat ", " counters)
+    (String.concat ", " histograms)
+    (String.concat ", " events)

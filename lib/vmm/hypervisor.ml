@@ -216,6 +216,30 @@ let prepare t (req : Request.t) =
       | Hypercall.Control ->
           ())
 
+(* Telemetry: per-exit-reason execution counts, engine usage and a
+   dynamic-instruction histogram.  [execute] checks the enabled flag
+   once per call (outside the CPU loop, so the interpreter hot path is
+   untouched) and hands off to [record_execute]. *)
+let tm_exit_counters =
+  lazy
+    (Array.map
+       (fun r -> Telemetry.counter ("hv.exit." ^ Exit_reason.name r))
+       Exit_reason.all)
+
+let tm_engine_fast = lazy (Telemetry.counter "hv.engine.fast")
+let tm_engine_ref = lazy (Telemetry.counter "hv.engine.ref")
+let tm_steps = lazy (Telemetry.histogram "hv.steps")
+
+let record_execute t (req : Request.t) (result : Cpu.run_result) =
+  Telemetry.incr
+    (Lazy.force tm_exit_counters).(Exit_reason.to_id req.Request.reason);
+  Telemetry.incr
+    (Lazy.force
+       (match t.engine with
+       | Cpu.Fast -> tm_engine_fast
+       | Cpu.Ref -> tm_engine_ref));
+  Telemetry.observe (Lazy.force tm_steps) result.Cpu.steps
+
 let seed_cpu t (req : Request.t) =
   let open Xentry_isa.Reg in
   let guest_order = [| RAX; RBX; RCX; RDX; RSI; RDI |] in
@@ -229,15 +253,19 @@ let seed_cpu t (req : Request.t) =
 let execute t ?inject ?(fuel = 50_000) ?on_step (req : Request.t) =
   seed_cpu t req;
   t.exits <- t.exits + 1;
-  match t.engine with
-  | Cpu.Fast ->
-      Cpu.run_compiled t.cpu
-        ~compiled:(Handlers.compiled ~hardened:t.hardened req.Request.reason)
-        ~code_base:Layout.code_base ?inject ~fuel ?on_step ()
-  | Cpu.Ref ->
-      Cpu.run t.cpu
-        ~program:(Handlers.program ~hardened:t.hardened req.Request.reason)
-        ~code_base:Layout.code_base ?inject ~fuel ?on_step ()
+  let result =
+    match t.engine with
+    | Cpu.Fast ->
+        Cpu.run_compiled t.cpu
+          ~compiled:(Handlers.compiled ~hardened:t.hardened req.Request.reason)
+          ~code_base:Layout.code_base ?inject ~fuel ?on_step ()
+    | Cpu.Ref ->
+        Cpu.run t.cpu
+          ~program:(Handlers.program ~hardened:t.hardened req.Request.reason)
+          ~code_base:Layout.code_base ?inject ~fuel ?on_step ()
+  in
+  if !Telemetry.enabled_ref then record_execute t req result;
+  result
 
 let causes_reschedule (req : Request.t) =
   match req.Request.reason with

@@ -22,6 +22,19 @@ let classify (e : Hw_exception.t) context =
 
 let is_detection e context = classify e context = Fatal
 
+let context_of_reason (reason : Xentry_vmm.Exit_reason.t) =
+  match reason with
+  (* Servicing a trapped guest exception (demand paging a guest #PF,
+     emulating around a guest #GP/#UD): exceptions the handler raises
+     are part of that servicing and belong to the guest. *)
+  | Xentry_vmm.Exit_reason.Exception _ -> Guest_servicing
+  (* IRQs, APIC interrupts, softirqs/tasklets and hypercalls execute
+     hypervisor code on the hypervisor's own behalf. *)
+  | Xentry_vmm.Exit_reason.Irq _ | Xentry_vmm.Exit_reason.Apic _
+  | Xentry_vmm.Exit_reason.Softirq | Xentry_vmm.Exit_reason.Tasklet
+  | Xentry_vmm.Exit_reason.Hypercall _ ->
+      Host_mode
+
 let fatal_set context =
   Array.to_list Hw_exception.all
   |> List.filter (fun e -> classify e context = Fatal)

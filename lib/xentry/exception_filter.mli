@@ -27,6 +27,14 @@ val is_detection :
   Xentry_machine.Hw_exception.t -> context -> bool
 (** [classify e ctx = Fatal]. *)
 
+val context_of_reason : Xentry_vmm.Exit_reason.t -> context
+(** The filter context a hypervisor execution runs under, derived from
+    its VM-exit reason: servicing a trapped guest exception
+    ([Exception _]) is [Guest_servicing] — the handler pages guest
+    memory in, emulates around guest faults, and may legally raise
+    #PF/#GP doing so — while every other exit (IRQs, APIC, softirq,
+    tasklet, hypercalls) executes hypervisor code in [Host_mode]. *)
+
 val fatal_set : context -> Xentry_machine.Hw_exception.t list
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -20,9 +20,14 @@ let process config ~detector ~reason (result : Cpu.run_result) =
   let latency = Cpu.detection_latency result in
   match result.Cpu.stop with
   | Cpu.Hw_fault { exn; _ } ->
+      (* The filter context follows the execution being serviced:
+         handlers for trapped guest exceptions run in Guest_servicing,
+         where #PF/#GP and friends are legal; every other exit reason
+         executes in Host_mode (exception_filter.mli). *)
       if
         config.hw_exceptions
-        && Exception_filter.is_detection exn Exception_filter.Host_mode
+        && Exception_filter.is_detection exn
+             (Exception_filter.context_of_reason reason)
       then Detected { technique = Hw_exception_detection; latency }
       else Clean
   | Cpu.Out_of_fuel ->

@@ -42,9 +42,12 @@ val process :
 (** Interpret one hypervisor execution's outcome.
 
     - A hardware fault stop is a detection when [hw_exceptions] is on
-      and the exception is fatal in host mode; a watchdog (out-of-fuel)
-      stop counts as a hardware detection too (hangs are caught by the
-      watchdog NMI).
+      and the exception is fatal in the filter context the execution
+      runs under ({!Exception_filter.context_of_reason} of [reason]:
+      guest-exception servicing tolerates #PF/#GP and friends, every
+      other exit is host mode); a watchdog (out-of-fuel) stop counts
+      as a hardware detection too (hangs are caught by the watchdog
+      NMI).
     - An assertion-failure stop is a detection when [sw_assertions] is
       on (the CPU only stops on assertions when they are enabled).
     - On VM entry, the transition detector classifies the PMU

@@ -20,7 +20,12 @@ let with_threshold tree ~min_incorrect_probability =
 let verdict_of_label l =
   if l = Features.label_incorrect then Incorrect else Correct
 
-let classify_features t features =
+(* Telemetry: feature-comparison counts per classification — the
+   per-VM-entry work the detector adds (the paper's overhead knob). *)
+let tm_comparisons =
+  lazy (Xentry_util.Telemetry.histogram "detector.comparisons")
+
+let classify_features_raw t features =
   match t.classifier with
   | Single_tree tree ->
       let label, _, comparisons = Tree.predict_detail tree features in
@@ -36,6 +41,12 @@ let classify_features t features =
   | Ensemble forest ->
       let label = Forest.predict forest features in
       (verdict_of_label label, Forest.total_comparisons forest features)
+
+let classify_features t features =
+  let ((_, comparisons) as r) = classify_features_raw t features in
+  if !Xentry_util.Telemetry.enabled_ref then
+    Xentry_util.Telemetry.observe (Lazy.force tm_comparisons) comparisons;
+  r
 
 let classify t ~reason snapshot =
   classify_features t (Features.of_run ~reason snapshot)

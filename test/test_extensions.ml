@@ -190,14 +190,24 @@ let test_hardened_reduces_undetected_stack_class () =
     (undetected_stack true <= undetected_stack false)
 
 let test_hardened_campaign_still_covered () =
-  let records =
-    Campaign.run
-      (Campaign.default_config ~hardened:true
-         ~benchmark:Xentry_workload.Profile.Mcf ~injections:1200 ~seed:17 ())
+  (* Hardening must not cost detection coverage.  The bound is
+     relative to the un-hardened campaign rather than an absolute
+     constant: the exception filter now uses the Guest_servicing
+     context when the exit reason is a guest exception, so benign
+     #PF/#GP/#UD during guest servicing no longer inflate the
+     hardware-detection tally the old 0.85 floor was calibrated
+     against. *)
+  let coverage hardened =
+    let records =
+      Campaign.run
+        (Campaign.default_config ~hardened
+           ~benchmark:Xentry_workload.Profile.Mcf ~injections:1200 ~seed:17 ())
+    in
+    (Report.summarize records).Report.coverage
   in
-  let s = Report.summarize records in
+  let plain = coverage false and hardened = coverage true in
   Alcotest.(check bool) "coverage stays high under hardening" true
-    (s.Report.coverage > 0.85)
+    (hardened > 0.70 && hardened >= plain -. 0.02)
 
 let () =
   Alcotest.run "xentry_extensions"

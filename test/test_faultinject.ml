@@ -283,6 +283,78 @@ let test_report_empty () =
   Alcotest.(check int) "no injections" 0 s.Report.total_injections;
   Alcotest.(check (float 0.0)) "coverage 0" 0.0 s.Report.coverage
 
+(* Hand-built records pin summarize's exact semantics (tallies over
+   manifested faults only, coverage, Fig 10's strict-< latency
+   fraction) independently of campaign randomness. *)
+let mk_record ?(activated = true)
+    ?(consequence = Outcome.Long_latency Outcome.App_crash)
+    ?(verdict = Framework.Clean) ?latency ?undetected () =
+  {
+    Outcome.fault = { Fault.target = Xentry_isa.Reg.Rip; bit = 0; step = 1 };
+    reason = Exit_reason.Softirq;
+    activated;
+    consequence;
+    verdict;
+    latency;
+    undetected;
+    signature = None;
+    golden_signature = { Pmu.inst = 1; branches = 0; loads = 0; stores = 0 };
+  }
+
+let detected technique ?latency () =
+  mk_record ~verdict:(Framework.Detected { technique; latency }) ?latency ()
+
+let fixed_summary () =
+  Report.summarize
+    [
+      detected Framework.Hw_exception_detection ~latency:100 ();
+      detected Framework.Hw_exception_detection ~latency:700 ();
+      detected Framework.Hw_exception_detection ~latency:800 ();
+      detected Framework.Sw_assertion ~latency:5 ();
+      detected Framework.Vm_transition ();
+      mk_record ~undetected:Outcome.Stack_values ();
+      mk_record ~undetected:Outcome.Stack_values ();
+      mk_record ~undetected:Outcome.Time_values ();
+      mk_record ~consequence:Outcome.Masked ();
+      mk_record ~activated:false ~consequence:Outcome.Not_activated ();
+    ]
+
+let test_report_summarize_tallies () =
+  let s = fixed_summary () in
+  Alcotest.(check int) "injections" 10 s.Report.total_injections;
+  Alcotest.(check int) "activated" 9 s.Report.activated;
+  Alcotest.(check int) "manifested excludes masked/not-activated" 8
+    s.Report.manifested;
+  Alcotest.(check int) "hw" 3 s.Report.techniques.Report.hw_exception;
+  Alcotest.(check int) "sw" 1 s.Report.techniques.Report.sw_assertion;
+  Alcotest.(check int) "vmt" 1 s.Report.techniques.Report.vm_transition;
+  Alcotest.(check int) "undetected" 3 s.Report.techniques.Report.undetected;
+  Alcotest.(check (float 1e-9)) "coverage = detected/manifested" (5.0 /. 8.0)
+    s.Report.coverage;
+  Alcotest.(check int) "stack values" 2
+    (List.assoc Outcome.Stack_values s.Report.undetected_breakdown);
+  Alcotest.(check int) "time values" 1
+    (List.assoc Outcome.Time_values s.Report.undetected_breakdown);
+  let total_pct =
+    List.fold_left (fun acc (_, p) -> acc +. p) 0.0
+      (Report.technique_percentages s)
+  in
+  Alcotest.(check (float 1e-6)) "percentages sum to 100" 100.0 total_pct
+
+let test_report_latency_fraction_boundary () =
+  let s = fixed_summary () in
+  (* Strict <: a detection at exactly the bound does not count. *)
+  Alcotest.(check (float 1e-9)) "below 700 excludes the 700 sample"
+    (1.0 /. 3.0)
+    (Report.latency_fraction_below s Framework.Hw_exception_detection 700);
+  Alcotest.(check (float 1e-9)) "below 801 includes everything" 1.0
+    (Report.latency_fraction_below s Framework.Hw_exception_detection 801);
+  Alcotest.(check (float 1e-9)) "below the minimum is zero" 0.0
+    (Report.latency_fraction_below s Framework.Hw_exception_detection 100);
+  (* The VM-transition detection carries no latency sample. *)
+  Alcotest.(check (float 1e-9)) "no samples -> 0" 0.0
+    (Report.latency_fraction_below s Framework.Vm_transition 1_000_000)
+
 (* --- Training pipeline --------------------------------------------------------------- *)
 
 let test_training_collect_labels () =
@@ -408,6 +480,10 @@ let () =
           Alcotest.test_case "fig8 sums" `Slow test_report_percentages_sum;
           Alcotest.test_case "tableII sums" `Slow test_report_undetected_percentages_sum;
           Alcotest.test_case "empty" `Quick test_report_empty;
+          Alcotest.test_case "summarize tallies" `Quick
+            test_report_summarize_tallies;
+          Alcotest.test_case "latency fraction boundary" `Quick
+            test_report_latency_fraction_boundary;
         ] );
       ( "training",
         [

@@ -266,7 +266,11 @@ let test_bits_to_hex () =
 let test_stats_mean_stddev () =
   check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
   check_float "empty mean" 0.0 (Stats.mean [||]);
-  check_float "stddev" (sqrt (2.0 /. 3.0)) (Stats.stddev [| 1.0; 2.0; 3.0 |])
+  (* Sample (Bessel-corrected) standard deviation: n - 1 denominator. *)
+  check_float "stddev" 1.0 (Stats.stddev [| 1.0; 2.0; 3.0 |]);
+  check_float "stddev singleton" 0.0 (Stats.stddev [| 4.2 |]);
+  check_float "stddev empty" 0.0 (Stats.stddev [||]);
+  check_float "stddev pair" (sqrt 2.0) (Stats.stddev [| 1.0; 3.0 |])
 
 let test_stats_quantile () =
   let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
@@ -362,6 +366,16 @@ let test_stats_histogram_single_value () =
   let h = Stats.histogram ~bins:4 [| 5.0; 5.0; 5.0 |] in
   Alcotest.(check int) "total preserved" 3 (Array.fold_left ( + ) 0 h.Stats.counts)
 
+let test_stats_min_max_empty () =
+  Alcotest.check_raises "minimum of empty sample raises"
+    (Invalid_argument "Stats.minimum: empty sample") (fun () ->
+      ignore (Stats.minimum [||]));
+  Alcotest.check_raises "maximum of empty sample raises"
+    (Invalid_argument "Stats.maximum: empty sample") (fun () ->
+      ignore (Stats.maximum [||]));
+  check_float "minimum" 1.0 (Stats.minimum [| 3.0; 1.0; 2.0 |]);
+  check_float "maximum" 3.0 (Stats.maximum [| 3.0; 1.0; 2.0 |])
+
 let test_stats_quantile_invalid () =
   Alcotest.check_raises "q out of range"
     (Invalid_argument "Stats.quantile: q outside [0, 1]") (fun () ->
@@ -387,7 +401,183 @@ let test_report_table_pads_short_rows () =
   let s = Report.table ~header:[ "x"; "y"; "z" ] ~rows:[ [ "1" ] ] in
   Alcotest.(check bool) "renders without exception" true (String.length s > 0)
 
+(* --- Telemetry ------------------------------------------------------------ *)
+
+(* Telemetry state is global; each test runs against a clean slate and
+   leaves the subsystem disabled for the rest of the suite. *)
+let with_telemetry f =
+  Telemetry.reset ();
+  Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+    f
+
+let test_telemetry_buckets () =
+  List.iter
+    (fun (v, b) ->
+      Alcotest.(check int) (Printf.sprintf "bucket of %d" v) b
+        (Telemetry.bucket_of_value v))
+    [ (min_int, 0); (-5, 0); (0, 0); (1, 1); (2, 2); (3, 2); (4, 3);
+      (1023, 10); (1024, 11); (max_int, 62) ];
+  List.iter
+    (fun v ->
+      let lo, hi = Telemetry.bucket_bounds (Telemetry.bucket_of_value v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d within its bucket bounds" v)
+        true
+        (v >= lo && v <= hi))
+    [ 0; 1; 2; 7; 63; 64; 4096; max_int ]
+
+let test_telemetry_counter () =
+  with_telemetry @@ fun () ->
+  let c = Telemetry.counter "test.counter.a" in
+  Alcotest.(check int) "starts at zero" 0 (Telemetry.counter_value c);
+  for _ = 1 to 10 do
+    Telemetry.incr c
+  done;
+  Telemetry.add c 5;
+  Alcotest.(check int) "accumulates" 15 (Telemetry.counter_value c);
+  Telemetry.disable ();
+  Telemetry.incr c;
+  Alcotest.(check int) "disabled increments are dropped" 15
+    (Telemetry.counter_value c);
+  Telemetry.enable ();
+  Alcotest.(check bool) "same name resolves to the same counter" true
+    (c == Telemetry.counter "test.counter.a");
+  Alcotest.check_raises "name clash across metric kinds"
+    (Invalid_argument "Telemetry.histogram: \"test.counter.a\" is a counter")
+    (fun () -> ignore (Telemetry.histogram "test.counter.a"))
+
+let test_telemetry_histogram () =
+  with_telemetry @@ fun () ->
+  let h = Telemetry.histogram "test.hist.a" in
+  List.iter (Telemetry.observe h) [ 1; 2; 3; 1000; 0 ];
+  Alcotest.(check int) "count" 5 (Telemetry.histogram_count h);
+  Alcotest.(check int) "sum" 1006 (Telemetry.histogram_sum h);
+  Telemetry.observe_span h 1e-6;
+  Alcotest.(check int) "span converted to ns" 2006 (Telemetry.histogram_sum h)
+
+let test_telemetry_span_and_events () =
+  with_telemetry @@ fun () ->
+  let r = Telemetry.with_span "test.span" (fun () -> 42) in
+  Alcotest.(check int) "span returns the body's value" 42 r;
+  Alcotest.(check int) "one observation recorded" 1
+    (Telemetry.histogram_count (Telemetry.histogram "test.span.ns"));
+  Telemetry.event "test.event"
+    [ ("k", Telemetry.Int 3); ("s", Telemetry.String "x\"y") ];
+  let json = Telemetry.to_json () in
+  Alcotest.(check bool) "event name exported" true (contains json "test.event");
+  Alcotest.(check bool) "string field escaped" true (contains json "x\\\"y")
+
+let test_telemetry_export_jsonl () =
+  with_telemetry @@ fun () ->
+  Telemetry.incr (Telemetry.counter "test.export.counter");
+  Telemetry.observe (Telemetry.histogram "test.export.hist") 7;
+  Telemetry.event "test.export.event" [ ("ok", Telemetry.Bool true) ];
+  let path = Filename.temp_file "telemetry" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Telemetry.export_file path;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let lines = List.rev !lines in
+  Alcotest.(check bool) "meta plus at least three records" true
+    (List.length lines >= 4);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "each line is a JSON object" true
+        (String.length l >= 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  (match lines with
+  | meta :: _ ->
+      Alcotest.(check bool) "meta line carries the schema" true
+        (contains meta "xentry-telemetry-v1")
+  | [] -> Alcotest.fail "empty export");
+  Alcotest.(check bool) "counter present" true
+    (List.exists (fun l -> contains l "test.export.counter") lines);
+  Alcotest.(check bool) "histogram present" true
+    (List.exists (fun l -> contains l "test.export.hist") lines);
+  Alcotest.(check bool) "event present" true
+    (List.exists (fun l -> contains l "test.export.event") lines)
+
+let test_telemetry_reset () =
+  with_telemetry @@ fun () ->
+  let c = Telemetry.counter "test.reset.counter" in
+  let h = Telemetry.histogram "test.reset.hist" in
+  Telemetry.add c 9;
+  Telemetry.observe h 4;
+  Telemetry.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (Telemetry.counter_value c);
+  Alcotest.(check int) "histogram zeroed" 0 (Telemetry.histogram_count h)
+
+let test_telemetry_domains () =
+  with_telemetry @@ fun () ->
+  let c = Telemetry.counter "test.domains.counter" in
+  let h = Telemetry.histogram "test.domains.hist" in
+  let domains =
+    Array.init 4 (fun _ ->
+        Stdlib.Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              Telemetry.incr c
+            done;
+            for v = 1 to 100 do
+              Telemetry.observe h v
+            done))
+  in
+  Array.iter Stdlib.Domain.join domains;
+  Alcotest.(check int) "counter sums across domains" 4000
+    (Telemetry.counter_value c);
+  Alcotest.(check int) "histogram merges across domains" 400
+    (Telemetry.histogram_count h);
+  Alcotest.(check int) "merged sum" (4 * 5050) (Telemetry.histogram_sum h)
+
 (* --- qcheck properties --------------------------------------------------- *)
+
+(* Naive reference implementations the optimized Stats code must agree
+   with. *)
+let naive_stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+    let ss =
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 xs
+    in
+    sqrt (ss /. float_of_int (n - 1))
+
+let naive_quantile xs q =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  let n = Array.length ys in
+  let h = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor h) in
+  let hi = min (lo + 1) (n - 1) in
+  ys.(lo) +. ((h -. float_of_int lo) *. (ys.(hi) -. ys.(lo)))
+
+let prop_stddev_matches_reference =
+  QCheck.Test.make ~name:"stddev agrees with naive sample stddev" ~count:300
+    QCheck.(list_of_size Gen.(int_range 0 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let xs = Array.of_list xs in
+      let a = Stats.stddev xs and b = naive_stddev xs in
+      abs_float (a -. b) <= 1e-9 *. (1.0 +. abs_float b))
+
+let prop_quantile_matches_reference =
+  QCheck.Test.make ~name:"quantile agrees with naive interpolation" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 50) (float_range (-1000.) 1000.))
+        (float_range 0.0 1.0))
+    (fun (xs, q) ->
+      let xs = Array.of_list xs in
+      abs_float (Stats.quantile xs q -. naive_quantile xs q) <= 1e-9)
 
 let prop_quantile_within_range =
   QCheck.Test.make ~name:"quantile stays within sample range" ~count:200
@@ -440,6 +630,8 @@ let () =
         prop_flip_is_involution;
         prop_cdf_eval_monotone;
         prop_sample_without_replacement_distinct;
+        prop_stddev_matches_reference;
+        prop_quantile_matches_reference;
       ]
   in
   Alcotest.run "xentry_util"
@@ -505,11 +697,26 @@ let () =
           Alcotest.test_case "percentage breakdown" `Quick
             test_stats_percentage_breakdown;
         ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "bucket mapping" `Quick test_telemetry_buckets;
+          Alcotest.test_case "counter round-trip" `Quick test_telemetry_counter;
+          Alcotest.test_case "histogram round-trip" `Quick
+            test_telemetry_histogram;
+          Alcotest.test_case "spans and events" `Quick
+            test_telemetry_span_and_events;
+          Alcotest.test_case "JSONL export well-formed" `Quick
+            test_telemetry_export_jsonl;
+          Alcotest.test_case "reset" `Quick test_telemetry_reset;
+          Alcotest.test_case "cross-domain merge" `Quick test_telemetry_domains;
+        ] );
       ( "edge-cases",
         [
           Alcotest.test_case "histogram single value" `Quick
             test_stats_histogram_single_value;
           Alcotest.test_case "quantile invalid" `Quick test_stats_quantile_invalid;
+          Alcotest.test_case "minimum/maximum empty" `Quick
+            test_stats_min_max_empty;
           Alcotest.test_case "int_in invalid" `Quick test_rng_int_in_invalid;
           Alcotest.test_case "grouped bars" `Quick test_report_grouped_bars_alignment;
           Alcotest.test_case "table pads" `Quick test_report_table_pads_short_rows;

@@ -320,6 +320,50 @@ let test_framework_vm_transition () =
        ~reason:Exit_reason.Softirq normal
     = Framework.Clean)
 
+let test_framework_context_follows_reason () =
+  (* Regression: [process] must derive the filter context from the
+     exit reason.  A #PF raised while servicing a trapped guest
+     exception is normal guest servicing (demand paging) — not a
+     detection — while the same #PF during any other exit is fatal.
+     #DF stays fatal in both contexts. *)
+  let pf = Cpu.Hw_fault { exn = Hw_exception.PF; detail = 0L } in
+  Alcotest.(check bool) "PF while servicing a guest exception is benign" true
+    (Framework.process Framework.full_config ~detector:None
+       ~reason:(Exit_reason.Exception Hw_exception.PF)
+       (run_result pf)
+    = Framework.Clean);
+  (match
+     Framework.process Framework.full_config ~detector:None
+       ~reason:Exit_reason.Softirq (run_result pf)
+   with
+  | Framework.Detected { technique = Framework.Hw_exception_detection; _ } -> ()
+  | _ -> Alcotest.fail "PF during a softirq must be a detection");
+  match
+    Framework.process Framework.full_config ~detector:None
+      ~reason:(Exit_reason.Exception Hw_exception.PF)
+      (run_result (Cpu.Hw_fault { exn = Hw_exception.DF; detail = 0L }))
+  with
+  | Framework.Detected { technique = Framework.Hw_exception_detection; _ } -> ()
+  | _ -> Alcotest.fail "#DF is fatal even in guest servicing"
+
+let test_exception_filter_context_of_reason () =
+  Alcotest.(check bool) "exception exits are guest servicing" true
+    (Exception_filter.context_of_reason (Exit_reason.Exception Hw_exception.GP)
+    = Exception_filter.Guest_servicing);
+  List.iter
+    (fun reason ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a runs in host mode" Exit_reason.pp reason)
+        true
+        (Exception_filter.context_of_reason reason = Exception_filter.Host_mode))
+    [
+      Exit_reason.Irq 3;
+      Exit_reason.Softirq;
+      Exit_reason.Tasklet;
+      Exit_reason.Apic Exit_reason.Apic_timer;
+      Exit_reason.Hypercall Hypercall.Sched_op;
+    ]
+
 let test_framework_disabled_detects_nothing () =
   List.iter
     (fun stop ->
@@ -455,6 +499,10 @@ let () =
           Alcotest.test_case "assertion attribution" `Quick
             test_framework_assertion_attribution;
           Alcotest.test_case "vm transition" `Quick test_framework_vm_transition;
+          Alcotest.test_case "context follows reason" `Quick
+            test_framework_context_follows_reason;
+          Alcotest.test_case "context of reason" `Quick
+            test_exception_filter_context_of_reason;
           Alcotest.test_case "disabled" `Quick test_framework_disabled_detects_nothing;
           Alcotest.test_case "runtime only" `Quick
             test_framework_runtime_only_skips_transition;
