@@ -5,8 +5,8 @@
 
    Usage:  dune exec bench/main.exe [-- OPTION... EXPERIMENT...]
    where EXPERIMENT is one of: all fig3 table1 accuracy fig6 fig7 fig8
-   fig9 fig10 table2 fig11 ablation recovery hardening speedup micro
-   (default: all).
+   fig9 fig10 table2 fig11 ablation recovery hardening speedup resume
+   micro (default: all).
 
    Options:
      -j N, --jobs N   run campaigns on N worker domains (0 = the
@@ -869,6 +869,77 @@ let speedup () =
   speedup_result := Some (injections, par_jobs, serial_s, parallel_s, identical)
 
 (* ------------------------------------------------------------------ *)
+(* Resume: shard-journal checkpoint overhead and restart speedup       *)
+(* ------------------------------------------------------------------ *)
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let resume () =
+  print (R.section "Shard journal: checkpoint overhead and resume speedup");
+  let injections = scaled 2_000 in
+  let config =
+    Campaign.default_config ~benchmark:Profile.Postmark ~injections ~seed:2718
+      ()
+  in
+  let nshards = (injections + Campaign.shard_size - 1) / Campaign.shard_size in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xentry-bench-resume-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  let checkpoint () =
+    match Xentry_store.Journal.for_campaign ~dir config with
+    | Ok cp -> cp
+    | Error e -> failwith (Xentry_store.Journal.open_error_message e)
+  in
+  let timed ?checkpoint () =
+    let t0 = Unix.gettimeofday () in
+    let records = Campaign.run ~jobs:!jobs ?checkpoint config in
+    (Unix.gettimeofday () -. t0, records)
+  in
+  (* Four runs of the same campaign: no journal; journaling every
+     shard as it completes (cold); replaying a complete journal
+     (warm); and resuming after "losing" the second half of the
+     journal, the mid-campaign-crash shape. *)
+  let plain_s, plain_records = timed () in
+  let cold_s, cold_records = timed ~checkpoint:(checkpoint ()) () in
+  let warm_s, warm_records = timed ~checkpoint:(checkpoint ()) () in
+  for i = nshards / 2 to nshards - 1 do
+    let f = Xentry_store.Journal.shard_file ~dir i in
+    if Sys.file_exists f then Sys.remove f
+  done;
+  let half_s, half_records = timed ~checkpoint:(checkpoint ()) () in
+  let identical =
+    cold_records = plain_records
+    && warm_records = plain_records
+    && half_records = plain_records
+  in
+  printf "%d injections (%d shards of %d), postmark PV, jobs=%d\n" injections
+    nshards Campaign.shard_size !jobs;
+  printf "no journal            %.3fs\n" plain_s;
+  printf "cold (write journal)  %.3fs   overhead %+.1f%%\n" cold_s
+    (100.0 *. ((cold_s /. Float.max 1e-9 plain_s) -. 1.0));
+  printf "warm (replay journal) %.3fs   speedup %.1fx\n" warm_s
+    (plain_s /. Float.max 1e-9 warm_s);
+  printf "resume (half lost)    %.3fs   speedup %.1fx\n" half_s
+    (plain_s /. Float.max 1e-9 half_s);
+  printf "records bit-identical across all four runs: %b\n" identical;
+  if not identical then begin
+    Printf.eprintf "FATAL: journaled campaign records diverged\n%!";
+    exit 1
+  end;
+  record_phase "resume-plain" plain_s injections;
+  record_phase "resume-cold" cold_s injections;
+  record_phase "resume-warm" warm_s injections;
+  record_phase "resume-half" half_s injections;
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per table/figure               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1054,6 +1125,7 @@ let experiments =
     ("recovery", recovery);
     ("hardening", hardening);
     ("speedup", speedup);
+    ("resume", resume);
     ("micro", micro);
   ]
 

@@ -165,33 +165,72 @@ let simulate_cmd =
       const simulate $ benchmark_arg $ mode_arg $ exits $ seed_arg $ engine_arg
       $ telemetry_arg)
 
+(* --- detector training shared by inject/export ------------------------- *)
+
+(* The corpus-collect / corpus-collect / fit sequence both commands
+   need: training corpus seeded at [seed], testing corpus at
+   [seed + 1]. *)
+let train_quick_detector ~jobs ~seed ~benchmarks ~mode ~train_injections
+    ~train_fault_free ~test_injections ~test_fault_free () =
+  let train =
+    Training.collect ~jobs ~seed ~benchmarks ~mode
+      ~injections_per_benchmark:train_injections
+      ~fault_free_per_benchmark:train_fault_free ()
+  in
+  let test =
+    Training.collect ~jobs ~seed:(seed + 1) ~benchmarks ~mode
+      ~injections_per_benchmark:test_injections
+      ~fault_free_per_benchmark:test_fault_free ()
+  in
+  Training.train_and_evaluate ~train ~test ()
+
 (* --- inject ------------------------------------------------------------------ *)
 
-let inject benchmark mode injections seed jobs engine with_detector telemetry =
+let inject benchmark mode injections seed jobs engine detector_src checkpoint
+    telemetry =
   apply_engine engine;
   with_telemetry telemetry @@ fun () ->
   let jobs = resolve_jobs jobs in
   let detector =
-    if not with_detector then None
-    else begin
-      prerr_endline "training detector (use --no-detector to skip)...";
-      let train =
-        Training.collect ~jobs ~seed:(seed + 1) ~benchmarks:[ benchmark ] ~mode
-          ~injections_per_benchmark:(max 500 (injections / 2))
-          ~fault_free_per_benchmark:(max 200 (injections / 8)) ()
-      in
-      let test =
-        Training.collect ~jobs ~seed:(seed + 2) ~benchmarks:[ benchmark ] ~mode
-          ~injections_per_benchmark:300 ~fault_free_per_benchmark:100 ()
-      in
-      Some (Training.detector (Training.train_and_evaluate ~train ~test ()))
-    end
+    match detector_src with
+    | `No_detector -> None
+    | `Load file -> (
+        match Xentry_store.Artifact.load Xentry_store.Codec.detector file with
+        | Ok det ->
+            Printf.eprintf "loaded detector artifact %s\n%!" file;
+            Some det
+        | Error e ->
+            Printf.eprintf "xentry: cannot load detector %s: %s\n%!" file
+              (Xentry_store.Artifact.error_message e);
+            exit 1)
+    | `Train ->
+        prerr_endline
+          "training detector (use --no-detector to skip, or --detector FILE \
+           to reload a saved one)...";
+        Some
+          (Training.detector
+             (train_quick_detector ~jobs ~seed:(seed + 1)
+                ~benchmarks:[ benchmark ] ~mode
+                ~train_injections:(max 500 (injections / 2))
+                ~train_fault_free:(max 200 (injections / 8))
+                ~test_injections:300 ~test_fault_free:100 ()))
   in
   let config =
     { (Campaign.default_config ?detector ~benchmark ~injections ~seed ()) with
       Campaign.mode }
   in
-  let summary = Report.summarize (Campaign.run ~jobs config) in
+  let records =
+    match checkpoint with
+    | None -> Campaign.run ~jobs config
+    | Some dir -> (
+        match Xentry_store.Journal.for_campaign ~dir config with
+        | Ok cp -> Campaign.run ~jobs ~checkpoint:cp config
+        | Error e ->
+            Printf.eprintf "xentry: %s\n%!"
+              (Xentry_store.Journal.open_error_message e);
+            exit 1)
+  in
+  let summary = Report.summarize records in
   Printf.printf "injections: %d  activated: %d  manifested: %d  coverage: %.1f%%\n"
     summary.Report.total_injections summary.Report.activated
     summary.Report.manifested
@@ -210,22 +249,61 @@ let inject_cmd =
       value & opt int 3000
       & info [ "n"; "injections" ] ~docv:"N" ~doc:"Number of fault injections.")
   in
-  let with_detector =
+  let detector_src =
+    let no_detector =
+      Arg.(
+        value & flag
+        & info [ "no-detector" ]
+            ~doc:
+              "Skip VM-transition detector training (runtime detection only).")
+    in
+    let detector_file =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "detector" ] ~docv:"FILE"
+            ~doc:
+              "Reload a detector artifact saved by $(b,xentry train --save) \
+               instead of training one (a reloaded detector produces verdicts \
+               identical to the saved one).")
+    in
+    Term.term_result
+      (Term.app
+         (Term.app
+            (Term.const (fun no_det file ->
+                 match (no_det, file) with
+                 | true, Some _ ->
+                     Error
+                       (`Msg
+                         "--no-detector and --detector FILE are mutually \
+                          exclusive: skip VM-transition detection or load a \
+                          saved detector, not both")
+                 | true, None -> Ok `No_detector
+                 | false, Some f -> Ok (`Load f)
+                 | false, None -> Ok `Train))
+            no_detector)
+         detector_file)
+  in
+  let checkpoint =
     Arg.(
-      value & flag
-      & info [ "no-detector" ]
-          ~doc:"Skip VM-transition detector training (runtime detection only).")
-    |> Term.map not
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"DIR"
+          ~doc:
+            "Journal each completed shard of the campaign to $(docv) and \
+             resume from shards already journaled there, so a killed run \
+             restarts where it left off.  The resumed record list is \
+             bit-identical to an uninterrupted run.")
   in
   Cmd.v
     (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
     Term.(
       const inject $ benchmark_arg $ mode_arg $ injections $ seed_arg
-      $ jobs_arg $ engine_arg $ with_detector $ telemetry_arg)
+      $ jobs_arg $ engine_arg $ detector_src $ checkpoint $ telemetry_arg)
 
 (* --- train -------------------------------------------------------------------- *)
 
-let train train_injections test_injections seed jobs engine show_rules
+let train train_injections test_injections seed jobs engine show_rules save
     telemetry =
   apply_engine engine;
   with_telemetry telemetry @@ fun () ->
@@ -255,7 +333,15 @@ let train train_injections test_injections seed jobs engine show_rules
     List.iter
       (fun r -> Printf.printf "  %s\n" r)
       (Tree.rules trained.Training.random_tree)
-  end
+  end;
+  match save with
+  | None -> ()
+  | Some file ->
+      Xentry_store.Artifact.save Xentry_store.Codec.detector file
+        (Training.detector trained);
+      Printf.printf
+        "saved detector artifact: %s (reload with xentry inject --detector)\n"
+        file
 
 let train_cmd =
   let ti =
@@ -273,10 +359,20 @@ let train_cmd =
   let rules =
     Arg.(value & flag & info [ "rules" ] ~doc:"Print the learned decision rules.")
   in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:
+            "Save the deployed (random tree) detector as a versioned, \
+             CRC-checked binary artifact, reloadable with $(b,xentry inject \
+             --detector FILE).")
+  in
   Cmd.v
     (Cmd.info "train" ~doc:"Run the VM-transition detector training pipeline")
     Term.(
-      const train $ ti $ te $ seed_arg $ jobs_arg $ engine_arg $ rules
+      const train $ ti $ te $ seed_arg $ jobs_arg $ engine_arg $ rules $ save
       $ telemetry_arg)
 
 (* --- handlers ------------------------------------------------------------------- *)
@@ -312,16 +408,13 @@ let export arff_path c_path injections seed jobs telemetry =
   let benchmarks = Array.to_list Profile.all_benchmarks in
   let n = List.length benchmarks in
   prerr_endline "collecting corpus and training the random tree...";
-  let train =
-    Training.collect ~jobs ~seed ~benchmarks ~mode:Profile.PV
-      ~injections_per_benchmark:(max 200 (injections / n))
-      ~fault_free_per_benchmark:(max 100 (injections / n / 4)) ()
+  let trained =
+    train_quick_detector ~jobs ~seed ~benchmarks ~mode:Profile.PV
+      ~train_injections:(max 200 (injections / n))
+      ~train_fault_free:(max 100 (injections / n / 4))
+      ~test_injections:200 ~test_fault_free:100 ()
   in
-  let test =
-    Training.collect ~jobs ~seed:(seed + 1) ~benchmarks ~mode:Profile.PV
-      ~injections_per_benchmark:200 ~fault_free_per_benchmark:100 ()
-  in
-  let trained = Training.train_and_evaluate ~train ~test () in
+  let train = trained.Training.train_corpus in
   (match arff_path with
   | Some path ->
       Xentry_mlearn.Arff.save path

@@ -55,4 +55,40 @@ let () =
      run at every VM entry. *)
   let det = Training.detector trained in
   Printf.printf "\nper-VM-entry worst case: %d integer comparisons\n"
-    (Xentry_core.Transition_detector.worst_case_comparisons det)
+    (Xentry_core.Transition_detector.worst_case_comparisons det);
+
+  (* Persist the detector as a versioned artifact and reload it — the
+     deployment path (`xentry train --save` / `xentry inject
+     --detector`).  The reloaded classifier is the same tree bit for
+     bit, so spot-checking a few test signatures through both must
+     agree verdict for verdict. *)
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "xentry-example-detector.xart" in
+  Xentry_store.Artifact.save Xentry_store.Codec.detector path det;
+  Printf.printf "\nsaved detector artifact: %s\n" path;
+  (match Xentry_store.Artifact.load Xentry_store.Codec.detector path with
+  | Error e ->
+      Printf.printf "reload failed: %s\n" (Xentry_store.Artifact.error_message e)
+  | Ok reloaded ->
+      let samples = Dataset.samples test.Training.dataset in
+      let agree = ref true in
+      Array.iteri
+        (fun i s ->
+          let live, _ =
+            Xentry_core.Transition_detector.classify_features det
+              s.Dataset.features
+          in
+          let saved, _ =
+            Xentry_core.Transition_detector.classify_features reloaded
+              s.Dataset.features
+          in
+          if live <> saved then agree := false;
+          if i < 5 then
+            let show v =
+              Format.asprintf "%a" Xentry_core.Transition_detector.pp_verdict v
+            in
+            Printf.printf "  signature %d: live=%s saved=%s\n" i (show live)
+              (show saved))
+        samples;
+      Printf.printf "reloaded detector agrees on all %d test signatures: %b\n"
+        (Array.length samples) !agree);
+  Sys.remove path

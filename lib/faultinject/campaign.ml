@@ -197,14 +197,37 @@ let shard_configs config =
           seed = Xentry_util.Rng.derive config.seed s;
         })
 
-let run ?jobs config =
+type checkpoint = {
+  lookup : int -> Outcome.record list option;
+  commit : int -> Outcome.record list -> unit;
+}
+
+let run ?jobs ?checkpoint config =
   let jobs =
     match jobs with Some j -> j | None -> Xentry_util.Pool.default_jobs ()
   in
   let pool = Xentry_util.Pool.create ~jobs in
+  (* Each work item is (shard index, shard config); the index keys the
+     checkpoint.  Journaled shards replay from storage, the rest run
+     and commit from whichever worker computed them — either way the
+     per-shard records are identical, so the shard-order merge is
+     unchanged by interruption, resumption or the worker count. *)
+  let run_one =
+    match checkpoint with
+    | None -> fun (_, shard) -> run_shard shard
+    | Some cp -> (
+        fun (index, shard) ->
+          match cp.lookup index with
+          | Some records -> records
+          | None ->
+              let records = run_shard shard in
+              cp.commit index records;
+              records)
+  in
   Tm.with_span "campaign.run" (fun () ->
       List.concat
-        (Xentry_util.Pool.map_list pool run_shard (shard_configs config)))
+        (Xentry_util.Pool.map_list pool run_one
+           (List.mapi (fun i shard -> (i, shard)) (shard_configs config))))
 
 let fault_free_shard ~seed ~benchmark ~mode ~runs =
   let profile = Xentry_workload.Profile.get benchmark in

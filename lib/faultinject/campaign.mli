@@ -46,11 +46,29 @@ val shard_size : int
     decomposition depends only on the config, never on the worker
     count. *)
 
-val run : ?jobs:int -> config -> Outcome.record list
+type checkpoint = {
+  lookup : int -> Outcome.record list option;
+      (** previously journaled records for a shard index, if any *)
+  commit : int -> Outcome.record list -> unit;
+      (** persist a freshly computed shard (called from the worker
+          domain that ran it, at most once per index per run) *)
+}
+(** Shard-level checkpointing hooks.  The campaign engine stays
+    storage-agnostic: [Xentry_store.Journal] implements this pair over
+    an on-disk journal directory, and anything else (a cache, a test
+    double) can too.  Because shard decomposition is a pure function
+    of the config, replaying [lookup]-served shards and computing the
+    rest merges into a record list bit-identical to an uninterrupted
+    run, for any [jobs] value. *)
+
+val run : ?jobs:int -> ?checkpoint:checkpoint -> config -> Outcome.record list
 (** Execute the campaign; one record per injection, in order.  Shards
     run on [jobs] domains ([Pool.default_jobs ()] when omitted, i.e.
     [XENTRY_JOBS] or serial) and merge in shard order, so the record
-    list is bit-identical for every [jobs] value. *)
+    list is bit-identical for every [jobs] value.  With [checkpoint],
+    already-journaled shards are served from [lookup] instead of being
+    re-executed and each newly computed shard is [commit]ted as soon
+    as it completes — a killed run resumes where it left off. *)
 
 val run_fault_free :
   ?jobs:int ->

@@ -2,6 +2,16 @@ let buf_add = Buffer.add_string
 
 let class_name c = Printf.sprintf "c%d" c
 
+(* Shortest decimal rendering that parses back to the same float:
+   feature values in the corpus are mostly small integers (PMU counts
+   and latencies), which "%g" renders exactly, but nothing stops a
+   caller storing an arbitrary double — fall back to "%.17g" (always
+   exact for finite doubles) when "%g" loses bits, so [of_arff
+   (to_arff ds) = ds] holds for every dataset. *)
+let float_repr v =
+  let s = Printf.sprintf "%g" v in
+  if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
 let to_arff ?(relation = "xentry") ds =
   let buf = Buffer.create 4096 in
   buf_add buf (Printf.sprintf "@relation %s\n\n" relation);
@@ -16,7 +26,7 @@ let to_arff ?(relation = "xentry") ds =
   Array.iter
     (fun s ->
       Array.iter
-        (fun v -> buf_add buf (Printf.sprintf "%g," v))
+        (fun v -> buf_add buf (float_repr v ^ ","))
         s.Dataset.features;
       buf_add buf (class_name s.Dataset.label);
       Buffer.add_char buf '\n')
@@ -113,7 +123,7 @@ let to_csv ds =
     (String.concat "," (Array.to_list (Dataset.feature_names ds)) ^ ",class\n");
   Array.iter
     (fun s ->
-      Array.iter (fun v -> buf_add buf (Printf.sprintf "%g," v)) s.Dataset.features;
+      Array.iter (fun v -> buf_add buf (float_repr v ^ ",")) s.Dataset.features;
       buf_add buf (string_of_int s.Dataset.label);
       Buffer.add_char buf '\n')
     (Dataset.samples ds);
@@ -143,11 +153,22 @@ let of_csv text =
       in
       Dataset.create ~feature_names ~n_classes samples
 
+(* Write-temp-then-rename, same discipline as [Xentry_store.Artifact]:
+   a crash mid-write leaves either the old file or nothing at [path],
+   never a torn corpus. *)
 let save path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match output_string oc contents with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  try Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let load path =
   let ic = open_in path in

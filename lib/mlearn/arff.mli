@@ -22,6 +22,8 @@ val of_csv : string -> Dataset.t
 (** Parse CSV produced by {!to_csv}. *)
 
 val save : string -> string -> unit
-(** [save path contents] writes a file. *)
+(** [save path contents] writes a file atomically (write to
+    [path ^ ".tmp"], then rename): an interrupted save leaves either
+    the previous file or nothing at [path], never a torn corpus. *)
 
 val load : string -> string

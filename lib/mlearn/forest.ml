@@ -37,6 +37,17 @@ let predict t features = fst (predict_detail t features)
 
 let size t = Array.length t.members
 let trees t = t.members
+let n_classes t = t.n_classes
+
+let of_trees ~n_classes members =
+  if Array.length members = 0 then
+    invalid_arg "Forest.of_trees: need at least one tree";
+  Array.iter
+    (fun (t : Tree.t) ->
+      if t.Tree.n_classes <> n_classes then
+        invalid_arg "Forest.of_trees: member class count mismatch")
+    members;
+  { members = Array.copy members; n_classes }
 
 let total_comparisons t features =
   Array.fold_left

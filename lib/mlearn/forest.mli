@@ -28,6 +28,12 @@ val predict_detail : t -> float array -> int * float
 
 val size : t -> int
 val trees : t -> Tree.t array
+val n_classes : t -> int
+
+val of_trees : n_classes:int -> Tree.t array -> t
+(** Reassemble an ensemble from serialized members (see
+    [Xentry_store.Codec]).  Raises [Invalid_argument] on an empty
+    array or a member whose class count differs from [n_classes]. *)
 
 val total_comparisons : t -> float array -> int
 (** Summed traversal cost across members — the ensemble's per-VM-entry

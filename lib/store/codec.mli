@@ -1,0 +1,52 @@
+(** Binary codecs for the expensive products of the pipeline.
+
+    One codec per artifact kind: campaign outcome records, datasets,
+    trees, forests, deployed detectors, training corpora and the full
+    trained pipeline.  Each codec carries its artifact [kind] tag and a
+    [version]; {!Artifact} frames the payload with a magic, the kind,
+    the version, a length and a CRC-32, so version skew and corruption
+    surface as typed load errors rather than exceptions.
+
+    Encodings are explicit field-by-field writes over {!Wire} — sum
+    types become validated tag bytes, floats travel as IEEE bits, and
+    enumerations (registers, exit reasons) travel as their stable
+    dense ids — so every value round-trips bit-identically and a
+    reader rejects any byte it does not understand. *)
+
+type 'a t = {
+  kind : string;  (** artifact kind tag, e.g. ["records"] *)
+  version : int;  (** schema version of this codec *)
+  write : Buffer.t -> 'a -> unit;
+  read : Wire.reader -> 'a;
+      (** raises {!Wire.Corrupt} on malformed input (callers go
+          through {!Artifact.load}, which returns typed errors) *)
+}
+
+val outcome_records : Xentry_faultinject.Outcome.record list t
+(** A batch of campaign records (the journal's shard payload). *)
+
+val dataset : Xentry_mlearn.Dataset.t t
+val tree : Xentry_mlearn.Tree.t t
+val forest : Xentry_mlearn.Forest.t t
+
+val detector : Xentry_core.Transition_detector.t t
+(** The deployed classifier: single tree, thresholded tree or
+    ensemble — what [train --save] writes and [inject --detector]
+    reloads. *)
+
+val corpus : Xentry_faultinject.Training.corpus t
+
+val trained : Xentry_faultinject.Training.trained t
+(** The full training-pipeline result: both corpora, both trees and
+    their evaluations. *)
+
+(** {2 Building blocks}
+
+    Exposed for the journal and for tests that compose or fuzz
+    encodings directly. *)
+
+val write_record : Buffer.t -> Xentry_faultinject.Outcome.record -> unit
+val read_record : Wire.reader -> Xentry_faultinject.Outcome.record
+val write_tree : Buffer.t -> Xentry_mlearn.Tree.t -> unit
+val read_tree : Wire.reader -> Xentry_mlearn.Tree.t
+val write_detector : Buffer.t -> Xentry_core.Transition_detector.t -> unit

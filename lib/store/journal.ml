@@ -1,0 +1,139 @@
+open Xentry_faultinject
+module W = Wire
+module Tm = Xentry_util.Telemetry
+
+let tm_bytes_written = Tm.counter "store.journal.bytes_written"
+let tm_committed = Tm.counter "store.journal.shards_committed"
+let tm_skipped = Tm.counter "store.journal.shards_skipped"
+let tm_corrupt = Tm.counter "store.journal.corrupt_dropped"
+
+(* Shard payloads carry their own index so a file renamed or copied to
+   the wrong slot is rejected rather than spliced into the campaign. *)
+let shard_codec : (int * Outcome.record list) Codec.t =
+  {
+    Codec.kind = "journal-shard";
+    version = 1;
+    write =
+      (fun buf (index, records) ->
+        W.u32 buf index;
+        W.list_ Codec.write_record buf records);
+    read =
+      (fun r ->
+        let index = W.read_u32 r in
+        let records = W.read_list Codec.read_record r in
+        (index, records));
+  }
+
+let meta_codec : string Codec.t =
+  {
+    Codec.kind = "journal-meta";
+    version = 1;
+    write = (fun buf fp -> W.str buf fp);
+    read = W.read_str;
+  }
+
+type t = { dir : string; fingerprint : string }
+
+type open_error =
+  | Fingerprint_mismatch of { dir : string; expected : string; found : string }
+  | Meta_error of { path : string; error : Artifact.error }
+  | Io_error of string
+
+let open_error_message = function
+  | Fingerprint_mismatch { dir; expected; found } ->
+      Printf.sprintf
+        "journal %s belongs to a different campaign (fingerprint %s, this \
+         config is %s); use a fresh directory"
+        dir found expected
+  | Meta_error { path; error } ->
+      Printf.sprintf "cannot read journal meta %s: %s" path
+        (Artifact.error_message error)
+  | Io_error msg -> "journal I/O error: " ^ msg
+
+let meta_file dir = Filename.concat dir "meta.xart"
+let shard_file ~dir index = Filename.concat dir (Printf.sprintf "shard-%06d.xart" index)
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ~dir ~fingerprint =
+  match mkdir_p dir with
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (Io_error (dir ^ ": " ^ Unix.error_message err))
+  | () -> (
+      let meta = meta_file dir in
+      if Sys.file_exists meta then
+        match Artifact.load meta_codec meta with
+        | Ok found when found = fingerprint -> Ok { dir; fingerprint }
+        | Ok found ->
+            Error (Fingerprint_mismatch { dir; expected = fingerprint; found })
+        | Error error -> Error (Meta_error { path = meta; error })
+      else
+        match Artifact.save meta_codec meta fingerprint with
+        | () -> Ok { dir; fingerprint }
+        | exception Sys_error msg -> Error (Io_error msg))
+
+let dir t = t.dir
+let fingerprint t = t.fingerprint
+
+let lookup t index =
+  let path = shard_file ~dir:t.dir index in
+  if not (Sys.file_exists path) then None
+  else
+    match Artifact.load shard_codec path with
+    | Ok (stored_index, records) when stored_index = index ->
+        Tm.incr tm_skipped;
+        Some records
+    | Ok _ | Error _ ->
+        (* Corrupt, truncated or misplaced: drop it — the shard is
+           recomputed and the file atomically overwritten. *)
+        Tm.incr tm_corrupt;
+        None
+
+let commit t index records =
+  let data = Artifact.encode shard_codec (index, records) in
+  Artifact.write_atomic (shard_file ~dir:t.dir index) data;
+  Tm.incr tm_committed;
+  Tm.add tm_bytes_written (String.length data)
+
+let shards_present t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun name ->
+             match Scanf.sscanf_opt name "shard-%06d.xart%!" (fun i -> i) with
+             | Some i when lookup t i <> None -> Some i
+             | _ -> None)
+      |> List.sort compare
+
+(* --- campaign wiring -------------------------------------------------- *)
+
+let campaign_fingerprint (config : Campaign.config) =
+  let buf = Buffer.create 512 in
+  W.str buf "xentry-campaign-fingerprint-v1";
+  W.int_ buf config.Campaign.seed;
+  W.int_ buf config.Campaign.injections;
+  W.str buf (Xentry_workload.Profile.benchmark_name config.Campaign.benchmark);
+  W.str buf (Xentry_workload.Profile.mode_name config.Campaign.mode);
+  W.opt Codec.write_detector buf config.Campaign.detector;
+  W.bool_ buf config.Campaign.framework.Xentry_core.Framework.hw_exceptions;
+  W.bool_ buf config.Campaign.framework.Xentry_core.Framework.sw_assertions;
+  W.bool_ buf config.Campaign.framework.Xentry_core.Framework.vm_transition;
+  W.int_ buf config.Campaign.fuel;
+  W.bool_ buf config.Campaign.hardened;
+  W.int_ buf Campaign.shard_size;
+  W.u16 buf shard_codec.Codec.version;
+  let body = Buffer.contents buf in
+  Printf.sprintf "%08lx:%d" (Crc32.digest body) (String.length body)
+
+let checkpoint t =
+  { Campaign.lookup = lookup t; Campaign.commit = commit t }
+
+let for_campaign ~dir config =
+  Result.map checkpoint (open_ ~dir ~fingerprint:(campaign_fingerprint config))

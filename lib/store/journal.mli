@@ -1,0 +1,77 @@
+(** Shard-level campaign checkpointing.
+
+    A journal is an append-only directory holding one artifact per
+    completed shard plus a [meta.xart] naming the campaign it belongs
+    to:
+
+    {v
+    DIR/
+      meta.xart            kind "journal-meta": config fingerprint
+      shard-000000.xart    kind "journal-shard": index + record batch
+      shard-000001.xart    ...
+    v}
+
+    Shard decomposition depends only on the campaign config
+    ({!Xentry_faultinject.Campaign.shard_size}), so a journaled shard
+    is valid forever for that config: a killed campaign resumes by
+    replaying journaled shards from disk and recomputing only the
+    rest, and the merged record list is bit-identical to an
+    uninterrupted run for any [jobs] value.
+
+    The config {e fingerprint} covers every record-affecting field —
+    seed, size, benchmark, mode, fuel, hardening, framework switches
+    and the full encoded detector — so a journal can never silently
+    resume a different campaign.  Corrupt or truncated shard files are
+    dropped (and recomputed) rather than trusted; only a mismatched
+    fingerprint or an unreadable meta file refuses to open.
+
+    Commits go through {!Artifact}'s temp-then-rename discipline and
+    each shard file is written by exactly one worker, so journaling is
+    safe under parallel campaigns. *)
+
+type t
+
+type open_error =
+  | Fingerprint_mismatch of { dir : string; expected : string; found : string }
+      (** the directory belongs to a different campaign config *)
+  | Meta_error of { path : string; error : Artifact.error }
+  | Io_error of string
+
+val open_error_message : open_error -> string
+
+val open_ : dir:string -> fingerprint:string -> (t, open_error) result
+(** Create [dir] (and its parents) if needed, writing [meta.xart]; on
+    an existing journal, verify the fingerprint. *)
+
+val dir : t -> string
+val fingerprint : t -> string
+
+val lookup : t -> int -> Xentry_faultinject.Outcome.record list option
+(** The journaled batch for a shard index, or [None] when absent.  A
+    corrupt, truncated or wrong-index shard file counts as absent (the
+    shard is recomputed and the file overwritten); the drop is counted
+    on the [store.journal.corrupt_dropped] telemetry counter. *)
+
+val commit : t -> int -> Xentry_faultinject.Outcome.record list -> unit
+(** Atomically persist a completed shard's records. *)
+
+val shards_present : t -> int list
+(** Sorted indices of loadable journaled shards. *)
+
+val shard_file : dir:string -> int -> string
+(** The path a shard index journals to (exposed for tests/bench that
+    simulate crashes by deleting or corrupting shard files). *)
+
+val campaign_fingerprint : Xentry_faultinject.Campaign.config -> string
+(** Deterministic fingerprint of every record-affecting config field
+    (including the encoded detector) plus the codec schema version. *)
+
+val checkpoint : t -> Xentry_faultinject.Campaign.checkpoint
+(** The lookup/commit pair [Campaign.run ~checkpoint] consumes. *)
+
+val for_campaign :
+  dir:string ->
+  Xentry_faultinject.Campaign.config ->
+  (Xentry_faultinject.Campaign.checkpoint, open_error) result
+(** [open_] keyed by {!campaign_fingerprint} — the one-call path the
+    CLI's [inject --checkpoint DIR] uses. *)

@@ -363,6 +363,81 @@ let prop_split_gain_nonnegative =
       | None -> true
       | Some (_, _, gain) -> gain >= -1e-9)
 
+(* --- serialization round-trips over adversarial floats --------------------- *)
+
+(* Values where a naive "%g" rendering loses bits: subnormals,
+   max_float, long mantissas, values near the binary/decimal
+   conversion boundaries.  NaN is excluded (not comparable under =);
+   every other finite double must survive to_arff/of_arff and
+   to_csv/of_csv bit-exactly. *)
+let tricky_floats =
+  [
+    0.0; -0.0; 1.0; -1.0; 0.1; -0.1; 1.0 /. 3.0; Float.pi; 1e22; 1e-22;
+    max_float; -.max_float; min_float; epsilon_float; 4.9e-324;
+    1.0 +. epsilon_float; 123456789.123456789; 2.5e-10; 9007199254740993.0;
+  ]
+
+let gen_tricky_float =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl tricky_floats;
+        float_range (-1e6) 1e6;
+        map (fun (m, e) -> ldexp m e)
+          (pair (float_range (-1.) 1.) (int_range (-60) 60));
+      ])
+
+let arb_dataset =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 4 >>= fun n_features ->
+      int_range 1 30 >>= fun n_samples ->
+      let sample =
+        pair (array_size (return n_features) gen_tricky_float) (int_range 0 1)
+      in
+      map
+        (fun rows ->
+          Dataset.create
+            ~feature_names:(Array.init n_features (Printf.sprintf "f%d"))
+            ~n_classes:2 (mk_samples rows))
+        (list_size (return n_samples) sample))
+  in
+  QCheck.make ~print:Arff.to_arff gen
+
+let dataset_equal a b =
+  Dataset.feature_names a = Dataset.feature_names b
+  && Dataset.n_classes a = Dataset.n_classes b
+  && Dataset.samples a = Dataset.samples b
+
+let prop_arff_roundtrip_exact =
+  QCheck.Test.make ~name:"of_arff (to_arff ds) = ds" ~count:200 arb_dataset
+    (fun ds -> dataset_equal ds (Arff.of_arff (Arff.to_arff ds)))
+
+let prop_csv_roundtrip_exact =
+  QCheck.Test.make ~name:"of_csv (to_csv ds) = ds" ~count:200 arb_dataset
+    (fun ds -> dataset_equal ds (Arff.of_csv (Arff.to_csv ds)))
+
+(* Pin the boundary values individually so a formatting regression
+   names the exact float it broke, not just a shrunk counterexample. *)
+let test_float_boundary_pinning () =
+  List.iter
+    (fun v ->
+      let ds =
+        Dataset.create ~feature_names:[| "v" |] ~n_classes:2
+          (mk_samples [ ([| v |], 1) ])
+      in
+      let bits = Int64.bits_of_float in
+      let first d = (Dataset.samples d).(0).Dataset.features.(0) in
+      Alcotest.(check int64)
+        (Printf.sprintf "arff bits of %h" v)
+        (bits v)
+        (bits (first (Arff.of_arff (Arff.to_arff ds))));
+      Alcotest.(check int64)
+        (Printf.sprintf "csv bits of %h" v)
+        (bits v)
+        (bits (first (Arff.of_csv (Arff.to_csv ds)))))
+    tricky_floats
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
@@ -370,6 +445,8 @@ let () =
         prop_training_accuracy_beats_majority;
         prop_predict_total;
         prop_split_gain_nonnegative;
+        prop_arff_roundtrip_exact;
+        prop_csv_roundtrip_exact;
       ]
   in
   Alcotest.run "xentry_mlearn"
@@ -417,6 +494,8 @@ let () =
           Alcotest.test_case "arff headers" `Quick test_arff_format_headers;
           Alcotest.test_case "arff malformed" `Quick test_arff_rejects_malformed;
           Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "float boundary pinning" `Quick
+            test_float_boundary_pinning;
           Alcotest.test_case "tree text roundtrip" `Quick test_tree_text_roundtrip;
           Alcotest.test_case "tree text garbage" `Quick test_tree_text_rejects_garbage;
           Alcotest.test_case "of_parts validates" `Quick test_tree_of_parts_validates;
