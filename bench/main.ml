@@ -6,7 +6,7 @@
    Usage:  dune exec bench/main.exe [-- OPTION... EXPERIMENT...]
    where EXPERIMENT is one of: all fig3 table1 accuracy fig6 fig7 fig8
    fig9 fig10 table2 fig11 ablation recovery hardening speedup resume
-   micro (default: all).
+   serve micro (default: all).
 
    Options:
      -j N, --jobs N   run campaigns on N worker domains (0 = the
@@ -119,8 +119,8 @@ let campaign_records =
        List.mapi
          (fun i b ->
            ( b,
-             Campaign.run ~jobs:!jobs
-               (Campaign.default_config ~detector:det ~benchmark:b
+             Campaign.execute
+               (Campaign.Config.make ~detector:det ~jobs:!jobs ~benchmark:b
                   ~injections:per_benchmark ~seed:(77 + (i * 1009)) ()) ))
          benchmarks
      in
@@ -650,10 +650,10 @@ let modes () =
           (fun b ->
             let s =
               Report.summarize
-                (Campaign.run ~jobs:!jobs
+                (Campaign.execute
                    {
-                     (Campaign.default_config ~detector:det ~benchmark:b
-                        ~injections ~seed:91 ())
+                     (Campaign.Config.make ~detector:det ~jobs:!jobs
+                        ~benchmark:b ~injections ~seed:91 ())
                      with
                      Campaign.mode;
                    })
@@ -749,8 +749,8 @@ let recovery () =
     List.map
       (fun b ->
         let r =
-          Recovery_study.run ~seed:31 ~detector:(Some det) ~benchmark:b
-            ~injections ()
+          Recovery_study.study ~seed:31 ~benchmark:b ~injections
+            (Pipeline.Config.make ~detector:det ())
         in
         [
           Profile.benchmark_name b;
@@ -793,8 +793,9 @@ let hardening () =
   let injections = scaled 3_000 in
   let campaign hardened b =
     Report.summarize
-      (Campaign.run ~jobs:!jobs
-         (Campaign.default_config ~hardened ~benchmark:b ~injections ~seed:5 ()))
+      (Campaign.execute
+         (Campaign.Config.make ~hardened ~jobs:!jobs ~benchmark:b ~injections
+            ~seed:5 ()))
   in
   let rows =
     List.concat_map
@@ -845,11 +846,11 @@ let speedup () =
   let injections = scaled 2_000 in
   let par_jobs = max 2 !jobs in
   let config =
-    Campaign.default_config ~benchmark:Profile.Postmark ~injections ~seed:2014 ()
+    Campaign.Config.make ~benchmark:Profile.Postmark ~injections ~seed:2014 ()
   in
   let timed j =
     let t0 = Unix.gettimeofday () in
-    let records = Campaign.run ~jobs:j config in
+    let records = Campaign.execute { config with Campaign.jobs = Some j } in
     (Unix.gettimeofday () -. t0, records)
   in
   let serial_s, serial_records = timed 1 in
@@ -882,8 +883,8 @@ let resume () =
   print (R.section "Shard journal: checkpoint overhead and resume speedup");
   let injections = scaled 2_000 in
   let config =
-    Campaign.default_config ~benchmark:Profile.Postmark ~injections ~seed:2718
-      ()
+    Campaign.Config.make ~jobs:!jobs ~benchmark:Profile.Postmark ~injections
+      ~seed:2718 ()
   in
   let nshards = (injections + Campaign.shard_size - 1) / Campaign.shard_size in
   let dir =
@@ -899,7 +900,7 @@ let resume () =
   in
   let timed ?checkpoint () =
     let t0 = Unix.gettimeofday () in
-    let records = Campaign.run ~jobs:!jobs ?checkpoint config in
+    let records = Campaign.execute ?checkpoint config in
     (Unix.gettimeofday () -. t0, records)
   in
   (* Four runs of the same campaign: no journal; journaling every
@@ -938,6 +939,64 @@ let resume () =
   record_phase "resume-warm" warm_s injections;
   record_phase "resume-half" half_s injections;
   rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Serve: sustained throughput and shed rate of the request engine     *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Xentry_serve.Server
+
+(* --json: (scenario, offered rate, summary) per serve scenario. *)
+let serve_results : (string * float * Serve.summary) list ref = ref []
+
+let serve () =
+  print
+    (R.section
+       "Streaming request engine: sustained throughput and load shedding");
+  let serve_jobs = max 2 !jobs in
+  let duration_s = Float.max 0.5 (Float.min 3.0 (3.0 *. scale)) in
+  let base =
+    Serve.make ~benchmark:Profile.Postmark ~streams:8 ~jobs:serve_jobs
+      ~duration_s ~seed:2014 ~rate:1.0 ()
+  in
+  let per_worker = Serve.calibrate base in
+  let capacity = per_worker *. float_of_int serve_jobs in
+  printf
+    "calibrated: %.0f req/s/worker x %d workers = %.0f req/s; %gs per \
+     scenario\n%!"
+    per_worker serve_jobs capacity duration_s;
+  let scenario name factor =
+    let rate = factor *. capacity in
+    let cfg = { base with Serve.rate } in
+    let s = Serve.run cfg in
+    serve_results := (name, rate, s) :: !serve_results;
+    record_phase ("serve-" ^ name) s.Serve.wall_s s.Serve.completed;
+    [
+      name;
+      Printf.sprintf "%.0f" rate;
+      Printf.sprintf "%.0f" s.Serve.throughput_rps;
+      Printf.sprintf "%.0f us" (Serve.latency_quantile s 0.50);
+      Printf.sprintf "%.0f us" (Serve.latency_quantile s 0.99);
+      R.percent (100.0 *. Serve.shed_fraction s);
+      Xentry_serve.Ladder.level_name s.Serve.deepest_level;
+      Xentry_serve.Ladder.level_name s.Serve.final_level;
+    ]
+  in
+  let rows = [ scenario "steady" 0.25; scenario "overload" 2.0 ] in
+  print
+    (R.table
+       ~header:
+         [ "scenario"; "offered/s"; "completed/s"; "p50"; "p99"; "shed";
+           "deepest level"; "final level" ]
+       ~rows);
+  printf
+    "\nCalibration is a single tight-loop domain, so it upper-bounds the\n\
+     live service (which timeshares producer + workers over the machine's\n\
+     cores).  The steady scenario offers 25%% of that bound and should\n\
+     hold full detection on most machines; overload offers 2x the bound,\n\
+     so the ingress queues fill, typed shedding caps the backlog, and the\n\
+     degradation ladder trades detection coverage for service rate for as\n\
+     long as the overload lasts.\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per table/figure               *)
@@ -1126,6 +1185,7 @@ let experiments =
     ("hardening", hardening);
     ("speedup", speedup);
     ("resume", resume);
+    ("serve", serve);
     ("micro", micro);
   ]
 
@@ -1183,6 +1243,29 @@ let write_json path =
         (serial_s /. Float.max 1e-9 parallel_s)
         identical
   | None -> ());
+  (match List.rev !serve_results with
+  | [] -> ()
+  | results ->
+      out "  \"serve\": [\n";
+      entries
+        (fun (name, rate, s) ->
+          out
+            "    {\"scenario\": \"%s\", \"offered_rps\": %.1f, \
+             \"throughput_rps\": %.1f, \"completed\": %d, \"detected\": %d, \
+             \"shed_fraction\": %.4f, \"shed_queue_full\": %d, \
+             \"shed_deadline\": %d, \"shed_draining\": %d, \"p50_us\": %.1f, \
+             \"p99_us\": %.1f, \"deepest_level\": \"%s\", \"final_level\": \
+             \"%s\", \"peak_occupancy\": %.3f}"
+            (json_escape name) rate s.Serve.throughput_rps s.Serve.completed
+            s.Serve.detected (Serve.shed_fraction s) s.Serve.shed_queue_full
+            s.Serve.shed_deadline s.Serve.shed_draining
+            (Serve.latency_quantile s 0.50)
+            (Serve.latency_quantile s 0.99)
+            (json_escape (Xentry_serve.Ladder.level_name s.Serve.deepest_level))
+            (json_escape (Xentry_serve.Ladder.level_name s.Serve.final_level))
+            s.Serve.peak_occupancy)
+        results;
+      out "  ],\n");
   (match !micro_engine_result with
   | Some (ref_sps, fast_sps, identical) ->
       out

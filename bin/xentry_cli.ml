@@ -4,6 +4,7 @@
      simulate   run a benchmark's VM-exit stream on a simulated host
      inject     run a fault-injection campaign and summarize it
      train      run the SIII-B training pipeline and report accuracy
+     serve      run the streaming request engine (backpressure + degradation)
      handlers   list the synthesized hypervisor handlers
      features   print Table I *)
 
@@ -67,10 +68,11 @@ let jobs_arg =
      recommended count for this machine; default $(b,XENTRY_JOBS), else 1). \
      Campaign results are bit-identical for every value."
   in
+  let env = Cmd.Env.info "XENTRY_JOBS" ~doc:"See option $(b,--jobs)." in
   Arg.(
     value
     & opt int (Xentry_util.Pool.default_jobs ())
-    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+    & info [ "j"; "jobs" ] ~docv:"N" ~env ~doc)
 
 let resolve_jobs j = if j <= 0 then Xentry_util.Pool.recommended_jobs () else j
 
@@ -92,10 +94,11 @@ let engine_arg =
      Default from $(b,XENTRY_ENGINE), else fast.  Results are bit-identical \
      for both."
   in
+  let env = Cmd.Env.info "XENTRY_ENGINE" ~doc:"See option $(b,--engine)." in
   Arg.(
     value
     & opt engine_conv (Xentry_machine.Cpu.default_engine ())
-    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+    & info [ "engine" ] ~docv:"ENGINE" ~env ~doc)
 
 let apply_engine e = Xentry_machine.Cpu.set_default_engine e
 
@@ -216,15 +219,16 @@ let inject benchmark mode injections seed jobs engine detector_src checkpoint
                 ~test_injections:300 ~test_fault_free:100 ()))
   in
   let config =
-    { (Campaign.default_config ?detector ~benchmark ~injections ~seed ()) with
+    { (Campaign.Config.make ?detector ~benchmark ~injections ~seed ()) with
       Campaign.mode }
   in
+  let config = { config with Campaign.jobs = Some jobs } in
   let records =
     match checkpoint with
-    | None -> Campaign.run ~jobs config
+    | None -> Campaign.execute config
     | Some dir -> (
         match Xentry_store.Journal.for_campaign ~dir config with
-        | Ok cp -> Campaign.run ~jobs ~checkpoint:cp config
+        | Ok cp -> Campaign.execute ~checkpoint:cp config
         | Error e ->
             Printf.eprintf "xentry: %s\n%!"
               (Xentry_store.Journal.open_error_message e);
@@ -457,6 +461,97 @@ let export_cmd =
       const export $ arff $ c $ injections $ seed_arg $ jobs_arg
       $ telemetry_arg)
 
+(* --- serve ---------------------------------------------------------------------- *)
+
+let serve benchmark mode duration streams rate deadline_us jobs queue_capacity
+    seed engine json telemetry =
+  apply_engine engine;
+  with_telemetry telemetry @@ fun () ->
+  let jobs = resolve_jobs jobs in
+  let module Serve = Xentry_serve.Server in
+  let base =
+    Serve.make ~mode ~streams ?deadline_us ~duration_s:duration ~jobs
+      ~queue_capacity ~seed ~benchmark ~rate:1.0 ()
+  in
+  let rate =
+    if rate > 0.0 then rate
+    else begin
+      (* No rate given: size the offered load to ~75% of the measured
+         aggregate capacity so the service starts inside its envelope. *)
+      let per_worker = Serve.calibrate base in
+      let r = 0.75 *. per_worker *. float_of_int jobs in
+      Printf.eprintf
+        "calibrated capacity: %.0f req/s/worker; serving at %.0f req/s\n%!"
+        per_worker r;
+      r
+    end
+  in
+  let cfg = { base with Serve.rate } in
+  let summary = Serve.run cfg in
+  if json then print_endline (Serve.summary_json cfg summary)
+  else Format.printf "%a@." Serve.pp_summary summary
+
+let serve_cmd =
+  let duration =
+    Arg.(
+      value & opt float 2.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Service lifetime before drain begins.")
+  in
+  let streams =
+    Arg.(
+      value & opt int 8
+      & info [ "streams" ] ~docv:"N"
+          ~doc:"Concurrent guest workload streams (one ingress queue each).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~docv:"REQ_PER_S"
+          ~doc:
+            "Aggregate offered load in requests/second.  0 (the default) \
+             calibrates the host and serves at 75% of measured capacity.")
+  in
+  let deadline_us =
+    let doc =
+      "Per-request queueing deadline in microseconds: requests still \
+       queued past it are shed ($(b,deadline_expired)) instead of \
+       executed.  Default from $(b,XENTRY_DEADLINE_US), else no deadline."
+    in
+    let env = Cmd.Env.info "XENTRY_DEADLINE_US" ~doc:"See option $(b,--deadline-us)." in
+    let default =
+      match Sys.getenv_opt "XENTRY_DEADLINE_US" with
+      | Some s -> int_of_string_opt s
+      | None -> None
+    in
+    Arg.(
+      value & opt (some int) default
+      & info [ "deadline-us" ] ~docv:"MICROSECONDS" ~env ~doc)
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Bound of each per-stream ingress queue.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the run summary as a single JSON object on stdout.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the streaming request engine: bounded ingress queues, typed \
+          load shedding, and a detection degradation ladder that trades \
+          coverage for throughput under overload and climbs back when \
+          queues drain.")
+    Term.(
+      const serve $ benchmark_arg $ mode_arg $ duration $ streams $ rate
+      $ deadline_us $ jobs_arg $ queue_capacity $ seed_arg $ engine_arg
+      $ json $ telemetry_arg)
+
 (* --- features ------------------------------------------------------------------- *)
 
 let features () = print_string (Format.asprintf "%a" Features.pp_table1 ())
@@ -475,6 +570,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            simulate_cmd; inject_cmd; train_cmd; handlers_cmd; features_cmd;
-            export_cmd;
+            simulate_cmd; inject_cmd; train_cmd; serve_cmd; handlers_cmd;
+            features_cmd; export_cmd;
           ]))

@@ -30,8 +30,8 @@ let () =
   in
   let detector = Training.detector (Training.train_and_evaluate ~train ~test ()) in
   let records =
-    Campaign.run
-      (Campaign.default_config ~detector
+    Campaign.execute
+      (Campaign.Config.make ~detector
          ~benchmark:Xentry_workload.Profile.Canneal ~injections ~seed:3 ())
   in
   let s = Report.summarize records in

@@ -38,7 +38,9 @@ let () =
     (100.0 *. Xentry_mlearn.Metrics.accuracy trained.Training.random_tree_eval);
 
   (* 3. Drive one slice of the postmark workload and let Xentry watch
-     every VM transition. *)
+     every VM transition.  One Pipeline.Config names the whole setup;
+     Pipeline.run prepares, executes, classifies and retires. *)
+  let pipeline = Pipeline.Config.make ~detector () in
   let stream =
     Stream.create (Profile.get Profile.Postmark) Profile.PV
       (Xentry_util.Rng.create 7)
@@ -46,17 +48,11 @@ let () =
   print_endline "\nrunning 20 hypervisor executions under full detection:";
   for i = 1 to 20 do
     let req = Stream.next_request stream in
-    Hypervisor.prepare host req;
-    let result = Hypervisor.execute host req in
-    let verdict =
-      Framework.process Framework.full_config ~detector:(Some detector)
-        ~reason:req.Request.reason result
-    in
+    let outcome = Pipeline.run pipeline ~host ~retire:true req in
     Printf.printf "  exit %2d  %-28s %5d instrs  %s\n" i
       (Exit_reason.name req.Request.reason)
-      result.Xentry_machine.Cpu.steps
-      (Format.asprintf "%a" Framework.pp_verdict verdict);
-    Hypervisor.retire host req
+      outcome.Pipeline.result.Xentry_machine.Cpu.steps
+      (Format.asprintf "%a" Pipeline.pp_verdict outcome.Pipeline.verdict)
   done;
 
   (* 4. Now flip one architectural register bit mid-execution and
@@ -69,7 +65,6 @@ let () =
       ~reason:(Exit_reason.Hypercall Hypercall.Console_io)
       ~args:[ 0L; 0L; 64L ] ~guest:[]
   in
-  Hypervisor.prepare host req;
   let inject =
     {
       Xentry_machine.Cpu.inj_target = Xentry_isa.Reg.Gpr Xentry_isa.Reg.RSI;
@@ -77,13 +72,10 @@ let () =
       inj_step = 60;
     }
   in
-  let result = Hypervisor.execute host ~inject req in
-  let verdict =
-    Framework.process Framework.full_config ~detector:(Some detector)
-      ~reason:req.Request.reason result
-  in
+  let outcome = Pipeline.run pipeline ~host ~inject req in
   Printf.printf "  %-28s stopped: %s\n"
     (Exit_reason.name req.Request.reason)
-    (Format.asprintf "%a" Xentry_machine.Cpu.pp_stop result.Xentry_machine.Cpu.stop);
+    (Format.asprintf "%a" Xentry_machine.Cpu.pp_stop
+       outcome.Pipeline.result.Xentry_machine.Cpu.stop);
   Printf.printf "  Xentry verdict: %s\n"
-    (Format.asprintf "%a" Framework.pp_verdict verdict)
+    (Format.asprintf "%a" Pipeline.pp_verdict outcome.Pipeline.verdict)

@@ -141,13 +141,11 @@ let () =
       ~fault_free_per_benchmark:100 ()
   in
   let detector = Training.detector (Training.train_and_evaluate ~train ~test ()) in
+  let pipeline = Pipeline.Config.make ~detector () in
   let check label req result =
-    let verdict =
-      Framework.process Framework.full_config ~detector:(Some detector)
-        ~reason:req.Request.reason result
-    in
+    let verdict = Pipeline.verdict pipeline ~reason:req.Request.reason result in
     Printf.printf "  %-34s -> %s\n" label
-      (Format.asprintf "%a" Framework.pp_verdict verdict)
+      (Format.asprintf "%a" Pipeline.pp_verdict verdict)
   in
   check "golden copy execution" copy_req golden2;
   check "corrupted-count copy execution" copy_req faulted2;

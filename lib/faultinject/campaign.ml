@@ -2,28 +2,90 @@ open Xentry_machine
 open Xentry_vmm
 open Xentry_core
 
-type config = {
+module Config = struct
+  type t = {
+    seed : int;
+    injections : int;
+    benchmark : Xentry_workload.Profile.benchmark;
+    mode : Xentry_workload.Profile.virt_mode;
+    detector : Transition_detector.t option;
+    framework : Pipeline.detection;
+    fuel : int;
+    hardened : bool;
+    jobs : int option;
+  }
+
+  let make ?detector ?(framework = Pipeline.full_detection)
+      ?(mode = Xentry_workload.Profile.PV) ?(fuel = 20_000) ?(hardened = false)
+      ?jobs ~benchmark ~injections ~seed () =
+    {
+      seed;
+      injections;
+      benchmark;
+      mode;
+      detector;
+      framework;
+      fuel;
+      hardened;
+      jobs;
+    }
+
+  let pipeline t =
+    {
+      Pipeline.Config.default with
+      Pipeline.Config.detection = t.framework;
+      detector = t.detector;
+      fuel = t.fuel;
+    }
+
+  (* The canonical encoding destructures EVERY field (warning 9 is an
+     error in this repo), so adding a field without deciding whether it
+     belongs in the fingerprint refuses to compile.  [jobs] is the one
+     execution-only field: campaigns are bit-identical for any worker
+     count, so it must not (and does not) perturb the fingerprint. *)
+  let canonical ~detector_digest
+      {
+        seed;
+        injections;
+        benchmark;
+        mode;
+        detector;
+        framework = { Pipeline.hw_exceptions; sw_assertions; vm_transition };
+        fuel;
+        hardened;
+        jobs = _;
+      } =
+    String.concat ";"
+      [
+        Printf.sprintf "seed=%d" seed;
+        Printf.sprintf "injections=%d" injections;
+        "benchmark=" ^ Xentry_workload.Profile.benchmark_name benchmark;
+        "mode=" ^ Xentry_workload.Profile.mode_name mode;
+        (match detector with
+        | None -> "detector=none"
+        | Some d -> "detector=" ^ detector_digest d);
+        Printf.sprintf "hw_exceptions=%b" hw_exceptions;
+        Printf.sprintf "sw_assertions=%b" sw_assertions;
+        Printf.sprintf "vm_transition=%b" vm_transition;
+        Printf.sprintf "fuel=%d" fuel;
+        Printf.sprintf "hardened=%b" hardened;
+      ]
+end
+
+type config = Config.t = {
   seed : int;
   injections : int;
   benchmark : Xentry_workload.Profile.benchmark;
   mode : Xentry_workload.Profile.virt_mode;
   detector : Transition_detector.t option;
-  framework : Framework.config;
+  framework : Pipeline.detection;
   fuel : int;
   hardened : bool;
+  jobs : int option;
 }
 
 let default_config ?detector ?(hardened = false) ~benchmark ~injections ~seed () =
-  {
-    seed;
-    injections;
-    benchmark;
-    mode = Xentry_workload.Profile.PV;
-    detector;
-    framework = Framework.full_config;
-    fuel = 20_000;
-    hardened;
-  }
+  Config.make ?detector ~hardened ~benchmark ~injections ~seed ()
 
 let snapshot_equal (a : Pmu.snapshot) (b : Pmu.snapshot) =
   a.Pmu.inst = b.Pmu.inst
@@ -133,8 +195,8 @@ let run_shard config =
           ~faulted_stop:nat_result.Cpu.stop diff_list
     in
     let verdict =
-      Framework.process config.framework ~detector:config.detector
-        ~reason:req.Request.reason det_result
+      Pipeline.verdict (Config.pipeline config) ~reason:req.Request.reason
+        det_result
     in
     let latency =
       match verdict with
@@ -202,9 +264,11 @@ type checkpoint = {
   commit : int -> Outcome.record list -> unit;
 }
 
-let run ?jobs ?checkpoint config =
+let execute ?checkpoint (config : Config.t) =
   let jobs =
-    match jobs with Some j -> j | None -> Xentry_util.Pool.default_jobs ()
+    match config.jobs with
+    | Some j -> j
+    | None -> Xentry_util.Pool.default_jobs ()
   in
   let pool = Xentry_util.Pool.create ~jobs in
   (* Each work item is (shard index, shard config); the index keys the
@@ -228,6 +292,12 @@ let run ?jobs ?checkpoint config =
       List.concat
         (Xentry_util.Pool.map_list pool run_one
            (List.mapi (fun i shard -> (i, shard)) (shard_configs config))))
+
+let run ?jobs ?checkpoint config =
+  let config =
+    match jobs with Some _ -> { config with jobs } | None -> config
+  in
+  execute ?checkpoint config
 
 let fault_free_shard ~seed ~benchmark ~mode ~runs =
   let profile = Xentry_workload.Profile.get benchmark in

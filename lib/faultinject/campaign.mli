@@ -15,20 +15,74 @@
 
     Consequences come from golden-vs-faulted comparison
     ({!Classify.consequence}); detections are attributed by
-    {!Xentry_core.Framework.process}. *)
+    {!Xentry_core.Pipeline.verdict}. *)
 
-type config = {
+(** Campaign configuration.  One record names every knob; the same
+    record drives both execution ({!execute}) and the persistent
+    store's checkpoint fingerprint
+    ({!Xentry_store.Journal.campaign_fingerprint} is computed from
+    {!Config.canonical}), so the config and the fingerprint cannot
+    drift apart. *)
+module Config : sig
+  type t = {
+    seed : int;
+    injections : int;
+    benchmark : Xentry_workload.Profile.benchmark;
+    mode : Xentry_workload.Profile.virt_mode;
+    detector : Xentry_core.Transition_detector.t option;
+    framework : Xentry_core.Pipeline.detection;
+    fuel : int;
+    hardened : bool;
+        (** use the selective-duplication handler variants (paper §VI
+            future work) *)
+    jobs : int option;
+        (** worker domains; [None] = [Pool.default_jobs ()].  The one
+            execution-only field: records are bit-identical for any
+            value, so it is excluded from {!canonical}. *)
+  }
+
+  val make :
+    ?detector:Xentry_core.Transition_detector.t ->
+    ?framework:Xentry_core.Pipeline.detection ->
+    ?mode:Xentry_workload.Profile.virt_mode ->
+    ?fuel:int ->
+    ?hardened:bool ->
+    ?jobs:int ->
+    benchmark:Xentry_workload.Profile.benchmark ->
+    injections:int ->
+    seed:int ->
+    unit ->
+    t
+  (** Defaults: PV mode, full detection, fuel 20_000, baseline
+      handlers, [Pool.default_jobs] workers. *)
+
+  val pipeline : t -> Xentry_core.Pipeline.Config.t
+  (** The per-execution pipeline config a campaign applies to each
+      detected run (detection set, detector, fuel). *)
+
+  val canonical :
+    detector_digest:(Xentry_core.Transition_detector.t -> string) ->
+    t ->
+    string
+  (** Canonical [key=value;…] encoding of every record-affecting field
+      ([jobs] excluded).  The implementation destructures the whole
+      record, so adding a field forces a decision here — config and
+      fingerprint cannot silently drift.  [detector_digest] renders the
+      detector (the store digests its encoded bytes). *)
+end
+
+type config = Config.t = {
   seed : int;
   injections : int;
   benchmark : Xentry_workload.Profile.benchmark;
   mode : Xentry_workload.Profile.virt_mode;
   detector : Xentry_core.Transition_detector.t option;
-  framework : Xentry_core.Framework.config;
+  framework : Xentry_core.Pipeline.detection;
   fuel : int;
   hardened : bool;
-      (** use the selective-duplication handler variants (paper SVI
-          future work) *)
+  jobs : int option;
 }
+(** Historical flat spelling of {!Config.t} (same type, via equation). *)
 
 val default_config :
   ?detector:Xentry_core.Transition_detector.t ->
@@ -38,6 +92,7 @@ val default_config :
   seed:int ->
   unit ->
   config
+  [@@deprecated "use Campaign.Config.make"]
 (** PV mode, full framework, fuel 20_000, baseline handlers. *)
 
 val shard_size : int
@@ -61,14 +116,19 @@ type checkpoint = {
     rest merges into a record list bit-identical to an uninterrupted
     run, for any [jobs] value. *)
 
-val run : ?jobs:int -> ?checkpoint:checkpoint -> config -> Outcome.record list
+val execute : ?checkpoint:checkpoint -> Config.t -> Outcome.record list
 (** Execute the campaign; one record per injection, in order.  Shards
-    run on [jobs] domains ([Pool.default_jobs ()] when omitted, i.e.
-    [XENTRY_JOBS] or serial) and merge in shard order, so the record
-    list is bit-identical for every [jobs] value.  With [checkpoint],
-    already-journaled shards are served from [lookup] instead of being
-    re-executed and each newly computed shard is [commit]ted as soon
-    as it completes — a killed run resumes where it left off. *)
+    run on [config.jobs] domains ([Pool.default_jobs ()] when [None],
+    i.e. [XENTRY_JOBS] or serial) and merge in shard order, so the
+    record list is bit-identical for every [jobs] value.  With
+    [checkpoint], already-journaled shards are served from [lookup]
+    instead of being re-executed and each newly computed shard is
+    [commit]ted as soon as it completes — a killed run resumes where
+    it left off. *)
+
+val run : ?jobs:int -> ?checkpoint:checkpoint -> config -> Outcome.record list
+  [@@deprecated "use Campaign.execute with Config.jobs"]
+(** {!execute} with [jobs] (when given) overriding [config.jobs]. *)
 
 val run_fault_free :
   ?jobs:int ->

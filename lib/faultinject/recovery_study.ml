@@ -11,7 +11,14 @@ type result = {
   checkpoint_bytes : int;
 }
 
-let run ?(seed = 7) ?(fuel = 20_000) ~detector ~benchmark ~injections () =
+let study ?(seed = 7) ~benchmark ~injections (cfg : Pipeline.Config.t) =
+  (* The study is checkpoint/re-execution by definition; force the
+     recovery policy on so [Pipeline.run] records a checkpoint before
+     every detected execution regardless of what the caller set. *)
+  let cfg =
+    { cfg with Pipeline.Config.recovery = Pipeline.Config.Checkpoint_reexecute }
+  in
+  let fuel = cfg.Pipeline.Config.fuel in
   let profile = Xentry_workload.Profile.get benchmark in
   let rng = Xentry_util.Rng.create seed in
   let request_rng = Xentry_util.Rng.split rng in
@@ -28,34 +35,34 @@ let run ?(seed = 7) ?(fuel = 20_000) ~detector ~benchmark ~injections () =
         request_rng
     in
     Hypervisor.prepare host req;
-    (* The redundant copy Xentry's recovery keeps at every VM exit. *)
-    let ckpt = Recovery_engine.checkpoint host in
-    checkpoint_bytes := Recovery_engine.checkpoint_bytes ckpt;
+    (* The redundant copy Xentry's recovery keeps at every VM exit
+       (sized here on the live host; the pipeline takes its own,
+       content-identical, on the clone it executes). *)
+    checkpoint_bytes :=
+      Recovery_engine.checkpoint_bytes (Recovery_engine.checkpoint host);
     let golden_host = Hypervisor.clone host in
     let golden_result = Hypervisor.execute golden_host ~fuel req in
     let fault = Fault.sample fault_rng ~max_step:(max 1 golden_result.Cpu.steps) in
     let det_host = Hypervisor.clone host in
-    let det_result =
-      Hypervisor.execute det_host ~inject:(Fault.to_injection fault) ~fuel req
+    let outcome =
+      Pipeline.run cfg ~host:det_host ~prepare:false
+        ~inject:(Fault.to_injection fault) req
     in
-    let verdict =
-      Framework.process Framework.full_config ~detector ~reason:req.Request.reason
-        det_result
-    in
-    (match verdict with
-    | Framework.Detected _ ->
+    (match (outcome.Pipeline.verdict, outcome.Pipeline.recovery) with
+    | Pipeline.Detected _, Some rec_outcome ->
         incr detected;
-        (* Restore the checkpoint on the faulted host and re-execute:
-           the transient fault is gone. *)
-        let rec_result = Recovery_engine.recover det_host ckpt ~fuel req in
-        let clean = rec_result.Cpu.stop = Cpu.Vm_entry in
         let identical =
-          clean && Classify.diffs ~golden:golden_host ~faulted:det_host = []
+          rec_outcome.Pipeline.recovered_clean
+          && Classify.diffs ~golden:golden_host ~faulted:det_host = []
         in
         if identical then incr recovered_exactly else incr recovery_mismatches
-    | Framework.Clean ->
+    | Pipeline.Detected _, None ->
+        (* unreachable: the policy above guarantees a checkpoint *)
+        incr detected;
+        incr recovery_mismatches
+    | Pipeline.Clean, _ ->
         if
-          det_result.Cpu.stop = Cpu.Vm_entry
+          outcome.Pipeline.result.Cpu.stop = Cpu.Vm_entry
           && Classify.diffs ~golden:golden_host ~faulted:det_host <> []
         then incr undetected_manifested);
     (* Advance the live host fault-free. *)
@@ -70,6 +77,9 @@ let run ?(seed = 7) ?(fuel = 20_000) ~detector ~benchmark ~injections () =
     undetected_manifested = !undetected_manifested;
     checkpoint_bytes = !checkpoint_bytes;
   }
+
+let run ?(seed = 7) ?(fuel = 20_000) ~detector ~benchmark ~injections () =
+  study ~seed ~benchmark ~injections (Pipeline.Config.make ?detector ~fuel ())
 
 let pp ppf r =
   Format.fprintf ppf

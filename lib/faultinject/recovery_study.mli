@@ -26,6 +26,18 @@ type result = {
   checkpoint_bytes : int;  (** size of the per-exit checkpoint *)
 }
 
+val study :
+  ?seed:int ->
+  benchmark:Xentry_workload.Profile.benchmark ->
+  injections:int ->
+  Xentry_core.Pipeline.Config.t ->
+  result
+(** Run the study under a pipeline configuration (detection set,
+    detector, fuel).  The recovery policy is forced to
+    [Checkpoint_reexecute] — that is what the study measures — and
+    each faulted execution goes through {!Xentry_core.Pipeline.run} on
+    a clone of the live host. *)
+
 val run :
   ?seed:int ->
   ?fuel:int ->
@@ -34,5 +46,7 @@ val run :
   injections:int ->
   unit ->
   result
+  [@@deprecated "use Recovery_study.study with a Pipeline.Config.t"]
+(** {!study} under full detection with [detector] and [fuel]. *)
 
 val pp : Format.formatter -> result -> unit

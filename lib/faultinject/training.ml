@@ -19,18 +19,11 @@ let collect ?jobs ~seed ~benchmarks ~mode ~injections_per_benchmark
   List.iteri
     (fun i benchmark ->
       let config =
-        {
-          Campaign.seed = seed + (i * 7919);
-          injections = injections_per_benchmark;
-          benchmark;
-          mode;
-          detector = None;
-          framework = Framework.runtime_only;
-          fuel = 20_000;
-          hardened = false;
-        }
+        Campaign.Config.make ~framework:Pipeline.runtime_only ~mode ?jobs
+          ~benchmark ~injections:injections_per_benchmark
+          ~seed:(seed + (i * 7919)) ()
       in
-      let records = Campaign.run ?jobs config in
+      let records = Campaign.execute config in
       List.iter
         (fun r ->
           match r.Outcome.signature with

@@ -1,0 +1,79 @@
+open Xentry_core
+
+type level = Full_detection | Runtime_only | Filter_only
+
+let levels = [| Full_detection; Runtime_only; Filter_only |]
+
+let level_index = function
+  | Full_detection -> 0
+  | Runtime_only -> 1
+  | Filter_only -> 2
+
+let level_name = function
+  | Full_detection -> "full"
+  | Runtime_only -> "runtime_only"
+  | Filter_only -> "filter_only"
+
+(* The cost/coverage dial (DETOx's observation applied to the paper's
+   two-tier design): each step down disarms the most expensive
+   remaining technique.  The exception filter is effectively free — it
+   only inspects executions that already stopped — so it is never
+   disarmed. *)
+let detection = function
+  | Full_detection -> Pipeline.full_detection
+  | Runtime_only -> Pipeline.runtime_only
+  | Filter_only ->
+      {
+        Pipeline.hw_exceptions = true;
+        sw_assertions = false;
+        vm_transition = false;
+      }
+
+type config = {
+  high_watermark : float;
+  low_watermark : float;
+  hold_ticks : int;
+}
+
+let default_config =
+  { high_watermark = 0.75; low_watermark = 0.25; hold_ticks = 25 }
+
+let validate_config c =
+  if
+    not
+      (c.low_watermark >= 0. && c.low_watermark < c.high_watermark
+     && c.high_watermark <= 1. && c.hold_ticks >= 1)
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Ladder: need 0 <= low (%g) < high (%g) <= 1 and hold_ticks (%d) >= 1"
+         c.low_watermark c.high_watermark c.hold_ticks)
+
+type t = { config : config; level : level; calm_ticks : int }
+
+type transition = { from_level : level; to_level : level }
+
+let create ?(config = default_config) () =
+  validate_config config;
+  { config; level = Full_detection; calm_ticks = 0 }
+
+let level t = t.level
+
+(* Hysteresis: degrading is immediate (shedding is worse than a
+   coverage dip), climbing back needs [hold_ticks] consecutive calm
+   ticks (a queue bouncing around the low watermark must not flap the
+   detection set), and mid-band occupancy resets the calm streak. *)
+let observe t ~occupancy =
+  let idx = level_index t.level in
+  if occupancy >= t.config.high_watermark && idx < Array.length levels - 1 then
+    let to_level = levels.(idx + 1) in
+    ( { t with level = to_level; calm_ticks = 0 },
+      Some { from_level = t.level; to_level } )
+  else if occupancy <= t.config.low_watermark then
+    let calm = t.calm_ticks + 1 in
+    if calm >= t.config.hold_ticks && idx > 0 then
+      let to_level = levels.(idx - 1) in
+      ( { t with level = to_level; calm_ticks = 0 },
+        Some { from_level = t.level; to_level } )
+    else ({ t with calm_ticks = calm }, None)
+  else ({ t with calm_ticks = 0 }, None)

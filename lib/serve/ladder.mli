@@ -1,0 +1,49 @@
+(** Load-adaptive degradation ladder.
+
+    Under overload the serve engine steps down the detection set —
+    full detection, then exception filter + assertions, then filter
+    only — trading coverage for service rate (the paper's two-tier
+    split as a runtime dial, per DETOx's cost/coverage observation),
+    and climbs back one rung at a time once queues stay drained.
+
+    The ladder itself is a pure state machine over queue-occupancy
+    observations: degrade {e immediately} when occupancy reaches the
+    high watermark, climb one rung after [hold_ticks] {e consecutive}
+    observations at or below the low watermark (mid-band observations
+    reset the streak — hysteresis, so detection never flaps). *)
+
+type level =
+  | Full_detection  (** filter + assertions + transition detector *)
+  | Runtime_only  (** filter + assertions *)
+  | Filter_only  (** exception filter alone: near-zero added cost *)
+
+val levels : level array
+(** Rungs in degradation order, [Full_detection] first. *)
+
+val level_index : level -> int
+val level_name : level -> string
+
+val detection : level -> Xentry_core.Pipeline.detection
+(** The detection set a rung arms. *)
+
+type config = {
+  high_watermark : float;  (** degrade at occupancy >= this *)
+  low_watermark : float;  (** calm means occupancy <= this *)
+  hold_ticks : int;  (** consecutive calm observations to climb *)
+}
+
+val default_config : config
+(** high 0.75, low 0.25, hold 25. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Starts at {!Full_detection}.  Raises [Invalid_argument] unless
+    [0 <= low < high <= 1] and [hold_ticks >= 1]. *)
+
+val level : t -> level
+
+type transition = { from_level : level; to_level : level }
+
+val observe : t -> occupancy:float -> t * transition option
+(** Feed one occupancy observation (queued/capacity, 0..1); pure. *)

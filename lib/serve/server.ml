@@ -1,0 +1,486 @@
+open Xentry_vmm
+open Xentry_core
+module Profile = Xentry_workload.Profile
+module Stream = Xentry_workload.Stream
+module Rng = Xentry_util.Rng
+module Tm = Xentry_util.Telemetry
+
+(* --- configuration -------------------------------------------------- *)
+
+type burst = { burst_start : float; burst_end : float; burst_factor : float }
+
+type config = {
+  pipeline : Pipeline.Config.t;
+  benchmark : Profile.benchmark;
+  mode : Profile.virt_mode;
+  streams : int;
+  rate : float;
+  burst : burst option;
+  deadline_us : int option;
+  duration_s : float;
+  jobs : int;
+  queue_capacity : int;
+  ladder : Ladder.config;
+  tick_s : float;
+  seed : int;
+  max_samples : int;
+}
+
+let make ?(pipeline = Pipeline.Config.default) ?(mode = Profile.PV)
+    ?(streams = 8) ?burst ?deadline_us ?(duration_s = 2.0) ?(jobs = 2)
+    ?(queue_capacity = 64) ?(ladder = Ladder.default_config)
+    ?(tick_s = 0.002) ?(seed = 42) ?(max_samples = 200_000) ~benchmark ~rate
+    () =
+  let cfg =
+    {
+      pipeline;
+      benchmark;
+      mode;
+      streams;
+      rate;
+      burst;
+      deadline_us;
+      duration_s;
+      jobs;
+      queue_capacity;
+      ladder;
+      tick_s;
+      seed;
+      max_samples;
+    }
+  in
+  if
+    not
+      (streams >= 1 && jobs >= 1 && rate > 0. && duration_s > 0.
+     && tick_s > 0. && queue_capacity >= 1 && max_samples >= 1
+     &&
+     match deadline_us with Some d -> d >= 1 | None -> true)
+  then invalid_arg "Server.make: invalid configuration";
+  cfg
+
+(* --- shed accounting ------------------------------------------------ *)
+
+type shed_reason =
+  | Queue_full  (** ingress queue at capacity at arrival time *)
+  | Deadline_expired  (** dequeued after its deadline already passed *)
+  | Draining  (** still queued when the service shut down *)
+
+let shed_reason_name = function
+  | Queue_full -> "queue_full"
+  | Deadline_expired -> "deadline_expired"
+  | Draining -> "draining"
+
+(* --- telemetry ------------------------------------------------------ *)
+
+let tm_offered = Tm.counter "serve.offered"
+let tm_admitted = Tm.counter "serve.admitted"
+let tm_completed = Tm.counter "serve.completed"
+let tm_detected = Tm.counter "serve.detected"
+let tm_shed_full = Tm.counter "serve.shed.queue_full"
+let tm_shed_deadline = Tm.counter "serve.shed.deadline_expired"
+let tm_shed_draining = Tm.counter "serve.shed.draining"
+let tm_degraded = Tm.counter "serve.degraded"
+let tm_recovered = Tm.counter "serve.recovered"
+let tm_latency = lazy (Tm.histogram "serve.latency_us")
+let tm_level = lazy (Tm.histogram "serve.degraded_level")
+
+(* --- the engine ----------------------------------------------------- *)
+
+type item = { it_req : Request.t; it_enqueued : float }
+
+type tally = {
+  mutable t_completed : int;
+  mutable t_detected : int;
+  mutable t_shed_deadline : int;
+  mutable t_shed_draining : int;
+  mutable t_latencies : float list; (* seconds, newest first, bounded *)
+  mutable t_n_latencies : int;
+}
+
+type summary = {
+  wall_s : float;
+  offered : int;
+  admitted : int;
+  completed : int;
+  detected : int;
+  shed_queue_full : int;
+  shed_deadline : int;
+  shed_draining : int;
+  throughput_rps : float;
+  latency_us : float array; (* completed-request latencies, unsorted *)
+  transitions : (float * Ladder.level) list; (* (seconds since start, new level) *)
+  time_at_level : float array; (* seconds, indexed by Ladder.level_index *)
+  final_level : Ladder.level;
+  deepest_level : Ladder.level;
+  peak_occupancy : float;
+}
+
+let shed_total s = s.shed_queue_full + s.shed_deadline + s.shed_draining
+
+let shed_fraction s =
+  if s.offered = 0 then 0. else float_of_int (shed_total s) /. float_of_int s.offered
+
+let latency_quantile s q =
+  if Array.length s.latency_us = 0 then 0.
+  else Xentry_util.Stats.quantile s.latency_us q
+
+let now () = Unix.gettimeofday ()
+
+(* One worker: owns a hypervisor for the service lifetime and polls
+   the queues of the streams statically assigned to it (stream i is
+   worker [i mod jobs]'s — single consumer per queue, so per-stream
+   order is preserved and queues never contend between workers). *)
+let worker_loop (cfg : config) queues ~draining ~level_cell ~configs_by_level w
+    =
+  let host =
+    Pipeline.create_host ~seed:(Rng.derive cfg.seed (0x5E12 + w)) cfg.pipeline
+  in
+  let my_queues =
+    Array.of_list
+      (List.filteri (fun i _ -> i mod cfg.jobs = w) (Array.to_list queues))
+  in
+  let tally =
+    {
+      t_completed = 0;
+      t_detected = 0;
+      t_shed_deadline = 0;
+      t_shed_draining = 0;
+      t_latencies = [];
+      t_n_latencies = 0;
+    }
+  in
+  let sample_cap = max 1 (cfg.max_samples / cfg.jobs) in
+  let deadline_s =
+    Option.map (fun d -> float_of_int d *. 1e-6) cfg.deadline_us
+  in
+  let serve_one item =
+    let t_dequeue = now () in
+    let expired =
+      match deadline_s with
+      | Some d -> t_dequeue -. item.it_enqueued > d
+      | None -> false
+    in
+    if Atomic.get draining then begin
+      tally.t_shed_draining <- tally.t_shed_draining + 1;
+      Tm.incr tm_shed_draining
+    end
+    else if expired then begin
+      tally.t_shed_deadline <- tally.t_shed_deadline + 1;
+      Tm.incr tm_shed_deadline
+    end
+    else begin
+      let level_cfg : Pipeline.Config.t =
+        configs_by_level.(Atomic.get level_cell)
+      in
+      let outcome = Pipeline.run level_cfg ~host ~retire:true item.it_req in
+      let latency = now () -. item.it_enqueued in
+      tally.t_completed <- tally.t_completed + 1;
+      (match outcome.Pipeline.verdict with
+      | Pipeline.Detected _ ->
+          tally.t_detected <- tally.t_detected + 1;
+          Tm.incr tm_detected
+      | Pipeline.Clean -> ());
+      if tally.t_n_latencies < sample_cap then begin
+        tally.t_latencies <- latency :: tally.t_latencies;
+        tally.t_n_latencies <- tally.t_n_latencies + 1
+      end;
+      Tm.incr tm_completed;
+      if !Tm.enabled_ref then
+        Tm.observe (Lazy.force tm_latency) (int_of_float (latency *. 1e6))
+    end
+  in
+  let rec loop () =
+    let served = ref false in
+    Array.iter
+      (fun q ->
+        match Bounded_queue.pop_opt q with
+        | Some item ->
+            served := true;
+            serve_one item
+        | None -> ())
+      my_queues;
+    if !served then loop ()
+    else if Atomic.get draining then
+      (* Producer closes queues before we see [draining], and a closed
+         queue still drains — one last empty sweep means done. *)
+      ()
+    else begin
+      Stdlib.Domain.cpu_relax ();
+      Unix.sleepf 2e-4;
+      loop ()
+    end
+  in
+  loop ();
+  tally
+
+let run (cfg : config) =
+  let profile = Profile.get cfg.benchmark in
+  let streams =
+    Array.init cfg.streams (fun i ->
+        Stream.create profile cfg.mode (Rng.create (Rng.derive cfg.seed i)))
+  in
+  let queues =
+    Array.init cfg.streams (fun _ ->
+        Bounded_queue.create ~capacity:cfg.queue_capacity)
+  in
+  let total_capacity = float_of_int (cfg.streams * cfg.queue_capacity) in
+  let draining = Atomic.make false in
+  let level_cell = Atomic.make (Ladder.level_index Ladder.Full_detection) in
+  let configs_by_level =
+    Array.map
+      (fun l ->
+        { cfg.pipeline with Pipeline.Config.detection = Ladder.detection l })
+      Ladder.levels
+  in
+  let workers =
+    Xentry_util.Pool.spawn ~jobs:cfg.jobs
+      (worker_loop cfg queues ~draining ~level_cell ~configs_by_level)
+  in
+  let offered = ref 0 in
+  let admitted = ref 0 in
+  let shed_queue_full = ref 0 in
+  let rr = ref 0 in
+  let ladder = ref (Ladder.create ~config:cfg.ladder ()) in
+  let transitions = ref [] in
+  let deepest = ref Ladder.Full_detection in
+  let time_at_level = Array.make (Array.length Ladder.levels) 0. in
+  let peak_occupancy = ref 0. in
+  let t0 = now () in
+  let last_tick = ref t0 in
+  let rate_at elapsed =
+    match cfg.burst with
+    | Some b when elapsed >= b.burst_start && elapsed < b.burst_end ->
+        cfg.rate *. b.burst_factor
+    | _ -> cfg.rate
+  in
+  let carry = ref 0. in
+  let sheds_last_tick = ref 0 in
+  while now () -. t0 < cfg.duration_s do
+    let t = now () in
+    let dt = t -. !last_tick in
+    last_tick := t;
+    let elapsed = t -. t0 in
+    (* The ladder's occupancy signal, observed at tick start BEFORE
+       this tick's arrivals: the backlog the workers failed to drain
+       over a whole tick (sampling right after pushing a batch would
+       read one tick's arrivals as permanent load and pin the ladder
+       down forever).  A shed during the previous tick means a queue
+       was at capacity at push time — instantaneous occupancy reached
+       1.0 even if the workers drained it before this sample — so any
+       shed reports as full. *)
+    let occupancy =
+      if !sheds_last_tick > 0 then 1.0
+      else
+        float_of_int
+          (Array.fold_left
+             (fun acc q -> acc + Bounded_queue.length q)
+             0 queues)
+        /. total_capacity
+    in
+    sheds_last_tick := 0;
+    (* Arrival accounting carries the fractional request across ticks,
+       so the offered load integrates to rate * duration regardless of
+       tick jitter. *)
+    carry := !carry +. (rate_at elapsed *. dt);
+    let arrivals = int_of_float !carry in
+    carry := !carry -. float_of_int arrivals;
+    for _ = 1 to arrivals do
+      let s = !rr mod cfg.streams in
+      incr rr;
+      incr offered;
+      Tm.incr tm_offered;
+      let q = queues.(s) in
+      if Bounded_queue.length q >= Bounded_queue.capacity q then begin
+        (* Admission control without generation: the target queue is
+           already full, so the arrival sheds without paying to
+           synthesize the request.  This bounds a tick's generation
+           work to what can actually be admitted — without it, a deep
+           overload burst turns into one enormous generation batch
+           that destroys the tick cadence (and with it the ladder's
+           observation stream and the duration bound). *)
+        incr shed_queue_full;
+        incr sheds_last_tick;
+        Tm.incr tm_shed_full
+      end
+      else begin
+        let req = Stream.next_request streams.(s) in
+        (* Stamped at the actual push, not tick start: generating a
+           batch takes real time, and a stale stamp would bill that
+           generation time as queueing latency. *)
+        match Bounded_queue.try_push q { it_req = req; it_enqueued = now () }
+        with
+        | Ok () ->
+            incr admitted;
+            Tm.incr tm_admitted
+        | Error _ ->
+            incr shed_queue_full;
+            incr sheds_last_tick;
+            Tm.incr tm_shed_full
+      end
+    done;
+    if occupancy > !peak_occupancy then peak_occupancy := occupancy;
+    let ladder', transition = Ladder.observe !ladder ~occupancy in
+    ladder := ladder';
+    (match transition with
+    | None -> ()
+    | Some { Ladder.from_level; to_level } ->
+        Atomic.set level_cell (Ladder.level_index to_level);
+        transitions := (elapsed, to_level) :: !transitions;
+        if Ladder.level_index to_level > Ladder.level_index !deepest then
+          deepest := to_level;
+        if Ladder.level_index to_level > Ladder.level_index from_level then
+          Tm.incr tm_degraded
+        else Tm.incr tm_recovered;
+        if !Tm.enabled_ref then
+          Tm.event "serve.transition"
+            [
+              ("t_s", Tm.Float elapsed);
+              ("from", Tm.String (Ladder.level_name from_level));
+              ("to", Tm.String (Ladder.level_name to_level));
+              ("occupancy", Tm.Float occupancy);
+            ]);
+    time_at_level.(Ladder.level_index (Ladder.level !ladder)) <-
+      time_at_level.(Ladder.level_index (Ladder.level !ladder)) +. dt;
+    if !Tm.enabled_ref then
+      Tm.observe (Lazy.force tm_level)
+        (Ladder.level_index (Ladder.level !ladder));
+    Unix.sleepf cfg.tick_s
+  done;
+  (* Shutdown: stop admitting, then let workers shed the backlog as
+     [Draining] (a latency-bound service must not stretch its shutdown
+     by executing stale work). *)
+  Atomic.set draining true;
+  Array.iter Bounded_queue.close queues;
+  let tallies = Xentry_util.Pool.join workers in
+  let wall_s = now () -. t0 in
+  let completed =
+    Array.fold_left (fun acc t -> acc + t.t_completed) 0 tallies
+  in
+  let detected = Array.fold_left (fun acc t -> acc + t.t_detected) 0 tallies in
+  let shed_deadline =
+    Array.fold_left (fun acc t -> acc + t.t_shed_deadline) 0 tallies
+  in
+  let shed_draining =
+    Array.fold_left (fun acc t -> acc + t.t_shed_draining) 0 tallies
+  in
+  let latency_us =
+    Array.of_list
+      (List.concat_map
+         (fun t -> List.rev_map (fun s -> s *. 1e6) t.t_latencies)
+         (Array.to_list tallies))
+  in
+  {
+    wall_s;
+    offered = !offered;
+    admitted = !admitted;
+    completed;
+    detected;
+    shed_queue_full = !shed_queue_full;
+    shed_deadline;
+    shed_draining;
+    throughput_rps = float_of_int completed /. wall_s;
+    latency_us;
+    transitions = List.rev !transitions;
+    time_at_level;
+    final_level = Ladder.level !ladder;
+    deepest_level = !deepest;
+    peak_occupancy = !peak_occupancy;
+  }
+
+(* --- calibration ---------------------------------------------------- *)
+
+let calibrate ?(seconds = 0.25) (cfg : config) =
+  let host =
+    Pipeline.create_host ~seed:(Rng.derive cfg.seed 0xCA1B) cfg.pipeline
+  in
+  let stream =
+    Stream.create (Profile.get cfg.benchmark) cfg.mode
+      (Rng.create (Rng.derive cfg.seed 0xCA1C))
+  in
+  let t0 = now () in
+  let n = ref 0 in
+  while now () -. t0 < seconds do
+    let req = Stream.next_request stream in
+    ignore (Pipeline.run cfg.pipeline ~host ~retire:true req);
+    incr n
+  done;
+  float_of_int !n /. (now () -. t0)
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let summary_json (cfg : config) (s : summary) =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"xentry-serve-summary-v1\",\n";
+  add "  \"benchmark\": \"%s\",\n" (Profile.benchmark_name cfg.benchmark);
+  add "  \"mode\": \"%s\",\n" (Profile.mode_name cfg.mode);
+  add "  \"streams\": %d,\n" cfg.streams;
+  add "  \"jobs\": %d,\n" cfg.jobs;
+  add "  \"rate_rps\": %.17g,\n" cfg.rate;
+  (match cfg.burst with
+  | None -> add "  \"burst\": null,\n"
+  | Some { burst_start; burst_end; burst_factor } ->
+      add
+        "  \"burst\": {\"start_s\": %.17g, \"end_s\": %.17g, \"factor\": \
+         %.17g},\n"
+        burst_start burst_end burst_factor);
+  (match cfg.deadline_us with
+  | None -> add "  \"deadline_us\": null,\n"
+  | Some d -> add "  \"deadline_us\": %d,\n" d);
+  add "  \"queue_capacity\": %d,\n" cfg.queue_capacity;
+  add "  \"duration_s\": %.17g,\n" cfg.duration_s;
+  add "  \"wall_s\": %.17g,\n" s.wall_s;
+  add "  \"offered\": %d,\n" s.offered;
+  add "  \"admitted\": %d,\n" s.admitted;
+  add "  \"completed\": %d,\n" s.completed;
+  add "  \"detected\": %d,\n" s.detected;
+  add
+    "  \"shed\": {\"queue_full\": %d, \"deadline_expired\": %d, \"draining\": \
+     %d, \"total\": %d},\n"
+    s.shed_queue_full s.shed_deadline s.shed_draining (shed_total s);
+  add "  \"shed_fraction\": %.17g,\n" (shed_fraction s);
+  add "  \"throughput_rps\": %.17g,\n" s.throughput_rps;
+  add
+    "  \"latency_us\": {\"count\": %d, \"mean\": %.17g, \"p50\": %.17g, \
+     \"p90\": %.17g, \"p99\": %.17g, \"max\": %.17g},\n"
+    (Array.length s.latency_us)
+    (if Array.length s.latency_us = 0 then 0.
+     else Xentry_util.Stats.mean s.latency_us)
+    (latency_quantile s 0.5) (latency_quantile s 0.9) (latency_quantile s 0.99)
+    (if Array.length s.latency_us = 0 then 0.
+     else Xentry_util.Stats.maximum s.latency_us);
+  add "  \"transitions\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun (t, l) ->
+            Printf.sprintf "{\"t_s\": %.17g, \"to\": \"%s\"}" t
+              (Ladder.level_name l))
+          s.transitions));
+  add "  \"time_at_level\": {%s},\n"
+    (String.concat ", "
+       (Array.to_list
+          (Array.mapi
+             (fun i dt ->
+               Printf.sprintf "\"%s\": %.17g"
+                 (Ladder.level_name Ladder.levels.(i))
+                 dt)
+             s.time_at_level)));
+  add "  \"final_level\": \"%s\",\n" (Ladder.level_name s.final_level);
+  add "  \"deepest_level\": \"%s\",\n" (Ladder.level_name s.deepest_level);
+  add "  \"peak_occupancy\": %.17g\n" s.peak_occupancy;
+  add "}";
+  Buffer.contents b
+
+let pp_summary ppf (s : summary) =
+  Format.fprintf ppf
+    "wall %.2fs offered %d admitted %d completed %d (%.0f req/s) shed %d \
+     (%.1f%%: full %d, deadline %d, draining %d) p50 %.0fus p99 %.0fus \
+     transitions %d deepest %s final %s"
+    s.wall_s s.offered s.admitted s.completed s.throughput_rps (shed_total s)
+    (100. *. shed_fraction s)
+    s.shed_queue_full s.shed_deadline s.shed_draining (latency_quantile s 0.5)
+    (latency_quantile s 0.99)
+    (List.length s.transitions)
+    (Ladder.level_name s.deepest_level)
+    (Ladder.level_name s.final_level)

@@ -1,0 +1,117 @@
+(** The streaming request engine: Xentry's first always-on,
+    latency-bound execution mode.
+
+    A service run multiplexes [streams] guest workload streams
+    ({!Xentry_workload.Stream} over a benchmark {!Xentry_workload.Profile})
+    across [jobs] worker domains, each owning one hypervisor for the
+    whole service lifetime.  Requests arrive at an offered [rate]
+    (optionally with a burst window), land in bounded per-stream
+    ingress queues ({!Bounded_queue}), and are executed through
+    {!Xentry_core.Pipeline.run} under the detection set the
+    degradation {!Ladder} currently prescribes.
+
+    Backpressure is explicit and typed ({!shed_reason}): a full queue
+    sheds at admission, an expired deadline sheds at dequeue, and
+    shutdown sheds the backlog.  The producer ticks every [tick_s],
+    feeding aggregate queue occupancy to the ladder; every admission,
+    shed, completion, transition and latency is mirrored into
+    {!Xentry_util.Telemetry} ([serve.*]).
+
+    Accounting invariants (asserted by the serve-smoke test):
+    [offered = admitted + shed_queue_full] and
+    [admitted = completed + shed_deadline + shed_draining]. *)
+
+type burst = {
+  burst_start : float;  (** seconds after service start *)
+  burst_end : float;
+  burst_factor : float;  (** offered-rate multiplier inside the window *)
+}
+
+type config = {
+  pipeline : Xentry_core.Pipeline.Config.t;
+      (** detection set (the ladder's top rung), detector, engine,
+          fuel; workers build their hosts from it *)
+  benchmark : Xentry_workload.Profile.benchmark;
+  mode : Xentry_workload.Profile.virt_mode;
+  streams : int;  (** workload streams = ingress queues *)
+  rate : float;  (** aggregate offered requests/second *)
+  burst : burst option;
+  deadline_us : int option;  (** per-request queueing deadline *)
+  duration_s : float;
+  jobs : int;  (** worker domains (the producer is separate) *)
+  queue_capacity : int;  (** per-stream ingress bound *)
+  ladder : Ladder.config;
+  tick_s : float;  (** producer tick: arrivals + ladder observation *)
+  seed : int;
+  max_samples : int;  (** latency samples retained across all workers *)
+}
+
+val make :
+  ?pipeline:Xentry_core.Pipeline.Config.t ->
+  ?mode:Xentry_workload.Profile.virt_mode ->
+  ?streams:int ->
+  ?burst:burst ->
+  ?deadline_us:int ->
+  ?duration_s:float ->
+  ?jobs:int ->
+  ?queue_capacity:int ->
+  ?ladder:Ladder.config ->
+  ?tick_s:float ->
+  ?seed:int ->
+  ?max_samples:int ->
+  benchmark:Xentry_workload.Profile.benchmark ->
+  rate:float ->
+  unit ->
+  config
+(** Defaults: default pipeline, PV, 8 streams, no burst, no deadline,
+    2 s, 2 jobs, capacity 64, default ladder, 2 ms ticks, seed 42,
+    200k samples.  Raises [Invalid_argument] on nonsensical values. *)
+
+type shed_reason =
+  | Queue_full  (** ingress queue at capacity at arrival time *)
+  | Deadline_expired  (** dequeued after its deadline already passed *)
+  | Draining  (** still queued when the service shut down *)
+
+val shed_reason_name : shed_reason -> string
+
+type summary = {
+  wall_s : float;  (** measured service wall clock (includes drain) *)
+  offered : int;
+  admitted : int;
+  completed : int;
+  detected : int;  (** completed requests the pipeline flagged *)
+  shed_queue_full : int;
+  shed_deadline : int;
+  shed_draining : int;
+  throughput_rps : float;  (** completed / wall_s *)
+  latency_us : float array;
+      (** enqueue-to-completion latencies of completed requests
+          (unsorted; capped at [max_samples]) *)
+  transitions : (float * Ladder.level) list;
+      (** ladder transitions: (seconds since start, new level) *)
+  time_at_level : float array;  (** seconds, indexed by {!Ladder.level_index} *)
+  final_level : Ladder.level;
+  deepest_level : Ladder.level;
+  peak_occupancy : float;  (** max aggregate queue occupancy, 0..1 *)
+}
+
+val shed_total : summary -> int
+val shed_fraction : summary -> float
+
+val latency_quantile : summary -> float -> float
+(** Latency quantile in microseconds (0 when nothing completed). *)
+
+val run : config -> summary
+(** Run the service to completion (duration + drain) and summarize. *)
+
+val calibrate : ?seconds:float -> config -> float
+(** Measured single-worker service rate (requests/second) under the
+    config's pipeline at full detection — the capacity unit callers
+    use to pick overload [rate]s (default 0.25 s measurement). *)
+
+val summary_json : config -> summary -> string
+(** Self-contained JSON object (schema [xentry-serve-summary-v1]):
+    config echo plus every summary metric, latencies as
+    mean/p50/p90/p99/max. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -114,22 +114,29 @@ let shards_present t =
 
 (* --- campaign wiring -------------------------------------------------- *)
 
+(* The fingerprint is derived from [Campaign.Config.canonical] — the
+   single authoritative encoding of every record-affecting field — so
+   the config record and the fingerprint cannot drift apart: adding a
+   config field breaks [canonical]'s exhaustive destructuring until
+   someone decides whether the field affects records.  The store only
+   contributes what the config cannot know: the detector's encoded
+   bytes, the shard geometry, and the shard codec version. *)
 let campaign_fingerprint (config : Campaign.config) =
-  let buf = Buffer.create 512 in
-  W.str buf "xentry-campaign-fingerprint-v1";
-  W.int_ buf config.Campaign.seed;
-  W.int_ buf config.Campaign.injections;
-  W.str buf (Xentry_workload.Profile.benchmark_name config.Campaign.benchmark);
-  W.str buf (Xentry_workload.Profile.mode_name config.Campaign.mode);
-  W.opt Codec.write_detector buf config.Campaign.detector;
-  W.bool_ buf config.Campaign.framework.Xentry_core.Framework.hw_exceptions;
-  W.bool_ buf config.Campaign.framework.Xentry_core.Framework.sw_assertions;
-  W.bool_ buf config.Campaign.framework.Xentry_core.Framework.vm_transition;
-  W.int_ buf config.Campaign.fuel;
-  W.bool_ buf config.Campaign.hardened;
-  W.int_ buf Campaign.shard_size;
-  W.u16 buf shard_codec.Codec.version;
-  let body = Buffer.contents buf in
+  let detector_digest det =
+    let buf = Buffer.create 512 in
+    Codec.write_detector buf det;
+    let bytes = Buffer.contents buf in
+    Printf.sprintf "%08lx:%d" (Crc32.digest bytes) (String.length bytes)
+  in
+  let body =
+    String.concat "\n"
+      [
+        "xentry-campaign-fingerprint-v2";
+        Campaign.Config.canonical ~detector_digest config;
+        Printf.sprintf "shard_size=%d" Campaign.shard_size;
+        Printf.sprintf "shard_codec=%d" shard_codec.Codec.version;
+      ]
+  in
   Printf.sprintf "%08lx:%d" (Crc32.digest body) (String.length body)
 
 let checkpoint t =

@@ -107,3 +107,29 @@ let map t f arr =
 let map_list t f l = Array.to_list (map t f (Array.of_list l))
 
 let parallel_map ~jobs f arr = map (create ~jobs) f arr
+
+(* Long-lived workers: unlike [map]'s batch domains, these run
+   concurrently with the caller (which typically keeps producing work
+   for them) and are joined explicitly.  The serve engine's substrate:
+   each worker owns a hypervisor for the whole service lifetime. *)
+
+type 'a workers = 'a Stdlib.Domain.t array
+
+let spawn ~jobs f =
+  if jobs < 1 then invalid_arg "Pool.spawn: jobs must be >= 1";
+  Array.init jobs (fun w -> Stdlib.Domain.spawn (fun () -> f w))
+
+let join workers =
+  let results =
+    Array.map
+      (fun d -> match Stdlib.Domain.join d with v -> Ok v | exception e -> Error e)
+      workers
+  in
+  Array.map
+    (function
+      | Ok v -> v
+      | Error e ->
+          (* Every domain is joined above before any exception escapes,
+             so no worker is leaked. *)
+          raise e)
+    results

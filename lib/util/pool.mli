@@ -39,6 +39,27 @@ val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 val parallel_map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** One-shot [map] without naming the pool. *)
 
+(** {2 Long-lived workers}
+
+    [map] spawns domains per batch and joins them before returning —
+    the right shape for run-to-completion campaigns, and useless for a
+    service whose workers must run {e concurrently with} the caller
+    that feeds them.  [spawn]/[join] cover that shape. *)
+
+type 'a workers
+(** A set of running worker domains. *)
+
+val spawn : jobs:int -> (int -> 'a) -> 'a workers
+(** [spawn ~jobs f] starts [jobs] domains, each running [f w] with its
+    worker index [w] (0-based).  Unlike {!map}, the calling domain is
+    {e not} one of the workers.  Raises [Invalid_argument] when
+    [jobs < 1]. *)
+
+val join : 'a workers -> 'a array
+(** Wait for every worker and return their results in worker order.
+    Every domain is joined even when some raise; the first (by worker
+    index) exception is then re-raised. *)
+
 val env_jobs : unit -> int option
 (** The [XENTRY_JOBS] environment override, when set to a valid
     positive integer. *)

@@ -160,27 +160,51 @@ type field = Int of int | Float of float | String of string | Bool of bool
 type event_record = { ev_name : string; ev_fields : (string * field) list }
 
 (* Per-domain event buffers, newest first; registration mirrors the
-   histogram parts. *)
-let event_parts : event_record list ref list ref = ref []
+   histogram parts.  Buffers are bounded: an always-on service (the
+   serve engine) emits events indefinitely, and an unbounded buffer
+   would be a slow leak.  Once a domain's buffer reaches the process
+   capacity, further events are counted in [telemetry.events_dropped]
+   instead of retained — the serve-smoke alias asserts that a healthy
+   run drops nothing. *)
+type event_part = { mutable ep_items : event_record list; mutable ep_n : int }
+
+let event_parts : event_part list ref = ref []
 let event_lock = Mutex.create ()
 
-let event_key : event_record list ref Stdlib.Domain.DLS.key =
+let default_event_capacity = 65_536
+let event_capacity_ref = ref default_event_capacity
+
+let set_event_capacity n =
+  if n < 1 then
+    invalid_arg (Printf.sprintf "Telemetry.set_event_capacity: %d" n)
+  else event_capacity_ref := n
+
+let event_capacity () = !event_capacity_ref
+
+let dropped_counter = counter "telemetry.events_dropped"
+let events_dropped () = counter_value dropped_counter
+
+let event_key : event_part Stdlib.Domain.DLS.key =
   Stdlib.Domain.DLS.new_key (fun () ->
-      let buf = ref [] in
+      let buf = { ep_items = []; ep_n = 0 } in
       Mutex.protect event_lock (fun () -> event_parts := buf :: !event_parts);
       buf)
 
 let event name fields =
   if !enabled_ref then begin
     let buf = Stdlib.Domain.DLS.get event_key in
-    buf := { ev_name = name; ev_fields = fields } :: !buf
+    if buf.ep_n >= !event_capacity_ref then incr dropped_counter
+    else begin
+      buf.ep_items <- { ev_name = name; ev_fields = fields } :: buf.ep_items;
+      buf.ep_n <- buf.ep_n + 1
+    end
   end
 
 let merged_events () =
   (* Buffers in registration order (oldest domain last in the list),
      each buffer restored to append order. *)
   Mutex.protect event_lock (fun () -> !event_parts)
-  |> List.rev_map (fun buf -> List.rev !buf)
+  |> List.rev_map (fun buf -> List.rev buf.ep_items)
   |> List.concat
 
 let reset () =
@@ -196,7 +220,11 @@ let reset () =
             (histogram_parts h))
     (metrics_sorted ());
   Mutex.protect event_lock (fun () ->
-      List.iter (fun buf -> buf := []) !event_parts)
+      List.iter
+        (fun buf ->
+          buf.ep_items <- [];
+          buf.ep_n <- 0)
+        !event_parts)
 
 (* --- JSON rendering ------------------------------------------------ *)
 

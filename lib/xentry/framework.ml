@@ -1,66 +1,31 @@
-open Xentry_machine
+(* Compatibility facade: the detection types and verdict logic now
+   live in [Pipeline]; this module re-exports them under their
+   historical names so existing call sites keep compiling. *)
 
-type technique = Hw_exception_detection | Sw_assertion | Vm_transition
+type technique = Pipeline.technique =
+  | Hw_exception_detection
+  | Sw_assertion
+  | Vm_transition
 
-type config = {
+type config = Pipeline.detection = {
   hw_exceptions : bool;
   sw_assertions : bool;
   vm_transition : bool;
 }
 
-let full_config = { hw_exceptions = true; sw_assertions = true; vm_transition = true }
-let runtime_only = { full_config with vm_transition = false }
-let disabled = { hw_exceptions = false; sw_assertions = false; vm_transition = false }
+let full_config = Pipeline.full_detection
+let runtime_only = Pipeline.runtime_only
+let disabled = Pipeline.detection_disabled
 
-type verdict =
+type verdict = Pipeline.verdict =
   | Clean
   | Detected of { technique : technique; latency : int option }
 
-let process config ~detector ~reason (result : Cpu.run_result) =
-  let latency = Cpu.detection_latency result in
-  match result.Cpu.stop with
-  | Cpu.Hw_fault { exn; _ } ->
-      (* The filter context follows the execution being serviced:
-         handlers for trapped guest exceptions run in Guest_servicing,
-         where #PF/#GP and friends are legal; every other exit reason
-         executes in Host_mode (exception_filter.mli). *)
-      if
-        config.hw_exceptions
-        && Exception_filter.is_detection exn
-             (Exception_filter.context_of_reason reason)
-      then Detected { technique = Hw_exception_detection; latency }
-      else Clean
-  | Cpu.Out_of_fuel ->
-      (* A hung hypervisor execution trips the watchdog NMI: hardware
-         detection with a long latency. *)
-      if config.hw_exceptions then
-        Detected { technique = Hw_exception_detection; latency }
-      else Clean
-  | Cpu.Assertion_failure _ ->
-      if config.sw_assertions then
-        Detected { technique = Sw_assertion; latency }
-      else Clean
-  | Cpu.Halted -> Clean
-  | Cpu.Vm_entry -> (
-      match (config.vm_transition, detector) with
-      | true, Some det -> (
-          match
-            Transition_detector.classify det ~reason result.Cpu.final_pmu
-          with
-          | Transition_detector.Incorrect, _ ->
-              Detected { technique = Vm_transition; latency }
-          | Transition_detector.Correct, _ -> Clean)
-      | _ -> Clean)
+let process config ~detector ~reason result =
+  let cfg =
+    { Pipeline.Config.default with Pipeline.Config.detection = config; detector }
+  in
+  Pipeline.verdict cfg ~reason result
 
-let technique_name = function
-  | Hw_exception_detection -> "H/W Exception"
-  | Sw_assertion -> "S/W Assertion"
-  | Vm_transition -> "VM Transition Detection"
-
-let pp_verdict ppf = function
-  | Clean -> Format.pp_print_string ppf "clean"
-  | Detected { technique; latency } ->
-      Format.fprintf ppf "detected by %s%s" (technique_name technique)
-        (match latency with
-        | Some l -> Printf.sprintf " (latency %d instructions)" l
-        | None -> "")
+let technique_name = Pipeline.technique_name
+let pp_verdict = Pipeline.pp_verdict

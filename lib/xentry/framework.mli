@@ -1,17 +1,20 @@
-(** The integrated Xentry framework (paper Fig 4).
+(** The integrated Xentry framework (paper Fig 4) — compatibility
+    facade over {!Pipeline}.
 
-    Combines runtime detection (fatal hardware exceptions + software
-    assertions, active throughout the hypervisor execution) with VM
-    transition detection (active at every VM entry) and attributes
-    each detection to its technique — the attribution behind the
-    paper's Fig 8 stack and Fig 10 latency curves. *)
+    The detection types and verdict logic live in {!Pipeline} since
+    the API unification; this module re-exports them via type
+    equations ([Framework.config] {e is} [Pipeline.detection],
+    [Framework.verdict] {e is} [Pipeline.verdict]) so the historical
+    spellings keep working.  New code should configure a
+    {!Pipeline.Config.t} and call {!Pipeline.run} or
+    {!Pipeline.verdict}. *)
 
-type technique =
+type technique = Pipeline.technique =
   | Hw_exception_detection
   | Sw_assertion
   | Vm_transition
 
-type config = {
+type config = Pipeline.detection = {
   hw_exceptions : bool;
   sw_assertions : bool;
   vm_transition : bool;
@@ -25,7 +28,7 @@ val runtime_only : config
 val disabled : config
 (** The unprotected baseline. *)
 
-type verdict =
+type verdict = Pipeline.verdict =
   | Clean
       (** execution completed and the transition detector (if enabled)
           accepted its signature *)
@@ -39,20 +42,9 @@ val process :
   reason:Xentry_vmm.Exit_reason.t ->
   Xentry_machine.Cpu.run_result ->
   verdict
-(** Interpret one hypervisor execution's outcome.
-
-    - A hardware fault stop is a detection when [hw_exceptions] is on
-      and the exception is fatal in the filter context the execution
-      runs under ({!Exception_filter.context_of_reason} of [reason]:
-      guest-exception servicing tolerates #PF/#GP and friends, every
-      other exit is host mode); a watchdog (out-of-fuel) stop counts
-      as a hardware detection too (hangs are caught by the watchdog
-      NMI).
-    - An assertion-failure stop is a detection when [sw_assertions] is
-      on (the CPU only stops on assertions when they are enabled).
-    - On VM entry, the transition detector classifies the PMU
-      signature when [vm_transition] is on and a detector is
-      provided. *)
+  [@@deprecated "use Pipeline.verdict (or Pipeline.run) with a Pipeline.Config.t"]
+(** Equivalent to {!Pipeline.verdict} with a default config carrying
+    [config] and [detector]; see that function for the semantics. *)
 
 val technique_name : technique -> string
 

@@ -1,0 +1,160 @@
+open Xentry_machine
+open Xentry_vmm
+
+(* Detection types.  These used to live in [Framework]; that module
+   re-exports them with type equations, so every existing consumer
+   (Outcome records, Report, Campaign, tests) keeps compiling against
+   [Framework.verdict] et al. while the single implementation lives
+   here. *)
+
+type technique = Hw_exception_detection | Sw_assertion | Vm_transition
+
+type detection = {
+  hw_exceptions : bool;
+  sw_assertions : bool;
+  vm_transition : bool;
+}
+
+let full_detection =
+  { hw_exceptions = true; sw_assertions = true; vm_transition = true }
+
+let runtime_only = { full_detection with vm_transition = false }
+
+let detection_disabled =
+  { hw_exceptions = false; sw_assertions = false; vm_transition = false }
+
+type verdict =
+  | Clean
+  | Detected of { technique : technique; latency : int option }
+
+let technique_name = function
+  | Hw_exception_detection -> "H/W Exception"
+  | Sw_assertion -> "S/W Assertion"
+  | Vm_transition -> "VM Transition Detection"
+
+let pp_verdict ppf = function
+  | Clean -> Format.pp_print_string ppf "clean"
+  | Detected { technique; latency } ->
+      Format.fprintf ppf "detected by %s%s" (technique_name technique)
+        (match latency with
+        | Some l -> Printf.sprintf " (latency %d instructions)" l
+        | None -> "")
+
+module Config = struct
+  type recovery = No_recovery | Checkpoint_reexecute
+
+  type telemetry = Inherit | Off | Jsonl of string
+
+  type t = {
+    detection : detection;
+    detector : Transition_detector.t option;
+    engine : Cpu.engine option;
+    telemetry : telemetry;
+    recovery : recovery;
+    fuel : int;
+  }
+
+  let default =
+    {
+      detection = full_detection;
+      detector = None;
+      engine = None;
+      telemetry = Inherit;
+      recovery = No_recovery;
+      fuel = 20_000;
+    }
+
+  let make ?(detection = full_detection) ?detector ?engine
+      ?(telemetry = Inherit) ?(recovery = No_recovery) ?(fuel = 20_000) () =
+    { detection; detector; engine; telemetry; recovery; fuel }
+end
+
+let verdict (cfg : Config.t) ~reason (result : Cpu.run_result) =
+  let detection = cfg.Config.detection in
+  let latency = Cpu.detection_latency result in
+  match result.Cpu.stop with
+  | Cpu.Hw_fault { exn; _ } ->
+      (* The filter context follows the execution being serviced:
+         handlers for trapped guest exceptions run in Guest_servicing,
+         where #PF/#GP and friends are legal; every other exit reason
+         executes in Host_mode (exception_filter.mli). *)
+      if
+        detection.hw_exceptions
+        && Exception_filter.is_detection exn
+             (Exception_filter.context_of_reason reason)
+      then Detected { technique = Hw_exception_detection; latency }
+      else Clean
+  | Cpu.Out_of_fuel ->
+      (* A hung hypervisor execution trips the watchdog NMI: hardware
+         detection with a long latency. *)
+      if detection.hw_exceptions then
+        Detected { technique = Hw_exception_detection; latency }
+      else Clean
+  | Cpu.Assertion_failure _ ->
+      if detection.sw_assertions then
+        Detected { technique = Sw_assertion; latency }
+      else Clean
+  | Cpu.Halted -> Clean
+  | Cpu.Vm_entry -> (
+      match (detection.vm_transition, cfg.Config.detector) with
+      | true, Some det -> (
+          match
+            Transition_detector.classify det ~reason result.Cpu.final_pmu
+          with
+          | Transition_detector.Incorrect, _ ->
+              Detected { technique = Vm_transition; latency }
+          | Transition_detector.Correct, _ -> Clean)
+      | _ -> Clean)
+
+let create_host ?seed ?cpus ?domains ?hardened (cfg : Config.t) =
+  Hypervisor.create ?seed ?cpus ?domains ?hardened ?engine:cfg.Config.engine ()
+
+type recovery_outcome = {
+  reexecution : Cpu.run_result;
+  recovered_clean : bool;
+  checkpoint_bytes : int;
+}
+
+type outcome = {
+  result : Cpu.run_result;
+  verdict : verdict;
+  recovery : recovery_outcome option;
+}
+
+let run (cfg : Config.t) ~host ?(prepare = true) ?(retire = false) ?inject
+    (req : Request.t) =
+  Hypervisor.set_assertions_enabled host cfg.Config.detection.sw_assertions;
+  if prepare then Hypervisor.prepare host req;
+  let ckpt =
+    match cfg.Config.recovery with
+    | Config.No_recovery -> None
+    | Config.Checkpoint_reexecute -> Some (Recovery_engine.checkpoint host)
+  in
+  let result = Hypervisor.execute host ?inject ~fuel:cfg.Config.fuel req in
+  let v = verdict cfg ~reason:req.Request.reason result in
+  let recovery =
+    match (v, ckpt) with
+    | Detected _, Some ck ->
+        let re = Recovery_engine.recover host ck ~fuel:cfg.Config.fuel req in
+        Some
+          {
+            reexecution = re;
+            recovered_clean = re.Cpu.stop = Cpu.Vm_entry;
+            checkpoint_bytes = Recovery_engine.checkpoint_bytes ck;
+          }
+    | _ -> None
+  in
+  if retire then Hypervisor.retire host req;
+  { result; verdict = v; recovery }
+
+let with_telemetry (cfg : Config.t) f =
+  match cfg.Config.telemetry with
+  | Config.Inherit -> f ()
+  | Config.Off ->
+      Xentry_util.Telemetry.disable ();
+      f ()
+  | Config.Jsonl file ->
+      Xentry_util.Telemetry.enable ();
+      Fun.protect
+        ~finally:(fun () -> Xentry_util.Telemetry.export_file file)
+        f

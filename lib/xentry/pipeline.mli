@@ -1,0 +1,161 @@
+(** The unified detection pipeline: one configuration record, one
+    entry point.
+
+    Historically each pipeline stage grew its own entry point with its
+    own spread of optional arguments — [Framework.process] for verdict
+    attribution, [Recovery_study.run] for checkpoint/re-execution,
+    [Campaign.run] for batch injection — and every new knob (engine
+    selection, telemetry sinks, recovery policy) widened all of them.
+    [Pipeline] collapses that surface: {!Config.t} names every knob
+    once, {!verdict} is the single verdict-attribution function, and
+    {!run} executes one request end to end (prepare, optional
+    checkpoint, execute, classify, optionally recover, retire).
+
+    [Framework.process] and [Recovery_study.run] survive as thin
+    deprecated wrappers; [Campaign] and the serving layer
+    ([Xentry_serve]) build on this module directly. *)
+
+(** {1 Detection types}
+
+    Defined here, re-exported by {!Framework} via type equations — the
+    two spellings are interchangeable. *)
+
+type technique =
+  | Hw_exception_detection
+  | Sw_assertion
+  | Vm_transition
+
+type detection = {
+  hw_exceptions : bool;
+  sw_assertions : bool;
+  vm_transition : bool;
+}
+(** Which of the paper's techniques are armed. *)
+
+val full_detection : detection
+
+val runtime_only : detection
+(** Fig 7's "runtime detection" series: exception filter + assertions,
+    no transition detector. *)
+
+val detection_disabled : detection
+(** The unprotected baseline. *)
+
+type verdict =
+  | Clean
+      (** execution completed and the transition detector (if enabled)
+          accepted its signature *)
+  | Detected of { technique : technique; latency : int option }
+      (** [latency] = instructions from fault activation to detection,
+          when a fault was injected and activated (Fig 10's metric) *)
+
+val technique_name : technique -> string
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** {1 Configuration} *)
+
+module Config : sig
+  type recovery =
+    | No_recovery  (** classify only; leave faulted state in place *)
+    | Checkpoint_reexecute
+        (** take a {!Recovery_engine} checkpoint before execution and,
+            on any detection, restore it and re-execute (§VII) *)
+
+  type telemetry =
+    | Inherit  (** leave the process-wide {!Xentry_util.Telemetry} state alone *)
+    | Off  (** disable telemetry for this pipeline *)
+    | Jsonl of string  (** enable, and export JSONL to this file at the end *)
+
+  type t = {
+    detection : detection;  (** armed techniques *)
+    detector : Transition_detector.t option;
+        (** trained transition detector; [None] disarms the
+            [vm_transition] technique even when enabled *)
+    engine : Xentry_machine.Cpu.engine option;
+        (** interpreter engine for hosts built by {!create_host};
+            [None] = process default *)
+    telemetry : telemetry;  (** sink policy for {!with_telemetry} *)
+    recovery : recovery;
+    fuel : int;  (** watchdog budget per execution *)
+  }
+
+  val default : t
+  (** Full detection, no detector, default engine, [Inherit] telemetry,
+      [No_recovery], fuel 20_000. *)
+
+  val make :
+    ?detection:detection ->
+    ?detector:Transition_detector.t ->
+    ?engine:Xentry_machine.Cpu.engine ->
+    ?telemetry:telemetry ->
+    ?recovery:recovery ->
+    ?fuel:int ->
+    unit ->
+    t
+end
+
+(** {1 Entry points} *)
+
+val verdict :
+  Config.t ->
+  reason:Xentry_vmm.Exit_reason.t ->
+  Xentry_machine.Cpu.run_result ->
+  verdict
+(** Interpret one hypervisor execution's outcome.
+
+    - A hardware fault stop is a detection when
+      [detection.hw_exceptions] is on and the exception is fatal in
+      the filter context the execution runs under
+      ({!Exception_filter.context_of_reason} of [reason]); a watchdog
+      (out-of-fuel) stop counts as a hardware detection too.
+    - An assertion-failure stop is a detection when
+      [detection.sw_assertions] is on.
+    - On VM entry, the transition detector classifies the PMU
+      signature when [detection.vm_transition] is on and a detector is
+      configured. *)
+
+val create_host :
+  ?seed:int ->
+  ?cpus:int ->
+  ?domains:int ->
+  ?hardened:bool ->
+  Config.t ->
+  Xentry_vmm.Hypervisor.t
+(** A hypervisor honouring the config's [engine]. *)
+
+type recovery_outcome = {
+  reexecution : Xentry_machine.Cpu.run_result;
+  recovered_clean : bool;
+      (** the re-execution reached VM entry (no fault recurrence) *)
+  checkpoint_bytes : int;
+}
+
+type outcome = {
+  result : Xentry_machine.Cpu.run_result;
+  verdict : verdict;
+  recovery : recovery_outcome option;
+      (** present iff the config says [Checkpoint_reexecute] and the
+          verdict was [Detected] *)
+}
+
+val run :
+  Config.t ->
+  host:Xentry_vmm.Hypervisor.t ->
+  ?prepare:bool ->
+  ?retire:bool ->
+  ?inject:Xentry_machine.Cpu.injection ->
+  Xentry_vmm.Request.t ->
+  outcome
+(** Execute one request through the configured pipeline on [host]:
+    arm assertions per [detection.sw_assertions], prepare the host
+    (skip with [~prepare:false] when the caller already prepared it —
+    [Hypervisor.prepare] is not idempotent), checkpoint when the
+    recovery policy asks for one, execute (optionally with an injected
+    fault), attribute a verdict, recover on detection, and retire with
+    [~retire:true] (default false, matching the campaign engine's
+    clone discipline where only the live host retires). *)
+
+val with_telemetry : Config.t -> (unit -> 'a) -> 'a
+(** Apply the config's telemetry policy around [f]: [Inherit] runs [f]
+    unchanged, [Off] disables telemetry first, [Jsonl file] enables it
+    and exports to [file] afterwards (even on exceptions). *)

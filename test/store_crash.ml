@@ -16,7 +16,7 @@ module Tm = Xentry_util.Telemetry
 let kill_code = 137
 
 let config =
-  Campaign.default_config ~benchmark:Xentry_workload.Profile.Postmark
+  Campaign.Config.make ~benchmark:Xentry_workload.Profile.Postmark
     ~injections:300 ~seed:77 ()
 
 let nshards =
@@ -50,7 +50,9 @@ let run_child dir jobs =
           if Atomic.fetch_and_add committed 1 = 0 then Unix._exit kill_code);
     }
   in
-  ignore (Campaign.run ~jobs ~checkpoint:killing config);
+  ignore
+    (Campaign.execute ~checkpoint:killing
+       { config with Campaign.jobs = Some jobs });
   fail "child campaign finished without being killed"
 
 (* --- parent: crash the child, resume, compare ------------------------------ *)
@@ -99,7 +101,10 @@ let crash_and_resume ~plain jobs =
   Tm.enable ();
   let skipped = Tm.counter "store.journal.shards_skipped" in
   let committed = Tm.counter "store.journal.shards_committed" in
-  let resumed = Campaign.run ~jobs ~checkpoint:(checkpoint dir) config in
+  let resumed =
+    Campaign.execute ~checkpoint:(checkpoint dir)
+      { config with Campaign.jobs = Some jobs }
+  in
   Tm.disable ();
   if Tm.counter_value skipped <> n_survivors then
     fail "jobs=%d: resumed %d journaled shards but skipped counter says %d"
@@ -119,6 +124,6 @@ let () =
   match Sys.argv with
   | [| _; "--child"; dir; jobs |] -> run_child dir (int_of_string jobs)
   | _ ->
-      let plain = Campaign.run ~jobs:1 config in
+      let plain = Campaign.execute { config with Campaign.jobs = Some 1 } in
       List.iter (crash_and_resume ~plain) [ 1; 4 ];
       print_endline "store_crash: all checks passed"

@@ -53,15 +53,16 @@ let () =
   let module Tm = Xentry_util.Telemetry in
   let detector = toy_detector () in
   let config =
-    Xentry_faultinject.Campaign.default_config ~detector
+    Xentry_faultinject.Campaign.Config.make ~detector
       ~benchmark:Xentry_workload.Profile.Postmark ~injections:250 ~seed:23 ()
   in
   (* Baseline without telemetry, then telemetry-enabled runs at two
      worker counts: all three must agree exactly. *)
-  let baseline = Xentry_faultinject.Campaign.run ~jobs:1 config in
+  let with_jobs j = { config with Xentry_faultinject.Campaign.jobs = Some j } in
+  let baseline = Xentry_faultinject.Campaign.execute (with_jobs 1) in
   Tm.enable ();
-  let r1 = Xentry_faultinject.Campaign.run ~jobs:1 config in
-  let r4 = Xentry_faultinject.Campaign.run ~jobs:4 config in
+  let r1 = Xentry_faultinject.Campaign.execute (with_jobs 1) in
+  let r4 = Xentry_faultinject.Campaign.execute (with_jobs 4) in
   let path = Filename.temp_file "xentry_telemetry_smoke" ".jsonl" in
   Tm.export_file path;
   Tm.disable ();

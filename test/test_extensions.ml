@@ -70,8 +70,9 @@ let test_recover_reexecutes_cleanly () =
 
 let test_recovery_study_all_detected_recover () =
   let r =
-    Recovery_study.run ~seed:5 ~detector:None
-      ~benchmark:Xentry_workload.Profile.Canneal ~injections:600 ()
+    Recovery_study.study ~seed:5 ~benchmark:Xentry_workload.Profile.Canneal
+      ~injections:600
+      (Xentry_core.Pipeline.Config.make ())
   in
   Alcotest.(check bool) "some faults detected" true (r.Recovery_study.detected > 50);
   Alcotest.(check int) "no recovery mismatches" 0
@@ -178,8 +179,8 @@ let test_hardened_catches_frame_transit_fault () =
 let test_hardened_reduces_undetected_stack_class () =
   let undetected_stack hardened =
     let records =
-      Campaign.run
-        (Campaign.default_config ~hardened
+      Campaign.execute
+        (Campaign.Config.make ~hardened
            ~benchmark:Xentry_workload.Profile.Postmark ~injections:2500 ~seed:13
            ())
     in
@@ -199,8 +200,8 @@ let test_hardened_campaign_still_covered () =
      against. *)
   let coverage hardened =
     let records =
-      Campaign.run
-        (Campaign.default_config ~hardened
+      Campaign.execute
+        (Campaign.Config.make ~hardened
            ~benchmark:Xentry_workload.Profile.Mcf ~injections:1200 ~seed:17 ())
     in
     (Report.summarize records).Report.coverage

@@ -149,8 +149,8 @@ let test_undetected_attribution () =
 (* --- Campaign ------------------------------------------------------------------ *)
 
 let small_campaign ?detector () =
-  Campaign.run
-    (Campaign.default_config ?detector ~benchmark:Xentry_workload.Profile.Postmark
+  Campaign.execute
+    (Campaign.Config.make ?detector ~benchmark:Xentry_workload.Profile.Postmark
        ~injections:400 ~seed:17 ())
 
 let test_campaign_record_count () =
@@ -172,17 +172,27 @@ let test_campaign_jobs_bit_identical () =
      pure function of the config, so the worker count only changes who
      executes each shard, never what it computes. *)
   let config =
-    Campaign.default_config ~benchmark:Xentry_workload.Profile.Postmark
+    Campaign.Config.make ~benchmark:Xentry_workload.Profile.Postmark
       ~injections:400 ~seed:17 ()
   in
-  let baseline = Campaign.run ~jobs:1 config in
+  let baseline = Campaign.execute { config with Campaign.jobs = Some 1 } in
   List.iter
     (fun jobs ->
       Alcotest.(check bool)
         (Printf.sprintf "jobs=%d identical to jobs=1" jobs)
         true
-        (Campaign.run ~jobs config = baseline))
-    [ 2; 4 ]
+        (Campaign.execute { config with Campaign.jobs = Some jobs } = baseline))
+    [ 2; 4 ];
+  (* The deprecated optional-argument entry point must keep producing
+     the same records for any jobs value it is given. *)
+  let[@warning "-3"] legacy = Campaign.run in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "deprecated run ~jobs:%d identical" jobs)
+        true
+        (legacy ~jobs config = baseline))
+    [ 1; 4 ]
 
 let test_campaign_fault_free_jobs_identical () =
   let run jobs =

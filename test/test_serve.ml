@@ -1,0 +1,248 @@
+(* Tests for the serve layer's two pure building blocks: the bounded
+   ingress queue (backpressure) and the degradation ladder (graceful
+   detection shedding).  The end-to-end engine is exercised by the
+   serve-smoke harness; here we pin the component semantics. *)
+
+open Xentry_serve
+
+(* --- bounded queue: QCheck model ----------------------------------------- *)
+
+(* An operation schedule drawn from a seeded generator, replayed
+   against both the real queue and a functional model.  The property:
+   the queue never holds more than its capacity, push is accepted iff
+   the model is below capacity (shedding is deterministic — the same
+   schedule always sheds the same pushes), and pops replay the model's
+   FIFO order exactly. *)
+
+type op = Push of int | Pop
+
+let op_gen =
+  QCheck.Gen.(
+    frequency [ (3, map (fun v -> Push v) small_int); (2, return Pop) ])
+
+let schedule_arbitrary =
+  QCheck.make
+    ~print:(fun (cap, ops) ->
+      Printf.sprintf "capacity=%d ops=[%s]" cap
+        (String.concat "; "
+           (List.map
+              (function Push v -> Printf.sprintf "push %d" v | Pop -> "pop")
+              ops)))
+    QCheck.Gen.(
+      pair (int_range 1 8) (list_size (int_range 0 200) op_gen))
+
+let queue_matches_model (cap, ops) =
+  let q = Bounded_queue.create ~capacity:cap in
+  let model = ref [] (* newest first *) in
+  List.for_all
+    (fun op ->
+      let ok =
+        match op with
+        | Push v -> (
+            let expect_full = List.length !model >= cap in
+            match Bounded_queue.try_push q v with
+            | Ok () ->
+                if expect_full then false
+                else begin
+                  model := v :: !model;
+                  true
+                end
+            | Error Bounded_queue.Full -> expect_full
+            | Error Bounded_queue.Closed -> false)
+        | Pop -> (
+            match (Bounded_queue.pop_opt q, List.rev !model) with
+            | None, [] -> true
+            | Some got, oldest :: rest ->
+                model := List.rev rest;
+                got = oldest
+            | None, _ :: _ | Some _, [] -> false)
+      in
+      ok
+      && Bounded_queue.length q = List.length !model
+      && Bounded_queue.length q <= cap)
+    ops
+
+let test_queue_model =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"bounded queue matches FIFO model"
+       schedule_arbitrary queue_matches_model)
+
+let test_queue_sheds_deterministically =
+  (* Same seeded schedule, two replays: the accept/shed pattern must
+     be identical — backpressure depends only on queue state, never on
+     timing. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"shedding is deterministic"
+       schedule_arbitrary (fun (cap, ops) ->
+         let replay () =
+           let q = Bounded_queue.create ~capacity:cap in
+           List.map
+             (function
+               | Push v -> (
+                   match Bounded_queue.try_push q v with
+                   | Ok () -> `Accepted
+                   | Error Bounded_queue.Full -> `Shed
+                   | Error Bounded_queue.Closed -> `Closed)
+               | Pop -> `Popped (Bounded_queue.pop_opt q))
+             ops
+         in
+         replay () = replay ()))
+
+(* --- bounded queue: unit corners ----------------------------------------- *)
+
+let test_queue_close () =
+  let q = Bounded_queue.create ~capacity:2 in
+  Alcotest.(check bool) "push ok" true (Bounded_queue.try_push q 1 = Ok ());
+  Alcotest.(check bool) "push ok" true (Bounded_queue.try_push q 2 = Ok ());
+  Alcotest.(check bool) "full" true
+    (Bounded_queue.try_push q 3 = Error Bounded_queue.Full);
+  Bounded_queue.close q;
+  Alcotest.(check bool) "closed" true (Bounded_queue.is_closed q);
+  Alcotest.(check bool) "push after close rejected" true
+    (Bounded_queue.try_push q 4 = Error Bounded_queue.Closed);
+  Alcotest.(check (list int)) "drain keeps queued elements, oldest first"
+    [ 1; 2 ] (Bounded_queue.drain q);
+  Alcotest.(check int) "empty after drain" 0 (Bounded_queue.length q)
+
+let test_queue_rejects_bad_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Bounded_queue.create: capacity 0") (fun () ->
+      ignore (Bounded_queue.create ~capacity:0))
+
+(* --- ladder: every transition, down and up -------------------------------- *)
+
+let level =
+  Alcotest.testable
+    (fun ppf l -> Format.pp_print_string ppf (Ladder.level_name l))
+    ( = )
+
+let cfg = { Ladder.high_watermark = 0.8; low_watermark = 0.2; hold_ticks = 3 }
+
+let observe_many t occs =
+  List.fold_left
+    (fun (t, trs) occ ->
+      let t, tr = Ladder.observe t ~occupancy:occ in
+      (t, match tr with Some tr -> tr :: trs | None -> trs))
+    (t, []) occs
+
+let test_ladder_starts_full () =
+  Alcotest.check level "initial rung" Ladder.Full_detection
+    (Ladder.level (Ladder.create ~config:cfg ()))
+
+let test_ladder_degrades_immediately () =
+  let t = Ladder.create ~config:cfg () in
+  let t, tr = Ladder.observe t ~occupancy:0.85 in
+  Alcotest.check level "one observation degrades" Ladder.Runtime_only
+    (Ladder.level t);
+  (match tr with
+  | Some { Ladder.from_level = Full_detection; to_level = Runtime_only } -> ()
+  | _ -> Alcotest.fail "expected Full_detection -> Runtime_only transition");
+  let t, _ = Ladder.observe t ~occupancy:0.9 in
+  Alcotest.check level "second overload reaches the bottom" Ladder.Filter_only
+    (Ladder.level t);
+  let t, tr = Ladder.observe t ~occupancy:1.0 in
+  Alcotest.check level "bottom rung holds" Ladder.Filter_only (Ladder.level t);
+  Alcotest.(check bool) "no transition below the bottom" true (tr = None)
+
+let test_ladder_climbs_after_hold () =
+  let t = Ladder.create ~config:cfg () in
+  let t, _ = observe_many t [ 0.9; 0.9 ] in
+  Alcotest.check level "degraded to bottom" Ladder.Filter_only (Ladder.level t);
+  (* hold_ticks - 1 calm observations: not yet. *)
+  let t, trs = observe_many t [ 0.1; 0.1 ] in
+  Alcotest.(check int) "no climb before hold_ticks" 0 (List.length trs);
+  let t, trs = observe_many t [ 0.1 ] in
+  Alcotest.check level "climbs one rung" Ladder.Runtime_only (Ladder.level t);
+  (match trs with
+  | [ { Ladder.from_level = Filter_only; to_level = Runtime_only } ] -> ()
+  | _ -> Alcotest.fail "expected Filter_only -> Runtime_only transition");
+  (* A full fresh hold is required for the next rung. *)
+  let t, _ = observe_many t [ 0.1; 0.1; 0.1 ] in
+  Alcotest.check level "climbs back to full detection" Ladder.Full_detection
+    (Ladder.level t);
+  let t, trs = observe_many t [ 0.0; 0.0; 0.0; 0.0 ] in
+  Alcotest.check level "no rung above full" Ladder.Full_detection
+    (Ladder.level t);
+  Alcotest.(check int) "calm at the top is quiet" 0 (List.length trs)
+
+let test_ladder_midband_resets_streak () =
+  let t = Ladder.create ~config:cfg () in
+  let t, _ = observe_many t [ 0.95 ] in
+  Alcotest.check level "degraded" Ladder.Runtime_only (Ladder.level t);
+  (* calm, calm, mid-band, calm, calm: the streak restarts, so still
+     degraded; only the third consecutive calm tick climbs. *)
+  let t, _ = observe_many t [ 0.1; 0.1; 0.5; 0.1; 0.1 ] in
+  Alcotest.check level "mid-band resets the calm streak" Ladder.Runtime_only
+    (Ladder.level t);
+  let t, _ = observe_many t [ 0.1 ] in
+  Alcotest.check level "then the full hold climbs" Ladder.Full_detection
+    (Ladder.level t)
+
+let test_ladder_overload_resets_streak () =
+  let t = Ladder.create ~config:cfg () in
+  let t, _ = observe_many t [ 0.9; 0.9 ] in
+  let t, _ = observe_many t [ 0.1; 0.1; 0.9 ] in
+  Alcotest.check level "overload mid-climb degrades again (already bottom)"
+    Ladder.Filter_only (Ladder.level t);
+  let t, _ = observe_many t [ 0.1; 0.1; 0.1 ] in
+  Alcotest.check level "fresh hold still climbs" Ladder.Runtime_only
+    (Ladder.level t)
+
+let test_ladder_detection_sets () =
+  let open Xentry_core.Pipeline in
+  Alcotest.(check bool) "full rung arms everything" true
+    (Ladder.detection Ladder.Full_detection = full_detection);
+  Alcotest.(check bool) "runtime rung drops the transition detector" true
+    (Ladder.detection Ladder.Runtime_only = runtime_only);
+  Alcotest.(check bool) "filter rung keeps only hw exceptions" true
+    (Ladder.detection Ladder.Filter_only
+    = { hw_exceptions = true; sw_assertions = false; vm_transition = false })
+
+let test_ladder_levels_indexed () =
+  Alcotest.(check int) "three rungs" 3 (Array.length Ladder.levels);
+  Array.iteri
+    (fun i l -> Alcotest.(check int) (Ladder.level_name l) i (Ladder.level_index l))
+    Ladder.levels
+
+let test_ladder_validates_config () =
+  let bad config msg =
+    match Ladder.create ~config () with
+    | _ -> Alcotest.failf "config accepted: %s" msg
+    | exception Invalid_argument _ -> ()
+  in
+  bad { cfg with Ladder.low_watermark = 0.9 } "low >= high";
+  bad { cfg with Ladder.high_watermark = 1.5 } "high > 1";
+  bad { cfg with Ladder.low_watermark = -0.1 } "low < 0";
+  bad { cfg with Ladder.hold_ticks = 0 } "hold_ticks < 1"
+
+let () =
+  Alcotest.run "xentry_serve"
+    [
+      ( "bounded queue",
+        [
+          test_queue_model;
+          test_queue_sheds_deterministically;
+          Alcotest.test_case "close and drain" `Quick test_queue_close;
+          Alcotest.test_case "capacity validation" `Quick
+            test_queue_rejects_bad_capacity;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "starts at full detection" `Quick
+            test_ladder_starts_full;
+          Alcotest.test_case "degrades immediately at the high watermark" `Quick
+            test_ladder_degrades_immediately;
+          Alcotest.test_case "climbs after hold_ticks calm" `Quick
+            test_ladder_climbs_after_hold;
+          Alcotest.test_case "mid-band resets the calm streak" `Quick
+            test_ladder_midband_resets_streak;
+          Alcotest.test_case "overload resets the calm streak" `Quick
+            test_ladder_overload_resets_streak;
+          Alcotest.test_case "rung detection sets" `Quick
+            test_ladder_detection_sets;
+          Alcotest.test_case "levels indexed in order" `Quick
+            test_ladder_levels_indexed;
+          Alcotest.test_case "config validation" `Quick
+            test_ladder_validates_config;
+        ] );
+    ]

@@ -27,10 +27,13 @@ let grid_dataset =
   Dataset.create ~feature_names:[| "x"; "y" |] ~n_classes:2 samples
 
 let small_campaign_config =
-  Campaign.default_config ~benchmark:Xentry_workload.Profile.Postmark
+  Campaign.Config.make ~benchmark:Xentry_workload.Profile.Postmark
     ~injections:30 ~seed:4242 ()
 
-let campaign_records = lazy (Campaign.run ~jobs:1 small_campaign_config)
+let campaign_records =
+  lazy
+    (Campaign.execute
+       { small_campaign_config with Campaign.jobs = Some 1 })
 
 let trained_small =
   lazy
@@ -370,17 +373,24 @@ let test_campaign_fingerprint_sensitivity () =
           Campaign.detector =
             Some (Transition_detector.of_tree (Tree.train grid_dataset));
         } );
-    ]
+    ];
+  (* [jobs] is execution-only: any worker count produces bit-identical
+     records, so it must not invalidate a journal. *)
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string) "jobs does not change the fingerprint" (fp base)
+        (fp { base with Campaign.jobs }))
+    [ Some 1; Some 4; None ]
 
 let test_checkpoint_resume_bit_identical () =
   (* For jobs in {1, 4}: a campaign journaled cold, replayed warm, and
      resumed after losing shards must merge to records bit-identical
      to an uninterrupted run. *)
   let config =
-    Campaign.default_config ~benchmark:Xentry_workload.Profile.Postmark
+    Campaign.Config.make ~benchmark:Xentry_workload.Profile.Postmark
       ~injections:300 ~seed:77 ()
   in
-  let plain = Campaign.run ~jobs:1 config in
+  let plain = Campaign.execute { config with Campaign.jobs = Some 1 } in
   List.iter
     (fun jobs ->
       in_temp_dir (Printf.sprintf "resume-j%d" jobs) (fun dir ->
@@ -390,17 +400,26 @@ let test_checkpoint_resume_bit_identical () =
             | Ok cp -> cp
             | Error e -> Alcotest.fail (Journal.open_error_message e)
           in
-          let cold = Campaign.run ~jobs ~checkpoint:(checkpoint ()) config in
+          let cold =
+            Campaign.execute ~checkpoint:(checkpoint ())
+              { config with Campaign.jobs = Some jobs }
+          in
           Alcotest.(check bool)
             (Printf.sprintf "cold jobs=%d" jobs)
             true (cold = plain);
-          let warm = Campaign.run ~jobs ~checkpoint:(checkpoint ()) config in
+          let warm =
+            Campaign.execute ~checkpoint:(checkpoint ())
+              { config with Campaign.jobs = Some jobs }
+          in
           Alcotest.(check bool)
             (Printf.sprintf "warm jobs=%d" jobs)
             true (warm = plain);
           (* Lose the middle shard and resume. *)
           Sys.remove (Journal.shard_file ~dir:jdir 1);
-          let resumed = Campaign.run ~jobs ~checkpoint:(checkpoint ()) config in
+          let resumed =
+            Campaign.execute ~checkpoint:(checkpoint ())
+              { config with Campaign.jobs = Some jobs }
+          in
           Alcotest.(check bool)
             (Printf.sprintf "resumed jobs=%d" jobs)
             true (resumed = plain)))
@@ -414,7 +433,7 @@ let test_journal_telemetry_counters () =
           let skipped = Tm.counter "store.journal.shards_skipped" in
           let committed = Tm.counter "store.journal.shards_committed" in
           let config =
-            Campaign.default_config
+            Campaign.Config.make ~jobs:1
               ~benchmark:Xentry_workload.Profile.Postmark ~injections:200
               ~seed:5 ()
           in
@@ -424,10 +443,10 @@ let test_journal_telemetry_counters () =
             | Ok cp -> cp
             | Error e -> Alcotest.fail (Journal.open_error_message e)
           in
-          ignore (Campaign.run ~jobs:1 ~checkpoint:(checkpoint ()) config);
+          ignore (Campaign.execute ~checkpoint:(checkpoint ()) config);
           Alcotest.(check int) "committed" 2 (Tm.counter_value committed);
           Alcotest.(check int) "none skipped" 0 (Tm.counter_value skipped);
-          ignore (Campaign.run ~jobs:1 ~checkpoint:(checkpoint ()) config);
+          ignore (Campaign.execute ~checkpoint:(checkpoint ()) config);
           Alcotest.(check int) "no extra commits" 2 (Tm.counter_value committed);
           Alcotest.(check int) "all skipped" 2 (Tm.counter_value skipped)))
 

@@ -253,9 +253,51 @@ let run_result stop =
         };
   }
 
+(* The verdict logic now lives in [Pipeline.verdict]; these tests
+   exercise it through a shim shaped like the old entry point, and
+   [test_framework_wrapper_equivalence] pins the deprecated
+   [Framework.process] wrapper to the same answers. *)
+let process config ~detector ~reason result =
+  Pipeline.verdict
+    { Pipeline.Config.default with Pipeline.Config.detection = config; detector }
+    ~reason result
+
+let test_framework_wrapper_equivalence () =
+  let[@warning "-3"] legacy = Framework.process in
+  let det = Transition_detector.of_tree (toy_tree ()) in
+  let stops =
+    [
+      Cpu.Hw_fault { exn = Hw_exception.PF; detail = 0L };
+      Cpu.Hw_fault { exn = Hw_exception.BP; detail = 0L };
+      Cpu.Out_of_fuel;
+      Cpu.Vm_entry;
+      Cpu.Halted;
+    ]
+  in
+  List.iter
+    (fun config ->
+      List.iter
+        (fun detector ->
+          List.iter
+            (fun reason ->
+              List.iter
+                (fun stop ->
+                  Alcotest.(check bool)
+                    "deprecated wrapper agrees with Pipeline.verdict" true
+                    (legacy config ~detector ~reason (run_result stop)
+                    = process config ~detector ~reason (run_result stop)))
+                stops)
+            [
+              Exit_reason.Softirq;
+              Exit_reason.Exception Hw_exception.PF;
+              Exit_reason.Hypercall Hypercall.Sched_op;
+            ])
+        [ None; Some det ])
+    [ Framework.full_config; Framework.runtime_only; Framework.disabled ]
+
 let test_framework_attributes_hw () =
   let v =
-    Framework.process Framework.full_config ~detector:None
+    process Framework.full_config ~detector:None
       ~reason:Exit_reason.Softirq
       (run_result (Cpu.Hw_fault { exn = Hw_exception.PF; detail = 0L }))
   in
@@ -266,7 +308,7 @@ let test_framework_attributes_hw () =
 
 let test_framework_benign_exception_not_detected () =
   let v =
-    Framework.process Framework.full_config ~detector:None
+    process Framework.full_config ~detector:None
       ~reason:Exit_reason.Softirq
       (run_result (Cpu.Hw_fault { exn = Hw_exception.BP; detail = 0L }))
   in
@@ -274,7 +316,7 @@ let test_framework_benign_exception_not_detected () =
 
 let test_framework_watchdog_counts_as_hw () =
   let v =
-    Framework.process Framework.full_config ~detector:None
+    process Framework.full_config ~detector:None
       ~reason:Exit_reason.Softirq (run_result Cpu.Out_of_fuel)
   in
   match v with
@@ -291,7 +333,7 @@ let test_framework_assertion_attribution () =
     }
   in
   let v =
-    Framework.process Framework.full_config ~detector:None
+    process Framework.full_config ~detector:None
       ~reason:Exit_reason.Softirq
       (run_result (Cpu.Assertion_failure { assertion; observed = 0L }))
   in
@@ -308,7 +350,7 @@ let test_framework_vm_transition () =
     }
   in
   let v =
-    Framework.process Framework.full_config ~detector:(Some det)
+    process Framework.full_config ~detector:(Some det)
       ~reason:Exit_reason.Softirq deviant
   in
   (match v with
@@ -316,7 +358,7 @@ let test_framework_vm_transition () =
   | _ -> Alcotest.fail "expected vm transition detection");
   let normal = run_result Cpu.Vm_entry in
   Alcotest.(check bool) "normal accepted" true
-    (Framework.process Framework.full_config ~detector:(Some det)
+    (process Framework.full_config ~detector:(Some det)
        ~reason:Exit_reason.Softirq normal
     = Framework.Clean)
 
@@ -328,18 +370,18 @@ let test_framework_context_follows_reason () =
      #DF stays fatal in both contexts. *)
   let pf = Cpu.Hw_fault { exn = Hw_exception.PF; detail = 0L } in
   Alcotest.(check bool) "PF while servicing a guest exception is benign" true
-    (Framework.process Framework.full_config ~detector:None
+    (process Framework.full_config ~detector:None
        ~reason:(Exit_reason.Exception Hw_exception.PF)
        (run_result pf)
     = Framework.Clean);
   (match
-     Framework.process Framework.full_config ~detector:None
+     process Framework.full_config ~detector:None
        ~reason:Exit_reason.Softirq (run_result pf)
    with
   | Framework.Detected { technique = Framework.Hw_exception_detection; _ } -> ()
   | _ -> Alcotest.fail "PF during a softirq must be a detection");
   match
-    Framework.process Framework.full_config ~detector:None
+    process Framework.full_config ~detector:None
       ~reason:(Exit_reason.Exception Hw_exception.PF)
       (run_result (Cpu.Hw_fault { exn = Hw_exception.DF; detail = 0L }))
   with
@@ -368,7 +410,7 @@ let test_framework_disabled_detects_nothing () =
   List.iter
     (fun stop ->
       Alcotest.(check bool) "disabled is blind" true
-        (Framework.process Framework.disabled ~detector:None
+        (process Framework.disabled ~detector:None
            ~reason:Exit_reason.Softirq (run_result stop)
         = Framework.Clean))
     [
@@ -386,7 +428,7 @@ let test_framework_runtime_only_skips_transition () =
     }
   in
   Alcotest.(check bool) "runtime-only ignores signature" true
-    (Framework.process Framework.runtime_only ~detector:(Some det)
+    (process Framework.runtime_only ~detector:(Some det)
        ~reason:Exit_reason.Softirq deviant
     = Framework.Clean)
 
@@ -506,6 +548,8 @@ let () =
           Alcotest.test_case "disabled" `Quick test_framework_disabled_detects_nothing;
           Alcotest.test_case "runtime only" `Quick
             test_framework_runtime_only_skips_transition;
+          Alcotest.test_case "deprecated wrapper equivalence" `Quick
+            test_framework_wrapper_equivalence;
         ] );
       ( "cost_model",
         [
