@@ -190,7 +190,7 @@ let train_quick_detector ~jobs ~seed ~benchmarks ~mode ~train_injections
 (* --- inject ------------------------------------------------------------------ *)
 
 let inject benchmark mode injections seed jobs engine detector_src checkpoint
-    telemetry =
+    no_prune faults_per_run snapshot_interval trace_cache telemetry =
   apply_engine engine;
   with_telemetry telemetry @@ fun () ->
   let jobs = resolve_jobs jobs in
@@ -219,21 +219,38 @@ let inject benchmark mode injections seed jobs engine detector_src checkpoint
                 ~test_injections:300 ~test_fault_free:100 ()))
   in
   let config =
-    { (Campaign.Config.make ?detector ~benchmark ~injections ~seed ()) with
+    { (Campaign.Config.make ?detector ~benchmark ~injections ~seed
+         ~faults_per_run ~snapshot_interval ())
+      with
       Campaign.mode }
   in
   let config = { config with Campaign.jobs = Some jobs } in
-  let records =
+  let config =
+    if no_prune then { config with Campaign.prune = false } else config
+  in
+  let checkpoint =
     match checkpoint with
-    | None -> Campaign.execute config
+    | None -> None
     | Some dir -> (
         match Xentry_store.Journal.for_campaign ~dir config with
-        | Ok cp -> Campaign.execute ~checkpoint:cp config
+        | Ok cp -> Some cp
         | Error e ->
             Printf.eprintf "xentry: %s\n%!"
               (Xentry_store.Journal.open_error_message e);
             exit 1)
   in
+  let traces =
+    match trace_cache with
+    | None -> None
+    | Some dir -> (
+        match Xentry_store.Trace_cache.for_campaign ~dir config with
+        | Ok tc -> Some tc
+        | Error e ->
+            Printf.eprintf "xentry: %s\n%!"
+              (Xentry_store.Trace_cache.open_error_message e);
+            exit 1)
+  in
+  let records = Campaign.execute ?checkpoint ?traces config in
   let summary = Report.summarize records in
   Printf.printf "injections: %d  activated: %d  manifested: %d  coverage: %.1f%%\n"
     summary.Report.total_injections summary.Report.activated
@@ -299,11 +316,53 @@ let inject_cmd =
              restarts where it left off.  The resumed record list is \
              bit-identical to an uninterrupted run.")
   in
+  let no_prune =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Simulate every sampled fault exhaustively instead of planning \
+             against the golden trace (pruning, class collapsing and \
+             snapshot fast-forwarding).  Records are bit-identical either \
+             way; this flag (or $(b,XENTRY_PRUNE=0)) exists for \
+             cross-checking and timing the exhaustive path.")
+  in
+  let faults_per_run =
+    Arg.(
+      value & opt int 1
+      & info [ "faults-per-run" ] ~docv:"N"
+          ~doc:
+            "Faults sampled per golden execution (default 1).  Amortizes \
+             the golden run — and, with pruning, the trace and snapshots — \
+             across $(docv) recorded injections.")
+  in
+  let snapshot_interval =
+    Arg.(
+      value & opt int 64
+      & info [ "snapshot-interval" ] ~docv:"STEPS"
+          ~doc:
+            "Dynamic steps between mid-run COW snapshots on recorded golden \
+             runs (default 64; 0 disables mid-run snapshots).  Smaller \
+             intervals shorten replayed suffixes at the cost of more \
+             clones.")
+  in
+  let trace_cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-cache" ] ~docv:"DIR"
+          ~doc:
+            "Persist golden def/use traces to $(docv) and reuse them on \
+             repeated campaigns over the same golden stream, skipping \
+             recording entirely (campaigns differing only in detector, \
+             detection framework or --faults-per-run share a cache).")
+  in
   Cmd.v
     (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
     Term.(
       const inject $ benchmark_arg $ mode_arg $ injections $ seed_arg
-      $ jobs_arg $ engine_arg $ detector_src $ checkpoint $ telemetry_arg)
+      $ jobs_arg $ engine_arg $ detector_src $ checkpoint $ no_prune
+      $ faults_per_run $ snapshot_interval $ trace_cache $ telemetry_arg)
 
 (* --- train -------------------------------------------------------------------- *)
 

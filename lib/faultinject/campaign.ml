@@ -6,27 +6,37 @@ module Config = struct
   type t = {
     seed : int;
     injections : int;
+    faults_per_run : int;
     benchmark : Xentry_workload.Profile.benchmark;
     mode : Xentry_workload.Profile.virt_mode;
     detector : Transition_detector.t option;
     framework : Pipeline.detection;
     fuel : int;
     hardened : bool;
+    prune : bool;
+    snapshot_interval : int;
     jobs : int option;
   }
 
+  let prune_default () = Sys.getenv_opt "XENTRY_PRUNE" <> Some "0"
+
   let make ?detector ?(framework = Pipeline.full_detection)
       ?(mode = Xentry_workload.Profile.PV) ?(fuel = 20_000) ?(hardened = false)
-      ?jobs ~benchmark ~injections ~seed () =
+      ?(faults_per_run = 1) ?prune ?(snapshot_interval = 64) ?jobs ~benchmark
+      ~injections ~seed () =
+    let prune = match prune with Some p -> p | None -> prune_default () in
     {
       seed;
       injections;
+      faults_per_run;
       benchmark;
       mode;
       detector;
       framework;
       fuel;
       hardened;
+      prune;
+      snapshot_interval;
       jobs;
     }
 
@@ -40,25 +50,32 @@ module Config = struct
 
   (* The canonical encoding destructures EVERY field (warning 9 is an
      error in this repo), so adding a field without deciding whether it
-     belongs in the fingerprint refuses to compile.  [jobs] is the one
-     execution-only field: campaigns are bit-identical for any worker
-     count, so it must not (and does not) perturb the fingerprint. *)
+     belongs in the fingerprint refuses to compile.  Three fields are
+     execution-only and excluded: [jobs] (campaigns are bit-identical
+     for any worker count), and [prune]/[snapshot_interval] (the
+     planner's verdict-identity invariant makes records bit-identical
+     with pruning and fast-forwarding on or off, enforced by the
+     prune-vs-exhaustive differential tests). *)
   let canonical ~detector_digest
       {
         seed;
         injections;
+        faults_per_run;
         benchmark;
         mode;
         detector;
         framework = { Pipeline.hw_exceptions; sw_assertions; vm_transition };
         fuel;
         hardened;
+        prune = _;
+        snapshot_interval = _;
         jobs = _;
       } =
     String.concat ";"
       [
         Printf.sprintf "seed=%d" seed;
         Printf.sprintf "injections=%d" injections;
+        Printf.sprintf "faults_per_run=%d" faults_per_run;
         "benchmark=" ^ Xentry_workload.Profile.benchmark_name benchmark;
         "mode=" ^ Xentry_workload.Profile.mode_name mode;
         (match detector with
@@ -70,17 +87,51 @@ module Config = struct
         Printf.sprintf "fuel=%d" fuel;
         Printf.sprintf "hardened=%b" hardened;
       ]
+
+  (* Canonical encoding of the fields a shard's *golden trace sequence*
+     depends on — the trace cache's fingerprint.  Golden runs never see
+     the detector, the framework config (the live host always runs with
+     assertions enabled), the per-run fault count (fault sampling draws
+     from an independent stream), or the planner knobs, so campaigns
+     differing only in those reuse one another's traces. *)
+  let trace_canonical
+      {
+        seed;
+        injections;
+        faults_per_run = _;
+        benchmark;
+        mode;
+        detector = _;
+        framework = _;
+        fuel;
+        hardened;
+        prune = _;
+        snapshot_interval = _;
+        jobs = _;
+      } =
+    String.concat ";"
+      [
+        Printf.sprintf "seed=%d" seed;
+        Printf.sprintf "injections=%d" injections;
+        "benchmark=" ^ Xentry_workload.Profile.benchmark_name benchmark;
+        "mode=" ^ Xentry_workload.Profile.mode_name mode;
+        Printf.sprintf "fuel=%d" fuel;
+        Printf.sprintf "hardened=%b" hardened;
+      ]
 end
 
 type config = Config.t = {
   seed : int;
   injections : int;
+  faults_per_run : int;
   benchmark : Xentry_workload.Profile.benchmark;
   mode : Xentry_workload.Profile.virt_mode;
   detector : Transition_detector.t option;
   framework : Pipeline.detection;
   fuel : int;
   hardened : bool;
+  prune : bool;
+  snapshot_interval : int;
   jobs : int option;
 }
 
@@ -98,20 +149,61 @@ let activated (result : Cpu.run_result) =
   | Some { fate = Cpu.Activated _; _ } -> true
   | _ -> false
 
-(* Telemetry: verdict tallies across the campaign, a shard wall-time
-   histogram, and one event per shard (seed, size, wall clock, verdict
-   breakdown).  Recording happens after a shard's records are final,
-   so it cannot perturb the RNG streams or the records themselves —
-   campaigns stay bit-identical with telemetry on or off. *)
+(* --- planner statistics ------------------------------------------------ *)
+
+type stats = {
+  planned : int;
+  pruned : int;
+  collapsed : int;
+  fast_forwarded : int;
+  simulated : int;
+  trace_hits : int;
+  trace_misses : int;
+}
+
+let zero_stats =
+  {
+    planned = 0;
+    pruned = 0;
+    collapsed = 0;
+    fast_forwarded = 0;
+    simulated = 0;
+    trace_hits = 0;
+    trace_misses = 0;
+  }
+
+let add_stats a b =
+  {
+    planned = a.planned + b.planned;
+    pruned = a.pruned + b.pruned;
+    collapsed = a.collapsed + b.collapsed;
+    fast_forwarded = a.fast_forwarded + b.fast_forwarded;
+    simulated = a.simulated + b.simulated;
+    trace_hits = a.trace_hits + b.trace_hits;
+    trace_misses = a.trace_misses + b.trace_misses;
+  }
+
+(* Telemetry: verdict tallies across the campaign, planner counters, a
+   shard wall-time histogram, and one event per shard (seed, size, wall
+   clock, verdict breakdown).  Recording happens after a shard's
+   records are final, so it cannot perturb the RNG streams or the
+   records themselves — campaigns stay bit-identical with telemetry on
+   or off. *)
 module Tm = Xentry_util.Telemetry
 
 let tm_verdict_hw = Tm.counter "campaign.verdict.hw_exception"
 let tm_verdict_sw = Tm.counter "campaign.verdict.sw_assertion"
 let tm_verdict_vm = Tm.counter "campaign.verdict.vm_transition"
 let tm_verdict_clean = Tm.counter "campaign.verdict.clean"
+let tm_pruned = Tm.counter "campaign.pruned"
+let tm_collapsed = Tm.counter "campaign.class_collapsed"
+let tm_fast_forwarded = Tm.counter "campaign.fast_forwarded"
+let tm_simulated = Tm.counter "campaign.simulated"
+let tm_trace_hit = Tm.counter "campaign.trace.hit"
+let tm_trace_miss = Tm.counter "campaign.trace.miss"
 let tm_shard_wall = lazy (Tm.histogram "campaign.shard.ns")
 
-let record_shard_telemetry config records ~wall =
+let record_shard_telemetry config records stats ~wall =
   let hw = ref 0 and sw = ref 0 and vm = ref 0 and clean = ref 0 in
   List.iter
     (fun r ->
@@ -128,6 +220,12 @@ let record_shard_telemetry config records ~wall =
   Tm.add tm_verdict_sw !sw;
   Tm.add tm_verdict_vm !vm;
   Tm.add tm_verdict_clean !clean;
+  Tm.add tm_pruned stats.pruned;
+  Tm.add tm_collapsed stats.collapsed;
+  Tm.add tm_fast_forwarded stats.fast_forwarded;
+  Tm.add tm_simulated stats.simulated;
+  Tm.add tm_trace_hit stats.trace_hits;
+  Tm.add tm_trace_miss stats.trace_misses;
   Tm.observe_span (Lazy.force tm_shard_wall) wall;
   Tm.event "campaign.shard"
     [
@@ -138,105 +236,426 @@ let record_shard_telemetry config records ~wall =
       ("sw_assertion", Tm.Int !sw);
       ("vm_transition", Tm.Int !vm);
       ("clean", Tm.Int !clean);
+      ("pruned", Tm.Int stats.pruned);
+      ("fast_forwarded", Tm.Int stats.fast_forwarded);
+      ("simulated", Tm.Int stats.simulated);
     ]
 
-(* One shard: the original strictly-serial campaign loop, on a host
-   whose state evolves injection to injection within the shard. *)
-let run_shard config =
-  let t0 = if !Tm.enabled_ref then Unix.gettimeofday () else 0.0 in
-  let profile = Xentry_workload.Profile.get config.benchmark in
+(* --- per-fault classification ------------------------------------------ *)
+
+(* The record for one actually-simulated faulted execution, shared by
+   the exhaustive and planner paths.  [host] is the live host after its
+   golden run; [nat_host]/[nat_result] describe the fault's unimpeded
+   behaviour (the detected run itself unless an assertion cut it
+   short). *)
+let classify_faulted config ~(req : Request.t) ~host ~golden_result ~fault
+    ~det_result ~nat_host ~nat_result =
+  let is_activated = activated nat_result in
+  let diff_list =
+    match nat_result.Cpu.stop with
+    | Cpu.Vm_entry -> Classify.diffs ~golden:host ~faulted:nat_host
+    | _ -> []
+  in
+  let consequence =
+    if not is_activated then Outcome.Not_activated
+    else
+      Classify.consequence
+        ~current_dom:(Hypervisor.current_domain host).Domain.id
+        ~faulted_stop:nat_result.Cpu.stop diff_list
+  in
+  let verdict =
+    Pipeline.verdict (Config.pipeline config) ~reason:req.Request.reason
+      det_result
+  in
+  let latency =
+    match verdict with
+    | Framework.Detected { latency; _ } -> latency
+    | Framework.Clean -> None
+  in
+  let undetected =
+    if Outcome.manifested consequence && verdict = Framework.Clean then
+      Some
+        (Classify.undetected_class ~fault
+           ~signature_differs:
+             (not
+                (snapshot_equal det_result.Cpu.final_pmu
+                   golden_result.Cpu.final_pmu))
+           diff_list)
+    else None
+  in
+  {
+    Outcome.fault;
+    reason = req.Request.reason;
+    activated = is_activated;
+    consequence;
+    verdict;
+    latency;
+    undetected;
+    signature =
+      (match det_result.Cpu.stop with
+      | Cpu.Vm_entry -> Some det_result.Cpu.final_pmu
+      | _ -> None);
+    golden_signature = golden_result.Cpu.final_pmu;
+  }
+
+(* The record for a fault the planner pruned: the corrupted value is
+   provably never consumed, so the detected execution is step-identical
+   to the golden one — same stop, same PMU signature, same (absent)
+   detection latency — and the record is synthesized from the golden
+   result with zero simulation.  Field-by-field this matches what the
+   exhaustive path computes for the same fault. *)
+let synthesize_pruned config ~(req : Request.t) ~golden_result fault =
+  let verdict =
+    Pipeline.verdict (Config.pipeline config) ~reason:req.Request.reason
+      golden_result
+  in
+  let latency =
+    match verdict with
+    | Framework.Detected { latency; _ } -> latency
+    | Framework.Clean -> None
+  in
+  {
+    Outcome.fault;
+    reason = req.Request.reason;
+    activated = false;
+    consequence = Outcome.Not_activated;
+    verdict;
+    latency;
+    undetected = None;
+    signature =
+      (match golden_result.Cpu.stop with
+      | Cpu.Vm_entry -> Some golden_result.Cpu.final_pmu
+      | _ -> None);
+    golden_signature = golden_result.Cpu.final_pmu;
+  }
+
+(* --- shard execution ---------------------------------------------------- *)
+
+let shard_rngs config =
   let rng = Xentry_util.Rng.create config.seed in
   let request_rng = Xentry_util.Rng.split rng in
   let fault_rng = Xentry_util.Rng.split rng in
+  (request_rng, fault_rng)
+
+let shard_host config =
   let host =
-    Hypervisor.create ~seed:(config.seed lxor 0x5EED) ~hardened:config.hardened ()
+    Hypervisor.create ~seed:(config.seed lxor 0x5EED) ~hardened:config.hardened
+      ()
   in
   Hypervisor.set_assertions_enabled host true;
+  host
+
+(* One shard, exhaustively: the original strictly-serial campaign loop
+   (generalized to [faults_per_run] faults per golden execution) on a
+   host whose state evolves injection to injection within the shard.
+   This is the planner's oracle: the planned path below must produce
+   bit-identical records. *)
+let run_shard_exhaustive config =
+  let profile = Xentry_workload.Profile.get config.benchmark in
+  let request_rng, fault_rng = shard_rngs config in
+  let host = shard_host config in
   let records = ref [] in
+  let simulated = ref 0 in
   for _ = 1 to config.injections do
-    let req = Xentry_workload.Profile.sample_request profile config.mode request_rng in
+    let req =
+      Xentry_workload.Profile.sample_request profile config.mode request_rng
+    in
     Hypervisor.prepare host req;
     (* Pre-execution state for the faulted replays. *)
     let base = Hypervisor.clone host in
     (* Golden run on the live host (which thereby advances). *)
     let golden_result = Hypervisor.execute host ~fuel:config.fuel req in
-    let fault =
-      Fault.sample fault_rng ~max_step:(max 1 golden_result.Cpu.steps)
-    in
-    let inject = Fault.to_injection fault in
-    (* Detected run: Xentry active as configured. *)
-    let det_host = Hypervisor.clone base in
-    Hypervisor.set_assertions_enabled det_host
-      config.framework.Framework.sw_assertions;
-    let det_result = Hypervisor.execute det_host ~inject ~fuel:config.fuel req in
-    (* Natural run: only needed when an assertion cut the detected run
-       short; otherwise the detected run already shows the fault's
-       unimpeded behaviour. *)
-    let nat_host, nat_result =
-      match det_result.Cpu.stop with
-      | Cpu.Assertion_failure _ ->
-          let h = Hypervisor.clone base in
-          Hypervisor.set_assertions_enabled h false;
-          let r = Hypervisor.execute h ~inject ~fuel:config.fuel req in
-          (h, r)
-      | _ -> (det_host, det_result)
-    in
-    let is_activated = activated nat_result in
-    let diff_list =
-      match nat_result.Cpu.stop with
-      | Cpu.Vm_entry -> Classify.diffs ~golden:host ~faulted:nat_host
-      | _ -> []
-    in
-    let consequence =
-      if not is_activated then Outcome.Not_activated
-      else
-        Classify.consequence
-          ~current_dom:(Hypervisor.current_domain host).Domain.id
-          ~faulted_stop:nat_result.Cpu.stop diff_list
-    in
-    let verdict =
-      Pipeline.verdict (Config.pipeline config) ~reason:req.Request.reason
-        det_result
-    in
-    let latency =
-      match verdict with
-      | Framework.Detected { latency; _ } -> latency
-      | Framework.Clean -> None
-    in
-    let undetected =
-      if Outcome.manifested consequence && verdict = Framework.Clean then
-        Some
-          (Classify.undetected_class ~fault
-             ~signature_differs:
-               (not
-                  (snapshot_equal det_result.Cpu.final_pmu
-                     golden_result.Cpu.final_pmu))
-             diff_list)
-      else None
-    in
-    records :=
-      {
-        Outcome.fault;
-        reason = req.Request.reason;
-        activated = is_activated;
-        consequence;
-        verdict;
-        latency;
-        undetected;
-        signature =
-          (match det_result.Cpu.stop with
-          | Cpu.Vm_entry -> Some det_result.Cpu.final_pmu
-          | _ -> None);
-        golden_signature = golden_result.Cpu.final_pmu;
-      }
-      :: !records;
+    for _ = 1 to config.faults_per_run do
+      let fault =
+        Fault.sample fault_rng ~max_step:(max 1 golden_result.Cpu.steps)
+      in
+      let inject = Fault.to_injection fault in
+      (* Detected run: Xentry active as configured. *)
+      let det_host = Hypervisor.clone base in
+      Hypervisor.set_assertions_enabled det_host
+        config.framework.Framework.sw_assertions;
+      let det_result =
+        Hypervisor.execute det_host ~inject ~fuel:config.fuel req
+      in
+      (* Natural run: only needed when an assertion cut the detected
+         run short; otherwise the detected run already shows the
+         fault's unimpeded behaviour. *)
+      let nat_host, nat_result =
+        match det_result.Cpu.stop with
+        | Cpu.Assertion_failure _ ->
+            let h = Hypervisor.clone base in
+            Hypervisor.set_assertions_enabled h false;
+            let r = Hypervisor.execute h ~inject ~fuel:config.fuel req in
+            (h, r)
+        | _ -> (det_host, det_result)
+      in
+      incr simulated;
+      records :=
+        classify_faulted config ~req ~host ~golden_result ~fault ~det_result
+          ~nat_host ~nat_result
+        :: !records
+    done;
     Hypervisor.retire host req
   done;
-  let shard_records = List.rev !records in
+  let n = config.injections * config.faults_per_run in
+  ( List.rev !records,
+    { zero_stats with planned = n; simulated = !simulated },
+    [] )
+
+(* One shard, planned: per golden execution, classify every sampled
+   fault against the golden trace; prune the dead ones, collapse
+   equivalence classes, and run only the representatives — each resumed
+   from the nearest snapshot at or before its injection step.  With
+   cached traces the golden run needs no recording and snapshots are
+   taken only where a survivor needs one (no snapshots at all when
+   everything prunes). *)
+let run_shard_planned ?cached config =
+  let profile = Xentry_workload.Profile.get config.benchmark in
+  let request_rng, fault_rng = shard_rngs config in
+  let host = shard_host config in
+  let n_faults = config.faults_per_run in
+  let periodic =
+    if config.snapshot_interval <= 0 then [| 0 |]
+    else
+      Array.init
+        ((config.fuel / config.snapshot_interval) + 1)
+        (fun k -> k * config.snapshot_interval)
+  in
+  let records = ref [] in
+  let pruned = ref 0 in
+  let collapsed = ref 0 in
+  let fast_forwarded = ref 0 in
+  let simulated = ref 0 in
+  let fresh_traces = ref [] in
+  (* Greatest snapshot at or before [step]; the step-0 snapshot (or, in
+     cached mode, the survivor's own clamped step) guarantees one
+     exists. *)
+  let nearest_snap snaps step =
+    let rec go best = function
+      | [] -> best
+      | s :: rest ->
+          if Hypervisor.snapshot_step s <= step then go (Some s) rest else best
+    in
+    match go None snaps with
+    | Some s -> s
+    | None -> failwith "Campaign: no snapshot at or before fault step"
+  in
+  let act_of (plan : Planner.plan) rep =
+    match plan.Planner.dispositions.(rep) with
+    | Planner.Run { act; _ } -> act
+    | Planner.Pruned _ -> assert false
+  in
+  (* Detected run plus the assertion-retry natural run for one
+     representative, from a caller-supplied materialize/resume pair
+     (snapshot-based on the cold path, fork-at-pause on the warm
+     path). *)
+  let faulted_pair ~materialize ~resume_on =
+    let det_host = materialize () in
+    Hypervisor.set_assertions_enabled det_host
+      config.framework.Framework.sw_assertions;
+    let det_result = resume_on det_host in
+    match det_result.Cpu.stop with
+    | Cpu.Assertion_failure _ ->
+        let h = materialize () in
+        Hypervisor.set_assertions_enabled h false;
+        let r = resume_on h in
+        (det_result, h, r)
+    | _ -> (det_result, det_host, det_result)
+  in
+  (* Fault-indexed record assembly shared by both paths: pruned faults
+     share one synthesized record modulo their fault identity — the
+     verdict re-judges the same golden result each time, so the
+     synthesis (in particular the transition-detector classification
+     of the golden PMU) runs at most once per golden execution — and
+     collapsed class members share their representative's record. *)
+  let assemble req golden_result faults (plan : Planner.plan) ~record_of_rep =
+    let pruned_template =
+      lazy (synthesize_pruned config ~req ~golden_result faults.(0))
+    in
+    for i = 0 to Array.length faults - 1 do
+      let record =
+        match plan.Planner.dispositions.(i) with
+        | Planner.Pruned _ ->
+            incr pruned;
+            { (Lazy.force pruned_template) with Outcome.fault = faults.(i) }
+        | Planner.Run { rep; act = _ } ->
+            let r = record_of_rep rep in
+            if rep = i then r
+            else begin
+              (* A collapsed class member: same execution, its own
+                 fault identity.  Everything else in the record is
+                 shared with the representative. *)
+              incr collapsed;
+              { r with Outcome.fault = faults.(i) }
+            end
+      in
+      records := record :: !records
+    done
+  in
+  let emit req golden_result faults (plan : Planner.plan) snaps =
+    let rep_records = Array.make (Array.length faults) None in
+    List.iter
+      (fun rep ->
+        let fault = faults.(rep) in
+        (* Inject at the activation step, from the nearest snapshot at
+           or before it: the target is untouched between the sampled
+           step and activation, so skipping the dead interval leaves
+           the execution (and the derived record) bit-identical. *)
+        let act = act_of plan rep in
+        let snap = nearest_snap snaps act in
+        let inject = Fault.to_injection { fault with Fault.step = act } in
+        let materialize () =
+          Tm.with_span "campaign.snapshot.restore" (fun () ->
+              Hypervisor.restore snap)
+        in
+        let resume_on h =
+          Tm.with_span "campaign.resume" (fun () ->
+              Hypervisor.resume h snap ~inject ~fuel:config.fuel req)
+        in
+        let det_result, nat_host, nat_result =
+          faulted_pair ~materialize ~resume_on
+        in
+        incr simulated;
+        if Hypervisor.snapshot_step snap > 0 then incr fast_forwarded;
+        rep_records.(rep) <-
+          Some
+            (Tm.with_span "campaign.classify" (fun () ->
+                 classify_faulted config ~req ~host ~golden_result ~fault
+                   ~det_result ~nat_host ~nat_result)))
+      plan.Planner.reps;
+    assemble req golden_result faults plan ~record_of_rep:(fun rep ->
+        match rep_records.(rep) with None -> assert false | Some r -> r)
+  in
+  for iter = 0 to config.injections - 1 do
+    let req =
+      Xentry_workload.Profile.sample_request profile config.mode request_rng
+    in
+    Hypervisor.prepare host req;
+    (match cached with
+    | Some (traces : Golden_trace.t array) ->
+        let trace = traces.(iter) in
+        (* Fault sampling is independent of the golden execution (its
+           own RNG stream; the bound comes from the cached trace), so
+           the plan is known before the golden run.  Each survivor's
+           host is forked straight off the paused golden run at its
+           resume step — no intermediate snapshot clone — and its
+           detected/natural suffixes execute during the pause; only
+           classification waits for the golden final state. *)
+        let max_step = max 1 trace.Golden_trace.result_steps in
+        let faults =
+          Array.init n_faults (fun _ -> Fault.sample fault_rng ~max_step)
+        in
+        let plan = Tm.with_span "campaign.plan" (fun () -> Planner.plan trace faults) in
+        (* Survivors grouped by the step their suffix resumes from:
+           the activation step, clamped to the last executed step so
+           the pause always fires. *)
+        let clamp = max 0 (trace.Golden_trace.result_steps - 1) in
+        let by_step = Hashtbl.create 16 in
+        List.iter
+          (fun rep ->
+            let s = min (act_of plan rep) clamp in
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt by_step s)
+            in
+            Hashtbl.replace by_step s (rep :: prev))
+          plan.Planner.reps;
+        let pause_at =
+          Hashtbl.fold (fun s _ acc -> s :: acc) by_step []
+          |> List.sort compare |> Array.of_list
+        in
+        let pending = Array.make (Array.length faults) None in
+        let on_pause st =
+          let reps =
+            Option.value ~default:[]
+              (Hashtbl.find_opt by_step (Cpu.run_state_steps st))
+          in
+          List.iter
+            (fun rep ->
+              let fault = faults.(rep) in
+              let act = act_of plan rep in
+              let inject =
+                Fault.to_injection { fault with Fault.step = act }
+              in
+              let materialize () =
+                Tm.with_span "campaign.snapshot.restore" (fun () ->
+                    Hypervisor.clone host)
+              in
+              let resume_on h =
+                Tm.with_span "campaign.resume" (fun () ->
+                    Hypervisor.resume_at h ~inject ~fuel:config.fuel st req)
+              in
+              let det_result, nat_host, nat_result =
+                faulted_pair ~materialize ~resume_on
+              in
+              incr simulated;
+              if Cpu.run_state_steps st > 0 then incr fast_forwarded;
+              pending.(rep) <- Some (fault, det_result, nat_host, nat_result))
+            (List.rev reps)
+        in
+        let golden_result =
+          Hypervisor.execute_paused host ~fuel:config.fuel ~pause_at ~on_pause
+            req
+        in
+        if golden_result.Cpu.steps <> trace.Golden_trace.result_steps then
+          failwith
+            "Campaign: cached golden trace disagrees with the live golden \
+             run (stale or corrupt trace cache)";
+        let rep_records = Array.make (Array.length faults) None in
+        List.iter
+          (fun rep ->
+            match pending.(rep) with
+            | None -> assert false
+            | Some (fault, det_result, nat_host, nat_result) ->
+                rep_records.(rep) <-
+                  Some
+                    (Tm.with_span "campaign.classify" (fun () ->
+                         classify_faulted config ~req ~host ~golden_result
+                           ~fault ~det_result ~nat_host ~nat_result)))
+          plan.Planner.reps;
+        assemble req golden_result faults plan ~record_of_rep:(fun rep ->
+            match rep_records.(rep) with None -> assert false | Some r -> r)
+    | None ->
+        let golden_result, trace, snaps =
+          Tm.with_span "campaign.golden" (fun () ->
+              Hypervisor.execute_recorded host ~fuel:config.fuel
+                ~snapshot_at:periodic req)
+        in
+        fresh_traces := trace :: !fresh_traces;
+        let max_step = max 1 golden_result.Cpu.steps in
+        let faults =
+          Array.init n_faults (fun _ -> Fault.sample fault_rng ~max_step)
+        in
+        let plan =
+          Tm.with_span "campaign.plan" (fun () -> Planner.plan trace faults)
+        in
+        emit req golden_result faults plan snaps);
+    Hypervisor.retire host req
+  done;
+  let n = config.injections * config.faults_per_run in
+  ( List.rev !records,
+    {
+      zero_stats with
+      planned = n;
+      pruned = !pruned;
+      collapsed = !collapsed;
+      fast_forwarded = !fast_forwarded;
+      simulated = !simulated;
+    },
+    List.rev !fresh_traces )
+
+(* One shard, dispatched on the planner switch; returns the records,
+   the shard's planner statistics and (planned, uncached runs only) the
+   freshly recorded golden traces for the cache. *)
+let run_shard_with ?cached config =
+  let t0 = if !Tm.enabled_ref then Unix.gettimeofday () else 0.0 in
+  let records, stats, traces =
+    if config.prune then run_shard_planned ?cached config
+    else run_shard_exhaustive config
+  in
   if !Tm.enabled_ref then
-    record_shard_telemetry config shard_records
+    record_shard_telemetry config records stats
       ~wall:(Unix.gettimeofday () -. t0);
-  shard_records
+  (records, stats, traces)
 
 (* Campaigns are cut into fixed-size shards whose seeds derive from
    (campaign seed, shard index) alone.  The decomposition is a pure
@@ -264,34 +683,72 @@ type checkpoint = {
   commit : int -> Outcome.record list -> unit;
 }
 
-let execute ?checkpoint (config : Config.t) =
+type trace_cache = {
+  trace_lookup : int -> Golden_trace.t list option;
+  trace_commit : int -> Golden_trace.t list -> unit;
+}
+
+let execute_with_stats ?checkpoint ?traces (config : Config.t) =
   let jobs =
     match config.jobs with
     | Some j -> j
     | None -> Xentry_util.Pool.default_jobs ()
   in
   let pool = Xentry_util.Pool.create ~jobs in
-  (* Each work item is (shard index, shard config); the index keys the
-     checkpoint.  Journaled shards replay from storage, the rest run
-     and commit from whichever worker computed them — either way the
-     per-shard records are identical, so the shard-order merge is
-     unchanged by interruption, resumption or the worker count. *)
+  (* Each work item is (shard index, shard config); the index keys both
+     the record checkpoint and the trace cache.  Journaled shards
+     replay from storage, the rest run and commit from whichever worker
+     computed them — either way the per-shard records are identical, so
+     the shard-order merge is unchanged by interruption, resumption,
+     caching or the worker count. *)
+  let compute (index, shard) =
+    let cached =
+      match traces with
+      | Some tc when shard.prune -> (
+          match tc.trace_lookup index with
+          | Some l when List.length l = shard.injections ->
+              Some (Array.of_list l)
+          | Some _ | None -> None)
+      | _ -> None
+    in
+    let records, stats, fresh = run_shard_with ?cached shard in
+    (match (traces, cached) with
+    | Some tc, None when shard.prune && fresh <> [] ->
+        tc.trace_commit index fresh
+    | _ -> ());
+    let stats =
+      match (traces, cached) with
+      | Some _, Some _ -> { stats with trace_hits = 1 }
+      | Some _, None when shard.prune -> { stats with trace_misses = 1 }
+      | _ -> stats
+    in
+    (records, stats)
+  in
   let run_one =
     match checkpoint with
-    | None -> fun (_, shard) -> run_shard shard
+    | None -> compute
     | Some cp -> (
         fun (index, shard) ->
           match cp.lookup index with
-          | Some records -> records
+          | Some records -> (records, zero_stats)
           | None ->
-              let records = run_shard shard in
+              let records, stats = compute (index, shard) in
               cp.commit index records;
-              records)
+              (records, stats))
   in
   Tm.with_span "campaign.run" (fun () ->
-      List.concat
-        (Xentry_util.Pool.map_list pool run_one
-           (List.mapi (fun i shard -> (i, shard)) (shard_configs config))))
+      let results =
+        Xentry_util.Pool.map_list pool run_one
+          (List.mapi (fun i shard -> (i, shard)) (shard_configs config))
+      in
+      let records = List.concat_map fst results in
+      let stats =
+        List.fold_left (fun acc (_, s) -> add_stats acc s) zero_stats results
+      in
+      (records, stats))
+
+let execute ?checkpoint ?traces (config : Config.t) =
+  fst (execute_with_stats ?checkpoint ?traces config)
 
 let run ?jobs ?checkpoint config =
   let config =

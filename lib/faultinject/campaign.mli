@@ -1,8 +1,8 @@
 (** Fault-injection campaigns (paper §V).
 
     A campaign replays a benchmark's VM-exit stream on a simulated
-    host and, for each injection, runs three executions from the same
-    prepared state:
+    host and, for each injection iteration, runs up to three executions
+    per fault from the same prepared state:
 
     {ol
     {- the {e golden} execution (fault-free) — also advances the live
@@ -15,7 +15,21 @@
 
     Consequences come from golden-vs-faulted comparison
     ({!Classify.consequence}); detections are attributed by
-    {!Xentry_core.Pipeline.verdict}. *)
+    {!Xentry_core.Pipeline.verdict}.
+
+    {2 Golden-trace planning}
+
+    With [prune] enabled (the default; disable with [XENTRY_PRUNE=0]
+    or [--no-prune]) the campaign consults the golden execution's
+    def/use trace ({!Xentry_machine.Golden_trace}) before simulating
+    anything: faults whose flipped bit is provably overwritten before
+    its next use are answered from the golden result with zero
+    simulation, faults with identical def-use consequences collapse
+    into one representative run, and surviving runs fast-forward from
+    the nearest mid-run COW snapshot instead of re-executing the whole
+    prefix ({!Planner}).  The records are {e bit-identical} to the
+    exhaustive path for any [jobs] value — enforced by differential
+    tests — so pruning is purely a throughput optimization. *)
 
 (** Campaign configuration.  One record names every knob; the same
     record drives both execution ({!execute}) and the persistent
@@ -27,6 +41,12 @@ module Config : sig
   type t = {
     seed : int;
     injections : int;
+    faults_per_run : int;
+        (** faults sampled (and recorded) per golden execution
+            (default 1).  Amortizes the golden run and, with pruning,
+            the trace and snapshots across many faults; records are
+            emitted in fault-sample order, [injections *
+            faults_per_run] in total. *)
     benchmark : Xentry_workload.Profile.benchmark;
     mode : Xentry_workload.Profile.virt_mode;
     detector : Xentry_core.Transition_detector.t option;
@@ -35,10 +55,20 @@ module Config : sig
     hardened : bool;
         (** use the selective-duplication handler variants (paper §VI
             future work) *)
+    prune : bool;
+        (** plan against the golden trace (prune + collapse +
+            fast-forward) instead of simulating every fault.
+            Execution-only: records are bit-identical either way, so
+            it is excluded from {!canonical}.  Default: true unless
+            [XENTRY_PRUNE=0]. *)
+    snapshot_interval : int;
+        (** dynamic steps between mid-run COW snapshots on recorded
+            golden runs (default 64; [<= 0] = only the step-0
+            snapshot).  Execution-only, excluded from {!canonical}. *)
     jobs : int option;
-        (** worker domains; [None] = [Pool.default_jobs ()].  The one
-            execution-only field: records are bit-identical for any
-            value, so it is excluded from {!canonical}. *)
+        (** worker domains; [None] = [Pool.default_jobs ()].
+            Execution-only: records are bit-identical for any value,
+            so it is excluded from {!canonical}. *)
   }
 
   val make :
@@ -47,6 +77,9 @@ module Config : sig
     ?mode:Xentry_workload.Profile.virt_mode ->
     ?fuel:int ->
     ?hardened:bool ->
+    ?faults_per_run:int ->
+    ?prune:bool ->
+    ?snapshot_interval:int ->
     ?jobs:int ->
     benchmark:Xentry_workload.Profile.benchmark ->
     injections:int ->
@@ -54,7 +87,9 @@ module Config : sig
     unit ->
     t
   (** Defaults: PV mode, full detection, fuel 20_000, baseline
-      handlers, [Pool.default_jobs] workers. *)
+      handlers, one fault per run, pruning on (honouring
+      [XENTRY_PRUNE]), snapshots every 64 steps, [Pool.default_jobs]
+      workers. *)
 
   val pipeline : t -> Xentry_core.Pipeline.Config.t
   (** The per-execution pipeline config a campaign applies to each
@@ -65,21 +100,34 @@ module Config : sig
     t ->
     string
   (** Canonical [key=value;…] encoding of every record-affecting field
-      ([jobs] excluded).  The implementation destructures the whole
-      record, so adding a field forces a decision here — config and
-      fingerprint cannot silently drift.  [detector_digest] renders the
-      detector (the store digests its encoded bytes). *)
+      ([jobs], [prune] and [snapshot_interval] excluded — the planner
+      invariant keeps records bit-identical across all of them).  The
+      implementation destructures the whole record, so adding a field
+      forces a decision here — config and fingerprint cannot silently
+      drift.  [detector_digest] renders the detector (the store digests
+      its encoded bytes). *)
+
+  val trace_canonical : t -> string
+  (** Canonical encoding of the fields the campaign's {e golden trace
+      sequence} depends on (seed, injections, benchmark, mode, fuel,
+      hardened) — the trace cache's fingerprint.  Golden runs never see
+      the detector, the detection framework, [faults_per_run] or the
+      planner knobs, so campaigns differing only in those share cached
+      traces. *)
 end
 
 type config = Config.t = {
   seed : int;
   injections : int;
+  faults_per_run : int;
   benchmark : Xentry_workload.Profile.benchmark;
   mode : Xentry_workload.Profile.virt_mode;
   detector : Xentry_core.Transition_detector.t option;
   framework : Xentry_core.Pipeline.detection;
   fuel : int;
   hardened : bool;
+  prune : bool;
+  snapshot_interval : int;
   jobs : int option;
 }
 (** Historical flat spelling of {!Config.t} (same type, via equation). *)
@@ -101,6 +149,20 @@ val shard_size : int
     decomposition depends only on the config, never on the worker
     count. *)
 
+type stats = {
+  planned : int;  (** faults considered ([injections * faults_per_run]) *)
+  pruned : int;  (** answered from the trace with zero simulation *)
+  collapsed : int;
+      (** class members served by another fault's representative run *)
+  fast_forwarded : int;
+      (** simulated runs resumed from a snapshot past step 0 *)
+  simulated : int;  (** detected executions actually run *)
+  trace_hits : int;  (** shards served by the trace cache *)
+  trace_misses : int;  (** shards that recorded fresh traces *)
+}
+(** Planner effectiveness totals, summed over shards.  The exhaustive
+    path reports [planned = simulated] and zeros elsewhere. *)
+
 type checkpoint = {
   lookup : int -> Outcome.record list option;
       (** previously journaled records for a shard index, if any *)
@@ -116,15 +178,46 @@ type checkpoint = {
     rest merges into a record list bit-identical to an uninterrupted
     run, for any [jobs] value. *)
 
-val execute : ?checkpoint:checkpoint -> Config.t -> Outcome.record list
-(** Execute the campaign; one record per injection, in order.  Shards
-    run on [config.jobs] domains ([Pool.default_jobs ()] when [None],
-    i.e. [XENTRY_JOBS] or serial) and merge in shard order, so the
-    record list is bit-identical for every [jobs] value.  With
-    [checkpoint], already-journaled shards are served from [lookup]
-    instead of being re-executed and each newly computed shard is
-    [commit]ted as soon as it completes — a killed run resumes where
-    it left off. *)
+type trace_cache = {
+  trace_lookup : int -> Xentry_machine.Golden_trace.t list option;
+      (** cached golden traces for a shard index (one per injection
+          iteration, in order), if any *)
+  trace_commit : int -> Xentry_machine.Golden_trace.t list -> unit;
+      (** persist the traces a worker just recorded for a shard *)
+}
+(** Golden-trace caching hooks, the planner's analogue of
+    {!checkpoint}: [Xentry_store.Trace_cache] implements the pair over
+    an on-disk directory keyed by {!Config.trace_canonical}.  A shard
+    served by [trace_lookup] samples its faults and builds its plan
+    {e before} the golden run, executes the golden run without
+    recording overhead, and snapshots only at surviving faults' steps
+    (none at all when everything prunes).  Only consulted when
+    [config.prune] is set; a cached list whose length does not match
+    the shard is treated as a miss. *)
+
+val execute :
+  ?checkpoint:checkpoint ->
+  ?traces:trace_cache ->
+  Config.t ->
+  Outcome.record list
+(** Execute the campaign; [faults_per_run] records per injection
+    iteration, in fault-sample order.  Shards run on [config.jobs]
+    domains ([Pool.default_jobs ()] when [None], i.e. [XENTRY_JOBS] or
+    serial) and merge in shard order, so the record list is
+    bit-identical for every [jobs] value — and, by the planner
+    invariant, for [prune] on or off and any [snapshot_interval].
+    With [checkpoint], already-journaled shards are served from
+    [lookup] instead of being re-executed and each newly computed
+    shard is [commit]ted as soon as it completes — a killed run
+    resumes where it left off. *)
+
+val execute_with_stats :
+  ?checkpoint:checkpoint ->
+  ?traces:trace_cache ->
+  Config.t ->
+  Outcome.record list * stats
+(** {!execute}, also returning planner statistics (checkpoint-served
+    shards contribute nothing to the stats). *)
 
 val run : ?jobs:int -> ?checkpoint:checkpoint -> config -> Outcome.record list
   [@@deprecated "use Campaign.execute with Config.jobs"]

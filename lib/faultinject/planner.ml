@@ -1,0 +1,43 @@
+open Xentry_machine
+
+type disposition =
+  | Pruned of Cpu.fault_fate
+  | Run of { rep : int; act : int }
+
+type plan = {
+  dispositions : disposition array;
+  reps : int list;
+}
+
+let plan (trace : Golden_trace.t) (faults : Fault.t array) =
+  let n = Array.length faults in
+  let dispositions = Array.make n (Pruned Cpu.Never_touched) in
+  let reps = ref [] in
+  if trace.Golden_trace.asserted then
+    (* Replays toggle assertions relative to the recorded run, so the
+       trace says nothing about execution past the failing assertion:
+       every fault is its own representative, simulated from its own
+       injection step. *)
+    for i = n - 1 downto 0 do
+      dispositions.(i) <- Run { rep = i; act = faults.(i).Fault.step };
+      reps := i :: !reps
+    done
+  else begin
+    let classes = Hashtbl.create 16 in
+    for i = 0 to n - 1 do
+      let f = faults.(i) in
+      match Golden_trace.fate trace ~target:f.Fault.target ~step:f.Fault.step with
+      | (Cpu.Never_touched | Cpu.Overwritten _) as fate ->
+          dispositions.(i) <- Pruned fate
+      | Cpu.Activated s -> (
+          let key = (f.Fault.target, f.Fault.bit, s) in
+          match Hashtbl.find_opt classes key with
+          | Some rep -> dispositions.(i) <- Run { rep; act = s }
+          | None ->
+              Hashtbl.add classes key i;
+              dispositions.(i) <- Run { rep = i; act = s };
+              reps := i :: !reps)
+    done;
+    reps := List.rev !reps
+  end;
+  { dispositions; reps = !reps }

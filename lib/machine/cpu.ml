@@ -363,6 +363,64 @@ let flip_register_bit t arch bit =
   | Reg.Rip -> t.rip <- Bits.flip t.rip bit
   | Reg.Rflags -> t.rflags <- Bits.flip t.rflags bit
 
+(* --- mid-run capture and resume ------------------------------------------ *)
+
+(* A [run_state] is everything CPU-side a paused run needs to continue
+   on another CPU: architectural state plus the absolute accounting
+   totals (steps, TSC, PMU counters) at the pause point.  Memory is
+   deliberately absent — callers snapshot it separately (the
+   hypervisor's COW clone).  The capture point is the top of the
+   interpreter loop, before the injector runs, so a fault scheduled at
+   the captured step still fires on resume exactly as it would have in
+   the uninterrupted run.  Both engines capture and restore the same
+   observable state: the fast engine settles its lazily-maintained TSC
+   and branch count into the capture, and seeds them back on restore,
+   so a state captured under one engine resumes under the other. *)
+type run_state = {
+  rs_regs : int64 array;
+  rs_rip : int64;
+  rs_rflags : int64;
+  rs_tsc : int64;
+  rs_steps : int;
+  rs_branches : int;
+  rs_loads : int;
+  rs_stores : int;
+}
+
+let run_state_steps st = st.rs_steps
+
+let restore_common t st ~code_base =
+  Array.blit st.rs_regs 0 t.regs 0 (Array.length t.regs);
+  t.rip <- st.rs_rip;
+  t.rflags <- st.rs_rflags;
+  t.code_base <- code_base;
+  t.steps <- st.rs_steps;
+  t.watch <- None;
+  Pmu.enable t.pmu_unit;
+  Pmu.add t.pmu_unit Pmu.Br_inst_retired st.rs_branches;
+  Pmu.add t.pmu_unit Pmu.Mem_loads st.rs_loads;
+  Pmu.add t.pmu_unit Pmu.Mem_stores st.rs_stores;
+  t.tsc <- st.rs_tsc
+
+(* A pause cursor over a sorted ascending [pause_at] array.  The fast
+   guard is two int compares when no pause is pending; entries below
+   the current step (possible on resume) are skipped silently. *)
+let make_pauser t pause_at on_pause capture =
+  let plen = Array.length pause_at in
+  if plen = 0 then fun () -> ()
+  else
+    let pc = ref 0 in
+    fun () ->
+      if !pc < plen && t.steps >= pause_at.(!pc) then begin
+        while !pc < plen && pause_at.(!pc) < t.steps do
+          incr pc
+        done;
+        if !pc < plen && pause_at.(!pc) = t.steps then begin
+          (match on_pause with Some f -> f (capture ()) | None -> ());
+          incr pc
+        end
+      end
+
 let detection_latency r =
   match r.activation with
   | Some { fate = Activated at; _ } -> (
@@ -427,14 +485,35 @@ let finish_run t ~inject stop_reason =
 
 (* --- reference engine ---------------------------------------------------- *)
 
-let run t ~program ~code_base ?entry ?(fuel = 100_000) ?inject ?on_step () =
+let run t ~program ~code_base ?entry ?(fuel = 100_000) ?inject ?on_step
+    ?(pause_at = [||]) ?on_pause ?resume () =
   let len = Program.length program in
   let meta = program.Program.meta in
-  let (_ : int) = start_run t ~program ~code_base ~entry in
+  (match resume with
+  | None -> ignore (start_run t ~program ~code_base ~entry : int)
+  | Some st ->
+      restore_common t st ~code_base;
+      (* The reference engine counts retirement live, so the resumed
+         prefix's instructions are credited up front. *)
+      Pmu.add t.pmu_unit Pmu.Inst_retired st.rs_steps);
+  let capture () =
+    {
+      rs_regs = Array.copy t.regs;
+      rs_rip = t.rip;
+      rs_rflags = t.rflags;
+      rs_tsc = t.tsc;
+      rs_steps = t.steps;
+      rs_branches = Pmu.read t.pmu_unit Pmu.Br_inst_retired;
+      rs_loads = Pmu.read t.pmu_unit Pmu.Mem_loads;
+      rs_stores = Pmu.read t.pmu_unit Pmu.Mem_stores;
+    }
+  in
+  let check_pause = make_pauser t pause_at on_pause capture in
   let maybe_inject = make_injector t inject in
   let stop_reason =
     try
       let rec step () =
+        check_pause ();
         maybe_inject ();
         watch_rip_fetch t;
         let idx = code_index ~code_base ~len t.rip in
@@ -960,57 +1039,138 @@ let compile program =
   { source = program; ops = Array.mapi compile_instr program.Program.code }
 
 let run_compiled t ~compiled ~code_base ?entry ?(fuel = 100_000) ?inject
-    ?on_step () =
+    ?on_step ?(pause_at = [||]) ?on_pause ?resume () =
   let program = compiled.source in
   let ops = compiled.ops in
   let meta = program.Program.meta in
   let len = Array.length ops in
-  let entry_index = start_run t ~program ~code_base ~entry in
-  t.run_tsc_base <- t.tsc;
+  let entry_index =
+    match resume with
+    | None ->
+        let i = start_run t ~program ~code_base ~entry in
+        t.run_tsc_base <- t.tsc;
+        i
+    | Some st ->
+        restore_common t st ~code_base;
+        (* Retirement is settled in bulk at the epilogue from the
+           absolute step count, so only the TSC base needs back-dating:
+           [run_tsc_base + steps * tsc_step] must equal the captured
+           TSC at the captured step.  A resumed run always takes the
+           RIP-driven loop, so the returned entry index is unused. *)
+        t.run_tsc_base <-
+          Int64.sub st.rs_tsc (Int64.of_int (st.rs_steps * t.tsc_step));
+        0
+  in
   let br = ref 0 in
+  (* Fast-engine capture: settle the lazy TSC and the [br] batch into
+     the state so it is engine-independent. *)
+  let capture_at rip =
+    {
+      rs_regs = Array.copy t.regs;
+      rs_rip = rip;
+      rs_rflags = t.rflags;
+      rs_tsc = Int64.add t.run_tsc_base (Int64.of_int (t.steps * t.tsc_step));
+      rs_steps = t.steps;
+      rs_branches = Pmu.read t.pmu_unit Pmu.Br_inst_retired + !br;
+      rs_loads = Pmu.read t.pmu_unit Pmu.Mem_loads;
+      rs_stores = Pmu.read t.pmu_unit Pmu.Mem_stores;
+    }
+  in
+  (* Hot loop: driven by the instruction *index*, so a step is an
+     array load, a closure call and a few integer tests, with no RIP
+     decode, no Int64 allocation and no per-step PMU/TSC work.  RIP is
+     materialized from the index only when the run stops; [ret]
+     (next_idx = -1) is the one branch whose target is data and goes
+     through the full RIP decode.  It serves the plain path from step
+     0 and the event loop below once its per-step obligations have all
+     been discharged (the pause cursor is shared between the two). *)
+  let plen = Array.length pause_at in
+  let pc = ref 0 in
+  let hot_from entry =
+    try
+      let rec step idx =
+        (* Pause check first, mirroring the reference loop: a
+           snapshot scheduled at the step of a fetch fault is still
+           taken.  Two int compares when no pause is pending. *)
+        (if !pc < plen && t.steps >= pause_at.(!pc) then begin
+           while !pc < plen && pause_at.(!pc) < t.steps do
+             incr pc
+           done;
+           if !pc < plen && pause_at.(!pc) = t.steps then begin
+             (match on_pause with
+             | Some f -> f (capture_at (rip_of_index ~code_base idx))
+             | None -> ());
+             incr pc
+           end
+         end);
+        if idx >= len then begin
+          (* Fell off (or was sent past) the end of the program:
+             same page fault the reference fetch raises. *)
+          t.next_idx <- idx;
+          hw_fault Hw_exception.PF (rip_of_index ~code_base idx)
+        end;
+        if meta.(idx) land Instr.meta_branch_bit <> 0 then incr br;
+        t.next_idx <- idx + 1;
+        ops.(idx) t;
+        t.steps <- t.steps + 1;
+        if t.steps > fuel then raise (Stopped Out_of_fuel);
+        let n = t.next_idx in
+        if n >= 0 then step n
+        else step (code_index ~code_base ~len t.rip)
+      in
+      step entry
+    with Stopped reason ->
+      (* Settle RIP where the reference engine would have left it:
+         the pending next index, unless [ret] already wrote RIP
+         itself. *)
+      if t.next_idx >= 0 then t.rip <- rip_of_index ~code_base t.next_idx;
+      reason
+  in
   let stop_reason =
-    match (inject, on_step) with
-    | None, None -> (
-        (* Hot loop for the common case: no injection, no tracing (and
-           therefore no watch — only the injector arms one).  The loop
-           is driven by the instruction *index*: closures communicate
-           control flow through [t.next_idx], so a step is an array
-           load, a closure call and a few integer tests, with no RIP
-           decode, no Int64 allocation and no per-step PMU/TSC work.
-           RIP is materialized from the index only when the run stops;
-           [ret] (next_idx = -1) is the one branch whose target is
-           data and goes through the full RIP decode. *)
-        try
-          let rec step idx =
-            if idx >= len then begin
-              (* Fell off (or was sent past) the end of the program:
-                 same page fault the reference fetch raises. *)
-              t.next_idx <- idx;
-              hw_fault Hw_exception.PF (rip_of_index ~code_base idx)
-            end;
-            if meta.(idx) land Instr.meta_branch_bit <> 0 then incr br;
-            t.next_idx <- idx + 1;
-            ops.(idx) t;
-            t.steps <- t.steps + 1;
-            if t.steps > fuel then raise (Stopped Out_of_fuel);
-            let n = t.next_idx in
-            if n >= 0 then step n
-            else step (code_index ~code_base ~len t.rip)
-          in
-          step entry_index
-        with Stopped reason ->
-          (* Settle RIP where the reference engine would have left it:
-             the pending next index, unless [ret] already wrote RIP
-             itself. *)
-          if t.next_idx >= 0 then t.rip <- rip_of_index ~code_base t.next_idx;
-          reason)
+    match (inject, on_step, resume) with
+    | None, None, None -> hot_from entry_index
     | _ -> (
-        (* Injection- and tracing-capable loop: RIP stays authoritative
-           every step because the injector can flip bits in it and the
-           watch observes fetches. *)
-        let maybe_inject = make_injector t inject in
+        (* Injection-, tracing- and resume-capable loop: RIP stays
+           authoritative every step because the injector can flip bits
+           in it, the watch observes fetches, and a restored state
+           carries only a RIP (no next-index).  Those obligations are
+           all finite: once the injection has fired and its watch has
+           settled on a fate (and no pause or tracer remains), every
+           later step would run them as no-ops — so the run hands off
+           to the hot loop for its remainder.  A resumed injection
+           fires at the resume boundary and typically activates on its
+           first step, making the whole suffix index-driven. *)
+        let injected = ref false in
+        let maybe_inject () =
+          match inject with
+          | Some inj when (not !injected) && t.steps >= inj.inj_step ->
+              injected := true;
+              flip_register_bit t inj.inj_target inj.inj_bit;
+              t.watch <- Some { target = inj.inj_target; fate = Never_touched }
+          | Some _ | None -> ()
+        in
+        let traced = match on_step with Some _ -> true | None -> false in
+        let handoff () =
+          (not traced)
+          && !pc >= plen
+          && (match inject with None -> true | Some _ -> !injected)
+          && match t.watch with
+             | None -> true
+             | Some w -> w.fate <> Never_touched
+        in
         try
           let rec step () =
+            (if !pc < plen && t.steps >= pause_at.(!pc) then begin
+               while !pc < plen && pause_at.(!pc) < t.steps do
+                 incr pc
+               done;
+               if !pc < plen && pause_at.(!pc) = t.steps then begin
+                 (match on_pause with
+                 | Some f -> f (capture_at t.rip)
+                 | None -> ());
+                 incr pc
+               end
+             end);
             maybe_inject ();
             watch_rip_fetch t;
             let idx = code_index ~code_base ~len t.rip in
@@ -1027,7 +1187,8 @@ let run_compiled t ~compiled ~code_base ?entry ?(fuel = 100_000) ?inject
             ops.(idx) t;
             t.steps <- t.steps + 1;
             if t.steps > fuel then raise (Stopped Out_of_fuel);
-            step ()
+            if handoff () then hot_from (code_index ~code_base ~len t.rip)
+            else step ()
           in
           step ()
         with Stopped reason -> reason)

@@ -104,6 +104,24 @@ val detection_latency : run_result -> int option
     event ([Hw_fault], [Assertion_failure], [Vm_entry], [Out_of_fuel]).
     This is the paper's Fig 10 metric. *)
 
+(** {2 Mid-run capture and resume}
+
+    A run may be paused at chosen dynamic steps to capture a
+    {!run_state} — the complete CPU-side state (registers, RIP,
+    RFLAGS, TSC, step count, PMU totals) at the top of the interpreter
+    loop, {e before} any injection scheduled for that step fires.
+    Memory is not part of the state; callers snapshot it separately
+    (the hypervisor's COW clone).  Restoring a captured state on a
+    fresh CPU over a snapshot of the paused memory and re-running
+    yields results bit-identical to the uninterrupted run, for either
+    engine and regardless of which engine captured the state — the
+    fast-forwarding contract the campaign planner builds on. *)
+
+type run_state
+
+val run_state_steps : run_state -> int
+(** The dynamic step at which the state was captured. *)
+
 val run :
   t ->
   program:Xentry_isa.Program.t ->
@@ -112,6 +130,9 @@ val run :
   ?fuel:int ->
   ?inject:injection ->
   ?on_step:(int -> int Xentry_isa.Instr.t -> unit) ->
+  ?pause_at:int array ->
+  ?on_pause:(run_state -> unit) ->
+  ?resume:run_state ->
   unit ->
   run_result
 (** Execute [program] starting at label [entry] (default: index 0).
@@ -120,7 +141,14 @@ val run :
     point, mirroring Xentry's VM-exit / VM-entry counter management.
     [inject] flips one register bit just before the given dynamic
     step; if the run stops earlier the injection never happens and
-    [activation] reports [Never_touched] with the request echoed. *)
+    [activation] reports [Never_touched] with the request echoed.
+
+    [pause_at] (sorted ascending) lists dynamic steps at which
+    [on_pause] receives a captured {!run_state}; steps the run never
+    reaches are ignored.  [resume] starts the run from a previously
+    captured state instead of [entry] (which is then ignored): the
+    architectural state and accounting totals are restored, and [fuel]
+    keeps its absolute meaning, counting the resumed prefix. *)
 
 (** {2 Threaded-code engine} *)
 
@@ -146,12 +174,18 @@ val run_compiled :
   ?fuel:int ->
   ?inject:injection ->
   ?on_step:(int -> int Xentry_isa.Instr.t -> unit) ->
+  ?pause_at:int array ->
+  ?on_pause:(run_state -> unit) ->
+  ?resume:run_state ->
   unit ->
   run_result
 (** Exactly {!run}, executed by the threaded-code engine.  Produces
     bit-identical results — same stop reason, step count, PMU
-    snapshot, registers and memory — for every program and injection
-    (enforced by a differential QCheck property in the test suite). *)
+    snapshot, registers, memory and captured pause states — for every
+    program and injection (enforced by differential QCheck properties
+    in the test suite).  Pausing is supported on the hot
+    (injection-free) path at no per-step cost beyond two int
+    compares; [resume] dispatches to the RIP-driven loop. *)
 
 val flip_register_bit : t -> Xentry_isa.Reg.arch -> int -> unit
 (** Unconditionally flip a bit in the live architectural state (used

@@ -1,0 +1,119 @@
+open Xentry_isa
+
+type t = {
+  index : int array;
+  meta : int array;
+  result_steps : int;
+  asserted : bool;
+  fetch_faulted : bool;
+  mem_loads : int;
+  mem_stores : int;
+}
+
+let length t = Array.length t.meta
+
+let equal a b =
+  a.result_steps = b.result_steps
+  && a.asserted = b.asserted
+  && a.fetch_faulted = b.fetch_faulted
+  && a.mem_loads = b.mem_loads
+  && a.mem_stores = b.mem_stores
+  && a.index = b.index
+  && a.meta = b.meta
+
+(* --- recording --------------------------------------------------------- *)
+
+type recorder = {
+  prog_meta : int array;
+  mutable buf_index : int array;
+  mutable buf_meta : int array;
+  mutable len : int;
+  mutable loads : int;
+  mutable stores : int;
+}
+
+let recorder ~meta =
+  {
+    prog_meta = meta;
+    buf_index = Array.make 256 0;
+    buf_meta = Array.make 256 0;
+    len = 0;
+    loads = 0;
+    stores = 0;
+  }
+
+let grow r =
+  let cap = Array.length r.buf_index in
+  let index = Array.make (cap * 2) 0 in
+  let meta = Array.make (cap * 2) 0 in
+  Array.blit r.buf_index 0 index 0 cap;
+  Array.blit r.buf_meta 0 meta 0 cap;
+  r.buf_index <- index;
+  r.buf_meta <- meta
+
+let on_step r idx instr =
+  if r.len = Array.length r.buf_index then grow r;
+  r.buf_index.(r.len) <- idx;
+  r.buf_meta.(r.len) <- r.prog_meta.(idx);
+  r.len <- r.len + 1;
+  r.loads <- r.loads + Instr.loads instr;
+  r.stores <- r.stores + Instr.stores instr
+
+let finish r ~(result : Cpu.run_result) =
+  let asserted =
+    match result.Cpu.stop with Cpu.Assertion_failure _ -> true | _ -> false
+  in
+  (* A fetch fault is the one hardware stop whose faulting step never
+     reached execute: the recorder saw exactly [steps] instructions.
+     Mid-execution faults record one extra (unretired) step. *)
+  let fetch_faulted =
+    match result.Cpu.stop with
+    | Cpu.Hw_fault _ -> result.Cpu.steps = r.len
+    | _ -> false
+  in
+  {
+    index = Array.sub r.buf_index 0 r.len;
+    meta = Array.sub r.buf_meta 0 r.len;
+    result_steps = result.Cpu.steps;
+    asserted;
+    fetch_faulted;
+    mem_loads = r.loads;
+    mem_stores = r.stores;
+  }
+
+(* --- def-use queries --------------------------------------------------- *)
+
+(* Mirrors [Cpu.update_watch]/[Cpu.watch_rip_fetch]: within a step the
+   read test precedes the write test, the scan starts at the injection
+   step itself, and RIP is consumed by the very next fetch. *)
+let fate t ~(target : Reg.arch) ~step =
+  let n = Array.length t.meta in
+  if step >= n then
+    if step = n && t.fetch_faulted && target = Reg.Rip then Cpu.Activated step
+    else Cpu.Never_touched
+  else
+    match target with
+    | Reg.Rip -> Cpu.Activated step
+    | Reg.Rflags ->
+        let rec scan s =
+          if s >= n then Cpu.Never_touched
+          else
+            let m = t.meta.(s) in
+            if m land Instr.meta_reads_flags_bit <> 0 then Cpu.Activated s
+            else if m land Instr.meta_writes_flags_bit <> 0 then
+              Cpu.Overwritten s
+            else scan (s + 1)
+        in
+        scan step
+    | Reg.Gpr g ->
+        let bit = 1 lsl Reg.gpr_index g in
+        let wbit = bit lsl Instr.meta_write_shift in
+        let rec scan s =
+          if s >= n then Cpu.Never_touched
+          else
+            let m = t.meta.(s) in
+            if m land bit <> 0 then Cpu.Activated s
+            else if m land wbit <> 0 then Cpu.Overwritten s
+            else scan (s + 1)
+        in
+        scan step

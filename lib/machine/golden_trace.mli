@@ -1,0 +1,72 @@
+(** Golden execution traces: the per-dynamic-step register def/use
+    record a fault-injection planner prunes against.
+
+    One trace describes one fault-free handler execution: for every
+    dynamic step, the static instruction index executed and its packed
+    metadata word ({!Xentry_isa.Instr.metadata} — read/write register
+    masks plus branch/flags bits), together with a memory-touch
+    summary and the stop shape the planner's soundness argument needs.
+    Both engines produce bit-identical traces for the same execution
+    (the recorder only consumes the [on_step] callback both engines
+    already share), so a trace recorded under either engine prunes
+    campaigns run under the other.
+
+    {b Length semantics.}  [length t] is the number of [on_step]
+    callbacks, i.e. of instructions that reached the execute stage:
+    equal to [result.steps] for runs ending at [Vm_entry], [Halted],
+    [Assertion_failure] or [Out_of_fuel]; [result.steps + 1] when the
+    stopping instruction faulted mid-execution (it never retired); and
+    [result.steps] again when the {e fetch} itself faulted (the
+    faulting step never reached execute). *)
+
+type t = {
+  index : int array;  (** static instruction index per dynamic step *)
+  meta : int array;
+      (** packed {!Xentry_isa.Instr.metadata} word per dynamic step *)
+  result_steps : int;  (** [steps] of the recorded run's result *)
+  asserted : bool;  (** the run stopped on an assertion failure *)
+  fetch_faulted : bool;
+      (** the run stopped on a hardware fault raised by the fetch
+          itself (bad RIP), i.e. the final loop iteration executed its
+          injection point but no instruction *)
+  mem_loads : int;  (** static per-instruction loads summed over steps *)
+  mem_stores : int;  (** static per-instruction stores summed over steps *)
+}
+
+val length : t -> int
+(** Dynamic steps recorded (see the length semantics above). *)
+
+val equal : t -> t -> bool
+
+(** {2 Recording} *)
+
+type recorder
+
+val recorder : meta:int array -> recorder
+(** [recorder ~meta] starts a recording against a program's packed
+    metadata table ({!Xentry_isa.Program.t.meta}). *)
+
+val on_step : recorder -> int -> int Xentry_isa.Instr.t -> unit
+(** The [on_step] hook to pass to [Cpu.run]/[Cpu.run_compiled]. *)
+
+val finish : recorder -> result:Cpu.run_result -> t
+(** Seal the recording once the run returned. *)
+
+(** {2 Def-use queries} *)
+
+val fate : t -> target:Xentry_isa.Reg.arch -> step:int -> Cpu.fault_fate
+(** The fate a single-bit fault in [target], injected just before
+    dynamic step [step], meets on the recorded execution — computed
+    from the trace alone, with zero simulation.  Mirrors the live
+    def-use watch exactly: the scan starts at [step] itself (the watch
+    is armed before the target instruction's metadata is consulted),
+    RIP activates at the next fetch, RFLAGS activates on
+    [reads_flags] and dies on [writes_flags], a GPR activates on its
+    read-mask bit and dies on its write-mask bit.
+
+    Steps at or beyond [length t] short-circuit to [Never_touched]
+    with no scan: the run ends before the flip fires.  The one
+    exception is a {!fetch_faulted} trace with [target = Rip] at
+    exactly [step = length t] — the faulting iteration does execute
+    its injection point, and the corrupted RIP is consumed by the
+    fetch, so the fault reports [Activated]. *)

@@ -6,17 +6,25 @@ let page_bits = 12
 (* Pages are copy-on-write.  A page record is immutable data plus an
    [owner] tag: the id of the one memory allowed to write it in place.
    [copy] freezes every page of the source (owner 0 — nobody's) and
-   shares the records with the snapshot, so cloning costs one pointer
-   per page; whichever side writes a shared or frozen page first
+   shares the whole page table with the snapshot, so cloning is O(1)
+   in mapped pages; whichever side writes a shared or frozen page first
    replaces its own binding with a private duplicate.  The other
    side's binding still reaches the original record, so writes never
    alias across a snapshot in either direction. *)
 type page = { data : Bytes.t; mutable owner : int }
 
+(* The page table is a persistent map so that [copy] — the hot
+   operation of snapshot capture and restore in injection campaigns —
+   shares the root in O(1) instead of duplicating a mutable table.
+   Updates (mapping, unmapping, COW privatisation) rebind the [pages]
+   field; the peer memory keeps the old root, so structural sharing
+   does the aliasing bookkeeping for free. *)
+module PageMap = Map.Make (Int64)
+
 (* Software TLB: a direct-mapped translation cache (page number ->
-   Bytes.t) in front of the boxed-Int64 [Hashtbl] that backs the page
-   table.  Load/store/fetch paths hit the arrays below and skip both
-   the Int64 hashing and the [find_opt] option allocation.
+   Bytes.t) in front of the persistent map that backs the page table.
+   Load/store/fetch paths hit the arrays below and skip both the
+   balanced-tree search and the [find_opt] option allocation.
 
    Correctness hinges on invalidation, which is generation-based: an
    entry is live only while its [gen] slot equals the memory's current
@@ -38,7 +46,14 @@ let tlb_slots = 1 lsl tlb_bits (* 128 *)
 
 type t = {
   id : int;
-  pages : (int64, page) Hashtbl.t;
+  mutable pages : page PageMap.t;
+  (* Pages currently owned by this memory (mapped or privatised since
+     the last [copy]).  [copy] freezes exactly these instead of
+     sweeping the whole page table, so cloning an already-frozen
+     memory — the common case when a snapshot is restored repeatedly —
+     skips the sweep entirely.  Entries can go stale when a page is
+     unmapped; freezing a detached record is harmless. *)
+  mutable owned : page list;
   mutable generation : int;
   (* read TLB: page may be shared; safe for loads only *)
   r_tag : int64 array;
@@ -72,7 +87,8 @@ let no_bytes = Bytes.create 0
 let create () =
   {
     id = fresh_id ();
-    pages = Hashtbl.create 64;
+    pages = PageMap.empty;
+    owned = [];
     (* Generation 1 with all-zero [gen] slots means a fresh TLB starts
        empty without initializing the tag arrays to a sentinel. *)
     generation = 1;
@@ -98,9 +114,11 @@ let map_region t ~addr ~size =
     let last = page_of (Int64.add addr (Int64.of_int (size - 1))) in
     let rec go p =
       if Int64.compare p last <= 0 then begin
-        if not (Hashtbl.mem t.pages p) then
-          Hashtbl.replace t.pages p
-            { data = Bytes.make page_size '\000'; owner = t.id };
+        if not (PageMap.mem p t.pages) then begin
+          let pg = { data = Bytes.make page_size '\000'; owner = t.id } in
+          t.pages <- PageMap.add p pg t.pages;
+          t.owned <- pg :: t.owned
+        end;
         go (Int64.add p 1L)
       end
     in
@@ -112,7 +130,7 @@ let unmap_region t ~addr ~size =
     let last = page_of (Int64.add addr (Int64.of_int (size - 1))) in
     let rec go p =
       if Int64.compare p last <= 0 then begin
-        Hashtbl.remove t.pages p;
+        t.pages <- PageMap.remove p t.pages;
         go (Int64.add p 1L)
       end
     in
@@ -133,7 +151,7 @@ let fill_write t slot pn data =
 
 let read_page_slow t addr pn slot =
   Tm.incr tm_read_miss;
-  match Hashtbl.find_opt t.pages pn with
+  match PageMap.find_opt pn t.pages with
   | Some p ->
       fill_read t slot pn p.data;
       p.data
@@ -155,7 +173,7 @@ let read_page t addr =
    record's data. *)
 let write_page_slow t addr pn slot =
   Tm.incr tm_write_miss;
-  match Hashtbl.find_opt t.pages pn with
+  match PageMap.find_opt pn t.pages with
   | Some p when p.owner = t.id ->
       fill_write t slot pn p.data;
       fill_read t slot pn p.data;
@@ -163,7 +181,8 @@ let write_page_slow t addr pn slot =
   | Some p ->
       Tm.incr tm_cow;
       let priv = { data = Bytes.copy p.data; owner = t.id } in
-      Hashtbl.replace t.pages pn priv;
+      t.pages <- PageMap.add pn priv t.pages;
+      t.owned <- priv :: t.owned;
       fill_write t slot pn priv.data;
       fill_read t slot pn priv.data;
       priv.data
@@ -178,7 +197,7 @@ let write_page t addr =
   end
   else write_page_slow t addr pn slot
 
-let is_mapped t addr = Hashtbl.mem t.pages (page_of addr)
+let is_mapped t addr = PageMap.mem (page_of addr) t.pages
 
 let load8 t addr = Char.code (Bytes.get (read_page t addr) (offset_of addr))
 
@@ -233,8 +252,8 @@ let first_difference a b ~addr ~len =
       let at = Int64.add addr (Int64.of_int pos) in
       let in_page = page_size - offset_of at in
       let chunk = min in_page (len - pos) in
-      let pa = Hashtbl.find_opt a.pages (page_of at) in
-      let pb = Hashtbl.find_opt b.pages (page_of at) in
+      let pa = PageMap.find_opt (page_of at) a.pages in
+      let pb = PageMap.find_opt (page_of at) b.pages in
       match (pa, pb) with
       | None, None -> walk (pos + chunk)
       | Some pg_a, Some pg_b when pg_a == pg_b ->
@@ -243,11 +262,24 @@ let first_difference a b ~addr ~len =
           walk (pos + chunk)
       | Some pg_a, Some pg_b ->
           let off = offset_of at in
-          let rec scan i =
-            if i >= chunk then walk (pos + chunk)
+          (* Word-at-a-time scan, dropping to bytes only to pin down
+             the exact first differing address inside a mismatching
+             word (and for the sub-word tail). *)
+          let rec byte_scan i limit =
+            if i >= limit then walk (pos + chunk)
             else if Bytes.get pg_a.data (off + i) <> Bytes.get pg_b.data (off + i)
             then Some (Int64.add at (Int64.of_int i))
-            else scan (i + 1)
+            else byte_scan (i + 1) limit
+          in
+          let rec scan i =
+            if chunk - i >= 8 then
+              if
+                Int64.equal
+                  (Bytes.get_int64_ne pg_a.data (off + i))
+                  (Bytes.get_int64_ne pg_b.data (off + i))
+              then scan (i + 8)
+              else byte_scan i (i + 8)
+            else byte_scan i chunk
           in
           scan 0
       | Some pg, None | None, Some pg ->
@@ -268,17 +300,23 @@ let copy t =
      stale write entries would bypass the ownership check and scribble
      on pages the snapshot now shares.  (Read entries are collateral
      damage — they still point at the right bytes — but one wholesale
-     bump is cheaper than a tagged flush and [copy] is not a hot
-     path.) *)
-  Hashtbl.iter (fun _ p -> p.owner <- frozen) t.pages;
-  flush_tlb t;
-  { (create ()) with pages = Hashtbl.copy t.pages }
+     bump is cheaper than a tagged flush.)  A source that owns nothing
+     — typical of a snapshot being restored again — has no pages to
+     freeze and, since write translations are only ever filled for
+     owned pages, no stale write entries either, so both steps are
+     skipped. *)
+  if t.owned <> [] then begin
+    List.iter (fun p -> p.owner <- frozen) t.owned;
+    t.owned <- [];
+    flush_tlb t
+  end;
+  { (create ()) with pages = t.pages }
 
-let mapped_bytes t = Hashtbl.length t.pages * page_size
+let mapped_bytes t = PageMap.cardinal t.pages * page_size
 
 let private_pages t =
-  Hashtbl.fold (fun _ p acc -> if p.owner = t.id then acc + 1 else acc) t.pages 0
+  PageMap.fold (fun _ p acc -> if p.owner = t.id then acc + 1 else acc) t.pages 0
 
-let page_count t = Hashtbl.length t.pages
+let page_count t = PageMap.cardinal t.pages
 
 let tlb_generation t = t.generation

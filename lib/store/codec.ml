@@ -175,6 +175,49 @@ let outcome_records =
     read = (fun r -> W.read_list read_record r);
   }
 
+(* --- golden traces ----------------------------------------------------- *)
+
+module GT = Xentry_machine.Golden_trace
+
+let write_trace buf (t : GT.t) =
+  W.array_ W.u32 buf t.GT.index;
+  (* Metadata words carry flag bits above bit 32, so they travel as
+     full integers. *)
+  W.array_ W.int_ buf t.GT.meta;
+  W.int_ buf t.GT.result_steps;
+  W.bool_ buf t.GT.asserted;
+  W.bool_ buf t.GT.fetch_faulted;
+  W.int_ buf t.GT.mem_loads;
+  W.int_ buf t.GT.mem_stores
+
+let read_trace r : GT.t =
+  let index = W.read_array W.read_u32 r in
+  let meta = W.read_array W.read_int r in
+  if Array.length index <> Array.length meta then
+    W.corrupt "golden trace: index/meta length mismatch";
+  let result_steps = W.read_int r in
+  (* The result's step count is the trace length, or one less when the
+     run stopped on a mid-execution hardware fault (the faulting step
+     never retired). *)
+  let len = Array.length index in
+  if result_steps <> len && result_steps <> len - 1 then
+    W.corrupt
+      (Printf.sprintf "golden trace: result_steps %d vs length %d" result_steps
+         len);
+  let asserted = W.read_bool r in
+  let fetch_faulted = W.read_bool r in
+  let mem_loads = W.read_int r in
+  let mem_stores = W.read_int r in
+  { GT.index; meta; result_steps; asserted; fetch_faulted; mem_loads; mem_stores }
+
+let golden_traces =
+  {
+    kind = "golden-traces";
+    version = 1;
+    write = (fun buf traces -> W.list_ write_trace buf traces);
+    read = (fun r -> W.read_list read_trace r);
+  }
+
 (* --- datasets --------------------------------------------------------- *)
 
 let write_sample buf (s : Dataset.sample) =

@@ -1,0 +1,75 @@
+(** Persistent golden-trace cache for planned campaigns.
+
+    The campaign planner needs one golden def/use trace per (host
+    state, request) execution ({!Xentry_machine.Golden_trace}).
+    Recording is cheap but not free — it forces the engines'
+    instrumented loop — and traces depend only on the golden stream,
+    never on the faults or the detection config, so repeated campaigns
+    over the same stream can skip recording entirely.  This module
+    persists traces shard-by-shard, exactly like {!Journal} persists
+    records:
+
+    {v
+    DIR/
+      meta.xart             kind "trace-meta": trace fingerprint
+      traces-000000.xart    kind "trace-shard": index + trace batch
+      traces-000001.xart    ...
+    v}
+
+    The fingerprint is derived from
+    {!Xentry_faultinject.Campaign.Config.trace_canonical} — seed,
+    injections, benchmark, mode, fuel, hardened — so campaigns that
+    differ only in detector, framework switches, [faults_per_run] or
+    planner knobs share one cache, while anything that changes the
+    golden executions refuses to open the directory.  Corrupt,
+    truncated or misplaced shard files are dropped and re-recorded.
+
+    A cache hit does more than skip recording: the worker samples its
+    faults and builds its plan {e before} the golden run, so the run
+    executes on the engines' fast path and snapshots are taken only at
+    steps a surviving fault actually resumes from. *)
+
+type t
+
+type open_error =
+  | Fingerprint_mismatch of { dir : string; expected : string; found : string }
+      (** the directory caches a different golden stream *)
+  | Meta_error of { path : string; error : Artifact.error }
+  | Io_error of string
+
+val open_error_message : open_error -> string
+
+val open_ : dir:string -> fingerprint:string -> (t, open_error) result
+(** Create [dir] (and its parents) if needed, writing [meta.xart]; on
+    an existing cache, verify the fingerprint. *)
+
+val dir : t -> string
+val fingerprint : t -> string
+
+val lookup : t -> int -> Xentry_machine.Golden_trace.t list option
+(** The cached traces for a shard index (one per injection iteration,
+    in order), or [None] when absent.  A corrupt, truncated or
+    wrong-index file counts as absent (the shard re-records and the
+    file is overwritten); the drop is counted on the
+    [store.trace_cache.corrupt_dropped] telemetry counter. *)
+
+val commit : t -> int -> Xentry_machine.Golden_trace.t list -> unit
+(** Atomically persist a shard's freshly recorded traces. *)
+
+val shard_file : dir:string -> int -> string
+(** The path a shard index caches to (exposed for tests that simulate
+    corruption). *)
+
+val campaign_fingerprint : Xentry_faultinject.Campaign.config -> string
+(** Deterministic fingerprint of the golden-stream-affecting config
+    fields plus the shard geometry and codec schema version. *)
+
+val trace_cache : t -> Xentry_faultinject.Campaign.trace_cache
+(** The lookup/commit pair [Campaign.execute ~traces] consumes. *)
+
+val for_campaign :
+  dir:string ->
+  Xentry_faultinject.Campaign.config ->
+  (Xentry_faultinject.Campaign.trace_cache, open_error) result
+(** [open_] keyed by {!campaign_fingerprint} — the one-call path the
+    CLI's [inject --trace-cache DIR] uses. *)

@@ -80,6 +80,92 @@ val clone : t -> t
 (** Deep copy: memory contents, CPU architectural state and TSC, and
     scheduler ordering.  The clone evolves independently. *)
 
+(** {2 Golden-trace recording and mid-run snapshots}
+
+    Campaign-planner substrate: {!execute_recorded} runs a prepared
+    request while recording a {!Xentry_machine.Golden_trace.t} (the
+    per-step def/use record pruning consults) and taking COW
+    {!snapshot}s at chosen dynamic steps; {!restore}+{!resume}
+    re-execute only the suffix of a run from a snapshot, bit-identical
+    to a full re-execution from the pre-run state (a fault scheduled
+    at or after the snapshot step still fires exactly as in the full
+    run, because states are captured before the injection point of
+    their step). *)
+
+type snapshot
+(** A COW copy of the whole host mid-execution plus the CPU state at
+    that step.  Cheap to hold (memory pages are shared copy-on-write)
+    and reusable: every {!restore} yields a fresh independent host. *)
+
+val snapshot_step : snapshot -> int
+(** The dynamic step the snapshot was taken at. *)
+
+val execute_plain :
+  t ->
+  ?fuel:int ->
+  ?snapshot_at:int array ->
+  Request.t ->
+  Xentry_machine.Cpu.run_result * snapshot list
+(** {!execute} plus snapshots at the given (sorted ascending) dynamic
+    steps; steps the run never reaches yield no snapshot.  Without
+    [snapshot_at] this is exactly {!execute} on the fast path — no
+    recording overhead. *)
+
+val execute_recorded :
+  t ->
+  ?fuel:int ->
+  ?snapshot_at:int array ->
+  Request.t ->
+  Xentry_machine.Cpu.run_result
+  * Xentry_machine.Golden_trace.t
+  * snapshot list
+(** {!execute_plain} plus golden-trace recording (which forces the
+    engines' instrumented loop — use it once per (host state, request)
+    and persist the trace). *)
+
+val execute_paused :
+  t ->
+  ?fuel:int ->
+  pause_at:int array ->
+  on_pause:(Xentry_machine.Cpu.run_state -> unit) ->
+  Request.t ->
+  Xentry_machine.Cpu.run_result
+(** {!execute} with a callback at the given (sorted ascending) dynamic
+    steps, each invoked before the step's instruction with the CPU
+    {!Xentry_machine.Cpu.run_state} at that point.  [clone] of the
+    host inside the callback plus {!resume_at} with the callback's
+    state is state-identical to capturing a snapshot at the pause and
+    {!restore}+{!resume}-ing it, minus the intermediate capture
+    clone. *)
+
+val restore : snapshot -> t
+(** An independent host positioned at the snapshot point (COW clone;
+    the live host and other restores are unaffected). *)
+
+val resume_at :
+  t ->
+  ?inject:Xentry_machine.Cpu.injection ->
+  ?fuel:int ->
+  Xentry_machine.Cpu.run_state ->
+  Request.t ->
+  Xentry_machine.Cpu.run_result
+(** {!resume} with the mid-run CPU state passed explicitly instead of
+    via a {!snapshot} — the pair for {!execute_paused}'s callback
+    states. *)
+
+val resume :
+  t ->
+  snapshot ->
+  ?inject:Xentry_machine.Cpu.injection ->
+  ?fuel:int ->
+  Request.t ->
+  Xentry_machine.Cpu.run_result
+(** [resume h snap req] continues the run on [h] (a {!restore} of
+    [snap], possibly with assertions re-toggled) from the snapshot's
+    step.  [fuel] keeps its absolute meaning, counting the skipped
+    prefix.  [inject] with a step at or after the snapshot step fires
+    exactly as in a full run. *)
+
 val guest_output_regions : t -> (string * int64 * int) list
 (** Every region whose post-execution contents are guest-visible or
     system-critical, labelled for consequence classification: per

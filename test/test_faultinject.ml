@@ -428,7 +428,127 @@ let test_detector_improves_campaign_coverage () =
   Alcotest.(check bool) "detector never lowers coverage" true
     (with_det.Report.coverage >= without.Report.coverage -. 1e-9)
 
+(* --- Planner: pruning, fast-forwarding, verdict identity ------------------------------ *)
+
+let planner_config ~prune ~jobs ~seed ~injections ~faults_per_run () =
+  Campaign.Config.make ~jobs ~benchmark:Xentry_workload.Profile.Postmark
+    ~injections ~seed ~fuel:2000 ~faults_per_run ~prune ~snapshot_interval:32 ()
+
+let with_trace_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xentry-test-traces-%d-%d" (Unix.getpid ())
+         (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command ("rm -rf " ^ Filename.quote dir)))
+    (fun () -> f dir)
+
+(* The non-negotiable planner invariant: pruned + fast-forwarded
+   campaigns produce records structurally identical to exhaustive
+   ones, for any worker count, on every planner path — no cache
+   (periodic snapshots), cold cache (recording) and warm cache
+   (survivors forked off the paused golden run). *)
+let test_planned_verdicts_identical_any_jobs () =
+  List.iter
+    (fun jobs ->
+      let cfg prune =
+        planner_config ~prune ~jobs ~seed:29 ~injections:6 ~faults_per_run:16
+          ()
+      in
+      let exhaustive = Campaign.execute (cfg false) in
+      let planned = Campaign.execute (cfg true) in
+      Alcotest.(check bool)
+        (Printf.sprintf "planned identical (jobs=%d)" jobs)
+        true (planned = exhaustive);
+      with_trace_dir (fun dir ->
+          let traces () =
+            match Xentry_store.Trace_cache.for_campaign ~dir (cfg true) with
+            | Ok tc -> tc
+            | Error e ->
+                failwith (Xentry_store.Trace_cache.open_error_message e)
+          in
+          let cold, cold_stats =
+            Campaign.execute_with_stats ~traces:(traces ()) (cfg true)
+          in
+          let warm, warm_stats =
+            Campaign.execute_with_stats ~traces:(traces ()) (cfg true)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "cold-cache identical (jobs=%d)" jobs)
+            true (cold = exhaustive);
+          Alcotest.(check bool)
+            (Printf.sprintf "warm-cache identical (jobs=%d)" jobs)
+            true (warm = exhaustive);
+          Alcotest.(check bool)
+            "second run served from the cache" true
+            (warm_stats.Campaign.trace_hits > 0
+            && cold_stats.Campaign.trace_misses > 0);
+          Alcotest.(check bool)
+            "pruning actually happened" true
+            (warm_stats.Campaign.pruned > 0)))
+    [ 1; 4 ]
+
+(* Satellite regression: a fault whose sampled step lies at or beyond
+   the number of executed steps short-circuits to Not_activated from
+   the trace alone — and the zero-simulation answer matches what a
+   real injected execution observes (nothing). *)
+let test_fault_step_beyond_run_prunes () =
+  let host = Hypervisor.create ~seed:77 () in
+  let req =
+    Request.make
+      ~reason:(Exit_reason.Hypercall Hypercall.Event_channel_op)
+      ~args:[ 12L; 0L ] ~guest:[]
+  in
+  Hypervisor.prepare host req;
+  let base = Hypervisor.clone host in
+  let golden_result, trace, _snaps =
+    Hypervisor.execute_recorded host ~fuel:2000 req
+  in
+  let step = trace.Golden_trace.result_steps + 5 in
+  Alcotest.(check bool) "trace short-circuits to Never_touched" true
+    (Golden_trace.fate trace ~target:(Xentry_isa.Reg.Gpr Xentry_isa.Reg.RAX) ~step
+    = Cpu.Never_touched);
+  let fault = { Fault.target = Xentry_isa.Reg.Gpr Xentry_isa.Reg.RAX; bit = 3; step } in
+  let plan = Planner.plan trace [| fault |] in
+  (match plan.Planner.dispositions.(0) with
+  | Planner.Pruned Cpu.Never_touched -> ()
+  | _ ->
+      Alcotest.fail "planner must prune a fault scheduled past the run's end");
+  Alcotest.(check bool) "no representative runs" true (plan.Planner.reps = []);
+  let det = Hypervisor.clone base in
+  let det_result =
+    Hypervisor.execute det ~inject:(Fault.to_injection fault) ~fuel:2000 req
+  in
+  Alcotest.(check bool) "stop identical to golden" true
+    (det_result.Cpu.stop = golden_result.Cpu.stop);
+  Alcotest.(check int) "steps identical to golden" golden_result.Cpu.steps
+    det_result.Cpu.steps;
+  Alcotest.(check bool) "never activated" true
+    (match det_result.Cpu.activation with
+    | Some r -> r.Cpu.fate = Cpu.Never_touched
+    | None -> false);
+  Alcotest.(check int) "no state divergence" 0
+    (List.length (Classify.diffs ~golden:host ~faulted:det))
+
 (* --- qcheck --------------------------------------------------------------------------- *)
+
+let prop_planned_equals_exhaustive =
+  QCheck.Test.make
+    ~name:"random pruned campaigns are verdict-identical to exhaustive (jobs \
+           1 and 4)"
+    ~count:8
+    QCheck.(triple (int_range 0 1_000_000) (int_range 1 4) (int_range 1 12))
+    (fun (seed, injections, faults_per_run) ->
+      List.for_all
+        (fun jobs ->
+          let cfg prune =
+            planner_config ~prune ~jobs ~seed ~injections ~faults_per_run ()
+          in
+          Campaign.execute (cfg true) = Campaign.execute (cfg false))
+        [ 1; 4 ])
 
 let prop_consequence_total =
   QCheck.Test.make ~name:"every record has a coherent consequence" ~count:1
@@ -443,7 +563,10 @@ let prop_consequence_total =
         (small_campaign ()))
 
 let () =
-  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_consequence_total ] in
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_consequence_total; prop_planned_equals_exhaustive ]
+  in
   Alcotest.run "xentry_faultinject"
     [
       ( "fault",
@@ -484,6 +607,10 @@ let () =
             test_campaign_signature_present_on_vm_entry;
           Alcotest.test_case "fault-free baseline" `Quick
             test_campaign_fault_free_baseline;
+          Alcotest.test_case "planned verdict-identical (jobs 1 and 4)" `Slow
+            test_planned_verdicts_identical_any_jobs;
+          Alcotest.test_case "fault step beyond run prunes" `Quick
+            test_fault_step_beyond_run_prunes;
         ] );
       ( "report",
         [

@@ -1182,6 +1182,80 @@ let prop_engines_agree =
       && Memory.region_equal (Cpu.memory a) (Cpu.memory b) ~addr:data_base
            ~len:0x10000)
 
+(* --- qcheck: golden-trace recorder -------------------------------------------- *)
+
+(* The recorder consumes the same [on_step] stream the engines already
+   share, so its per-step (index, metadata) content must match a naive
+   reference rebuilt directly from the instruction values the callback
+   receives — and both engines must seal bit-identical traces for the
+   same execution. *)
+let prop_recorder_matches_naive =
+  QCheck.Test.make
+    ~name:"golden-trace recorder matches the naive per-step def/use reference"
+    ~count:500
+    (QCheck.make ~print:diff_case_print diff_case_gen)
+    (fun (instrs, fall_off, _inject) ->
+      let p = diff_build_program instrs fall_off in
+      let compiled = Cpu.compile p in
+      let naive = ref [] in
+      let rec_a = Golden_trace.recorder ~meta:p.Program.meta in
+      let a = diff_seeded_cpu () in
+      let ra =
+        Cpu.run a ~program:p ~code_base ~fuel:300
+          ~on_step:(fun idx i ->
+            naive := (idx, Instr.metadata i) :: !naive;
+            Golden_trace.on_step rec_a idx i)
+          ()
+      in
+      let ta = Golden_trace.finish rec_a ~result:ra in
+      let rec_b = Golden_trace.recorder ~meta:p.Program.meta in
+      let b = diff_seeded_cpu () in
+      let rb =
+        Cpu.run_compiled b ~compiled ~code_base ~fuel:300
+          ~on_step:(Golden_trace.on_step rec_b) ()
+      in
+      let tb = Golden_trace.finish rec_b ~result:rb in
+      let naive = Array.of_list (List.rev !naive) in
+      Golden_trace.equal ta tb
+      && ta.Golden_trace.index = Array.map fst naive
+      && ta.Golden_trace.meta = Array.map snd naive
+      && Golden_trace.length ta = Array.length naive
+      && ta.Golden_trace.result_steps = ra.Cpu.steps)
+
+(* [Golden_trace.fate] claims to mirror the live def-use watch with
+   zero simulation: record a golden run, predict the fate of a random
+   single-bit fault from the trace alone, then actually inject it and
+   compare against what the watch observed. *)
+let prop_trace_fate_matches_live_watch =
+  QCheck.Test.make
+    ~name:"trace-predicted fault fate matches the live def-use watch"
+    ~count:800
+    (QCheck.make ~print:diff_case_print diff_case_gen)
+    (fun (instrs, fall_off, inject) ->
+      match inject with
+      | None -> true
+      | Some inj ->
+          let p = diff_build_program instrs fall_off in
+          let rc = Golden_trace.recorder ~meta:p.Program.meta in
+          let g = diff_seeded_cpu () in
+          let rg =
+            Cpu.run g ~program:p ~code_base ~fuel:300
+              ~on_step:(Golden_trace.on_step rc) ()
+          in
+          let trace = Golden_trace.finish rc ~result:rg in
+          let predicted =
+            Golden_trace.fate trace ~target:inj.Cpu.inj_target
+              ~step:inj.Cpu.inj_step
+          in
+          let f = diff_seeded_cpu () in
+          let rf = Cpu.run f ~program:p ~code_base ~fuel:300 ~inject:inj () in
+          let live =
+            match rf.Cpu.activation with
+            | Some report -> report.Cpu.fate
+            | None -> Cpu.Never_touched
+          in
+          live = predicted)
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
@@ -1192,6 +1266,8 @@ let () =
         prop_loop_iterations_match_counter;
         prop_injection_preserves_or_detects;
         prop_engines_agree;
+        prop_recorder_matches_naive;
+        prop_trace_fate_matches_live_watch;
       ]
   in
   Alcotest.run "xentry_machine"
