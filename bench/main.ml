@@ -873,11 +873,13 @@ let speedup () =
 (* Resume: shard-journal checkpoint overhead and restart speedup       *)
 (* ------------------------------------------------------------------ *)
 
-let rm_rf dir =
-  if Sys.file_exists dir && Sys.is_directory dir then begin
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-    Sys.rmdir dir
-  end
+let rec rm_rf p =
+  if Sys.file_exists p then
+    if Sys.is_directory p then begin
+      Array.iter (fun q -> rm_rf (Filename.concat p q)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
 
 let resume () =
   print (R.section "Shard journal: checkpoint overhead and resume speedup");
@@ -1129,6 +1131,263 @@ let serve () =
      long as the overload lasts.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Cluster: multi-process scale-out of campaigns and serve              *)
+(* ------------------------------------------------------------------ *)
+
+module CP = Xentry_cluster.Protocol
+module Coordinator = Xentry_cluster.Coordinator
+module Front = Xentry_cluster.Front
+
+type cluster_leg = {
+  clw : int;  (** worker processes *)
+  clj : int;  (** domains per worker *)
+  cls : float;  (** wall seconds *)
+  cli : bool;  (** records identical to single-process baseline *)
+}
+
+type cluster_bench = {
+  ck_injections : int;
+  ck_shards : int;
+  ck_domains : int;  (** total domain budget, equal across legs *)
+  ck_legs : cluster_leg list;  (** first leg is the 1-process baseline *)
+  ck_kill : (float * bool * bool) option;
+      (** kill-leg seconds, identical, resume identical *)
+  ck_serve : (int * Front.summary) option;  (** workers, front summary *)
+}
+
+let cluster_bench_result : cluster_bench option ref = ref None
+
+(* The bench binary doubles as its own cluster worker: the cluster
+   experiment re-executes [Sys.executable_name] with this argv (never
+   fork — worker pools are domains). *)
+let cluster_worker_argv sock jobs =
+  [| Sys.executable_name; "--cluster-worker"; sock; string_of_int jobs |]
+
+let spawn_cluster_worker sock jobs =
+  Unix.create_process Sys.executable_name
+    (cluster_worker_argv sock jobs)
+    Unix.stdin Unix.stdout Unix.stderr
+
+let reap_pid pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+let kill_pid pid = try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+let cluster () =
+  print (R.section "Cluster: multi-process scale-out (socket coordinator)");
+  let domains = max 4 !jobs in
+  let injections = scaled 3_000 in
+  let config =
+    Campaign.Config.make ~benchmark:Profile.Postmark ~injections ~seed:2014 ()
+  in
+  let nshards = List.length (Campaign.shard_plan config) in
+  let scratch name f =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "xentry-bench-cluster-%d-%s" (Unix.getpid ()) name)
+    in
+    rm_rf dir;
+    Sys.mkdir dir 0o755;
+    Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+  in
+  let run_cluster ?checkpoint ?on_progress ~workers ~jobs_per dir =
+    let sock = Filename.concat dir "coord.sock" in
+    let pids = List.init workers (fun _ -> spawn_cluster_worker sock jobs_per) in
+    (* Once the records are merged (or the run failed) workers are
+       stateless; kill before reaping so a straggler that never reached
+       the coordinator can't hold the reap for its connect retries. *)
+    let finish () =
+      List.iter kill_pid pids;
+      List.iter reap_pid pids
+    in
+    match
+      let t0 = Unix.gettimeofday () in
+      let records =
+        Coordinator.run ?checkpoint ?on_progress ~idle_timeout_s:30.
+          ~listen:(CP.Unix_sock sock) config
+      in
+      (Unix.gettimeofday () -. t0, records, pids)
+    with
+    | r ->
+        finish ();
+        r
+    | exception e ->
+        finish ();
+        raise e
+  in
+  let eff s = float_of_int injections /. Float.max 1e-9 s in
+  (* Baseline: one process holding the whole domain budget. *)
+  let t0 = Unix.gettimeofday () in
+  let baseline = Campaign.execute { config with Campaign.jobs = Some domains } in
+  let base_s = Unix.gettimeofday () -. t0 in
+  record_phase "cluster-1-process" base_s injections;
+  let legs = ref [ { clw = 1; clj = domains; cls = base_s; cli = true } ] in
+  List.iter
+    (fun workers ->
+      let jobs_per = max 1 (domains / workers) in
+      scratch (Printf.sprintf "w%d" workers) (fun dir ->
+          let s, records, _ = run_cluster ~workers ~jobs_per dir in
+          record_phase (Printf.sprintf "cluster-%d-process" workers) s injections;
+          legs :=
+            { clw = workers; clj = jobs_per; cls = s; cli = records = baseline }
+            :: !legs))
+    [ 2; 4 ];
+  let legs = List.rev !legs in
+  printf "%d injections, %d shards, postmark PV, %d total domains per leg\n"
+    injections nshards domains;
+  print
+    (R.table
+       ~header:[ "topology"; "seconds"; "eff inj/s"; "identical" ]
+       ~rows:
+         (List.map
+            (fun l ->
+              [
+                Printf.sprintf "%d proc x %d domains" l.clw l.clj;
+                Printf.sprintf "%.3f" l.cls;
+                Printf.sprintf "%.0f" (eff l.cls);
+                string_of_bool l.cli;
+              ])
+            legs));
+  let leg4 = List.find (fun l -> l.clw = 4) legs in
+  printf
+    "4 processes vs 1: %.2fx effective injections/s at equal total domains\n\
+     (process scaling needs cores: this host reports %d; a single OCaml\n\
+     runtime also serialises in the shared major GC, which separate\n\
+     processes do not)\n"
+    (base_s /. Float.max 1e-9 leg4.cls)
+    (Pool.recommended_jobs ());
+  if not (List.for_all (fun l -> l.cli) legs) then begin
+    Printf.eprintf
+      "FATAL: distributed campaign records diverged from single-process run\n%!";
+    exit 1
+  end;
+  (* Kill leg: SIGKILL one worker after the first shard lands; the
+     journal plus lease reissue must still converge to the identical
+     record list, and a warm resume must replay every shard. *)
+  let kill_result =
+    if nshards < 3 then begin
+      printf "kill leg skipped: %d shard(s) at this scale (needs >= 3)\n"
+        nshards;
+      None
+    end
+    else
+      scratch "kill" (fun dir ->
+          let journal = Filename.concat dir "journal" in
+          let checkpoint () =
+            match Xentry_store.Journal.for_campaign ~dir:journal config with
+            | Ok cp -> cp
+            | Error e ->
+                failwith (Xentry_store.Journal.open_error_message e)
+          in
+          let killed = ref false in
+          let victim = ref None in
+          let on_progress (p : Coordinator.progress) =
+            if (not !killed) && p.Coordinator.completed < p.Coordinator.total
+            then begin
+              killed := true;
+              Option.iter kill_pid !victim
+            end
+          in
+          let sock = Filename.concat dir "coord.sock" in
+          let pids = List.init 2 (fun _ -> spawn_cluster_worker sock 2) in
+          victim := Some (List.hd pids);
+          let t0 = Unix.gettimeofday () in
+          let records =
+            match
+              Coordinator.run ~checkpoint:(checkpoint ()) ~on_progress
+                ~idle_timeout_s:30. ~listen:(CP.Unix_sock sock) config
+            with
+            | r ->
+                List.iter kill_pid pids;
+                List.iter reap_pid pids;
+                r
+            | exception e ->
+                List.iter kill_pid pids;
+                List.iter reap_pid pids;
+                raise e
+          in
+          let kill_s = Unix.gettimeofday () -. t0 in
+          let resumed =
+            Campaign.execute ~checkpoint:(checkpoint ())
+              { config with Campaign.jobs = Some 1 }
+          in
+          let identical = records = baseline in
+          let resume_identical = resumed = baseline in
+          record_phase "cluster-kill-resume" kill_s injections;
+          printf
+            "worker killed mid-campaign: %.3fs, records identical %b; \
+             journal resume identical %b\n"
+            kill_s identical resume_identical;
+          if not (identical && resume_identical) then begin
+            Printf.eprintf
+              "FATAL: records diverged after mid-campaign worker kill/resume\n%!";
+            exit 1
+          end;
+          Some (kill_s, identical, resume_identical))
+  in
+  (* Serve leg: front tier over 2 worker processes, one killed at 40%
+     of the run — the ring rebalances and the survivor absorbs the
+     remapped streams. *)
+  let serve_result =
+    scratch "serve" (fun dir ->
+        let workers = 2 in
+        let jobs_per = max 1 (domains / workers) in
+        let duration_s = Float.max 0.5 (Float.min 3.0 (3.0 *. scale)) in
+        let base =
+          Serve.make ~benchmark:Profile.Postmark ~streams:8 ~jobs:jobs_per
+            ~duration_s ~seed:2014 ~rate:1.0 ()
+        in
+        let per_worker = Serve.calibrate base in
+        let rate = 0.5 *. per_worker *. float_of_int (jobs_per * workers) in
+        let cfg = { base with Serve.rate } in
+        let sock = Filename.concat dir "front.sock" in
+        let pids = List.init workers (fun _ -> spawn_cluster_worker sock jobs_per) in
+        let killed = ref false in
+        let on_tick ~elapsed =
+          if (not !killed) && elapsed >= 0.4 *. duration_s then begin
+            killed := true;
+            kill_pid (List.hd pids)
+          end
+        in
+        let summary =
+          match Front.run ~on_tick ~listen:(CP.Unix_sock sock) ~workers cfg with
+          | s ->
+              List.iter kill_pid pids;
+              List.iter reap_pid pids;
+              s
+          | exception e ->
+              List.iter kill_pid pids;
+              List.iter reap_pid pids;
+              raise e
+        in
+        record_phase "cluster-serve-kill" summary.Front.wall_s
+          summary.Front.completed;
+        printf
+          "serve front, %d workers (one killed at 40%%): %.0f req/s, p50 %.0f \
+           us, p99 %.0f us\n\
+           workers lost %d, streams remapped %d, shed (worker lost) %d\n"
+          workers summary.Front.throughput_rps
+          (Front.latency_quantile summary 0.50)
+          (Front.latency_quantile summary 0.99)
+          summary.Front.workers_lost summary.Front.streams_remapped
+          summary.Front.shed_worker_lost;
+        if summary.Front.workers_lost < 1 then begin
+          Printf.eprintf "FATAL: serve kill leg never lost its worker\n%!";
+          exit 1
+        end;
+        Some (workers, summary))
+  in
+  cluster_bench_result :=
+    Some
+      {
+        ck_injections = injections;
+        ck_shards = nshards;
+        ck_domains = domains;
+        ck_legs = legs;
+        ck_kill = kill_result;
+        ck_serve = serve_result;
+      }
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per table/figure               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1317,6 +1576,7 @@ let experiments =
     ("resume", resume);
     ("campaign", campaign);
     ("serve", serve);
+    ("cluster", cluster);
     ("micro", micro);
   ]
 
@@ -1393,6 +1653,51 @@ let write_json path =
         (cb.cb_legacy_s /. Float.max 1e-9 cb.cb_warm_s)
         (cb.cb_exhaustive_s /. Float.max 1e-9 cb.cb_warm_s)
         cb.cb_identical
+  | None -> ());
+  (match !cluster_bench_result with
+  | Some ck ->
+      let eff s = float_of_int ck.ck_injections /. Float.max 1e-9 s in
+      let base_s = (List.hd ck.ck_legs).cls in
+      out
+        "  \"cluster\": {\"injections\": %d, \"shards\": %d, \
+         \"total_domains\": %d,\n"
+        ck.ck_injections ck.ck_shards ck.ck_domains;
+      out "    \"legs\": [\n";
+      entries
+        (fun l ->
+          out
+            "      {\"workers\": %d, \"jobs_per_worker\": %d, \"seconds\": \
+             %.6f, \"effective_injections_per_sec\": %.1f, \"identical\": %b}"
+            l.clw l.clj l.cls (eff l.cls) l.cli)
+        ck.ck_legs;
+      out "    ],\n";
+      (match List.find_opt (fun l -> l.clw = 4) ck.ck_legs with
+      | Some l4 ->
+          out "    \"speedup_workers4_vs_1\": %.3f,\n"
+            (base_s /. Float.max 1e-9 l4.cls)
+      | None -> ());
+      (match ck.ck_kill with
+      | Some (s, identical, resume_identical) ->
+          out
+            "    \"kill\": {\"seconds\": %.6f, \"identical\": %b, \
+             \"resume_identical\": %b},\n"
+            s identical resume_identical
+      | None -> ());
+      (match ck.ck_serve with
+      | Some (workers, s) ->
+          out
+            "    \"serve\": {\"workers\": %d, \"throughput_rps\": %.1f, \
+             \"completed\": %d, \"p50_us\": %.1f, \"p99_us\": %.1f, \
+             \"workers_lost\": %d, \"streams_remapped\": %d, \
+             \"shed_worker_lost\": %d},\n"
+            workers s.Front.throughput_rps s.Front.completed
+            (Front.latency_quantile s 0.50)
+            (Front.latency_quantile s 0.99)
+            s.Front.workers_lost s.Front.streams_remapped
+            s.Front.shed_worker_lost
+      | None -> ());
+      out "    \"identical\": %b},\n"
+        (List.for_all (fun l -> l.cli) ck.ck_legs)
   | None -> ());
   (match List.rev !serve_results with
   | [] -> ()
@@ -1473,6 +1778,16 @@ let parse_args () =
     | name :: rest -> go (name :: acc) rest
   in
   go [] (List.tl (Array.to_list Sys.argv))
+
+(* Cluster-worker re-exec entry: the cluster experiment spawns this
+   binary back as its worker processes (see [cluster_worker_argv]). *)
+let () =
+  match Sys.argv with
+  | [| _; "--cluster-worker"; sock; jobs |] ->
+      Xentry_cluster.Worker.run ~jobs:(int_of_string jobs)
+        ~connect:(CP.Unix_sock sock) ();
+      exit 0
+  | _ -> ()
 
 let () =
   let requested = parse_args () in

@@ -125,6 +125,92 @@ let with_telemetry path f =
           Printf.eprintf "telemetry written to %s\n%!" file)
         f
 
+(* --- cluster scale-out -------------------------------------------------- *)
+
+let workers_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Scale out across $(docv) worker processes coordinated over a \
+           Unix-domain socket (0, the default, runs in-process).  With \
+           workers, $(b,-j) is each worker's domain count.  Campaign \
+           records are bit-identical for every worker count, including \
+           across worker crashes.")
+
+let addr_conv =
+  let parse s =
+    match Xentry_cluster.Protocol.addr_of_string s with
+    | Ok a -> Ok a
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf a =
+    Format.pp_print_string ppf (Xentry_cluster.Protocol.addr_to_string a)
+  in
+  Arg.conv (parse, print)
+
+(* Like [with_telemetry], but after exporting this process's metrics
+   append the telemetry dumps the workers sent back, one JSON line
+   each — one file tells the whole cluster's story. *)
+let with_worker_telemetry path dumps f =
+  match path with
+  | None -> f ()
+  | Some file ->
+      Xentry_util.Telemetry.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          Xentry_util.Telemetry.export_file file;
+          (match List.rev !dumps with
+          | [] -> ()
+          | l -> Xentry_cluster.Front.append_worker_telemetry ~path:file l);
+          Printf.eprintf "telemetry written to %s\n%!" file)
+        f
+
+let with_cluster_socket f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xentry-cluster-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let sock = Filename.concat dir "coord.sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove sock with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f sock)
+
+(* Workers are separate processes of this same binary (never [fork]:
+   an OCaml 5 runtime with live domains must not fork). *)
+let spawn_worker ~connect ~jobs ~engine ~telemetry () =
+  let args =
+    [
+      "xentry"; "worker"; "--connect"; connect; "-j"; string_of_int jobs;
+      "--engine"; Xentry_machine.Cpu.engine_name engine;
+    ]
+    @ if telemetry then [ "--enable-telemetry" ] else []
+  in
+  Unix.create_process Sys.executable_name (Array.of_list args) Unix.stdin
+    Unix.stdout Unix.stderr
+
+(* Workers are stateless once the coordinator/front returned: kill
+   before waiting so a straggler that never reached the (now removed)
+   socket can't hold the exit path through its connect retries. *)
+let reap_workers pids =
+  List.iter
+    (fun pid -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    pids;
+  List.iter
+    (fun pid ->
+      try ignore (Unix.waitpid [] pid : int * Unix.process_status)
+      with Unix.Unix_error _ -> ())
+    pids
+
+let kill_workers pids =
+  List.iter
+    (fun pid -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    pids
+
 (* --- simulate ------------------------------------------------------------- *)
 
 let simulate benchmark mode exits seed engine telemetry =
@@ -190,9 +276,10 @@ let train_quick_detector ~jobs ~seed ~benchmarks ~mode ~train_injections
 (* --- inject ------------------------------------------------------------------ *)
 
 let inject benchmark mode injections seed jobs engine detector_src checkpoint
-    no_prune faults_per_run snapshot_interval trace_cache telemetry =
+    no_prune faults_per_run snapshot_interval trace_cache workers telemetry =
   apply_engine engine;
-  with_telemetry telemetry @@ fun () ->
+  let worker_dumps = ref [] in
+  with_worker_telemetry telemetry worker_dumps @@ fun () ->
   let jobs = resolve_jobs jobs in
   let detector =
     match detector_src with
@@ -250,7 +337,34 @@ let inject benchmark mode injections seed jobs engine detector_src checkpoint
               (Xentry_store.Trace_cache.open_error_message e);
             exit 1)
   in
-  let records = Campaign.execute ?checkpoint ?traces config in
+  let records =
+    if workers <= 0 then Campaign.execute ?checkpoint ?traces config
+    else begin
+      if trace_cache <> None then
+        prerr_endline
+          "xentry: note: --trace-cache stays local to each process; \
+           distributed workers plan without a shared cache";
+      with_cluster_socket @@ fun sock ->
+      let pids =
+        List.init workers (fun _ ->
+            spawn_worker ~connect:sock ~jobs ~engine
+              ~telemetry:(telemetry <> None) ())
+      in
+      match
+        Xentry_cluster.Coordinator.run ?checkpoint
+          ~on_worker_telemetry:(fun j -> worker_dumps := j :: !worker_dumps)
+          ~listen:(Xentry_cluster.Protocol.Unix_sock sock)
+          { config with Campaign.jobs = None }
+      with
+      | records ->
+          reap_workers pids;
+          records
+      | exception e ->
+          kill_workers pids;
+          reap_workers pids;
+          raise e
+    end
+  in
   let summary = Report.summarize records in
   Printf.printf "injections: %d  activated: %d  manifested: %d  coverage: %.1f%%\n"
     summary.Report.total_injections summary.Report.activated
@@ -362,7 +476,8 @@ let inject_cmd =
     Term.(
       const inject $ benchmark_arg $ mode_arg $ injections $ seed_arg
       $ jobs_arg $ engine_arg $ detector_src $ checkpoint $ no_prune
-      $ faults_per_run $ snapshot_interval $ trace_cache $ telemetry_arg)
+      $ faults_per_run $ snapshot_interval $ trace_cache $ workers_arg
+      $ telemetry_arg)
 
 (* --- train -------------------------------------------------------------------- *)
 
@@ -522,23 +637,59 @@ let export_cmd =
 
 (* --- serve ---------------------------------------------------------------------- *)
 
+let front_summary_text workers (s : Xentry_cluster.Front.summary) =
+  let q = Xentry_cluster.Front.latency_quantile s in
+  Printf.printf
+    "cluster serve: %d workers, %.2fs wall\n\
+    \  offered %d  sent %d  completed %d  detected %d\n\
+    \  shed: window_full %d  worker_lost %d  draining %d\n\
+    \  throughput %.0f req/s  latency p50 %.0fus  p99 %.0fus\n\
+    \  workers lost %d  streams remapped %d\n"
+    workers s.Xentry_cluster.Front.wall_s s.Xentry_cluster.Front.offered
+    s.Xentry_cluster.Front.sent s.Xentry_cluster.Front.completed
+    s.Xentry_cluster.Front.detected s.Xentry_cluster.Front.shed_window_full
+    s.Xentry_cluster.Front.shed_worker_lost
+    s.Xentry_cluster.Front.shed_draining
+    s.Xentry_cluster.Front.throughput_rps (q 0.50) (q 0.99)
+    s.Xentry_cluster.Front.workers_lost
+    s.Xentry_cluster.Front.streams_remapped
+
+let front_summary_json workers (s : Xentry_cluster.Front.summary) =
+  let q = Xentry_cluster.Front.latency_quantile s in
+  Printf.sprintf
+    "{\"schema\":\"xentry-cluster-serve-v1\",\"workers\":%d,\"wall_s\":%.3f,\
+     \"offered\":%d,\"sent\":%d,\"completed\":%d,\"detected\":%d,\
+     \"shed_window_full\":%d,\"shed_worker_lost\":%d,\"shed_draining\":%d,\
+     \"throughput_rps\":%.1f,\"latency_us\":{\"p50\":%.1f,\"p90\":%.1f,\
+     \"p99\":%.1f},\"workers_lost\":%d,\"streams_remapped\":%d}"
+    workers s.Xentry_cluster.Front.wall_s s.Xentry_cluster.Front.offered
+    s.Xentry_cluster.Front.sent s.Xentry_cluster.Front.completed
+    s.Xentry_cluster.Front.detected s.Xentry_cluster.Front.shed_window_full
+    s.Xentry_cluster.Front.shed_worker_lost
+    s.Xentry_cluster.Front.shed_draining
+    s.Xentry_cluster.Front.throughput_rps (q 0.50) (q 0.90) (q 0.99)
+    s.Xentry_cluster.Front.workers_lost
+    s.Xentry_cluster.Front.streams_remapped
+
 let serve benchmark mode duration streams rate deadline_us jobs queue_capacity
-    seed engine json telemetry =
+    seed engine workers json telemetry =
   apply_engine engine;
-  with_telemetry telemetry @@ fun () ->
+  let worker_dumps = ref [] in
+  with_worker_telemetry telemetry worker_dumps @@ fun () ->
   let jobs = resolve_jobs jobs in
   let module Serve = Xentry_serve.Server in
   let base =
     Serve.make ~mode ~streams ?deadline_us ~duration_s:duration ~jobs
       ~queue_capacity ~seed ~benchmark ~rate:1.0 ()
   in
+  let total_jobs = jobs * max 1 workers in
   let rate =
     if rate > 0.0 then rate
     else begin
       (* No rate given: size the offered load to ~75% of the measured
          aggregate capacity so the service starts inside its envelope. *)
       let per_worker = Serve.calibrate base in
-      let r = 0.75 *. per_worker *. float_of_int jobs in
+      let r = 0.75 *. per_worker *. float_of_int total_jobs in
       Printf.eprintf
         "calibrated capacity: %.0f req/s/worker; serving at %.0f req/s\n%!"
         per_worker r;
@@ -546,9 +697,34 @@ let serve benchmark mode duration streams rate deadline_us jobs queue_capacity
     end
   in
   let cfg = { base with Serve.rate } in
-  let summary = Serve.run cfg in
-  if json then print_endline (Serve.summary_json cfg summary)
-  else Format.printf "%a@." Serve.pp_summary summary
+  if workers <= 0 then begin
+    let summary = Serve.run cfg in
+    if json then print_endline (Serve.summary_json cfg summary)
+    else Format.printf "%a@." Serve.pp_summary summary
+  end
+  else begin
+    with_cluster_socket @@ fun sock ->
+    let pids =
+      List.init workers (fun _ ->
+          spawn_worker ~connect:sock ~jobs ~engine
+            ~telemetry:(telemetry <> None) ())
+    in
+    match
+      Xentry_cluster.Front.run
+        ~listen:(Xentry_cluster.Protocol.Unix_sock sock)
+        ~workers cfg
+    with
+    | summary ->
+        reap_workers pids;
+        worker_dumps :=
+          List.rev summary.Xentry_cluster.Front.worker_telemetry;
+        if json then print_endline (front_summary_json workers summary)
+        else front_summary_text workers summary
+    | exception e ->
+        kill_workers pids;
+        reap_workers pids;
+        raise e
+  end
 
 let serve_cmd =
   let duration =
@@ -609,7 +785,43 @@ let serve_cmd =
     Term.(
       const serve $ benchmark_arg $ mode_arg $ duration $ streams $ rate
       $ deadline_us $ jobs_arg $ queue_capacity $ seed_arg $ engine_arg
-      $ json $ telemetry_arg)
+      $ workers_arg $ json $ telemetry_arg)
+
+(* --- worker --------------------------------------------------------------------- *)
+
+let worker connect jobs engine enable_telemetry =
+  apply_engine engine;
+  if enable_telemetry then Xentry_util.Telemetry.enable ();
+  Xentry_cluster.Worker.run ~jobs:(resolve_jobs jobs) ~connect ()
+
+let worker_cmd =
+  let connect =
+    Arg.(
+      required
+      & opt (some addr_conv) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Coordinator address: a Unix-domain socket path, or host:port \
+             for TCP.")
+  in
+  let enable_telemetry =
+    Arg.(
+      value & flag
+      & info [ "enable-telemetry" ]
+          ~doc:
+            "Record telemetry and send the final dump back to the \
+             coordinator when the run ends (it lands in the \
+             coordinator's $(b,--telemetry) file, one JSON line per \
+             worker).")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Run a cluster worker process.  Spawned automatically by \
+          $(b,xentry inject --workers) and $(b,xentry serve --workers); \
+          start it by hand (with a TCP address) to spread a campaign \
+          across machines.")
+    Term.(const worker $ connect $ jobs_arg $ engine_arg $ enable_telemetry)
 
 (* --- features ------------------------------------------------------------------- *)
 
@@ -629,6 +841,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            simulate_cmd; inject_cmd; train_cmd; serve_cmd; handlers_cmd;
-            features_cmd; export_cmd;
+            simulate_cmd; inject_cmd; train_cmd; serve_cmd; worker_cmd;
+            handlers_cmd; features_cmd; export_cmd;
           ]))

@@ -1,0 +1,51 @@
+(** The campaign coordinator: shards a campaign over worker processes.
+
+    The coordinator owns the socket, the {!Lease} table and the result
+    array; workers own the domains.  The protocol per worker:
+
+    + worker connects, sends [Hello {jobs}];
+    + coordinator replies [Campaign_spec config] ([jobs] stripped) and
+      an initial [Lease] of up to [jobs] shard indices;
+    + the worker streams back one [Shard_result] per shard as it
+      completes, and the coordinator tops its lease back up — workers
+      with more domains naturally hold more shards in flight;
+    + when every shard is done the coordinator sends [Bye]; workers
+      answer with a final [Telemetry_drain] and close.
+
+    {b Fault tolerance.}  A worker's death (EOF, socket error, corrupt
+    frame) releases its leases back to pending and tops up every
+    surviving worker — the shards are simply recomputed elsewhere.
+    With a [checkpoint], already-journaled shards are served before
+    any lease is issued and each fresh result is committed on arrival,
+    so killing the {e coordinator} and re-running resumes too.
+
+    {b Determinism.}  Shard decomposition is a pure function of the
+    config ({!Xentry_faultinject.Campaign.shard_plan}) and results
+    merge in shard-index order, so the record list is bit-identical to
+    a single-process {!Xentry_faultinject.Campaign.execute} for every
+    topology, schedule, worker death or resume — the [-j] invariant
+    lifted to processes. *)
+
+type progress = {
+  shard : int;  (** shard index that just completed *)
+  worker : int;  (** worker id that computed it *)
+  completed : int;  (** shards done so far (including journal-served) *)
+  total : int;
+}
+
+val run :
+  ?checkpoint:Xentry_faultinject.Campaign.checkpoint ->
+  ?idle_timeout_s:float ->
+  ?on_progress:(progress -> unit) ->
+  ?on_worker_telemetry:(string -> unit) ->
+  listen:Protocol.addr ->
+  Xentry_faultinject.Campaign.Config.t ->
+  Xentry_faultinject.Outcome.record list
+(** Listen, coordinate until every shard is complete, and return the
+    merged records.  [on_progress] fires once per freshly computed
+    shard (not for journal-served ones); [on_worker_telemetry]
+    receives each worker's final telemetry JSON dump.  Raises
+    [Failure] when no worker is connected for [idle_timeout_s]
+    (default 60s) while shards remain — a coordinator with no fleet
+    must not hang forever.  The listening socket is closed (and a
+    Unix-domain socket file removed) on the way out. *)

@@ -1,0 +1,318 @@
+module Server = Xentry_serve.Server
+module Pipeline = Xentry_core.Pipeline
+module Profile = Xentry_workload.Profile
+module Stream = Xentry_workload.Stream
+module Rng = Xentry_util.Rng
+module Tm = Xentry_util.Telemetry
+module P = Protocol
+
+let tm_offered = Tm.counter "cluster.front.offered"
+let tm_sent = Tm.counter "cluster.front.sent"
+let tm_completed = Tm.counter "cluster.front.completed"
+let tm_shed_window = Tm.counter "cluster.front.shed_window_full"
+let tm_shed_lost = Tm.counter "cluster.front.shed_worker_lost"
+let tm_rebalances = Tm.counter "cluster.front.rebalances"
+let tm_rtt = Tm.histogram "cluster.worker.rtt_ns"
+
+type summary = {
+  wall_s : float;
+  offered : int;
+  sent : int;
+  completed : int;
+  detected : int;
+  shed_window_full : int;
+  shed_worker_lost : int;
+  shed_draining : int;
+  throughput_rps : float;
+  latency_us : float array;
+  workers_lost : int;
+  streams_remapped : int;
+  worker_telemetry : string list;
+}
+
+let latency_quantile s q =
+  let a = Array.copy s.latency_us in
+  let n = Array.length a in
+  if n = 0 then 0.
+  else begin
+    Array.sort compare a;
+    a.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  end
+
+type wstate = {
+  wid : int;
+  conn : P.conn;
+  inflight : (int, float) Hashtbl.t;  (** seq -> send time *)
+  mutable alive : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+let rec select_retry reads timeout =
+  try Unix.select reads [] [] timeout
+  with Unix.Unix_error (Unix.EINTR, _, _) -> select_retry reads timeout
+
+let stream_key s = Printf.sprintf "stream:%d" s
+
+let run ?(on_tick = fun ~elapsed:_ -> ()) ~listen ~workers (cfg : Server.config)
+    =
+  if workers < 1 then invalid_arg "Front.run: workers < 1";
+  let { Pipeline.Config.detection; detector; fuel; _ } = cfg.Server.pipeline in
+  let listener = P.listen listen in
+  let cleanup_listener () =
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    match listen with
+    | P.Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+    | P.Tcp _ -> ()
+  in
+  Fun.protect ~finally:cleanup_listener @@ fun () ->
+  (* Setup: collect the full fleet before offering any load, so the
+     measured window never includes a half-built ring. *)
+  let fleet =
+    Array.init workers (fun i ->
+        (match select_retry [ listener ] 30. with
+        | [], _, _ -> failwith "cluster front: timed out waiting for workers"
+        | _ -> ());
+        let conn = P.accept listener in
+        (match P.recv conn with
+        | Some (P.Hello _) -> ()
+        | _ -> failwith "cluster front: worker did not say hello");
+        P.send conn
+          (P.Serve_spec
+             { worker_index = i; seed = cfg.Server.seed; detection; detector; fuel });
+        { wid = i; conn; inflight = Hashtbl.create 256; alive = true })
+  in
+  let ring = Ring.create () in
+  Array.iter (fun w -> Ring.add ring w.wid) fleet;
+  let owners = Array.make cfg.Server.streams (-1) in
+  let remap () =
+    (* Count the streams whose owner changed — the locality cost of a
+       membership change. *)
+    let moved = ref 0 in
+    for s = 0 to cfg.Server.streams - 1 do
+      let owner =
+        match Ring.lookup ring (stream_key s) with Some w -> w | None -> -1
+      in
+      if owners.(s) <> owner then begin
+        if owners.(s) >= 0 then incr moved;
+        owners.(s) <- owner
+      end
+    done;
+    !moved
+  in
+  ignore (remap () : int);
+  let streams =
+    Array.init cfg.Server.streams (fun i ->
+        Stream.create
+          (Profile.get cfg.Server.benchmark)
+          cfg.Server.mode
+          (Rng.create (Rng.derive cfg.Server.seed i)))
+  in
+  let offered = ref 0 in
+  let sent = ref 0 in
+  let completed = ref 0 in
+  let detected = ref 0 in
+  let shed_window_full = ref 0 in
+  let shed_worker_lost = ref 0 in
+  let shed_draining = ref 0 in
+  let workers_lost = ref 0 in
+  let streams_remapped = ref 0 in
+  let worker_telemetry = ref [] in
+  let latencies = ref [] in
+  let n_latencies = ref 0 in
+  let record_latency us =
+    if !n_latencies < cfg.Server.max_samples then begin
+      latencies := us :: !latencies;
+      incr n_latencies
+    end
+  in
+  let window = cfg.Server.queue_capacity in
+  let seq = ref 0 in
+  let kill_worker w =
+    if w.alive then begin
+      w.alive <- false;
+      P.close w.conn;
+      Ring.remove ring w.wid;
+      incr workers_lost;
+      Tm.incr tm_rebalances;
+      streams_remapped := !streams_remapped + remap ();
+      (* Whatever it still owed us is lost. *)
+      Hashtbl.iter
+        (fun _ _ ->
+          incr shed_worker_lost;
+          Tm.incr tm_shed_lost)
+        w.inflight;
+      Hashtbl.clear w.inflight
+    end
+  in
+  let handle_response ~draining w m =
+    match m with
+    | P.Serve_response { seq = s; detected = d; shed } -> (
+        match Hashtbl.find_opt w.inflight s with
+        | None -> ()
+        | Some sent_at ->
+            Hashtbl.remove w.inflight s;
+            if shed then begin
+              if draining then incr shed_draining
+              else begin
+                incr shed_worker_lost;
+                Tm.incr tm_shed_lost
+              end
+            end
+            else begin
+              incr completed;
+              if d then incr detected;
+              Tm.incr tm_completed;
+              let dt = now () -. sent_at in
+              Tm.observe_span tm_rtt dt;
+              record_latency (dt *. 1e6)
+            end)
+    | P.Telemetry_drain json -> worker_telemetry := json :: !worker_telemetry
+    | _ -> ()
+  in
+  let poll ~draining timeout =
+    let live = Array.to_list fleet |> List.filter (fun w -> w.alive) in
+    if live = [] then Unix.sleepf (min timeout 0.01)
+    else begin
+      let fds = List.map (fun w -> P.fd w.conn) live in
+      let readable, _, _ = select_retry fds timeout in
+      List.iter
+        (fun w ->
+          if List.mem (P.fd w.conn) readable then
+            match P.pump w.conn with
+            | msgs, eof ->
+                List.iter (handle_response ~draining w) msgs;
+                if eof then kill_worker w
+            | exception (Unix.Unix_error _ | P.Protocol_error _) ->
+                kill_worker w)
+        live
+    end
+  in
+  let t0 = now () in
+  let last_tick = ref t0 in
+  let carry = ref 0. in
+  let rate_at elapsed =
+    match cfg.Server.burst with
+    | Some b
+      when elapsed >= b.Server.burst_start && elapsed < b.Server.burst_end ->
+        cfg.Server.rate *. b.Server.burst_factor
+    | _ -> cfg.Server.rate
+  in
+  let rr = ref 0 in
+  while now () -. t0 < cfg.Server.duration_s do
+    poll ~draining:false cfg.Server.tick_s;
+    let t = now () in
+    if t -. !last_tick >= cfg.Server.tick_s then begin
+      let dt = t -. !last_tick in
+      last_tick := t;
+      let elapsed = t -. t0 in
+      carry := !carry +. (rate_at elapsed *. dt);
+      let arrivals = int_of_float !carry in
+      carry := !carry -. float_of_int arrivals;
+      for _ = 1 to arrivals do
+        let s = !rr mod cfg.Server.streams in
+        incr rr;
+        incr offered;
+        Tm.incr tm_offered;
+        match owners.(s) with
+        | -1 ->
+            incr shed_worker_lost;
+            Tm.incr tm_shed_lost
+        | wid ->
+            let w = fleet.(wid) in
+            if (not w.alive) || Hashtbl.length w.inflight >= window then begin
+              incr shed_window_full;
+              Tm.incr tm_shed_window
+            end
+            else begin
+              let req = Stream.next_request streams.(s) in
+              let this_seq = !seq in
+              incr seq;
+              match P.send w.conn (P.Serve_request { seq = this_seq; req }) with
+              | () ->
+                  Hashtbl.replace w.inflight this_seq (now ());
+                  incr sent;
+                  Tm.incr tm_sent
+              | exception (Unix.Unix_error _ | P.Protocol_error _) ->
+                  kill_worker w;
+                  incr shed_worker_lost;
+                  Tm.incr tm_shed_lost
+            end
+      done;
+      on_tick ~elapsed
+    end
+  done;
+  (* Drain: ask every survivor to flush, then collect stragglers,
+     telemetry and goodbyes under a grace bound. *)
+  Array.iter
+    (fun w ->
+      if w.alive then
+        try P.send w.conn P.Drain
+        with Unix.Unix_error _ | P.Protocol_error _ -> kill_worker w)
+    fleet;
+  let grace_deadline = now () +. 15. in
+  let rec drain_loop () =
+    let waiting = Array.exists (fun w -> w.alive) fleet in
+    if waiting && now () < grace_deadline then begin
+      let live = Array.to_list fleet |> List.filter (fun w -> w.alive) in
+      let fds = List.map (fun w -> P.fd w.conn) live in
+      let readable, _, _ = select_retry fds (min 0.25 (grace_deadline -. now ()))
+      in
+      List.iter
+        (fun w ->
+          if List.mem (P.fd w.conn) readable then
+            match P.pump w.conn with
+            | msgs, eof ->
+                List.iter
+                  (fun m ->
+                    match m with
+                    | P.Bye -> kill_worker_quietly w
+                    | m -> handle_response ~draining:true w m)
+                  msgs;
+                if eof then kill_worker_quietly w
+            | exception (Unix.Unix_error _ | P.Protocol_error _) ->
+                kill_worker_quietly w)
+        live;
+      drain_loop ()
+    end
+  and kill_worker_quietly w =
+    (* An orderly goodbye: nothing in flight is lost, the worker
+       already flushed; don't bill it as a death. *)
+    if w.alive then begin
+      w.alive <- false;
+      P.close w.conn;
+      Hashtbl.iter (fun _ _ -> incr shed_draining) w.inflight;
+      Hashtbl.clear w.inflight
+    end
+  in
+  drain_loop ();
+  Array.iter (fun w -> if w.alive then kill_worker w) fleet;
+  let wall_s = now () -. t0 in
+  {
+    wall_s;
+    offered = !offered;
+    sent = !sent;
+    completed = !completed;
+    detected = !detected;
+    shed_window_full = !shed_window_full;
+    shed_worker_lost = !shed_worker_lost;
+    shed_draining = !shed_draining;
+    throughput_rps =
+      (if wall_s > 0. then float_of_int !completed /. wall_s else 0.);
+    latency_us = Array.of_list (List.rev !latencies);
+    workers_lost = !workers_lost;
+    streams_remapped = !streams_remapped;
+    worker_telemetry = List.rev !worker_telemetry;
+  }
+
+let append_worker_telemetry ~path dumps =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iteri
+        (fun i json ->
+          Printf.fprintf oc
+            "{\"type\":\"cluster-worker\",\"worker\":%d,\"telemetry\":%s}\n" i
+            json)
+        dumps)

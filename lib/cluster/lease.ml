@@ -1,0 +1,67 @@
+module Tm = Xentry_util.Telemetry
+
+let tm_lease_wait = Tm.histogram "cluster.lease.wait_ns"
+let tm_reissued = Tm.counter "cluster.lease.reissued"
+let tm_duplicates = Tm.counter "cluster.lease.duplicates"
+
+type state =
+  | Pending
+  | Leased of { worker : int; since : float }
+  | Done
+
+type t = { states : state array; mutable not_done : int }
+
+let create n = { states = Array.make n Pending; not_done = n }
+let total t = Array.length t.states
+
+let claim t ~worker ~max =
+  let since = Unix.gettimeofday () in
+  let granted = ref [] in
+  let count = ref 0 in
+  let n = Array.length t.states in
+  let i = ref 0 in
+  while !count < max && !i < n do
+    (match t.states.(!i) with
+    | Pending ->
+        t.states.(!i) <- Leased { worker; since };
+        granted := !i :: !granted;
+        incr count
+    | Leased _ | Done -> ());
+    incr i
+  done;
+  List.rev !granted
+
+let complete t shard =
+  match t.states.(shard) with
+  | Done ->
+      Tm.incr tm_duplicates;
+      `Duplicate
+  | Pending | Leased _ ->
+      (match t.states.(shard) with
+      | Leased { since; _ } ->
+          Tm.observe_span tm_lease_wait (Unix.gettimeofday () -. since)
+      | _ -> ());
+      t.states.(shard) <- Done;
+      t.not_done <- t.not_done - 1;
+      `Committed
+
+let release t ~worker =
+  let released = ref [] in
+  Array.iteri
+    (fun i state ->
+      match state with
+      | Leased { worker = w; _ } when w = worker ->
+          t.states.(i) <- Pending;
+          released := i :: !released;
+          Tm.incr tm_reissued
+      | Pending | Leased _ | Done -> ())
+    t.states;
+  List.rev !released
+
+let pending t =
+  Array.fold_left
+    (fun acc s -> match s with Pending -> acc + 1 | _ -> acc)
+    0 t.states
+
+let outstanding t = t.not_done
+let finished t = t.not_done = 0

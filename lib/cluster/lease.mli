@@ -1,0 +1,51 @@
+(** The coordinator's shard-lease table.
+
+    Pure bookkeeping over shard indices [0 .. n-1], each in one of
+    three states:
+
+    {v Pending --claim--> Leased w --complete--> Done
+         ^                   |
+         '----- release w ---'                       v}
+
+    {!claim} always hands out the {e lowest} pending indices, so lease
+    order is deterministic given the message arrival order; since
+    records merge by shard index the outcome does not depend on it at
+    all.  A worker's death ({!release}) returns its in-flight shards
+    to pending, to be reissued to whoever asks next; a {e late} result
+    for an already-completed shard (a worker that was presumed dead
+    but had already sent its frame) is reported as [`Duplicate] and
+    ignored — by the shard-determinism invariant the records are
+    identical, so dropping the copy is safe.
+
+    Single-threaded by design: only the coordinator's event loop ever
+    touches the table. *)
+
+type t
+
+val create : int -> t
+(** [create n] — [n] shards, all pending. *)
+
+val total : t -> int
+
+val claim : t -> worker:int -> max:int -> int list
+(** Lease up to [max] lowest-numbered pending shards to [worker]
+    (possibly none).  Records the claim time for the lease-wait
+    histogram. *)
+
+val complete : t -> int -> [ `Committed | `Duplicate ]
+(** Mark a shard done (whoever held it).  [`Duplicate] if it already
+    was — the caller drops the redundant records.  Observes
+    [cluster.lease.wait_ns] (claim-to-complete latency) on the first
+    completion. *)
+
+val release : t -> worker:int -> int list
+(** Return every shard leased to [worker] to pending (the worker
+    died); the returned indices need reissuing. *)
+
+val pending : t -> int
+(** Shards in the pending state (claimable now). *)
+
+val outstanding : t -> int
+(** Shards not yet done (pending + leased). *)
+
+val finished : t -> bool

@@ -1,0 +1,154 @@
+(** The cluster wire protocol: length-prefixed, CRC-framed messages
+    over Unix-domain or TCP sockets.
+
+    Every byte the coordinator, the serve front tier and the workers
+    exchange travels in one frame format:
+
+    {v
+    offset  size  field
+    0       4     magic "XCF1" (protocol version baked into the tag)
+    4       4     payload length N, little-endian u32
+    8       N     payload ({!Wire}-encoded message, tag byte first)
+    8+N     4     CRC-32 of bytes [0, 8+N)  (header AND payload)
+    v}
+
+    The CRC covers the header, so a flipped length byte cannot silently
+    re-frame the stream: either the CRC is looked up at the wrong
+    offset (mismatch) or the frame is reported oversized.  Payloads are
+    encoded with the artifact store's {!Wire} primitives and message
+    bodies reuse {!Xentry_store.Codec} building blocks (outcome
+    records, detectors), so values that already round-trip through the
+    store round-trip over the wire for free.
+
+    Decoding is {e incremental} and {e total}: {!feed} arbitrary chunks
+    (sockets deliver frames split at any byte boundary), {!next}
+    returns a complete message, "need more bytes", or a typed
+    {!error} — corrupt input can never hang a peer or produce garbage
+    records.  After an error the decoder is poisoned (the stream has no
+    recoverable framing); peers drop the connection. *)
+
+(** {2 Addresses} *)
+
+type addr =
+  | Unix_sock of string  (** Unix-domain socket path *)
+  | Tcp of string * int  (** host, port *)
+
+val addr_of_string : string -> (addr, string) result
+(** ["host:port"] (port numeric) parses as {!Tcp}; anything else is a
+    {!Unix_sock} path. *)
+
+val addr_to_string : addr -> string
+
+(** {2 Messages} *)
+
+type msg =
+  | Hello of { jobs : int }
+      (** worker → coordinator/front greeting; [jobs] = worker's domain
+          count (sizes its lease batches / in-flight window) *)
+  | Campaign_spec of Xentry_faultinject.Campaign.Config.t
+      (** coordinator → worker: the campaign to shard ([jobs] travels
+          as [None]; each worker substitutes its own) *)
+  | Lease of int list
+      (** coordinator → worker: shard indices to execute *)
+  | Shard_result of {
+      shard : int;
+      records : Xentry_faultinject.Outcome.record list;
+    }  (** worker → coordinator: one completed shard *)
+  | Serve_spec of {
+      worker_index : int;  (** distinct host seeds per worker *)
+      seed : int;
+      detection : Xentry_core.Pipeline.detection;
+      detector : Xentry_core.Transition_detector.t option;
+      fuel : int;
+    }  (** front → worker: arm the serving executors *)
+  | Serve_request of { seq : int; req : Xentry_vmm.Request.t }
+  | Serve_response of { seq : int; detected : bool; shed : bool }
+      (** [shed]: the worker was draining and did not execute it *)
+  | Drain  (** front → worker: stop executing, flush and say goodbye *)
+  | Telemetry_drain of string
+      (** worker → front/coordinator: the worker's
+          {!Xentry_util.Telemetry.to_json} dump *)
+  | Bye  (** either direction: orderly close *)
+
+(** {2 Framing} *)
+
+val max_frame : int
+(** Upper bound on payload size (64 MiB); larger frames are a typed
+    {!Oversized} error, not an allocation. *)
+
+type error =
+  | Bad_magic
+  | Oversized of int
+  | Crc_mismatch of { stored : int32; computed : int32 }
+  | Truncated  (** end-of-stream inside a frame *)
+  | Malformed of string  (** CRC-clean frame whose payload failed to decode *)
+
+val error_message : error -> string
+
+exception Protocol_error of error
+(** Raised by the blocking conveniences ({!send}, {!recv}, {!pump});
+    the pure decoder returns [error] instead. *)
+
+val encode : msg -> string
+(** One complete frame. *)
+
+(** {2 Incremental decoder} *)
+
+type decoder
+
+val decoder : unit -> decoder
+
+val feed : decoder -> string -> unit
+(** Append raw bytes (any chunking).  No-op on a poisoned decoder. *)
+
+val next : decoder -> (msg option, error) result
+(** [Ok (Some m)] — one complete, CRC-verified message consumed;
+    [Ok None] — need more bytes; [Error e] — the stream is corrupt and
+    the decoder poisoned (every later call returns the same error). *)
+
+val finish : decoder -> (unit, error) result
+(** Call at end-of-stream: [Ok ()] iff no partial frame is buffered,
+    [Error Truncated] (or the poisoning error) otherwise — a peer that
+    dies mid-frame yields a typed error, never a hang. *)
+
+(** {2 Connections} *)
+
+type conn
+
+val fd : conn -> Unix.file_descr
+val conn_of_fd : Unix.file_descr -> conn
+(** Wrap an already-connected descriptor (fresh decoder). *)
+
+val listen : ?backlog:int -> addr -> Unix.file_descr
+(** Bind and listen.  A pre-existing Unix-socket file is unlinked; TCP
+    sockets get [SO_REUSEADDR]. *)
+
+val accept : Unix.file_descr -> conn
+
+val connect : ?attempts:int -> ?delay_s:float -> addr -> conn
+(** Retries [ECONNREFUSED]/[ENOENT] up to [attempts] times (default
+    100) sleeping [delay_s] (default 0.1s) between tries — workers may
+    start before the coordinator's socket exists. *)
+
+val close : conn -> unit
+(** Idempotent. *)
+
+val send : conn -> msg -> unit
+(** Blocking framed write through {!Xentry_util.Io.really_write}. *)
+
+val recv : conn -> msg option
+(** Blocking read of the next message; [None] on clean end-of-stream
+    (between frames).  Raises {!Protocol_error} on corruption or
+    mid-frame EOF, [Unix.Unix_error] on socket failure. *)
+
+val pump : conn -> msg list * bool
+(** One non-looping read (for select-driven callers): performs a single
+    [read], decodes every now-complete message, and returns them with
+    [true] iff end-of-stream was reached (clean only — corrupt tails
+    raise {!Protocol_error}). *)
+
+val try_pump : conn -> msg list * bool
+(** Like {!pump} but never blocks: decodes whatever is already
+    buffered, then reads only while [select] reports the descriptor
+    readable.  Returns immediately with [([], false)] when nothing is
+    available. *)

@@ -678,6 +678,16 @@ let shard_configs config =
           seed = Xentry_util.Rng.derive config.seed s;
         })
 
+(* The shard decomposition, exposed as the unit of distribution: a
+   cluster coordinator leases shard *indices* and any worker process
+   rebuilds the identical shard config from the campaign config alone,
+   so results merge bit-identically no matter which process ran what. *)
+let shard_plan config = List.mapi (fun i shard -> (i, shard)) (shard_configs config)
+
+let run_shard shard =
+  let records, stats, _traces = run_shard_with shard in
+  (records, stats)
+
 type checkpoint = {
   lookup : int -> Outcome.record list option;
   commit : int -> Outcome.record list -> unit;

@@ -163,6 +163,22 @@ type stats = {
 (** Planner effectiveness totals, summed over shards.  The exhaustive
     path reports [planned = simulated] and zeros elsewhere. *)
 
+val shard_plan : Config.t -> (int * Config.t) list
+(** The campaign's shard decomposition as [(index, shard config)]
+    pairs, lowest index first — a pure function of the config.  This
+    is the unit of distribution: a cluster coordinator leases shard
+    indices, any worker rebuilds the identical shard config from the
+    campaign config it was sent, and merging per-shard records in
+    index order reproduces {!execute}'s output bit-for-bit regardless
+    of which process (or machine) ran which shard. *)
+
+val run_shard : Config.t -> Outcome.record list * stats
+(** Execute one shard config from {!shard_plan} on the calling domain
+    (planner honoured, no trace cache) and return its records and
+    planner statistics.  [run_shard shard] for every planned shard,
+    concatenated in index order, equals {!execute} of the campaign
+    config. *)
+
 type checkpoint = {
   lookup : int -> Outcome.record list option;
       (** previously journaled records for a shard index, if any *)

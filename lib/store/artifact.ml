@@ -104,17 +104,34 @@ let decode codec data =
             | v -> Ok v
             | exception W.Corrupt msg -> Error (Malformed msg))
 
+(* Atomic, durable save: write the whole frame to a sibling tmp file,
+   fsync it, rename over the destination, then fsync the directory so
+   the rename itself is on disk.  Without the file fsync a crash after
+   the rename can leave a correctly-named file whose *contents* never
+   reached the platter — an empty-but-renamed journal shard — which a
+   resume would then mistake for a corrupt shard and recompute, or
+   worse trust if the page cache survived.  The directory fsync is
+   best-effort (see {!Xentry_util.Io.fsync_dir}). *)
 let write_atomic path data =
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
+  let fd =
+    try Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    with Unix.Unix_error (err, _, _) ->
+      raise (Sys_error (tmp ^ ": " ^ Unix.error_message err))
+  in
   (try
-     output_string oc data;
-     close_out oc
+     Xentry_util.Io.write_string fd data;
+     Unix.fsync fd;
+     Unix.close fd
    with e ->
-     close_out_noerr oc;
+     (try Unix.close fd with Unix.Unix_error _ -> ());
      (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path
+     (match e with
+     | Unix.Unix_error (err, _, _) ->
+         raise (Sys_error (tmp ^ ": " ^ Unix.error_message err))
+     | e -> raise e));
+  Sys.rename tmp path;
+  Xentry_util.Io.fsync_dir (Filename.dirname path)
 
 let save codec path v =
   let data = encode codec v in
@@ -123,17 +140,11 @@ let save codec path v =
   Tm.add tm_bytes_written (String.length data)
 
 let read_file path =
-  match open_in_bin path with
+  match Xentry_util.Io.read_file path with
+  | data -> Ok data
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (Io_error (path ^ ": " ^ Unix.error_message err))
   | exception Sys_error msg -> Error (Io_error msg)
-  | ic -> (
-      match
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      with
-      | data -> Ok data
-      | exception Sys_error msg -> Error (Io_error msg)
-      | exception End_of_file -> Error (Io_error "file changed while reading"))
 
 let load codec path =
   let result = Result.bind (read_file path) (decode codec) in
