@@ -1128,7 +1128,125 @@ let serve () =
      hold full detection on most machines; overload offers 2x the bound,\n\
      so the ingress queues fill, typed shedding caps the backlog, and the\n\
      degradation ladder trades detection coverage for service rate for as\n\
-     long as the overload lasts.\n"
+     long as the overload lasts.\n";
+  (* Fault-storm failover: a mid-run window of injected bit flips with
+     micro-reboot recovery.  Conservation under the storm is the
+     exactly-once replay property — any lost or duplicated request
+     breaks one of the two equations and fails the harness. *)
+  let storm_rate = 0.25 *. capacity in
+  let scfg =
+    {
+      base with
+      Serve.rate = storm_rate;
+      recovery = Serve.Microboot;
+      storm =
+        Some
+          {
+            Serve.storm_start = 0.2 *. duration_s;
+            storm_end = 0.7 *. duration_s;
+            storm_prob = 0.02;
+          };
+    }
+  in
+  let s = Serve.run scfg in
+  serve_results := ("storm-microboot", storm_rate, s) :: !serve_results;
+  record_phase "serve-storm-microboot" s.Serve.wall_s s.Serve.completed;
+  printf
+    "\nfault storm (2%% of requests, 20-70%% of the run, micro-reboot \
+     failover):\n\
+    \  injected %d  detected %d  micro-reboots %d\n\
+    \  recovery p50 %.0f us  p99 %.0f us  availability %.4f\n\
+    \  completed %d at %.0f req/s (p99 %.0f us)\n"
+    s.Serve.injected s.Serve.detected s.Serve.recoveries
+    (Serve.recovery_quantile s 0.50)
+    (Serve.recovery_quantile s 0.99)
+    s.Serve.availability s.Serve.completed s.Serve.throughput_rps
+    (Serve.latency_quantile s 0.99);
+  if
+    s.Serve.offered <> s.Serve.admitted + s.Serve.shed_queue_full
+    || s.Serve.admitted
+       <> s.Serve.completed + s.Serve.shed_deadline + s.Serve.shed_draining
+  then begin
+    Printf.eprintf
+      "FATAL: serve accounting broke under the fault storm (lost or \
+       duplicated requests)\n\
+       %!";
+    exit 1
+  end;
+  if s.Serve.recoveries = 0 then
+    printf "  (no fault detected this run: recovery path not exercised)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Recover: ReHype-style micro-reboot vs the restart-everything        *)
+(* baseline, at fault-injection scale                                  *)
+(* ------------------------------------------------------------------ *)
+
+module RecCampaign = Xentry_recover.Campaign
+
+let recover_bench_result : RecCampaign.result option ref = ref None
+
+let recover () =
+  print
+    (R.section
+       "Micro-reboot recovery (extension: ReHype-style, vs restart baseline)");
+  let injections = max 150 (scaled 2_000) in
+  let cfg =
+    {
+      RecCampaign.default_config with
+      RecCampaign.injections;
+      pipeline = Pipeline.Config.make ~fuel:4000 ();
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = RecCampaign.run cfg in
+  record_phase "recover-campaign" (Unix.gettimeofday () -. t0) injections;
+  let rows =
+    List.map
+      (fun (c : RecCampaign.class_stats) ->
+        [
+          RecCampaign.class_name c.RecCampaign.cls;
+          string_of_int c.RecCampaign.faults;
+          string_of_int c.RecCampaign.recovered_exactly;
+          string_of_int c.RecCampaign.mismatches;
+          string_of_int c.RecCampaign.carryover;
+        ])
+      r.RecCampaign.classes
+  in
+  print
+    (R.table
+       ~header:
+         [ "fault class"; "faults"; "recovered exactly"; "mismatches";
+           "carryover" ]
+       ~rows);
+  printf
+    "\nmicro-reboot: work recovered %d/%d, guest state lost %d\n\
+     restart-everything: work lost %d, guest state lost %d (all domains \
+     destroyed per fault)\n\
+     MTTF improvement over restart: %s\n\
+     boot image %d B (one-time) vs per-exit checkpoint %d B; reboot mean \
+     %.0f ns, p99 %.0f ns\n"
+    r.RecCampaign.micro_work_recovered r.RecCampaign.detected
+    r.RecCampaign.micro_state_lost r.RecCampaign.restart_work_lost
+    r.RecCampaign.restart_state_lost
+    (if r.RecCampaign.mttf_improvement = Float.infinity then "inf (lost nothing)"
+     else Printf.sprintf "%.1fx" r.RecCampaign.mttf_improvement)
+    r.RecCampaign.image_bytes r.RecCampaign.checkpoint_bytes
+    r.RecCampaign.reboot_ns_mean r.RecCampaign.reboot_ns_p99;
+  (* Identity is a hard invariant, not a statistic: every detected
+     fault must recover bit-exactly with zero carryover. *)
+  if
+    r.RecCampaign.micro_state_lost > 0
+    || r.RecCampaign.micro_work_recovered <> r.RecCampaign.detected
+  then begin
+    Printf.eprintf
+      "FATAL: micro-reboot identity violated (recovered %d of %d detected, \
+       state lost %d)\n\
+       %!"
+      r.RecCampaign.micro_work_recovered r.RecCampaign.detected
+      r.RecCampaign.micro_state_lost;
+    exit 1
+  end;
+  recover_bench_result := Some r
 
 (* ------------------------------------------------------------------ *)
 (* Cluster: multi-process scale-out of campaigns and serve              *)
@@ -1576,6 +1694,7 @@ let experiments =
     ("resume", resume);
     ("campaign", campaign);
     ("serve", serve);
+    ("recover", recover);
     ("cluster", cluster);
     ("micro", micro);
   ]
@@ -1711,7 +1830,9 @@ let write_json path =
              \"shed_fraction\": %.4f, \"shed_queue_full\": %d, \
              \"shed_deadline\": %d, \"shed_draining\": %d, \"p50_us\": %.1f, \
              \"p99_us\": %.1f, \"deepest_level\": \"%s\", \"final_level\": \
-             \"%s\", \"peak_occupancy\": %.3f}"
+             \"%s\", \"peak_occupancy\": %.3f, \"injected\": %d, \
+             \"recoveries\": %d, \"recovery_p50_us\": %.1f, \
+             \"recovery_p99_us\": %.1f, \"availability\": %.6f}"
             (json_escape name) rate s.Serve.throughput_rps s.Serve.completed
             s.Serve.detected (Serve.shed_fraction s) s.Serve.shed_queue_full
             s.Serve.shed_deadline s.Serve.shed_draining
@@ -1719,9 +1840,46 @@ let write_json path =
             (Serve.latency_quantile s 0.99)
             (json_escape (Xentry_serve.Ladder.level_name s.Serve.deepest_level))
             (json_escape (Xentry_serve.Ladder.level_name s.Serve.final_level))
-            s.Serve.peak_occupancy)
+            s.Serve.peak_occupancy s.Serve.injected s.Serve.recoveries
+            (Serve.recovery_quantile s 0.50)
+            (Serve.recovery_quantile s 0.99)
+            s.Serve.availability)
         results;
       out "  ],\n");
+  (match !recover_bench_result with
+  | Some r ->
+      out
+        "  \"recover\": {\"injections\": %d, \"detected\": %d, \
+         \"undetected_manifested\": %d, \"masked\": %d, \
+         \"micro_work_recovered\": %d, \"micro_work_lost\": %d, \
+         \"micro_state_lost\": %d, \"restart_work_lost\": %d, \
+         \"restart_state_lost\": %d, \"mttf_improvement\": %s, \
+         \"image_bytes\": %d, \"checkpoint_bytes\": %d, \"reboot_ns_mean\": \
+         %.1f, \"reboot_ns_p99\": %.1f,\n"
+        r.RecCampaign.injections r.RecCampaign.detected
+        r.RecCampaign.undetected_manifested r.RecCampaign.masked
+        r.RecCampaign.micro_work_recovered r.RecCampaign.micro_work_lost
+        r.RecCampaign.micro_state_lost r.RecCampaign.restart_work_lost
+        r.RecCampaign.restart_state_lost
+        (if r.RecCampaign.mttf_improvement = Float.infinity then "null"
+         else Printf.sprintf "%.3f" r.RecCampaign.mttf_improvement)
+        r.RecCampaign.image_bytes r.RecCampaign.checkpoint_bytes
+        r.RecCampaign.reboot_ns_mean r.RecCampaign.reboot_ns_p99;
+      out "    \"classes\": [\n";
+      entries
+        (fun (c : RecCampaign.class_stats) ->
+          out
+            "      {\"class\": \"%s\", \"faults\": %d, \"recovered_exactly\": \
+             %d, \"mismatches\": %d, \"carryover\": %d}"
+            (json_escape (RecCampaign.class_name c.RecCampaign.cls))
+            c.RecCampaign.faults c.RecCampaign.recovered_exactly
+            c.RecCampaign.mismatches c.RecCampaign.carryover)
+        r.RecCampaign.classes;
+      out "    ],\n";
+      out "    \"identical\": %b},\n"
+        (r.RecCampaign.micro_state_lost = 0
+        && r.RecCampaign.micro_work_recovered = r.RecCampaign.detected)
+  | None -> ());
   (match !micro_engine_result with
   | Some (ref_sps, fast_sps, identical) ->
       out

@@ -5,6 +5,7 @@
      inject     run a fault-injection campaign and summarize it
      train      run the SIII-B training pipeline and report accuracy
      serve      run the streaming request engine (backpressure + degradation)
+     recover    run the micro-reboot recovery campaign (vs restart baseline)
      handlers   list the synthesized hypervisor handlers
      features   print Table I *)
 
@@ -672,15 +673,21 @@ let front_summary_json workers (s : Xentry_cluster.Front.summary) =
     s.Xentry_cluster.Front.streams_remapped
 
 let serve benchmark mode duration streams rate deadline_us jobs queue_capacity
-    seed engine workers json telemetry =
+    seed engine workers recovery storm_window storm_prob json telemetry =
   apply_engine engine;
   let worker_dumps = ref [] in
   with_worker_telemetry telemetry worker_dumps @@ fun () ->
   let jobs = resolve_jobs jobs in
   let module Serve = Xentry_serve.Server in
+  let storm =
+    match storm_window with
+    | None -> None
+    | Some (storm_start, storm_end) ->
+        Some { Serve.storm_start; storm_end; storm_prob }
+  in
   let base =
     Serve.make ~mode ~streams ?deadline_us ~duration_s:duration ~jobs
-      ~queue_capacity ~seed ~benchmark ~rate:1.0 ()
+      ~queue_capacity ~seed ~benchmark ~recovery ?storm ~rate:1.0 ()
   in
   let total_jobs = jobs * max 1 workers in
   let rate =
@@ -775,17 +782,166 @@ let serve_cmd =
       & info [ "json" ]
           ~doc:"Emit the run summary as a single JSON object on stdout.")
   in
+  let recovery =
+    let policy_conv =
+      let parse = function
+        | "keep" | "keep-serving" -> Ok Xentry_serve.Server.Keep_serving
+        | "microboot" -> Ok Xentry_serve.Server.Microboot
+        | "restart" -> Ok Xentry_serve.Server.Restart
+        | s ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "unknown recovery policy %S (keep, microboot or restart)" s))
+      in
+      let print ppf p =
+        Format.pp_print_string ppf (Xentry_serve.Server.recovery_policy_name p)
+      in
+      Arg.conv (parse, print)
+    in
+    let doc =
+      "Worker failover on a detection verdict: $(b,keep) records the \
+       verdict and keeps serving on the same host, $(b,microboot) \
+       micro-reboots the hypervisor in place (boot-image reset of \
+       hypervisor-private state, guest state preserved) and replays the \
+       in-flight request, $(b,restart) boots a whole new hypervisor \
+       (guest state lost).  Default from $(b,XENTRY_RECOVERY), else keep. \
+       In-process engine only (ignored with $(b,--workers))."
+    in
+    let env = Cmd.Env.info "XENTRY_RECOVERY" ~doc:"See option $(b,--recovery)." in
+    let default =
+      match Sys.getenv_opt "XENTRY_RECOVERY" with
+      | Some "microboot" -> Xentry_serve.Server.Microboot
+      | Some "restart" -> Xentry_serve.Server.Restart
+      | _ -> Xentry_serve.Server.Keep_serving
+    in
+    Arg.(
+      value & opt policy_conv default
+      & info [ "recovery" ] ~docv:"POLICY" ~env ~doc)
+  in
+  let storm_window =
+    Arg.(
+      value
+      & opt (some (pair ~sep:',' float float)) None
+      & info [ "storm" ] ~docv:"START,END"
+          ~doc:
+            "Fault-storm window in seconds since service start: each \
+             request dequeued inside it is hit by a random architectural \
+             bit flip with probability $(b,--storm-prob).  In-process \
+             engine only (ignored with $(b,--workers)).")
+  in
+  let storm_prob =
+    Arg.(
+      value & opt float 0.01
+      & info [ "storm-prob" ] ~docv:"P"
+          ~doc:"Per-request injection probability inside the storm window.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the streaming request engine: bounded ingress queues, typed \
-          load shedding, and a detection degradation ladder that trades \
-          coverage for throughput under overload and climbs back when \
-          queues drain.")
+          load shedding, a detection degradation ladder that trades \
+          coverage for throughput under overload, and micro-reboot \
+          failover for workers whose hypervisor trips a verdict.")
     Term.(
       const serve $ benchmark_arg $ mode_arg $ duration $ streams $ rate
       $ deadline_us $ jobs_arg $ queue_capacity $ seed_arg $ engine_arg
-      $ workers_arg $ json $ telemetry_arg)
+      $ workers_arg $ recovery $ storm_window $ storm_prob $ json
+      $ telemetry_arg)
+
+(* --- recover -------------------------------------------------------------------- *)
+
+let recover benchmark injections follow_ups fuel seed engine json =
+  apply_engine engine;
+  let module C = Xentry_recover.Campaign in
+  let cfg =
+    {
+      C.seed;
+      benchmark;
+      injections;
+      follow_ups;
+      pipeline = Pipeline.Config.make ~fuel ();
+    }
+  in
+  let r = C.run cfg in
+  if json then begin
+    let classes =
+      String.concat ","
+        (List.map
+           (fun (c : C.class_stats) ->
+             Printf.sprintf
+               "{\"class\":\"%s\",\"faults\":%d,\"recovered_exactly\":%d,\
+                \"mismatches\":%d,\"carryover\":%d}"
+               (C.class_name c.C.cls) c.C.faults c.C.recovered_exactly
+               c.C.mismatches c.C.carryover)
+           r.C.classes)
+    in
+    Printf.printf
+      "{\"schema\":\"xentry-recover-v1\",\"benchmark\":\"%s\",\
+       \"injections\":%d,\"detected\":%d,\"undetected_manifested\":%d,\
+       \"masked\":%d,\"micro_work_recovered\":%d,\"micro_work_lost\":%d,\
+       \"micro_state_lost\":%d,\"restart_work_lost\":%d,\
+       \"restart_state_lost\":%d,\"mttf_improvement\":%s,\"image_bytes\":%d,\
+       \"checkpoint_bytes\":%d,\"reboot_ns_mean\":%.1f,\"reboot_ns_p99\":%.1f,\
+       \"classes\":[%s]}\n"
+      (Profile.benchmark_name cfg.C.benchmark)
+      r.C.injections r.C.detected r.C.undetected_manifested r.C.masked
+      r.C.micro_work_recovered r.C.micro_work_lost r.C.micro_state_lost
+      r.C.restart_work_lost r.C.restart_state_lost
+      (if r.C.mttf_improvement = Float.infinity then "null"
+       else Printf.sprintf "%.3f" r.C.mttf_improvement)
+      r.C.image_bytes r.C.checkpoint_bytes r.C.reboot_ns_mean r.C.reboot_ns_p99
+      classes
+  end
+  else begin
+    List.iter
+      (fun (c : C.class_stats) ->
+        Printf.printf
+          "%-24s faults %-6d recovered %-6d mismatches %-4d carryover %d\n"
+          (C.class_name c.C.cls) c.C.faults c.C.recovered_exactly c.C.mismatches
+          c.C.carryover)
+      r.C.classes;
+    Format.printf "%a@." C.pp r
+  end
+
+let recover_cmd =
+  let injections =
+    Arg.(
+      value & opt int 1000
+      & info [ "n"; "injections" ] ~docv:"N"
+          ~doc:"Injected bit flips (one per request).")
+  in
+  let follow_ups =
+    Arg.(
+      value & opt int 2
+      & info [ "follow-ups" ] ~docv:"N"
+          ~doc:
+            "Fault-free requests run after each recovery to expose state \
+             corruption that survives an exact-looking recovery.")
+  in
+  let fuel =
+    Arg.(
+      value & opt int 4000
+      & info [ "fuel" ] ~docv:"STEPS"
+          ~doc:"Dynamic instruction budget per hypervisor execution.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the campaign result as a single JSON object on stdout.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Run the micro-reboot recovery campaign: per detected fault, \
+          reinitialize hypervisor-private state from a boot-time image, \
+          re-attach live guest state, replay the in-flight request, and \
+          check bit-exact identity against a golden host — reported per \
+          fault class against the restart-everything baseline.")
+    Term.(
+      const recover $ benchmark_arg $ injections $ follow_ups $ fuel
+      $ seed_arg $ engine_arg $ json)
 
 (* --- worker --------------------------------------------------------------------- *)
 
@@ -841,6 +997,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            simulate_cmd; inject_cmd; train_cmd; serve_cmd; worker_cmd;
+            simulate_cmd; inject_cmd; train_cmd; serve_cmd; recover_cmd;
+            worker_cmd;
             handlers_cmd; features_cmd; export_cmd;
           ]))

@@ -52,7 +52,7 @@ let rec top_up t w =
       | [] -> ()
       | shards -> (
           w.leased <- w.leased + List.length shards;
-          let now = Unix.gettimeofday () in
+          let now = Xentry_util.Clock.monotonic () in
           List.iter
             (fun s ->
               Hashtbl.replace t.sent_at s now;
@@ -75,6 +75,13 @@ let handle_msg t w = function
        with Unix.Unix_error _ | P.Protocol_error _ ->
          ignore (drop_worker t w : int list);
          top_up_all t)
+  | P.Shard_result { shard; _ } when shard < 0 || shard >= Lease.total t.table
+    ->
+      (* The shard index came off the wire; out of range it would blow
+         up the lease table and results array.  A violation, not a
+         crash: cut the worker loose like any other confused peer. *)
+      ignore (drop_worker t w : int list);
+      top_up_all t
   | P.Shard_result { shard; records } -> (
       w.leased <- max 0 (w.leased - 1);
       match Lease.complete t.table shard with
@@ -85,7 +92,7 @@ let handle_msg t w = function
           Tm.incr tm_shards_completed;
           (match Hashtbl.find_opt t.sent_at shard with
           | Some since ->
-              Tm.observe_span tm_rtt (Unix.gettimeofday () -. since);
+              Tm.observe_span tm_rtt (Xentry_util.Clock.monotonic () -. since);
               Hashtbl.remove t.sent_at shard
           | None -> ());
           (match t.checkpoint with
@@ -118,10 +125,10 @@ let rec select_retry reads timeout =
    just-spawned worker is even up) gets an immediate Bye instead of
    retrying against a removed socket. *)
 let collect_goodbyes t ~listener ~grace_s =
-  let deadline = Unix.gettimeofday () +. grace_s in
+  let deadline = Xentry_util.Clock.monotonic () +. grace_s in
   let rec go () =
     if t.live <> [] then begin
-      let remaining = deadline -. Unix.gettimeofday () in
+      let remaining = deadline -. Xentry_util.Clock.monotonic () in
       if remaining > 0. then begin
         let fds = listener :: List.map (fun w -> P.fd w.conn) t.live in
         let readable, _, _ = select_retry fds remaining in
@@ -196,10 +203,10 @@ let run ?checkpoint ?(idle_timeout_s = 60.) ?(on_progress = fun _ -> ())
   in
   Fun.protect ~finally:cleanup (fun () ->
       let next_id = ref 0 in
-      let last_event = ref (Unix.gettimeofday ()) in
+      let last_event = ref (Xentry_util.Clock.monotonic ()) in
       while not (Lease.finished t.table) do
         (if t.live = [] then
-           let idle = Unix.gettimeofday () -. !last_event in
+           let idle = Xentry_util.Clock.monotonic () -. !last_event in
            if idle > idle_timeout_s then
              failwith
                (Printf.sprintf
@@ -215,16 +222,25 @@ let run ?checkpoint ?(idle_timeout_s = 60.) ?(on_progress = fun _ -> ())
           incr next_id;
           t.ever_connected <- t.ever_connected + 1;
           t.live <- t.live @ [ { id; conn; jobs = 0; leased = 0 } ];
-          last_event := Unix.gettimeofday ()
+          last_event := Xentry_util.Clock.monotonic ()
         end;
         List.iter
           (fun w ->
             if List.mem (P.fd w.conn) readable then begin
-              last_event := Unix.gettimeofday ();
+              last_event := Xentry_util.Clock.monotonic ();
               match P.pump w.conn with
               | msgs, eof ->
-                  List.iter (handle_msg t w) msgs;
-                  if eof then begin
+                  (* Handling a message can itself drop [w] (a failed
+                     reply send, a protocol violation); later messages
+                     from the same pump batch must not be credited to a
+                     worker whose leases were already released. *)
+                  let still_live () =
+                    List.exists (fun w' -> w'.id = w.id) t.live
+                  in
+                  List.iter
+                    (fun m -> if still_live () then handle_msg t w m)
+                    msgs;
+                  if eof && still_live () then begin
                     ignore (drop_worker t w : int list);
                     top_up_all t
                   end

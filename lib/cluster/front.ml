@@ -46,7 +46,8 @@ type wstate = {
   mutable alive : bool;
 }
 
-let now () = Unix.gettimeofday ()
+(* Monotonic: drain deadlines survive NTP steps. *)
+let now () = Xentry_util.Clock.monotonic ()
 
 let rec select_retry reads timeout =
   try Unix.select reads [] [] timeout

@@ -15,7 +15,7 @@ let create n = { states = Array.make n Pending; not_done = n }
 let total t = Array.length t.states
 
 let claim t ~worker ~max =
-  let since = Unix.gettimeofday () in
+  let since = Xentry_util.Clock.monotonic () in
   let granted = ref [] in
   let count = ref 0 in
   let n = Array.length t.states in
@@ -39,7 +39,7 @@ let complete t shard =
   | Pending | Leased _ ->
       (match t.states.(shard) with
       | Leased { since; _ } ->
-          Tm.observe_span tm_lease_wait (Unix.gettimeofday () -. since)
+          Tm.observe_span tm_lease_wait (Xentry_util.Clock.monotonic () -. since)
       | _ -> ());
       t.states.(shard) <- Done;
       t.not_done <- t.not_done - 1;

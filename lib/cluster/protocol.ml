@@ -370,8 +370,13 @@ let conn_of_fd conn_fd =
 let resolve_host host =
   try Unix.inet_addr_of_string host
   with Failure _ -> (
+    (* A bare Not_found escaping from gethostbyname is anonymous by
+       the time a caller sees it; surface resolution failure as the
+       same typed error every connect/listen site already catches. *)
     match Unix.gethostbyname host with
-    | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        raise
+          (Protocol_error (Malformed (Printf.sprintf "unresolvable host %S" host)))
     | { Unix.h_addr_list; _ } -> h_addr_list.(0))
 
 let sockaddr_of_addr = function

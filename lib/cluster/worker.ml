@@ -1,5 +1,6 @@
 module Campaign = Xentry_faultinject.Campaign
 module Pipeline = Xentry_core.Pipeline
+module Microboot = Xentry_recover.Microboot
 module Bounded_queue = Xentry_serve.Bounded_queue
 module Pool = Xentry_util.Pool
 module Rng = Xentry_util.Rng
@@ -9,6 +10,7 @@ module P = Protocol
 let tm_shards_run = Tm.counter "cluster.worker.shards_run"
 let tm_serve_executed = Tm.counter "cluster.worker.serve_executed"
 let tm_serve_shed = Tm.counter "cluster.worker.serve_shed"
+let tm_microboots = Tm.counter "cluster.worker.microboots"
 
 (* Worker domains all write to the one socket; frames must not
    interleave. *)
@@ -88,17 +90,32 @@ let campaign_loop conn ~jobs config =
 
 let executor_loop cfg ~seed ~worker_index ~send ~queue ~draining w =
   let host =
-    Pipeline.create_host
-      ~seed:(Rng.derive seed (0xC1A5 + (worker_index * 131) + w))
-      cfg
+    ref
+      (Pipeline.create_host
+         ~seed:(Rng.derive seed (0xC1A5 + (worker_index * 131) + w))
+         cfg)
   in
+  (* Boot image for in-place micro-reboot on a verdict: a faulted
+     executor recovers its own hypervisor and replays the request
+     instead of serving every later request on a condemned host. *)
+  let image = Microboot.capture_image !host in
   let serve_one (seq, req) =
     if Atomic.get draining then begin
       Tm.incr tm_serve_shed;
       send (P.Serve_response { seq; detected = false; shed = true })
     end
     else begin
-      let outcome = Pipeline.run cfg ~host ~retire:true req in
+      Xentry_vmm.Hypervisor.prepare !host req;
+      let ctx = Microboot.capture !host req in
+      let outcome = Pipeline.run cfg ~host:!host ~prepare:false req in
+      (match outcome.Pipeline.verdict with
+      | Pipeline.Detected _ ->
+          let fresh = Microboot.reboot image ctx in
+          ignore (Pipeline.run cfg ~host:fresh ~prepare:false ~retire:true req
+                  : Pipeline.outcome);
+          host := fresh;
+          Tm.incr tm_microboots
+      | Pipeline.Clean -> Xentry_vmm.Hypervisor.retire !host req);
       let detected =
         match outcome.Pipeline.verdict with
         | Pipeline.Detected _ -> true

@@ -647,14 +647,14 @@ let run_shard_planned ?cached config =
    the shard's planner statistics and (planned, uncached runs only) the
    freshly recorded golden traces for the cache. *)
 let run_shard_with ?cached config =
-  let t0 = if !Tm.enabled_ref then Unix.gettimeofday () else 0.0 in
+  let t0 = if !Tm.enabled_ref then Xentry_util.Clock.monotonic () else 0.0 in
   let records, stats, traces =
     if config.prune then run_shard_planned ?cached config
     else run_shard_exhaustive config
   in
   if !Tm.enabled_ref then
     record_shard_telemetry config records stats
-      ~wall:(Unix.gettimeofday () -. t0);
+      ~wall:(Xentry_util.Clock.monotonic () -. t0);
   (records, stats, traces)
 
 (* Campaigns are cut into fixed-size shards whose seeds derive from

@@ -1,0 +1,85 @@
+(** The recovery campaign: micro-reboot vs. restart-everything, at
+    fault-injection scale.
+
+    Extends the original {!Xentry_faultinject.Recovery_study} (which
+    only counted checkpoint/re-execute identity) into the full
+    comparison the ReHype line of work reports: per-fault-class
+    recovered vs. lost work, state-corruption carryover into the next
+    service interval, and the MTTF improvement over the paper's
+    restart-everything baseline — which recovers the hypervisor by
+    destroying every domain with it, so each detected fault costs all
+    guest state by construction.
+
+    Per injection the campaign prepares a request on the live host,
+    captures the micro-reboot {!Microboot.context}, runs a golden
+    clone fault-free and a detection clone with an injected bit flip,
+    and on detection recovers via {!Microboot.reboot} + replay.
+    Identity is judged over every guest-visible structure
+    ({!Xentry_faultinject.Classify.diffs} minus the hypervisor-stack
+    entry); carryover then drives both hosts through [follow_ups]
+    further fault-free requests and reports any divergence that
+    appears only later.  Undetected-but-manifested faults are reported
+    separately — no recovery triggers without a verdict, which is the
+    coverage story the detection pipeline owns. *)
+
+type config = {
+  seed : int;
+  benchmark : Xentry_workload.Profile.benchmark;
+  injections : int;
+  follow_ups : int;
+      (** fault-free requests run after each recovery to expose
+          corruption that survives an exact-looking recovery *)
+  pipeline : Xentry_core.Pipeline.Config.t;
+      (** detection/engine/fuel knobs; the recovery policy field is
+          ignored — micro-reboot {e is} the recovery under study *)
+}
+
+val default_config : config
+(** Seed 7, Mcf, 1000 injections, 2 follow-ups, default pipeline. *)
+
+type fault_class =
+  | Detected_hw
+  | Detected_assertion
+  | Detected_transition
+  | Undetected_manifested
+  | Masked
+
+val class_name : fault_class -> string
+
+type class_stats = {
+  cls : fault_class;
+  faults : int;
+  recovered_exactly : int;  (** replay completed, bit-exact vs. golden *)
+  mismatches : int;
+  carryover : int;
+      (** recoveries that looked exact but diverged within
+          [follow_ups] subsequent fault-free requests *)
+}
+
+type result = {
+  injections : int;
+  detected : int;
+  undetected_manifested : int;
+  masked : int;
+  classes : class_stats list;  (** one entry per {!fault_class} *)
+  micro_work_recovered : int;
+      (** in-flight requests completed bit-exactly after micro-reboot *)
+  micro_work_lost : int;
+  micro_state_lost : int;
+      (** mismatches + carryover: detected faults where micro-reboot
+          failed to preserve guest state *)
+  restart_work_lost : int;  (** = detected: restart drops the request *)
+  restart_state_lost : int;  (** = detected: restart drops every domain *)
+  mttf_improvement : float;
+      (** restart guest-state losses per micro-reboot loss;
+          [infinity] when micro-reboot lost nothing *)
+  image_bytes : int;  (** boot image size (one-time cost) *)
+  checkpoint_bytes : int;
+      (** the §VI per-exit checkpoint the micro-reboot replaces *)
+  reboot_ns_mean : float;
+  reboot_ns_p99 : float;
+}
+
+val run : config -> result
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,67 @@
+open Xentry_machine
+open Xentry_vmm
+module Telemetry = Xentry_util.Telemetry
+module Clock = Xentry_util.Clock
+
+(* The hypervisor-private scratch set.  Everything else a handler can
+   write (domain blocks, globals, time areas, page tables, IRQ
+   descriptors) either carries guest-visible state across requests or
+   is read by later executions with its accumulated contents, so it
+   must ride in the preserved context, not be reset to boot values.
+   These four are different: handlers only ever read bytes of them
+   that the same execution (or the staging that precedes it) first
+   wrote, so boot-clean contents replay identically. *)
+let reinit_regions =
+  [
+    ("hv/stack", Layout.hv_stack_base, Layout.hv_stack_size);
+    ("hv/bounce", Layout.bounce_buffer, 0x8000);
+    ("hv/request", Layout.request_base, 4096);
+    ("hv/tasklets", Layout.tasklet_pool_base, 4096);
+  ]
+
+type image = { chunks : (int64 * Bytes.t) list }
+
+let capture_image host =
+  let mem = Hypervisor.memory host in
+  {
+    chunks =
+      List.map
+        (fun (_, addr, len) -> (addr, Memory.blit_out mem ~addr ~len))
+        reinit_regions;
+  }
+
+let image_bytes img =
+  List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 img.chunks
+
+type context = { host : Hypervisor.t; req : Request.t }
+
+let tm_captures = lazy (Telemetry.counter "recover.captures")
+let tm_reboots = lazy (Telemetry.counter "recover.microboots")
+let tm_reboot_ns = lazy (Telemetry.histogram "recover.reboot_ns")
+
+let capture host req =
+  if !Telemetry.enabled_ref then Telemetry.incr (Lazy.force tm_captures);
+  { host = Hypervisor.clone host; req }
+
+let request ctx = ctx.req
+
+let write_back mem (addr, data) =
+  Bytes.iteri
+    (fun i byte ->
+      Memory.store8 mem (Int64.add addr (Int64.of_int i)) (Char.code byte))
+    data
+
+let reboot image ctx =
+  let t0 = if !Telemetry.enabled_ref then Clock.monotonic () else 0.0 in
+  (* The context clone is the recovery source of record and may be
+     rebooted more than once (serve replays every queued request from
+     one context); never mutate it. *)
+  let fresh = Hypervisor.clone ctx.host in
+  let mem = Hypervisor.memory fresh in
+  List.iter (write_back mem) image.chunks;
+  Hypervisor.restage fresh ctx.req;
+  if !Telemetry.enabled_ref then begin
+    Telemetry.incr (Lazy.force tm_reboots);
+    Telemetry.observe_span (Lazy.force tm_reboot_ns) (Clock.monotonic () -. t0)
+  end;
+  fresh

@@ -1,0 +1,70 @@
+(** ReHype-style hypervisor micro-reboot.
+
+    The paper's recovery sketch (§VI) checkpoints every writable
+    region at each VM exit and rolls the whole set back on detection.
+    ReHype ("Resilient Virtualized Systems Using ReHype", PAPERS.md)
+    goes the other way: instead of undoing the hypervisor's writes, it
+    boots a fresh hypervisor and re-attaches the live domain state, so
+    nothing guest-visible is ever copied at all.  This module is that
+    analogue on the simulated host, built on three state classes:
+
+    - {b Reinitialized} from a boot-time {!image}: the
+      hypervisor-private scratch regions (hypervisor stack, bounce
+      buffer, request page, tasklet pool).  A fault may have corrupted
+      them mid-handler, and no guest state derives from their residue
+      — handlers only read bytes they first wrote within the same
+      execution.
+    - {b Preserved} from the {!context} captured at the VM-exit
+      boundary: everything guest-visible or guest-derived — domain
+      blocks, vCPU areas, time areas, hypervisor globals, event
+      channels, grant tables, page tables, the guest input buffer —
+      plus the scheduler, RNG cursor and TSC.  The capture is an O(1)
+      copy-on-write clone, not a byte copy: this is what makes
+      per-exit capture ~350 KiB cheaper than the §VI checkpoint.
+    - {b Replayed}: the in-flight request.  {!reboot} re-stages its
+      exit context ({!Xentry_vmm.Hypervisor.restage} — no scheduler
+      tick, no RNG advance) and the caller re-executes it; detection
+      fires before VM entry, so the aborted execution leaked nothing
+      to the guest and the replay is indistinguishable from a
+      fault-free first run.
+
+    The recovery-identity property (test_faultinject, bench
+    [recover]): after micro-reboot and replay, the host compares
+    bit-exactly to a golden host over every guest-visible structure
+    ({!Xentry_faultinject.Classify.diffs} minus the hypervisor-stack
+    entry, which is private scratch deliberately left boot-clean). *)
+
+val reinit_regions : (string * int64 * int) list
+(** The reinitialized partition, as [(name, base, length)] — the
+    regions {!capture_image} snapshots and {!reboot} restores. *)
+
+type image
+(** Byte copy of {!reinit_regions} taken from a freshly created host:
+    the clean hypervisor a micro-reboot boots into. *)
+
+val capture_image : Xentry_vmm.Hypervisor.t -> image
+(** Capture the boot image.  Call once, on a host that has not yet
+    executed any request. *)
+
+val image_bytes : image -> int
+(** Size of the boot image (the micro-reboot's only byte-copy cost;
+    paid once per host lifetime, not per exit). *)
+
+type context
+(** Live state captured at a VM-exit boundary: an O(1) copy-on-write
+    clone of the whole host taken after
+    {!Xentry_vmm.Hypervisor.prepare} and before execution, plus the
+    in-flight request. *)
+
+val capture : Xentry_vmm.Hypervisor.t -> Xentry_vmm.Request.t -> context
+(** Capture the exit context for [req], already prepared on the
+    host. *)
+
+val request : context -> Xentry_vmm.Request.t
+(** The in-flight request to replay. *)
+
+val reboot : image -> context -> Xentry_vmm.Hypervisor.t
+(** Micro-reboot: a new host whose guest-visible state is the
+    context's, whose hypervisor-private scratch is the boot image's,
+    with the in-flight request re-staged and ready to re-execute.  The
+    faulted host is left untouched (callers simply drop it). *)

@@ -2,12 +2,21 @@ open Xentry_vmm
 open Xentry_core
 module Profile = Xentry_workload.Profile
 module Stream = Xentry_workload.Stream
+module Fault = Xentry_faultinject.Fault
+module Mb = Xentry_recover.Microboot
 module Rng = Xentry_util.Rng
 module Tm = Xentry_util.Telemetry
 
 (* --- configuration -------------------------------------------------- *)
 
 type burst = { burst_start : float; burst_end : float; burst_factor : float }
+type storm = { storm_start : float; storm_end : float; storm_prob : float }
+type recovery_policy = Keep_serving | Microboot | Restart
+
+let recovery_policy_name = function
+  | Keep_serving -> "keep_serving"
+  | Microboot -> "microboot"
+  | Restart -> "restart"
 
 type config = {
   pipeline : Pipeline.Config.t;
@@ -16,6 +25,8 @@ type config = {
   streams : int;
   rate : float;
   burst : burst option;
+  storm : storm option;
+  recovery : recovery_policy;
   deadline_us : int option;
   duration_s : float;
   jobs : int;
@@ -27,10 +38,10 @@ type config = {
 }
 
 let make ?(pipeline = Pipeline.Config.default) ?(mode = Profile.PV)
-    ?(streams = 8) ?burst ?deadline_us ?(duration_s = 2.0) ?(jobs = 2)
-    ?(queue_capacity = 64) ?(ladder = Ladder.default_config)
-    ?(tick_s = 0.002) ?(seed = 42) ?(max_samples = 200_000) ~benchmark ~rate
-    () =
+    ?(streams = 8) ?burst ?storm ?(recovery = Keep_serving) ?deadline_us
+    ?(duration_s = 2.0) ?(jobs = 2) ?(queue_capacity = 64)
+    ?(ladder = Ladder.default_config) ?(tick_s = 0.002) ?(seed = 42)
+    ?(max_samples = 200_000) ~benchmark ~rate () =
   let cfg =
     {
       pipeline;
@@ -39,6 +50,8 @@ let make ?(pipeline = Pipeline.Config.default) ?(mode = Profile.PV)
       streams;
       rate;
       burst;
+      storm;
+      recovery;
       deadline_us;
       duration_s;
       jobs;
@@ -53,8 +66,14 @@ let make ?(pipeline = Pipeline.Config.default) ?(mode = Profile.PV)
     not
       (streams >= 1 && jobs >= 1 && rate > 0. && duration_s > 0.
      && tick_s > 0. && queue_capacity >= 1 && max_samples >= 1
+     && (match deadline_us with Some d -> d >= 1 | None -> true)
      &&
-     match deadline_us with Some d -> d >= 1 | None -> true)
+     match storm with
+     | Some s ->
+         s.storm_start >= 0.
+         && s.storm_end > s.storm_start
+         && s.storm_prob > 0. && s.storm_prob <= 1.
+     | None -> true)
   then invalid_arg "Server.make: invalid configuration";
   cfg
 
@@ -81,8 +100,12 @@ let tm_shed_deadline = Tm.counter "serve.shed.deadline_expired"
 let tm_shed_draining = Tm.counter "serve.shed.draining"
 let tm_degraded = Tm.counter "serve.degraded"
 let tm_recovered = Tm.counter "serve.recovered"
+let tm_injected = Tm.counter "serve.faults.injected"
+let tm_microboots = Tm.counter "serve.microboots"
+let tm_restarts = Tm.counter "serve.restarts"
 let tm_latency = lazy (Tm.histogram "serve.latency_us")
 let tm_level = lazy (Tm.histogram "serve.degraded_level")
+let tm_recovery = lazy (Tm.histogram "serve.recovery_us")
 
 (* --- the engine ----------------------------------------------------- *)
 
@@ -91,6 +114,10 @@ type item = { it_req : Request.t; it_enqueued : float }
 type tally = {
   mutable t_completed : int;
   mutable t_detected : int;
+  mutable t_injected : int;
+  mutable t_recoveries : int;
+  mutable t_recovery_s : float; (* total wall time spent recovering *)
+  mutable t_recovery_us : float list; (* per-recovery durations *)
   mutable t_shed_deadline : int;
   mutable t_shed_draining : int;
   mutable t_latencies : float list; (* seconds, newest first, bounded *)
@@ -103,6 +130,11 @@ type summary = {
   admitted : int;
   completed : int;
   detected : int;
+  injected : int;
+  recoveries : int;
+  recovery_us : float array; (* per-recovery reboot+replay durations *)
+  recovery_total_s : float;
+  availability : float;
   shed_queue_full : int;
   shed_deadline : int;
   shed_draining : int;
@@ -124,25 +156,46 @@ let latency_quantile s q =
   if Array.length s.latency_us = 0 then 0.
   else Xentry_util.Stats.quantile s.latency_us q
 
-let now () = Unix.gettimeofday ()
+let recovery_quantile s q =
+  if Array.length s.recovery_us = 0 then 0.
+  else Xentry_util.Stats.quantile s.recovery_us q
+
+(* Monotonic: deadlines and the duration budget must not move when NTP
+   steps the wall clock mid-run. *)
+let now () = Xentry_util.Clock.monotonic ()
 
 (* One worker: owns a hypervisor for the service lifetime and polls
-   the queues of the streams statically assigned to it (stream i is
-   worker [i mod jobs]'s — single consumer per queue, so per-stream
-   order is preserved and queues never contend between workers). *)
-let worker_loop (cfg : config) queues ~draining ~level_cell ~configs_by_level w
-    =
+   the queues of the streams it currently owns.  Stream i starts as
+   worker [i mod jobs]'s; ownership is dynamic only during a recovery
+   window, when the rebooting worker hands its home streams to its
+   neighbour so their queues keep draining while it is down.  The
+   queue itself is mutex-protected, so the brief overlap at the
+   hand-off edges is safe; per-stream order still holds because at any
+   instant at most one worker is actively sweeping a given stream. *)
+let worker_loop (cfg : config) queues ~t0 ~draining ~level_cell
+    ~configs_by_level ~owners w =
   let host =
-    Pipeline.create_host ~seed:(Rng.derive cfg.seed (0x5E12 + w)) cfg.pipeline
+    ref
+      (Pipeline.create_host ~seed:(Rng.derive cfg.seed (0x5E12 + w))
+         cfg.pipeline)
   in
-  let my_queues =
-    Array.of_list
-      (List.filteri (fun i _ -> i mod cfg.jobs = w) (Array.to_list queues))
-  in
+  (* The micro-reboot boot image: hypervisor-private scratch captured
+     from the freshly booted host, before any request dirties it. *)
+  let image = if cfg.recovery = Microboot then Some (Mb.capture_image !host) else None in
+  let fault_rng = Rng.create (Rng.derive cfg.seed (0xFA17 + w)) in
+  let restarts = ref 0 in
+  (* Adaptive injection window: faults land inside the dynamic
+     instruction count of recent requests, like the campaign tiers. *)
+  let last_steps = ref 256 in
+  let neighbour = (w + 1) mod cfg.jobs in
   let tally =
     {
       t_completed = 0;
       t_detected = 0;
+      t_injected = 0;
+      t_recoveries = 0;
+      t_recovery_s = 0.;
+      t_recovery_us = [];
       t_shed_deadline = 0;
       t_shed_draining = 0;
       t_latencies = [];
@@ -152,6 +205,47 @@ let worker_loop (cfg : config) queues ~draining ~level_cell ~configs_by_level w
   let sample_cap = max 1 (cfg.max_samples / cfg.jobs) in
   let deadline_s =
     Option.map (fun d -> float_of_int d *. 1e-6) cfg.deadline_us
+  in
+  let set_home_owner o =
+    Array.iteri
+      (fun i cell -> if i mod cfg.jobs = w then Atomic.set cell o)
+      owners
+  in
+  (* The faulted host is condemned; recover a fresh one and replay the
+     in-flight request on it, exactly once.  The request was admitted,
+     so its completion is counted from the replay outcome alone — the
+     detection run produced no completion. *)
+  let recover_and_replay level_cfg ctx item =
+    if neighbour <> w then set_home_owner neighbour;
+    let t_rec = now () in
+    let fresh, replayed =
+      match (ctx, image) with
+      | Some ctx, Some image ->
+          let fresh = Mb.reboot image ctx in
+          Tm.incr tm_microboots;
+          (* [reboot] already restaged the request on the fresh host. *)
+          (fresh, Pipeline.run level_cfg ~host:fresh ~prepare:false ~retire:true item.it_req)
+      | _ ->
+          (* Restart-everything baseline: a whole new hypervisor (and
+             with it, every guest's accumulated state). *)
+          incr restarts;
+          let fresh =
+            Pipeline.create_host
+              ~seed:(Rng.derive cfg.seed (0x5E12 + w + (0x10000 * !restarts)))
+              cfg.pipeline
+          in
+          Tm.incr tm_restarts;
+          (fresh, Pipeline.run level_cfg ~host:fresh ~retire:true item.it_req)
+    in
+    let dt = now () -. t_rec in
+    host := fresh;
+    tally.t_recoveries <- tally.t_recoveries + 1;
+    tally.t_recovery_s <- tally.t_recovery_s +. dt;
+    tally.t_recovery_us <- (dt *. 1e6) :: tally.t_recovery_us;
+    if !Tm.enabled_ref then
+      Tm.observe (Lazy.force tm_recovery) (int_of_float (dt *. 1e6));
+    if neighbour <> w then set_home_owner w;
+    replayed
   in
   let serve_one item =
     let t_dequeue = now () in
@@ -172,9 +266,48 @@ let worker_loop (cfg : config) queues ~draining ~level_cell ~configs_by_level w
       let level_cfg : Pipeline.Config.t =
         configs_by_level.(Atomic.get level_cell)
       in
-      let outcome = Pipeline.run level_cfg ~host ~retire:true item.it_req in
+      let inject =
+        match cfg.storm with
+        | Some st
+          when t_dequeue -. t0 >= st.storm_start
+               && t_dequeue -. t0 < st.storm_end
+               && Rng.bernoulli fault_rng st.storm_prob ->
+            tally.t_injected <- tally.t_injected + 1;
+            Tm.incr tm_injected;
+            Some (Fault.to_injection (Fault.sample fault_rng ~max_step:!last_steps))
+        | _ -> None
+      in
+      let outcome =
+        match cfg.recovery with
+        | Keep_serving ->
+            Pipeline.run level_cfg ~host:!host ?inject ~retire:true item.it_req
+        | Microboot | Restart -> (
+            (* Stage by hand so the micro-reboot context is captured
+               between staging and execution — exactly the state a
+               replay must resume from. *)
+            Hypervisor.prepare !host item.it_req;
+            let ctx =
+              Option.map (fun _ -> Mb.capture !host item.it_req) image
+            in
+            let first =
+              Pipeline.run level_cfg ~host:!host ~prepare:false ?inject
+                item.it_req
+            in
+            match first.Pipeline.verdict with
+            | Pipeline.Clean ->
+                Hypervisor.retire !host item.it_req;
+                first
+            | Pipeline.Detected _ ->
+                (* Count the verdict here: the detection run is dropped
+                   with its host, so only the replay reaches the
+                   completion accounting below. *)
+                tally.t_detected <- tally.t_detected + 1;
+                Tm.incr tm_detected;
+                recover_and_replay level_cfg ctx item)
+      in
       let latency = now () -. item.it_enqueued in
       tally.t_completed <- tally.t_completed + 1;
+      last_steps := max 1 outcome.Pipeline.result.Xentry_machine.Cpu.steps;
       (match outcome.Pipeline.verdict with
       | Pipeline.Detected _ ->
           tally.t_detected <- tally.t_detected + 1;
@@ -191,14 +324,15 @@ let worker_loop (cfg : config) queues ~draining ~level_cell ~configs_by_level w
   in
   let rec loop () =
     let served = ref false in
-    Array.iter
-      (fun q ->
-        match Bounded_queue.pop_opt q with
-        | Some item ->
-            served := true;
-            serve_one item
-        | None -> ())
-      my_queues;
+    Array.iteri
+      (fun i q ->
+        if Atomic.get owners.(i) = w then
+          match Bounded_queue.pop_opt q with
+          | Some item ->
+              served := true;
+              serve_one item
+          | None -> ())
+      queues;
     if !served then loop ()
     else if Atomic.get draining then
       (* Producer closes queues before we see [draining], and a closed
@@ -232,9 +366,14 @@ let run (cfg : config) =
         { cfg.pipeline with Pipeline.Config.detection = Ladder.detection l })
       Ladder.levels
   in
+  let owners =
+    Array.init cfg.streams (fun i -> Atomic.make (i mod cfg.jobs))
+  in
+  let t0 = now () in
   let workers =
     Xentry_util.Pool.spawn ~jobs:cfg.jobs
-      (worker_loop cfg queues ~draining ~level_cell ~configs_by_level)
+      (worker_loop cfg queues ~t0 ~draining ~level_cell ~configs_by_level
+         ~owners)
   in
   let offered = ref 0 in
   let admitted = ref 0 in
@@ -245,7 +384,6 @@ let run (cfg : config) =
   let deepest = ref Ladder.Full_detection in
   let time_at_level = Array.make (Array.length Ladder.levels) 0. in
   let peak_occupancy = ref 0. in
-  let t0 = now () in
   let last_tick = ref t0 in
   let rate_at elapsed =
     match cfg.burst with
@@ -357,6 +495,19 @@ let run (cfg : config) =
     Array.fold_left (fun acc t -> acc + t.t_completed) 0 tallies
   in
   let detected = Array.fold_left (fun acc t -> acc + t.t_detected) 0 tallies in
+  let injected = Array.fold_left (fun acc t -> acc + t.t_injected) 0 tallies in
+  let recoveries =
+    Array.fold_left (fun acc t -> acc + t.t_recoveries) 0 tallies
+  in
+  let recovery_total_s =
+    Array.fold_left (fun acc t -> acc +. t.t_recovery_s) 0. tallies
+  in
+  let recovery_us =
+    Array.of_list
+      (List.concat_map
+         (fun t -> List.rev t.t_recovery_us)
+         (Array.to_list tallies))
+  in
   let shed_deadline =
     Array.fold_left (fun acc t -> acc + t.t_shed_deadline) 0 tallies
   in
@@ -375,6 +526,18 @@ let run (cfg : config) =
     admitted = !admitted;
     completed;
     detected;
+    injected;
+    recoveries;
+    recovery_us;
+    recovery_total_s;
+    (* Worker-seconds lost to recovery over worker-seconds of service:
+       the fraction of serving capacity that stayed up through the
+       storm. *)
+    availability =
+      (if wall_s <= 0. then 1.
+       else
+         Float.max 0.
+           (1. -. (recovery_total_s /. (wall_s *. float_of_int cfg.jobs))));
     shed_queue_full = !shed_queue_full;
     shed_deadline;
     shed_draining;
@@ -425,6 +588,13 @@ let summary_json (cfg : config) (s : summary) =
         "  \"burst\": {\"start_s\": %.17g, \"end_s\": %.17g, \"factor\": \
          %.17g},\n"
         burst_start burst_end burst_factor);
+  (match cfg.storm with
+  | None -> add "  \"storm\": null,\n"
+  | Some { storm_start; storm_end; storm_prob } ->
+      add
+        "  \"storm\": {\"start_s\": %.17g, \"end_s\": %.17g, \"prob\": \
+         %.17g},\n"
+        storm_start storm_end storm_prob);
   (match cfg.deadline_us with
   | None -> add "  \"deadline_us\": null,\n"
   | Some d -> add "  \"deadline_us\": %d,\n" d);
@@ -435,6 +605,19 @@ let summary_json (cfg : config) (s : summary) =
   add "  \"admitted\": %d,\n" s.admitted;
   add "  \"completed\": %d,\n" s.completed;
   add "  \"detected\": %d,\n" s.detected;
+  add
+    "  \"recovery\": {\"policy\": \"%s\", \"injected\": %d, \"recoveries\": \
+     %d, \"total_s\": %.17g, \"availability\": %.17g, \"recovery_us\": \
+     {\"count\": %d, \"mean\": %.17g, \"p50\": %.17g, \"p99\": %.17g, \
+     \"max\": %.17g}},\n"
+    (recovery_policy_name cfg.recovery)
+    s.injected s.recoveries s.recovery_total_s s.availability
+    (Array.length s.recovery_us)
+    (if Array.length s.recovery_us = 0 then 0.
+     else Xentry_util.Stats.mean s.recovery_us)
+    (recovery_quantile s 0.5) (recovery_quantile s 0.99)
+    (if Array.length s.recovery_us = 0 then 0.
+     else Xentry_util.Stats.maximum s.recovery_us);
   add
     "  \"shed\": {\"queue_full\": %d, \"deadline_expired\": %d, \"draining\": \
      %d, \"total\": %d},\n"
@@ -483,4 +666,8 @@ let pp_summary ppf (s : summary) =
     (latency_quantile s 0.99)
     (List.length s.transitions)
     (Ladder.level_name s.deepest_level)
-    (Ladder.level_name s.final_level)
+    (Ladder.level_name s.final_level);
+  if s.injected > 0 || s.recoveries > 0 then
+    Format.fprintf ppf
+      " injected %d recoveries %d rec_p99 %.0fus availability %.4f" s.injected
+      s.recoveries (recovery_quantile s 0.99) s.availability

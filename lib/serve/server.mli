@@ -19,13 +19,39 @@
 
     Accounting invariants (asserted by the serve-smoke test):
     [offered = admitted + shed_queue_full] and
-    [admitted = completed + shed_deadline + shed_draining]. *)
+    [admitted = completed + shed_deadline + shed_draining].
+
+    Failover: under a fault [storm] (injected bit flips, paper §V-B) a
+    worker whose pipeline trips a verdict recovers per the configured
+    {!recovery_policy}.  [Microboot] rebuilds only the
+    hypervisor-private scratch from a boot-time image
+    ({!Xentry_recover.Microboot}) and replays the in-flight request on
+    the recovered host; [Restart] boots a whole new hypervisor (the
+    baseline, losing all accumulated guest state).  During the
+    recovery window the worker's home streams are re-assigned to its
+    neighbour so their queues keep draining.  Either way the in-flight
+    request completes exactly once — the conservation invariants above
+    hold verbatim under fault storms. *)
 
 type burst = {
   burst_start : float;  (** seconds after service start *)
   burst_end : float;
   burst_factor : float;  (** offered-rate multiplier inside the window *)
 }
+
+type storm = {
+  storm_start : float;  (** seconds after service start *)
+  storm_end : float;
+  storm_prob : float;  (** per-request injection probability, 0..1 *)
+}
+
+type recovery_policy =
+  | Keep_serving
+      (** record the verdict and keep the host (pre-recovery behavior) *)
+  | Microboot  (** ReHype-style micro-reboot + in-place replay *)
+  | Restart  (** restart-everything baseline: new host, guest state lost *)
+
+val recovery_policy_name : recovery_policy -> string
 
 type config = {
   pipeline : Xentry_core.Pipeline.Config.t;
@@ -36,6 +62,8 @@ type config = {
   streams : int;  (** workload streams = ingress queues *)
   rate : float;  (** aggregate offered requests/second *)
   burst : burst option;
+  storm : storm option;  (** fault-injection window (none = no faults) *)
+  recovery : recovery_policy;
   deadline_us : int option;  (** per-request queueing deadline *)
   duration_s : float;
   jobs : int;  (** worker domains (the producer is separate) *)
@@ -51,6 +79,8 @@ val make :
   ?mode:Xentry_workload.Profile.virt_mode ->
   ?streams:int ->
   ?burst:burst ->
+  ?storm:storm ->
+  ?recovery:recovery_policy ->
   ?deadline_us:int ->
   ?duration_s:float ->
   ?jobs:int ->
@@ -63,9 +93,10 @@ val make :
   rate:float ->
   unit ->
   config
-(** Defaults: default pipeline, PV, 8 streams, no burst, no deadline,
-    2 s, 2 jobs, capacity 64, default ladder, 2 ms ticks, seed 42,
-    200k samples.  Raises [Invalid_argument] on nonsensical values. *)
+(** Defaults: default pipeline, PV, 8 streams, no burst, no storm,
+    [Keep_serving], no deadline, 2 s, 2 jobs, capacity 64, default
+    ladder, 2 ms ticks, seed 42, 200k samples.  Raises
+    [Invalid_argument] on nonsensical values. *)
 
 type shed_reason =
   | Queue_full  (** ingress queue at capacity at arrival time *)
@@ -79,7 +110,17 @@ type summary = {
   offered : int;
   admitted : int;
   completed : int;
-  detected : int;  (** completed requests the pipeline flagged *)
+  detected : int;
+      (** pipeline verdicts, including detections whose request then
+          completed cleanly via recovery replay *)
+  injected : int;  (** storm bit flips actually injected *)
+  recoveries : int;  (** micro-reboots or restarts performed *)
+  recovery_us : float array;
+      (** per-recovery reboot-to-replay-complete durations (unsorted) *)
+  recovery_total_s : float;
+  availability : float;
+      (** 1 - recovery worker-seconds / (wall_s * jobs): the fraction
+          of serving capacity that stayed up *)
   shed_queue_full : int;
   shed_deadline : int;
   shed_draining : int;
@@ -100,6 +141,9 @@ val shed_fraction : summary -> float
 
 val latency_quantile : summary -> float -> float
 (** Latency quantile in microseconds (0 when nothing completed). *)
+
+val recovery_quantile : summary -> float -> float
+(** Recovery-duration quantile in microseconds (0 when none). *)
 
 val run : config -> summary
 (** Run the service to completion (duration + drain) and summarize. *)

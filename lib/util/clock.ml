@@ -1,0 +1,3 @@
+external monotonic : unit -> float = "xentry_clock_monotonic"
+
+let wall = Unix.gettimeofday

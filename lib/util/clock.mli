@@ -1,0 +1,17 @@
+(** Time sources, split by what they are safe for.
+
+    Every duration or deadline in the tree must be computed from
+    {!monotonic}: wall time can be stepped by NTP mid-run, which turns
+    an idle timeout into a spurious firing or a serve deadline into
+    one that never (or always) sheds.  Wall time remains available as
+    {!wall} for the one thing it is good for — stamping exported
+    telemetry events with a real-world date. *)
+
+val monotonic : unit -> float
+(** Seconds from an arbitrary epoch, guaranteed non-decreasing across
+    NTP steps.  Only differences between two readings are meaningful;
+    never mix readings with {!wall} values in arithmetic. *)
+
+val wall : unit -> float
+(** [Unix.gettimeofday] under a name that flags intent: real-world
+    timestamps for export, not for durations or deadlines. *)

@@ -1,0 +1,50 @@
+/* Monotonic time for Xentry_util.Clock.
+
+   OCaml 5.1's Unix library exposes no clock_gettime, so duration and
+   deadline arithmetic in the tree had been leaning on gettimeofday —
+   wall time, which NTP can step backwards or forwards mid-run.  This
+   stub reads CLOCK_MONOTONIC and returns float seconds from an
+   arbitrary epoch: differences are meaningful, absolute values are
+   not.  On platforms without clock_gettime we fall back to
+   gettimeofday so the build still links; callers get wall time, which
+   is no worse than what they had. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+#else
+#include <time.h>
+#include <sys/time.h>
+#include <unistd.h>
+#endif
+
+CAMLprim value xentry_clock_monotonic(value unit)
+{
+  (void)unit;
+#if defined(_WIN32)
+  {
+    static LARGE_INTEGER freq;
+    LARGE_INTEGER now;
+    if (freq.QuadPart == 0)
+      QueryPerformanceFrequency(&freq);
+    QueryPerformanceCounter(&now);
+    return caml_copy_double((double)now.QuadPart / (double)freq.QuadPart);
+  }
+#elif defined(CLOCK_MONOTONIC)
+  {
+    struct timespec ts;
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+      return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+    /* fall through to wall time on the (unlikely) failure path */
+  }
+#endif
+#if !defined(_WIN32)
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+#endif
+}

@@ -43,9 +43,9 @@ let tm_item = lazy (Telemetry.histogram "pool.item.ns")
 let tm_wait = lazy (Telemetry.histogram "pool.queue_wait.ns")
 
 let timed_apply f x =
-  let start = Unix.gettimeofday () in
+  let start = Clock.monotonic () in
   let v = f x in
-  Telemetry.observe_span (Lazy.force tm_item) (Unix.gettimeofday () -. start);
+  Telemetry.observe_span (Lazy.force tm_item) (Clock.monotonic () -. start);
   v
 
 let map t f arr =
@@ -55,7 +55,7 @@ let map t f arr =
     else Array.map f arr
   else begin
     let telemetry = !Telemetry.enabled_ref in
-    let t0 = if telemetry then Unix.gettimeofday () else 0.0 in
+    let t0 = if telemetry then Clock.monotonic () else 0.0 in
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
@@ -65,7 +65,7 @@ let map t f arr =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n && Atomic.get failure = None then begin
-          let start = if telemetry then Unix.gettimeofday () else 0.0 in
+          let start = if telemetry then Clock.monotonic () else 0.0 in
           if telemetry then
             Telemetry.observe_span (Lazy.force tm_wait) (start -. t0);
           (match f arr.(i) with
@@ -75,7 +75,7 @@ let map t f arr =
                  are dropped with the partial results. *)
               ignore (Atomic.compare_and_set failure None (Some e)));
           if telemetry then begin
-            let dur = Unix.gettimeofday () -. start in
+            let dur = Clock.monotonic () -. start in
             Telemetry.observe_span (Lazy.force tm_item) dur;
             incr items;
             busy := !busy +. dur

@@ -3,25 +3,35 @@ let pad s n =
   if len >= n then s else s ^ String.make (n - len) ' '
 
 let table ~header ~rows =
-  let ncols = List.length header in
+  let header = Array.of_list header in
+  let ncols = Array.length header in
+  (* Every row becomes exactly [ncols] cells up front — short rows pad
+     with "", long rows drop the excess — so width computation and
+     rendering index an array instead of List.nth-ing each ragged row
+     once per column (quadratic on wide tables, and a raise away from
+     a crash on a short row). *)
   let normalize row =
-    let len = List.length row in
-    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+    let cells = Array.make ncols "" in
+    List.iteri (fun i cell -> if i < ncols then cells.(i) <- cell) row;
+    cells
   in
   let rows = List.map normalize rows in
   let widths =
-    List.mapi
+    Array.mapi
       (fun i h ->
         List.fold_left
-          (fun acc row -> max acc (String.length (List.nth row i)))
+          (fun acc row -> max acc (String.length row.(i)))
           (String.length h) rows)
       header
   in
   let render_row row =
     String.concat "  "
-      (List.map2 (fun cell w -> pad cell w) row widths)
+      (Array.to_list (Array.map2 (fun cell w -> pad cell w) row widths))
   in
-  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
   let body = List.map render_row rows in
   String.concat "\n" ((render_row header :: rule :: body) @ [ "" ])
 
@@ -43,6 +53,10 @@ let bar_chart ?(width = 40) ?(unit_label = "") entries =
   String.concat "\n" (List.map line entries) ^ "\n"
 
 let grouped_bars ?(width = 30) ~series_names entries =
+  (* Indexed once per value below; as a list that lookup is quadratic
+     in the series count and raises on a row with more values than
+     names.  Unnamed extras render with a blank series label. *)
+  let series_names = Array.of_list series_names in
   let vmax =
     List.fold_left
       (fun acc (_, vs) -> List.fold_left max acc vs)
@@ -52,7 +66,7 @@ let grouped_bars ?(width = 30) ~series_names entries =
     List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
   in
   let series_w =
-    List.fold_left (fun acc s -> max acc (String.length s)) 0 series_names
+    Array.fold_left (fun acc s -> max acc (String.length s)) 0 series_names
   in
   let buf = Buffer.create 256 in
   List.iter
@@ -60,7 +74,9 @@ let grouped_bars ?(width = 30) ~series_names entries =
       List.iteri
         (fun i v ->
           let label = if i = 0 then category else "" in
-          let series = List.nth series_names i in
+          let series =
+            if i < Array.length series_names then series_names.(i) else ""
+          in
           let n =
             if vmax <= 0.0 then 0
             else int_of_float (Float.round (v /. vmax *. float_of_int width))

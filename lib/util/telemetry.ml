@@ -150,8 +150,8 @@ let with_span name f =
   if not !enabled_ref then f ()
   else begin
     let h = histogram (name ^ ".ns") in
-    let t0 = Unix.gettimeofday () in
-    let finally () = observe_span h (Unix.gettimeofday () -. t0) in
+    let t0 = Clock.monotonic () in
+    let finally () = observe_span h (Clock.monotonic () -. t0) in
     Fun.protect ~finally f
   end
 

@@ -160,8 +160,16 @@ let build_tasklet_chain mem ~count ~salt =
   Memory.store64 mem Layout.global_tasklet_head
     (if count = 0 then 0L else Layout.tasklet_node 0)
 
-let prepare t (req : Request.t) =
-  Scheduler.tick t.sched ();
+(* Stage a request's exit context: publish the scheduler view, write
+   the request arguments, and set up the reason-specific state the
+   handler will consume.  Everything here is a pure function of the
+   request and the host's current scheduler/RNG state, so staging the
+   same request twice writes the same bytes — except the guest-buffer
+   refresh, which advances the RNG.  [refill:false] skips it: the
+   micro-reboot path re-stages a request whose buffer refresh already
+   happened, and must leave both the buffer and the RNG untouched to
+   stay lockstep with a host that staged only once. *)
+let stage ~refill t (req : Request.t) =
   publish_current t;
   Array.iteri
     (fun idx v -> Memory.store64 t.mem (Layout.request_arg idx) v)
@@ -208,13 +216,21 @@ let prepare t (req : Request.t) =
       | Hypercall.Copy_buffer | Hypercall.Table_write ->
           (* Refresh the head of the guest buffer so successive copies
              differ. *)
-          let words =
-            max 1 (min 64 (Int64.to_int req.Request.args.(2)))
-          in
-          fill_guest_buffer t.mem t.rng words
+          if refill then begin
+            let words =
+              max 1 (min 64 (Int64.to_int req.Request.args.(2)))
+            in
+            fill_guest_buffer t.mem t.rng words
+          end
       | Hypercall.Sched | Hypercall.Timer | Hypercall.Grant | Hypercall.Query
       | Hypercall.Control ->
           ())
+
+let prepare t (req : Request.t) =
+  Scheduler.tick t.sched ();
+  stage ~refill:true t req
+
+let restage t req = stage ~refill:false t req
 
 (* Telemetry: per-exit-reason execution counts, engine usage and a
    dynamic-instruction histogram.  [execute] checks the enabled flag

@@ -58,6 +58,17 @@ val set_assertions_enabled : t -> bool -> unit
 
 val prepare : t -> Request.t -> unit
 
+val restage : t -> Request.t -> unit
+(** Re-stage a request whose {!prepare} already ran on this host (or
+    on the host this one was cloned from): republish the scheduler
+    view and rewrite the request arguments and reason-specific staging
+    state, without advancing the scheduler or refreshing the guest
+    buffer (the RNG stays untouched).  The micro-reboot path uses this
+    to rebuild hypervisor-private scratch regions that were
+    reinitialized from the boot image; on a host whose preserved state
+    matches the original staging, every write is a byte-identical
+    replay. *)
+
 val execute :
   t ->
   ?inject:Xentry_machine.Cpu.injection ->

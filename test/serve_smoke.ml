@@ -65,7 +65,8 @@ let check_json cfg summary =
       "schema"; "offered"; "admitted"; "completed"; "shed"; "queue_full";
       "deadline_expired"; "draining"; "shed_fraction"; "throughput_rps";
       "latency_us"; "p50"; "p99"; "transitions"; "time_at_level";
-      "final_level"; "deepest_level"; "peak_occupancy";
+      "final_level"; "deepest_level"; "peak_occupancy"; "recovery";
+      "injected"; "recoveries"; "availability"; "storm";
     ];
   if not (contains json "xentry-serve-summary-v1") then
     fail "summary_json missing schema tag"
@@ -199,6 +200,45 @@ let () =
   conservation sd;
   if sd.Serve.shed_deadline = 0 then
     fail "200us deadline under 3x overload shed nothing at dequeue";
+  (* Fault storm + failover: a mid-run window of injected bit flips
+     with each policy.  The conservation invariants ARE the
+     exactly-once property — a lost request breaks the admitted
+     equation low, a duplicated completion breaks it high — so a
+     mid-storm micro-reboot (or restart) must leave both intact while
+     actually recovering. *)
+  List.iter
+    (fun (name, policy) ->
+      let scfg =
+        {
+          base with
+          Serve.rate = 0.15 *. capacity;
+          duration_s = 1.2;
+          recovery = policy;
+          storm =
+            Some
+              { Serve.storm_start = 0.2; storm_end = 0.9; storm_prob = 0.05 };
+        }
+      in
+      let s = Serve.run scfg in
+      Format.eprintf "serve-smoke storm (%s): %a@." name Serve.pp_summary s;
+      conservation s;
+      check_json scfg s;
+      if s.Serve.injected = 0 then fail "storm (%s) injected no faults" name;
+      if s.Serve.recoveries = 0 then
+        fail "storm (%s): no detected fault triggered a recovery" name;
+      if s.Serve.recoveries > s.Serve.detected then
+        fail "storm (%s): %d recoveries exceed %d detections" name
+          s.Serve.recoveries s.Serve.detected;
+      if Array.length s.Serve.recovery_us <> s.Serve.recoveries then
+        fail "storm (%s): %d recovery samples for %d recoveries" name
+          (Array.length s.Serve.recovery_us)
+          s.Serve.recoveries;
+      if Serve.recovery_quantile s 0.99 <= 0. then
+        fail "storm (%s): zero recovery p99" name;
+      if s.Serve.availability <= 0. || s.Serve.availability >= 1. then
+        fail "storm (%s): availability %.6f not in (0, 1) despite recoveries"
+          name s.Serve.availability)
+    [ ("microboot", Serve.Microboot); ("restart", Serve.Restart) ];
   check_degraded_verdicts ();
   Printf.printf
     "serve-smoke OK: %d offered, %d completed, shed %d (queue) + %d \

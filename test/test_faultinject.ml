@@ -550,6 +550,50 @@ let prop_planned_equals_exhaustive =
           Campaign.execute (cfg true) = Campaign.execute (cfg false))
         [ 1; 4 ])
 
+(* Recovery identity: for any host seed and any detected random fault,
+   a micro-reboot (boot image over hypervisor-private scratch, COW
+   context for everything else) plus replay reproduces the golden
+   host's guest-visible state bit-exactly — the only diff the
+   partition permits is the hypervisor stack, which is boot-clean on
+   the rebooted host by construction. *)
+let prop_microboot_identity =
+  QCheck.Test.make
+    ~name:"micro-reboot recovers detected faults bit-exactly (guest surface)"
+    ~count:40
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 1_000_000))
+    (fun (host_seed, fault_seed) ->
+      let module Microboot = Xentry_recover.Microboot in
+      let pcfg = Pipeline.Config.make ~fuel:4000 () in
+      let host = Pipeline.create_host ~seed:host_seed pcfg in
+      Hypervisor.set_assertions_enabled host
+        pcfg.Pipeline.Config.detection.Pipeline.sw_assertions;
+      let image = Microboot.capture_image host in
+      let rng = Xentry_util.Rng.create fault_seed in
+      let profile = Xentry_workload.Profile.get Xentry_workload.Profile.Postmark in
+      let req =
+        Xentry_workload.Profile.sample_request profile Xentry_workload.Profile.PV
+          rng
+      in
+      Hypervisor.prepare host req;
+      let ctx = Microboot.capture host req in
+      let golden = Hypervisor.clone host in
+      let golden_result =
+        Hypervisor.execute golden ~fuel:pcfg.Pipeline.Config.fuel req
+      in
+      let fault = Fault.sample rng ~max_step:(max 1 golden_result.Cpu.steps) in
+      let outcome =
+        Pipeline.run pcfg ~host ~prepare:false
+          ~inject:(Fault.to_injection fault) req
+      in
+      match outcome.Pipeline.verdict with
+      | Pipeline.Clean -> true (* the property quantifies over detected faults *)
+      | Pipeline.Detected _ ->
+          let rebooted = Microboot.reboot image ctx in
+          let replay = Pipeline.run pcfg ~host:rebooted ~prepare:false req in
+          replay.Pipeline.result.Cpu.stop = Cpu.Vm_entry
+          && Classify.diffs ~golden ~faulted:rebooted
+             |> List.for_all (fun d -> d = Classify.Stack_diff))
+
 let prop_consequence_total =
   QCheck.Test.make ~name:"every record has a coherent consequence" ~count:1
     QCheck.unit
@@ -565,7 +609,10 @@ let prop_consequence_total =
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
-      [ prop_consequence_total; prop_planned_equals_exhaustive ]
+      [
+        prop_consequence_total; prop_planned_equals_exhaustive;
+        prop_microboot_identity;
+      ]
   in
   Alcotest.run "xentry_faultinject"
     [
