@@ -6,7 +6,7 @@
    Usage:  dune exec bench/main.exe [-- OPTION... EXPERIMENT...]
    where EXPERIMENT is one of: all fig3 table1 accuracy fig6 fig7 fig8
    fig9 fig10 table2 fig11 ablation recovery hardening speedup resume
-   serve micro (default: all).
+   serve classes micro (default: all).
 
    Options:
      -j N, --jobs N   run campaigns on N worker domains (0 = the
@@ -322,7 +322,7 @@ let fig8 () =
     (R.table
        ~header:
          [ "benchmark"; "H/W exception"; "S/W assertion"; "VM transition";
-           "undetected"; "manifested" ]
+           "RAS record"; "undetected"; "manifested" ]
        ~rows:(rows @ [ avg_row ]));
   printf "overall coverage: %s of manifested faults detected\n"
     (R.percent (pct_of_fraction merged.Report.coverage));
@@ -1540,7 +1540,7 @@ let micro () =
   ignore (Hypervisor.execute golden req);
   let faulted = Hypervisor.clone host in
   ignore (Hypervisor.execute faulted req);
-  let fault = { Fault.target = Xentry_isa.Reg.Rip; bit = 4; step = 20 } in
+  let fault = Fault.reg Xentry_isa.Reg.Rip ~bit:4 ~step:20 in
   let tests =
     [
       Test.make ~name:"fig3:activation-rate-sample"
@@ -1670,6 +1670,59 @@ let micro () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fault classes: coverage under the widened fault model                *)
+(* ------------------------------------------------------------------ *)
+
+let fault_class_rows :
+    (string * Xentry_faultinject.Report.summary) list ref =
+  ref []
+
+let classes () =
+  print (R.section "Fault classes: per-class coverage (widened model)");
+  let injections = scaled 6_000 in
+  let all = Array.to_list Fault.all_classes in
+  printf "[classes] %d injections over %s (jobs %d)...\n%!" injections
+    (Fault.classes_to_string all) !jobs;
+  let t0 = Unix.gettimeofday () in
+  let records =
+    Campaign.execute
+      (Campaign.Config.make ~jobs:!jobs ~benchmark:Profile.Postmark
+         ~injections ~seed:4242 ~fault_classes:all ())
+  in
+  record_phase "class-campaign" (Unix.gettimeofday () -. t0) injections;
+  let per_class = Report.by_class records in
+  print
+    (R.table
+       ~header:
+         [ "class"; "injections"; "manifested"; "coverage"; "hw"; "sw";
+           "vmt"; "ras" ]
+       ~rows:
+         (List.map
+            (fun (c, s) ->
+              let t = s.Report.techniques in
+              [
+                Fault.cls_name c;
+                string_of_int s.Report.total_injections;
+                string_of_int s.Report.manifested;
+                R.percent (pct_of_fraction s.Report.coverage);
+                string_of_int t.Report.hw_exception;
+                string_of_int t.Report.sw_assertion;
+                string_of_int t.Report.vm_transition;
+                string_of_int t.Report.ras_report;
+              ])
+            per_class));
+  let ras_only =
+    List.fold_left
+      (fun acc (_, s) -> acc + s.Report.techniques.Report.ras_report)
+      0 per_class
+  in
+  printf
+    "RAS error records caught %d manifested faults the synchronous\n\
+     channels (exceptions, assertions, VM-transition tree) missed.\n"
+    ras_only;
+  fault_class_rows := List.map (fun (c, s) -> (Fault.cls_name c, s)) per_class
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1696,6 +1749,7 @@ let experiments =
     ("serve", serve);
     ("recover", recover);
     ("cluster", cluster);
+    ("classes", classes);
     ("micro", micro);
   ]
 
@@ -1889,6 +1943,24 @@ let write_json path =
         (fast_sps /. Float.max 1e-9 ref_sps)
         identical
   | None -> ());
+  (match !fault_class_rows with
+  | [] -> ()
+  | rows ->
+      out "  \"fault_classes\": [\n";
+      entries
+        (fun (name, (s : Report.summary)) ->
+          let t = s.Report.techniques in
+          out
+            "    {\"class\": \"%s\", \"injections\": %d, \"activated\": %d, \
+             \"manifested\": %d, \"coverage\": %.4f, \"hw_exception\": %d, \
+             \"sw_assertion\": %d, \"vm_transition\": %d, \"ras_report\": %d, \
+             \"undetected\": %d}"
+            (json_escape name) s.Report.total_injections s.Report.activated
+            s.Report.manifested s.Report.coverage t.Report.hw_exception
+            t.Report.sw_assertion t.Report.vm_transition t.Report.ras_report
+            t.Report.undetected)
+        rows;
+      out "  ],\n");
   if Telemetry.enabled () then out "  \"telemetry\": %s,\n" (Telemetry.to_json ());
   out "  \"experiments\": [\n";
   entries

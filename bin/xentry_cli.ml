@@ -277,7 +277,8 @@ let train_quick_detector ~jobs ~seed ~benchmarks ~mode ~train_injections
 (* --- inject ------------------------------------------------------------------ *)
 
 let inject benchmark mode injections seed jobs engine detector_src checkpoint
-    no_prune faults_per_run snapshot_interval trace_cache workers telemetry =
+    no_prune faults_per_run snapshot_interval trace_cache workers telemetry
+    fault_classes =
   apply_engine engine;
   let worker_dumps = ref [] in
   with_worker_telemetry telemetry worker_dumps @@ fun () ->
@@ -308,7 +309,7 @@ let inject benchmark mode injections seed jobs engine detector_src checkpoint
   in
   let config =
     { (Campaign.Config.make ?detector ~benchmark ~injections ~seed
-         ~faults_per_run ~snapshot_interval ())
+         ~faults_per_run ~snapshot_interval ~fault_classes ())
       with
       Campaign.mode }
   in
@@ -377,7 +378,22 @@ let inject benchmark mode injections seed jobs engine detector_src checkpoint
   print_endline "undetected breakdown:";
   List.iter
     (fun (name, pct) -> Printf.printf "  %-14s %5.1f%%\n" name pct)
-    (Report.undetected_percentages summary)
+    (Report.undetected_percentages summary);
+  (match Report.by_class records with
+  | [] | [ _ ] -> ()
+  | per_class ->
+      print_endline "per fault class:";
+      List.iter
+        (fun (c, s) ->
+          let t = s.Report.techniques in
+          Printf.printf
+            "  %-5s injections=%-5d manifested=%-5d coverage=%5.1f%%  \
+             hw=%d sw=%d vmt=%d ras=%d\n"
+            (Fault.cls_name c) s.Report.total_injections s.Report.manifested
+            (100.0 *. s.Report.coverage)
+            t.Report.hw_exception t.Report.sw_assertion t.Report.vm_transition
+            t.Report.ras_report)
+        per_class)
 
 let inject_cmd =
   let injections =
@@ -461,6 +477,31 @@ let inject_cmd =
              intervals shorten replayed suffixes at the cost of more \
              clones.")
   in
+  let fault_classes =
+    let classes_conv =
+      let parse s =
+        match Fault.parse_classes s with
+        | Ok cs -> Ok cs
+        | Error e -> Error (`Msg e)
+      in
+      let print ppf cs =
+        Format.pp_print_string ppf (Fault.classes_to_string cs)
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt classes_conv [ Fault.Reg_single_bit ]
+      & info [ "fault-classes" ] ~docv:"CLASSES"
+          ~doc:
+            "Comma-separated fault classes to sample uniformly: $(b,reg1) \
+             (single register bit, the default and the paper's model), \
+             $(b,reg2) (2-4 adjacent register bits), $(b,set) (transient \
+             register flip reverting after a bounded window), $(b,mem) \
+             (memory word), $(b,tlb) (cached translation), $(b,pte) \
+             (page-table entry).  The default keeps campaign records \
+             bit-identical to the register-only fault model.")
+  in
   let trace_cache =
     Arg.(
       value
@@ -478,7 +519,7 @@ let inject_cmd =
       const inject $ benchmark_arg $ mode_arg $ injections $ seed_arg
       $ jobs_arg $ engine_arg $ detector_src $ checkpoint $ no_prune
       $ faults_per_run $ snapshot_interval $ trace_cache $ workers_arg
-      $ telemetry_arg)
+      $ telemetry_arg $ fault_classes)
 
 (* --- train -------------------------------------------------------------------- *)
 

@@ -66,11 +66,9 @@ let () =
       ~args:[ 0L; 0L; 64L ] ~guest:[]
   in
   let inject =
-    {
-      Xentry_machine.Cpu.inj_target = Xentry_isa.Reg.Gpr Xentry_isa.Reg.RSI;
-      inj_bit = 41;
-      inj_step = 60;
-    }
+    Xentry_machine.Cpu.reg_injection
+      (Xentry_isa.Reg.Gpr Xentry_isa.Reg.RSI)
+      ~bit:41 ~step:60
   in
   let outcome = Pipeline.run pipeline ~host ~inject req in
   Printf.printf "  %-28s stopped: %s\n"

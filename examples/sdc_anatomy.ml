@@ -50,7 +50,7 @@ let () =
      the flip actually poisons the result. *)
   let try_step step =
     let h = Hypervisor.clone host in
-    let inject = { Cpu.inj_target = Reg.Gpr Reg.RAX; inj_bit = 17; inj_step = step } in
+    let inject = Cpu.reg_injection (Reg.Gpr Reg.RAX) ~bit:17 ~step in
     let r = Hypervisor.execute h ~inject req in
     (h, r)
   in
@@ -103,7 +103,7 @@ let () =
   let f2 = Hypervisor.clone host in
   (* Flip a low bit of RCX while the rep mov is running: extra dynamic
      instructions, exactly Fig 5a. *)
-  let inject2 = { Cpu.inj_target = Reg.Gpr Reg.RCX; inj_bit = 6; inj_step = 40 } in
+  let inject2 = Cpu.reg_injection (Reg.Gpr Reg.RCX) ~bit:6 ~step:40 in
   let faulted_trace = Trace.create ~capacity:4096 () in
   let faulted2 =
     Hypervisor.execute f2 ~inject:inject2 ~on_step:(Trace.hook faulted_trace)

@@ -2,6 +2,7 @@ module W = Xentry_store.Wire
 module Codec = Xentry_store.Codec
 module Crc32 = Xentry_store.Crc32
 module Campaign = Xentry_faultinject.Campaign
+module Fault = Xentry_faultinject.Fault
 module Profile = Xentry_workload.Profile
 module Pipeline = Xentry_core.Pipeline
 module Request = Xentry_vmm.Request
@@ -85,16 +86,20 @@ let read_mode r =
   | n -> W.corrupt (Printf.sprintf "unknown virt mode %d" n)
 
 let write_detection buf (d : Pipeline.detection) =
-  let { Pipeline.hw_exceptions; sw_assertions; vm_transition } = d in
+  let { Pipeline.hw_exceptions; sw_assertions; vm_transition; ras_polling } =
+    d
+  in
   W.bool_ buf hw_exceptions;
   W.bool_ buf sw_assertions;
-  W.bool_ buf vm_transition
+  W.bool_ buf vm_transition;
+  W.bool_ buf ras_polling
 
 let read_detection r =
   let hw_exceptions = W.read_bool r in
   let sw_assertions = W.read_bool r in
   let vm_transition = W.read_bool r in
-  { Pipeline.hw_exceptions; sw_assertions; vm_transition }
+  let ras_polling = W.read_bool r in
+  { Pipeline.hw_exceptions; sw_assertions; vm_transition; ras_polling }
 
 (* The campaign config ships whole so any worker can rebuild any shard
    from (config, index).  [jobs] deliberately does not travel: it is
@@ -109,6 +114,7 @@ let write_config buf (c : Campaign.Config.t) =
     mode;
     detector;
     framework;
+    fault_classes;
     fuel;
     hardened;
     prune;
@@ -124,6 +130,7 @@ let write_config buf (c : Campaign.Config.t) =
   write_mode buf mode;
   W.opt Codec.write_detector buf detector;
   write_detection buf framework;
+  W.str buf (Fault.classes_to_string fault_classes);
   W.int_ buf fuel;
   W.bool_ buf hardened;
   W.bool_ buf prune;
@@ -137,6 +144,11 @@ let read_config r =
   let mode = read_mode r in
   let detector = W.read_opt Codec.detector.Codec.read r in
   let framework = read_detection r in
+  let fault_classes =
+    match Fault.parse_classes (W.read_str r) with
+    | Ok cs -> cs
+    | Error e -> W.corrupt ("bad fault-class list: " ^ e)
+  in
   let fuel = W.read_int r in
   let hardened = W.read_bool r in
   let prune = W.read_bool r in
@@ -149,6 +161,7 @@ let read_config r =
     mode;
     detector;
     framework;
+    fault_classes;
     fuel;
     hardened;
     prune;

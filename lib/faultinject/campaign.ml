@@ -11,6 +11,7 @@ module Config = struct
     mode : Xentry_workload.Profile.virt_mode;
     detector : Transition_detector.t option;
     framework : Pipeline.detection;
+    fault_classes : Fault.cls list;
     fuel : int;
     hardened : bool;
     prune : bool;
@@ -21,6 +22,7 @@ module Config = struct
   let prune_default () = Sys.getenv_opt "XENTRY_PRUNE" <> Some "0"
 
   let make ?detector ?(framework = Pipeline.full_detection)
+      ?(fault_classes = [ Fault.Reg_single_bit ])
       ?(mode = Xentry_workload.Profile.PV) ?(fuel = 20_000) ?(hardened = false)
       ?(faults_per_run = 1) ?prune ?(snapshot_interval = 64) ?jobs ~benchmark
       ~injections ~seed () =
@@ -33,6 +35,7 @@ module Config = struct
       mode;
       detector;
       framework;
+      fault_classes;
       fuel;
       hardened;
       prune;
@@ -64,7 +67,9 @@ module Config = struct
         benchmark;
         mode;
         detector;
-        framework = { Pipeline.hw_exceptions; sw_assertions; vm_transition };
+        framework =
+          { Pipeline.hw_exceptions; sw_assertions; vm_transition; ras_polling };
+        fault_classes;
         fuel;
         hardened;
         prune = _;
@@ -84,6 +89,8 @@ module Config = struct
         Printf.sprintf "hw_exceptions=%b" hw_exceptions;
         Printf.sprintf "sw_assertions=%b" sw_assertions;
         Printf.sprintf "vm_transition=%b" vm_transition;
+        Printf.sprintf "ras_polling=%b" ras_polling;
+        "fault_classes=" ^ Fault.classes_to_string fault_classes;
         Printf.sprintf "fuel=%d" fuel;
         Printf.sprintf "hardened=%b" hardened;
       ]
@@ -103,6 +110,7 @@ module Config = struct
         mode;
         detector = _;
         framework = _;
+        fault_classes = _;
         fuel;
         hardened;
         prune = _;
@@ -128,6 +136,7 @@ type config = Config.t = {
   mode : Xentry_workload.Profile.virt_mode;
   detector : Transition_detector.t option;
   framework : Pipeline.detection;
+  fault_classes : Fault.cls list;
   fuel : int;
   hardened : bool;
   prune : bool;
@@ -194,6 +203,7 @@ module Tm = Xentry_util.Telemetry
 let tm_verdict_hw = Tm.counter "campaign.verdict.hw_exception"
 let tm_verdict_sw = Tm.counter "campaign.verdict.sw_assertion"
 let tm_verdict_vm = Tm.counter "campaign.verdict.vm_transition"
+let tm_verdict_ras = Tm.counter "campaign.verdict.ras_report"
 let tm_verdict_clean = Tm.counter "campaign.verdict.clean"
 let tm_pruned = Tm.counter "campaign.pruned"
 let tm_collapsed = Tm.counter "campaign.class_collapsed"
@@ -204,7 +214,7 @@ let tm_trace_miss = Tm.counter "campaign.trace.miss"
 let tm_shard_wall = lazy (Tm.histogram "campaign.shard.ns")
 
 let record_shard_telemetry config records stats ~wall =
-  let hw = ref 0 and sw = ref 0 and vm = ref 0 and clean = ref 0 in
+  let hw = ref 0 and sw = ref 0 and vm = ref 0 and ras = ref 0 and clean = ref 0 in
   List.iter
     (fun r ->
       match r.Outcome.verdict with
@@ -214,11 +224,13 @@ let record_shard_telemetry config records stats ~wall =
           incr hw
       | Framework.Detected { technique = Framework.Sw_assertion; _ } -> incr sw
       | Framework.Detected { technique = Framework.Vm_transition; _ } ->
-          incr vm)
+          incr vm
+      | Framework.Detected { technique = Framework.Ras_report; _ } -> incr ras)
     records;
   Tm.add tm_verdict_hw !hw;
   Tm.add tm_verdict_sw !sw;
   Tm.add tm_verdict_vm !vm;
+  Tm.add tm_verdict_ras !ras;
   Tm.add tm_verdict_clean !clean;
   Tm.add tm_pruned stats.pruned;
   Tm.add tm_collapsed stats.collapsed;
@@ -235,6 +247,7 @@ let record_shard_telemetry config records stats ~wall =
       ("hw_exception", Tm.Int !hw);
       ("sw_assertion", Tm.Int !sw);
       ("vm_transition", Tm.Int !vm);
+      ("ras_report", Tm.Int !ras);
       ("clean", Tm.Int !clean);
       ("pruned", Tm.Int stats.pruned);
       ("fast_forwarded", Tm.Int stats.fast_forwarded);
@@ -249,7 +262,7 @@ let record_shard_telemetry config records stats ~wall =
    behaviour (the detected run itself unless an assertion cut it
    short). *)
 let classify_faulted config ~(req : Request.t) ~host ~golden_result ~fault
-    ~det_result ~nat_host ~nat_result =
+    ~det_result ~det_ras ~nat_host ~nat_result =
   let is_activated = activated nat_result in
   let diff_list =
     match nat_result.Cpu.stop with
@@ -264,8 +277,8 @@ let classify_faulted config ~(req : Request.t) ~host ~golden_result ~fault
         ~faulted_stop:nat_result.Cpu.stop diff_list
   in
   let verdict =
-    Pipeline.verdict (Config.pipeline config) ~reason:req.Request.reason
-      det_result
+    Pipeline.verdict (Config.pipeline config) ~ras:det_ras
+      ~reason:req.Request.reason det_result
   in
   let latency =
     match verdict with
@@ -367,7 +380,8 @@ let run_shard_exhaustive config =
     let golden_result = Hypervisor.execute host ~fuel:config.fuel req in
     for _ = 1 to config.faults_per_run do
       let fault =
-        Fault.sample fault_rng ~max_step:(max 1 golden_result.Cpu.steps)
+        Fault.sample ~classes:config.fault_classes fault_rng
+          ~max_step:(max 1 golden_result.Cpu.steps)
       in
       let inject = Fault.to_injection fault in
       (* Detected run: Xentry active as configured. *)
@@ -377,6 +391,7 @@ let run_shard_exhaustive config =
       let det_result =
         Hypervisor.execute det_host ~inject ~fuel:config.fuel req
       in
+      let det_ras = Hypervisor.drain_ras det_host in
       (* Natural run: only needed when an assertion cut the detected
          run short; otherwise the detected run already shows the
          fault's unimpeded behaviour. *)
@@ -392,7 +407,7 @@ let run_shard_exhaustive config =
       incr simulated;
       records :=
         classify_faulted config ~req ~host ~golden_result ~fault ~det_result
-          ~nat_host ~nat_result
+          ~det_ras ~nat_host ~nat_result
         :: !records
     done;
     Hypervisor.retire host req
@@ -454,13 +469,14 @@ let run_shard_planned ?cached config =
     Hypervisor.set_assertions_enabled det_host
       config.framework.Framework.sw_assertions;
     let det_result = resume_on det_host in
+    let det_ras = Hypervisor.drain_ras det_host in
     match det_result.Cpu.stop with
     | Cpu.Assertion_failure _ ->
         let h = materialize () in
         Hypervisor.set_assertions_enabled h false;
         let r = resume_on h in
-        (det_result, h, r)
-    | _ -> (det_result, det_host, det_result)
+        (det_result, det_ras, h, r)
+    | _ -> (det_result, det_ras, det_host, det_result)
   in
   (* Fault-indexed record assembly shared by both paths: pruned faults
      share one synthesized record modulo their fault identity — the
@@ -512,7 +528,7 @@ let run_shard_planned ?cached config =
           Tm.with_span "campaign.resume" (fun () ->
               Hypervisor.resume h snap ~inject ~fuel:config.fuel req)
         in
-        let det_result, nat_host, nat_result =
+        let det_result, det_ras, nat_host, nat_result =
           faulted_pair ~materialize ~resume_on
         in
         incr simulated;
@@ -521,7 +537,7 @@ let run_shard_planned ?cached config =
           Some
             (Tm.with_span "campaign.classify" (fun () ->
                  classify_faulted config ~req ~host ~golden_result ~fault
-                   ~det_result ~nat_host ~nat_result)))
+                   ~det_result ~det_ras ~nat_host ~nat_result)))
       plan.Planner.reps;
     assemble req golden_result faults plan ~record_of_rep:(fun rep ->
         match rep_records.(rep) with None -> assert false | Some r -> r)
@@ -543,7 +559,8 @@ let run_shard_planned ?cached config =
            classification waits for the golden final state. *)
         let max_step = max 1 trace.Golden_trace.result_steps in
         let faults =
-          Array.init n_faults (fun _ -> Fault.sample fault_rng ~max_step)
+          Array.init n_faults (fun _ ->
+              Fault.sample ~classes:config.fault_classes fault_rng ~max_step)
         in
         let plan = Tm.with_span "campaign.plan" (fun () -> Planner.plan trace faults) in
         (* Survivors grouped by the step their suffix resumes from:
@@ -584,12 +601,13 @@ let run_shard_planned ?cached config =
                 Tm.with_span "campaign.resume" (fun () ->
                     Hypervisor.resume_at h ~inject ~fuel:config.fuel st req)
               in
-              let det_result, nat_host, nat_result =
+              let det_result, det_ras, nat_host, nat_result =
                 faulted_pair ~materialize ~resume_on
               in
               incr simulated;
               if Cpu.run_state_steps st > 0 then incr fast_forwarded;
-              pending.(rep) <- Some (fault, det_result, nat_host, nat_result))
+              pending.(rep) <-
+                Some (fault, det_result, det_ras, nat_host, nat_result))
             (List.rev reps)
         in
         let golden_result =
@@ -605,12 +623,12 @@ let run_shard_planned ?cached config =
           (fun rep ->
             match pending.(rep) with
             | None -> assert false
-            | Some (fault, det_result, nat_host, nat_result) ->
+            | Some (fault, det_result, det_ras, nat_host, nat_result) ->
                 rep_records.(rep) <-
                   Some
                     (Tm.with_span "campaign.classify" (fun () ->
                          classify_faulted config ~req ~host ~golden_result
-                           ~fault ~det_result ~nat_host ~nat_result)))
+                           ~fault ~det_result ~det_ras ~nat_host ~nat_result)))
           plan.Planner.reps;
         assemble req golden_result faults plan ~record_of_rep:(fun rep ->
             match rep_records.(rep) with None -> assert false | Some r -> r)
@@ -623,7 +641,8 @@ let run_shard_planned ?cached config =
         fresh_traces := trace :: !fresh_traces;
         let max_step = max 1 golden_result.Cpu.steps in
         let faults =
-          Array.init n_faults (fun _ -> Fault.sample fault_rng ~max_step)
+          Array.init n_faults (fun _ ->
+              Fault.sample ~classes:config.fault_classes fault_rng ~max_step)
         in
         let plan =
           Tm.with_span "campaign.plan" (fun () -> Planner.plan trace faults)

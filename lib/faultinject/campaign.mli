@@ -51,6 +51,12 @@ module Config : sig
     mode : Xentry_workload.Profile.virt_mode;
     detector : Xentry_core.Transition_detector.t option;
     framework : Xentry_core.Pipeline.detection;
+    fault_classes : Fault.cls list;
+        (** classes {!Fault.sample} draws from (default
+            [[Fault.Reg_single_bit]], the paper's model — which keeps
+            the sampler's RNG stream, and therefore every record of a
+            seeded campaign, bit-identical to the pre-widening
+            engine) *)
     fuel : int;
     hardened : bool;
         (** use the selective-duplication handler variants (paper §VI
@@ -74,6 +80,7 @@ module Config : sig
   val make :
     ?detector:Xentry_core.Transition_detector.t ->
     ?framework:Xentry_core.Pipeline.detection ->
+    ?fault_classes:Fault.cls list ->
     ?mode:Xentry_workload.Profile.virt_mode ->
     ?fuel:int ->
     ?hardened:bool ->
@@ -124,6 +131,7 @@ type config = Config.t = {
   mode : Xentry_workload.Profile.virt_mode;
   detector : Xentry_core.Transition_detector.t option;
   framework : Xentry_core.Pipeline.detection;
+  fault_classes : Fault.cls list;
   fuel : int;
   hardened : bool;
   prune : bool;

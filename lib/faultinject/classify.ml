@@ -155,7 +155,7 @@ let undetected_class ~fault ~signature_differs diff_list =
        the corruptions and nothing kernel-critical is. *)
     if has is_time && not (has is_severe) then Outcome.Time_values
     else if
-      fault.Fault.target = Xentry_isa.Reg.Gpr Xentry_isa.Reg.RSP
+      fault.Fault.target = Fault.Reg (Xentry_isa.Reg.Gpr Xentry_isa.Reg.RSP)
       || has (fun d -> d = Stack_diff)
     then Outcome.Stack_values
     else Outcome.Other_values

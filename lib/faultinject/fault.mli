@@ -1,20 +1,74 @@
-(** The fault model (paper §V-B).
+(** The fault model (paper §V-B, widened).
 
-    A single bit flip in the architectural register state — the 16
-    general-purpose registers, the instruction pointer and the flags —
-    injected at a uniformly random dynamic instruction of a hypervisor
-    execution.  One fault per run; concurrent double faults are deemed
-    too improbable (§V-B). *)
+    The paper's baseline model is a single bit flip in the
+    architectural register state — the 16 general-purpose registers,
+    the instruction pointer and the flags — injected at a uniformly
+    random dynamic instruction of a hypervisor execution.  This
+    module widens it to a tagged family of fault classes: multi-bit
+    register upsets, SET-style transient pulses that revert after a
+    bounded window, and memory-system strikes (data words, cached TLB
+    translations, page-table entries) whose consumption is observed
+    at the CPU's access sites and logged into the RAS error-record
+    bank.  One fault per run; concurrent double faults are deemed too
+    improbable (§V-B). *)
+
+(** A fault class names a strike mechanism; {!sample} draws the
+    concrete target/bit/step uniformly within the class. *)
+type cls =
+  | Reg_single_bit  (** the paper's classic model ([reg1]) *)
+  | Reg_multi_bit  (** 2–4 adjacent register bits ([reg2]) *)
+  | Set_transient
+      (** single-event transient: a register flip that reverts after a
+          bounded step window unless consumed first ([set]) *)
+  | Mem_word  (** 64-bit memory word upset ([mem]) *)
+  | Tlb_entry  (** bit flip in a cached translation's frame number ([tlb]) *)
+  | Page_table_entry  (** word upset inside the page-table structures ([pte]) *)
+
+val all_classes : cls array
+
+val cls_name : cls -> string
+(** Short stable name: [reg1], [reg2], [set], [mem], [tlb], [pte]. *)
+
+val cls_of_string : string -> cls option
+
+val parse_classes : string -> (cls list, string) result
+(** Parse a comma-separated class list ([--fault-classes] syntax);
+    deduplicates, rejects unknown names and the empty list. *)
+
+val classes_to_string : cls list -> string
+
+type target =
+  | Reg of Xentry_isa.Reg.arch
+  | Mem of int64  (** word address *)
+  | Tlb of int64  (** page number *)
+  | Pte of int64  (** word address inside the page-table area *)
 
 type t = {
-  target : Xentry_isa.Reg.arch;
+  cls : cls;
+  target : target;
   bit : int;  (** 0–63 *)
-  step : int;  (** dynamic instruction index of the flip *)
+  width : int;  (** adjacent bits flipped; 1 except for [Reg_multi_bit] *)
+  window : int option;  (** [Set_transient] revert window, else [None] *)
+  step : int;  (** dynamic instruction index of the strike *)
 }
 
-val sample : Xentry_util.Rng.t -> max_step:int -> t
-(** Uniform over registers, bits, and \[0, max_step). *)
+val cls_of : t -> cls
+
+val reg : Xentry_isa.Reg.arch -> bit:int -> step:int -> t
+(** The classic single-bit register fault ([Reg_single_bit], width 1,
+    no window). *)
+
+val sample : ?classes:cls list -> Xentry_util.Rng.t -> max_step:int -> t
+(** Draw a fault: a uniform class choice from [classes] (default
+    [[Reg_single_bit]]), then a uniform target/bit/step within the
+    class.  With the default single-class list the draw consumes a
+    RNG stream bit-identical to the historical register-only sampler
+    (no class choice is drawn), so seeded [reg1] campaigns reproduce
+    their pre-widening records exactly. *)
 
 val to_injection : t -> Xentry_machine.Cpu.injection
 
 val pp : Format.formatter -> t -> unit
+(** [Reg_single_bit] faults keep the historical
+    ["RAX[bit 12]@step 34"] format; other classes are prefixed with
+    their class name. *)

@@ -9,6 +9,17 @@ type plan = {
   reps : int list;
 }
 
+(* Pages a memory-class strike can corrupt: both pages of the struck
+   word for [Mem]/[Pte] (a word may straddle a boundary), the struck
+   page itself for [Tlb]. *)
+let strike_pages (f : Fault.t) =
+  match f.Fault.target with
+  | Fault.Mem a | Fault.Pte a ->
+      let p = Memory.page_of a and p' = Memory.page_of (Int64.add a 7L) in
+      if Int64.equal p p' then [ p ] else [ p; p' ]
+  | Fault.Tlb p -> [ p ]
+  | Fault.Reg _ -> []
+
 let plan (trace : Golden_trace.t) (faults : Fault.t array) =
   let n = Array.length faults in
   let dispositions = Array.make n (Pruned Cpu.Never_touched) in
@@ -24,19 +35,53 @@ let plan (trace : Golden_trace.t) (faults : Fault.t array) =
     done
   else begin
     let classes = Hashtbl.create 16 in
+    let len = Golden_trace.length trace in
     for i = 0 to n - 1 do
       let f = faults.(i) in
-      match Golden_trace.fate trace ~target:f.Fault.target ~step:f.Fault.step with
-      | (Cpu.Never_touched | Cpu.Overwritten _) as fate ->
-          dispositions.(i) <- Pruned fate
-      | Cpu.Activated s -> (
-          let key = (f.Fault.target, f.Fault.bit, s) in
-          match Hashtbl.find_opt classes key with
-          | Some rep -> dispositions.(i) <- Run { rep; act = s }
-          | None ->
-              Hashtbl.add classes key i;
-              dispositions.(i) <- Run { rep = i; act = s };
-              reps := i :: !reps)
+      match f.Fault.target with
+      | Fault.Reg target -> (
+          match Golden_trace.fate trace ~target ~step:f.Fault.step with
+          | (Cpu.Never_touched | Cpu.Overwritten _) as fate ->
+              dispositions.(i) <- Pruned fate
+          | Cpu.Activated s -> (
+              match f.Fault.window with
+              | Some w when s >= f.Fault.step + w ->
+                  (* SET pulse: the revert (at the top of step
+                     [step + w], before that step executes) beats the
+                     first read — the register is clean again when it
+                     is finally consumed, and the watch is cleared. *)
+                  dispositions.(i) <- Pruned Cpu.Never_touched
+              | _ -> (
+                  (* Activated before any revert window expires: from
+                     the first read on, the execution only depends on
+                     which bits are wrong and when they first reach
+                     the data path — a SET pulse that activates is a
+                     persistent flip.  Class key: (register, bits,
+                     activation step). *)
+                  let key = (f.Fault.target, f.Fault.bit, f.Fault.width, s) in
+                  match Hashtbl.find_opt classes key with
+                  | Some rep -> dispositions.(i) <- Run { rep; act = s }
+                  | None ->
+                      Hashtbl.add classes key i;
+                      dispositions.(i) <- Run { rep = i; act = s };
+                      reps := i :: !reps)))
+      | Fault.Mem _ | Fault.Tlb _ | Fault.Pte _ ->
+          (* The page-touch summary has no timing, so the only safe
+             prunes are faults that provably cannot be consumed: the
+             run ends before the strike fires, or no access of the
+             whole run touches a struck page.  Everything else runs
+             individually at its sampled step — no collapsing. *)
+          if
+            f.Fault.step >= len
+            || not
+                 (List.exists
+                    (fun p -> Golden_trace.mem_touched trace ~page:p)
+                    (strike_pages f))
+          then dispositions.(i) <- Pruned Cpu.Never_touched
+          else begin
+            dispositions.(i) <- Run { rep = i; act = f.Fault.step };
+            reps := i :: !reps
+          end
     done;
     reps := List.rev !reps
   end;

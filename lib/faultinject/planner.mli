@@ -10,19 +10,29 @@
       value is provably never consumed, so the detected execution is
       step-identical to the golden one and its record can be
       synthesized without touching a CPU;
-    - faults that activate are grouped into equivalence classes by
-      [(target, bit, activation step)].  Members of a class flip the
-      same dead bit at different points of the same dead interval, so
-      the corrupted value first reaches the data path at the same step
-      with the same contents: their executions are bit-identical from
-      the flip on, and one {e representative} run serves the whole
-      class.  For the same reason the representative itself need not
-      replay its dead interval: injecting at the {e activation} step
-      [act] — from a snapshot at or before [act] rather than the
-      sampled step — produces a bit-identical execution and verdict
-      (the register is untouched between the sampled step and [act],
-      and detection latency is measured from activation, not from
-      injection).
+    - register faults that activate are grouped into equivalence
+      classes by [(target, bit, width, activation step)].  Members of
+      a class flip the same dead bits at different points of the same
+      dead interval, so the corrupted value first reaches the data
+      path at the same step with the same contents: their executions
+      are bit-identical from the flip on, and one {e representative}
+      run serves the whole class.  For the same reason the
+      representative itself need not replay its dead interval:
+      injecting at the {e activation} step [act] — from a snapshot at
+      or before [act] rather than the sampled step — produces a
+      bit-identical execution and verdict (the register is untouched
+      between the sampled step and [act], and detection latency is
+      measured from activation, not from injection).  A
+      [Set_transient] pulse whose revert window expires before the
+      first read is pruned to [Never_touched] (the revert fires at
+      the top of step [step + window], before the read); one that
+      activates first is a persistent flip and collapses normally;
+    - memory-class faults ([Mem]/[Tlb]/[Pte]) consult the trace's
+      page-touch summaries instead of register def/use: a fault whose
+      strike fires after the run ends, or none of whose struck pages
+      is ever loaded or stored, is pruned to [Never_touched];
+      everything else runs individually at its sampled step — the
+      summaries carry no timing, so no collapsing is attempted.
 
     The one case the trace cannot vouch for is a golden run that
     stopped on an assertion failure: replays may toggle assertions

@@ -4,6 +4,7 @@ type technique_counts = {
   hw_exception : int;
   sw_assertion : int;
   vm_transition : int;
+  ras_report : int;
   undetected : int;
 }
 
@@ -20,7 +21,7 @@ type summary = {
 }
 
 let coverage_of t =
-  let detected = t.hw_exception + t.sw_assertion + t.vm_transition in
+  let detected = t.hw_exception + t.sw_assertion + t.vm_transition + t.ras_report in
   let total = detected + t.undetected in
   if total = 0 then 0.0 else float_of_int detected /. float_of_int total
 
@@ -39,8 +40,16 @@ let summarize records =
             { acc with sw_assertion = acc.sw_assertion + 1 }
         | Framework.Detected { technique = Framework.Vm_transition; _ } ->
             { acc with vm_transition = acc.vm_transition + 1 }
+        | Framework.Detected { technique = Framework.Ras_report; _ } ->
+            { acc with ras_report = acc.ras_report + 1 }
         | Framework.Clean -> { acc with undetected = acc.undetected + 1 })
-      { hw_exception = 0; sw_assertion = 0; vm_transition = 0; undetected = 0 }
+      {
+        hw_exception = 0;
+        sw_assertion = 0;
+        vm_transition = 0;
+        ras_report = 0;
+        undetected = 0;
+      }
       manifested_records
   in
   let long_latency_by_consequence =
@@ -77,7 +86,7 @@ let summarize records =
         (technique, Array.of_list ls))
       [
         Framework.Hw_exception_detection; Framework.Sw_assertion;
-        Framework.Vm_transition;
+        Framework.Vm_transition; Framework.Ras_report;
       ]
   in
   let undetected_breakdown =
@@ -112,6 +121,7 @@ let technique_percentages s =
     ("H/W Exception", pct t.hw_exception s.manifested);
     ("S/W Assertion", pct t.sw_assertion s.manifested);
     ("VM Transition Detection", pct t.vm_transition s.manifested);
+    ("RAS Error Record", pct t.ras_report s.manifested);
     ("Undetected", pct t.undetected s.manifested);
   ]
 
@@ -139,7 +149,18 @@ let latency_fraction_below s technique bound =
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>injections=%d activated=%d manifested=%d coverage=%.1f%%@ \
-     hw=%d sw=%d vt=%d undetected=%d@]"
+     hw=%d sw=%d vt=%d ras=%d undetected=%d@]"
     s.total_injections s.activated s.manifested (100.0 *. s.coverage)
     s.techniques.hw_exception s.techniques.sw_assertion
-    s.techniques.vm_transition s.techniques.undetected
+    s.techniques.vm_transition s.techniques.ras_report s.techniques.undetected
+
+(* Per-fault-class summaries, in [Fault.all_classes] order, for the
+   classes that actually appear in the record set. *)
+let by_class records =
+  Array.to_list Fault.all_classes
+  |> List.filter_map (fun c ->
+         match
+           List.filter (fun r -> Fault.cls_of r.Outcome.fault = c) records
+         with
+         | [] -> None
+         | rs -> Some (c, summarize rs))

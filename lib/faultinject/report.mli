@@ -4,6 +4,7 @@ type technique_counts = {
   hw_exception : int;
   sw_assertion : int;
   vm_transition : int;
+  ras_report : int;  (** RAS error-record channel (hypervisor poll) *)
   undetected : int;
 }
 
@@ -39,5 +40,10 @@ val undetected_percentages : summary -> (string * float) list
 val latency_fraction_below : summary -> Xentry_core.Framework.technique -> int -> float
 (** Fraction of a technique's detections with latency below the given
     instruction count (e.g. the paper's "95% within 700"). *)
+
+val by_class : Outcome.record list -> (Fault.cls * summary) list
+(** Group records by fault class and summarize each — the per-class
+    coverage/latency rows the CLI and bench tables print.  Classes in
+    {!Fault.all_classes} order; absent classes omitted. *)
 
 val pp : Format.formatter -> summary -> unit

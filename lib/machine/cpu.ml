@@ -9,7 +9,36 @@ type stop =
 
 type fault_fate = Never_touched | Overwritten of int | Activated of int
 
-type injection = { inj_target : Reg.arch; inj_bit : int; inj_step : int }
+(* What the fault strikes.  Register targets are flipped in the live
+   architectural state and tracked by the def-use watch; memory-class
+   targets are flipped in (or steered around) simulated memory and
+   tracked by the access-site watch in [load_mem]/[store_mem], which
+   also logs into the RAS bank when the corruption is architecturally
+   observed. *)
+type inj_target =
+  | Inj_reg of Reg.arch
+  | Inj_mem of int64  (** word address *)
+  | Inj_tlb of int64  (** page number whose cached translation is struck *)
+  | Inj_pte of int64  (** word address inside a page-table structure *)
+
+type injection = {
+  inj_target : inj_target;
+  inj_bit : int;
+  inj_width : int;  (** adjacent bits flipped (>= 1) *)
+  inj_window : int option;
+      (** SET pulse: revert after this many steps if still unobserved
+          (register targets only) *)
+  inj_step : int;
+}
+
+let reg_injection ?(width = 1) ?window target ~bit ~step =
+  {
+    inj_target = Inj_reg target;
+    inj_bit = bit;
+    inj_width = width;
+    inj_window = window;
+    inj_step = step;
+  }
 
 type activation_report = { injection : injection; fate : fault_fate }
 
@@ -21,6 +50,20 @@ type run_result = {
 }
 
 type watch = { target : Reg.arch; mutable fate : fault_fate }
+
+(* Memory-class watch, checked at the shared [load_mem]/[store_mem]
+   access sites (both engines funnel through them).  Word targets
+   activate on an overlapping load and are overwritten by an
+   overlapping store; page-granular targets (struck TLB entries)
+   activate on any access through the corrupted translation. *)
+type mem_watch = {
+  mw_addr : int64;  (** word address (page base for TLB strikes) *)
+  mw_watch_page : int64;  (** page number, for page-granular watches *)
+  mw_page_granular : bool;
+  mw_source : Xentry_ras.Ras.source;
+  mw_syndrome : int64;
+  mutable mw_fate : fault_fate;
+}
 
 type t = {
   cpu_id : int;
@@ -34,6 +77,13 @@ type t = {
   cpuid_fn : int64 -> int64 * int64 * int64 * int64;
   mutable assertions_on : bool;
   mutable watch : watch option;
+  mutable mem_watch : mem_watch option;
+  ras : Xentry_ras.Ras.Bank.t;
+      (* per-CPU RAS error-record bank; sticky across runs, drained by
+         the hypervisor poller *)
+  mutable mem_hook : (int64 -> bool -> unit) option;
+      (* observer for every load/store address ([true] = store); set
+         by golden-trace recording to build page-touch summaries *)
   mutable steps : int;
   mutable code_base : int64;
       (* where the running program is mapped; compiled closures read it
@@ -98,6 +148,9 @@ let create ?(cpu_id = 0) ?(tsc_step = 3) ?(cpuid_fn = default_cpuid) mem =
     cpuid_fn;
     assertions_on = true;
     watch = None;
+    mem_watch = None;
+    ras = Xentry_ras.Ras.Bank.create ();
+    mem_hook = None;
     steps = 0;
     code_base = 0L;
     next_idx = 0;
@@ -116,6 +169,8 @@ let get_tsc t = t.tsc
 let set_tsc t v = t.tsc <- v
 let set_assertions_enabled t b = t.assertions_on <- b
 let assertions_enabled t = t.assertions_on
+let ras_bank t = t.ras
+let set_mem_hook t f = t.mem_hook <- f
 
 exception Stopped of stop
 
@@ -132,17 +187,70 @@ let effective_address t (m : Operand.mem) =
   in
   Int64.add (Int64.add base index) m.disp
 
+(* Pre-access watch check, run before the memory operation so a
+   corrupted access that page-faults still activates the fault (and
+   logs it).  Returns the watch when this access is its first
+   observable consumption — the caller logs the RAS record with a
+   severity that depends on whether the access completed. *)
+let mem_touch t addr ~store =
+  (match t.mem_hook with None -> () | Some f -> f addr store);
+  match t.mem_watch with
+  | Some w when w.mw_fate = Never_touched ->
+      let hit =
+        if w.mw_page_granular then
+          Int64.equal (Memory.page_of addr) w.mw_watch_page
+          || Int64.equal (Memory.page_of (Int64.add addr 7L)) w.mw_watch_page
+        else
+          let d = Int64.sub addr w.mw_addr in
+          Int64.compare d (-7L) >= 0 && Int64.compare d 7L <= 0
+      in
+      if not hit then None
+      else if store && not w.mw_page_granular then begin
+        (* The poisoned word is (at least partly) rewritten before any
+           read: the upset is gone before anything consumed it. *)
+        w.mw_fate <- Overwritten t.steps;
+        None
+      end
+      else begin
+        w.mw_fate <- Activated t.steps;
+        Some w
+      end
+  | Some _ | None -> None
+
+let log_ras t w ~fatal =
+  let open Xentry_ras.Ras in
+  let severity = if fatal then Fatal else Uncorrected in
+  ignore
+    (Bank.log t.ras
+       {
+         addr = w.mw_addr;
+         syndrome = w.mw_syndrome;
+         severity;
+         source = w.mw_source;
+         step = t.steps;
+       }
+      : bool)
+
 let load_mem t addr =
+  let hit = mem_touch t addr ~store:false in
   match Memory.load64 t.mem addr with
   | v ->
+      (match hit with Some w -> log_ras t w ~fatal:false | None -> ());
       Pmu.add t.pmu_unit Pmu.Mem_loads 1;
       v
-  | exception Memory.Fault { addr; _ } -> hw_fault Hw_exception.PF addr
+  | exception Memory.Fault { addr; _ } ->
+      (match hit with Some w -> log_ras t w ~fatal:true | None -> ());
+      hw_fault Hw_exception.PF addr
 
 let store_mem t addr v =
+  let hit = mem_touch t addr ~store:true in
   match Memory.store64 t.mem addr v with
-  | () -> Pmu.add t.pmu_unit Pmu.Mem_stores 1
-  | exception Memory.Fault { addr; _ } -> hw_fault Hw_exception.PF addr
+  | () ->
+      (match hit with Some w -> log_ras t w ~fatal:false | None -> ());
+      Pmu.add t.pmu_unit Pmu.Mem_stores 1
+  | exception Memory.Fault { addr; _ } ->
+      (match hit with Some w -> log_ras t w ~fatal:true | None -> ());
+      hw_fault Hw_exception.PF addr
 
 let eval t = function
   | Operand.Reg g -> get_gpr t g
@@ -356,12 +464,17 @@ let exec_pop t =
   set_gpr t Reg.RSP (Int64.add sp 8L);
   v
 
-let flip_register_bit t arch bit =
-  let open Xentry_util in
+let bits_mask ~bit ~width =
+  Int64.shift_left (Int64.of_int ((1 lsl width) - 1)) bit
+
+let flip_register_bits t arch ~bit ~width =
+  let mask = bits_mask ~bit ~width in
   match arch with
-  | Reg.Gpr g -> set_gpr t g (Bits.flip (get_gpr t g) bit)
-  | Reg.Rip -> t.rip <- Bits.flip t.rip bit
-  | Reg.Rflags -> t.rflags <- Bits.flip t.rflags bit
+  | Reg.Gpr g -> set_gpr t g (Int64.logxor (get_gpr t g) mask)
+  | Reg.Rip -> t.rip <- Int64.logxor t.rip mask
+  | Reg.Rflags -> t.rflags <- Int64.logxor t.rflags mask
+
+let flip_register_bit t arch bit = flip_register_bits t arch ~bit ~width:1
 
 (* --- mid-run capture and resume ------------------------------------------ *)
 
@@ -396,6 +509,7 @@ let restore_common t st ~code_base =
   t.code_base <- code_base;
   t.steps <- st.rs_steps;
   t.watch <- None;
+  t.mem_watch <- None;
   Pmu.enable t.pmu_unit;
   Pmu.add t.pmu_unit Pmu.Br_inst_retired st.rs_branches;
   Pmu.add t.pmu_unit Pmu.Mem_loads st.rs_loads;
@@ -445,18 +559,82 @@ let start_run t ~program ~code_base ~entry =
   t.code_base <- code_base;
   t.steps <- 0;
   t.watch <- None;
+  t.mem_watch <- None;
   Pmu.enable t.pmu_unit;
   entry_index
 
+(* Fire the strike and arm the matching watch.  Memory-class strikes
+   that find their target unmapped do nothing and arm nothing: no
+   corruption happened, so the run must be indistinguishable from the
+   golden one ([finish_run] then reports [Never_touched]). *)
+let apply_injection t inj =
+  match inj.inj_target with
+  | Inj_reg arch ->
+      flip_register_bits t arch ~bit:inj.inj_bit ~width:inj.inj_width;
+      t.watch <- Some { target = arch; fate = Never_touched }
+  | Inj_mem addr | Inj_pte addr ->
+      let mask = bits_mask ~bit:inj.inj_bit ~width:inj.inj_width in
+      if Memory.flip_word t.mem addr ~mask then
+        t.mem_watch <-
+          Some
+            {
+              mw_addr = addr;
+              mw_watch_page = 0L;
+              mw_page_granular = false;
+              mw_source =
+                (match inj.inj_target with
+                | Inj_pte _ -> Xentry_ras.Ras.Pte
+                | _ -> Xentry_ras.Ras.Mem);
+              mw_syndrome = mask;
+              mw_fate = Never_touched;
+            }
+  | Inj_tlb page ->
+      if Memory.strike_tlb t.mem ~page ~bit:inj.inj_bit then
+        t.mem_watch <-
+          Some
+            {
+              mw_addr = Int64.shift_left page 12;
+              mw_watch_page = page;
+              mw_page_granular = true;
+              mw_source = Xentry_ras.Ras.Tlb;
+              mw_syndrome = Int64.shift_left 1L inj.inj_bit;
+              mw_fate = Never_touched;
+            }
+
+(* The per-step injection driver: fires the strike at its step, and —
+   for SET-style pulses — restores the register at the end of the
+   window if nothing observed the corrupted value in the meantime (a
+   transient that was never latched).  An observed or overwritten
+   pulse is left alone: from activation onwards it is indistinguishable
+   from a persistent flip.  Returns the closure plus the fired flag
+   (the fast engine's handoff test reads it). *)
 let make_injector t inject =
   let injected = ref false in
-  fun () ->
+  let reverted = ref false in
+  let fire () =
     match inject with
-    | Some inj when (not !injected) && t.steps >= inj.inj_step ->
-        injected := true;
-        flip_register_bit t inj.inj_target inj.inj_bit;
-        t.watch <- Some { target = inj.inj_target; fate = Never_touched }
-    | Some _ | None -> ()
+    | None -> ()
+    | Some inj ->
+        if (not !injected) && t.steps >= inj.inj_step then begin
+          injected := true;
+          apply_injection t inj
+        end
+        else if !injected && not !reverted then begin
+          match inj.inj_window with
+          | Some w when t.steps >= inj.inj_step + w -> (
+              reverted := true;
+              match t.watch with
+              | Some { target; fate = Never_touched } ->
+                  flip_register_bits t target ~bit:inj.inj_bit
+                    ~width:inj.inj_width;
+                  (* Stand the watch down entirely: later touches see
+                     the correct value. *)
+                  t.watch <- None
+              | Some _ | None -> ())
+          | Some _ | None -> ()
+        end
+  in
+  (fire, injected)
 
 (* The fetch consumes RIP, so a watched RIP activates at the fetch even
    if the fetch itself faults. *)
@@ -469,12 +647,17 @@ let watch_rip_fetch t =
 let finish_run t ~inject stop_reason =
   Pmu.disable t.pmu_unit;
   let activation =
-    match (inject, t.watch) with
-    | Some injection, Some w -> Some { injection; fate = w.fate }
-    | Some injection, None ->
-        (* Run ended before the injection step was reached. *)
-        Some { injection; fate = Never_touched }
-    | None, _ -> None
+    match inject with
+    | Some injection -> (
+        match (t.watch, t.mem_watch) with
+        | Some w, _ -> Some { injection; fate = w.fate }
+        | None, Some w -> Some { injection; fate = w.mw_fate }
+        | None, None ->
+            (* Run ended before the injection step was reached, the
+               strike found nothing to corrupt, or a SET pulse
+               reverted unobserved. *)
+            Some { injection; fate = Never_touched })
+    | None -> None
   in
   {
     stop = stop_reason;
@@ -509,7 +692,7 @@ let run t ~program ~code_base ?entry ?(fuel = 100_000) ?inject ?on_step
     }
   in
   let check_pause = make_pauser t pause_at on_pause capture in
-  let maybe_inject = make_injector t inject in
+  let maybe_inject, _injected = make_injector t inject in
   let stop_reason =
     try
       let rec step () =
@@ -1140,16 +1323,13 @@ let run_compiled t ~compiled ~code_base ?entry ?(fuel = 100_000) ?inject
            to the hot loop for its remainder.  A resumed injection
            fires at the resume boundary and typically activates on its
            first step, making the whole suffix index-driven. *)
-        let injected = ref false in
-        let maybe_inject () =
-          match inject with
-          | Some inj when (not !injected) && t.steps >= inj.inj_step ->
-              injected := true;
-              flip_register_bit t inj.inj_target inj.inj_bit;
-              t.watch <- Some { target = inj.inj_target; fate = Never_touched }
-          | Some _ | None -> ()
-        in
+        let maybe_inject, injected = make_injector t inject in
         let traced = match on_step with Some _ -> true | None -> false in
+        (* Once the injection fired, the remaining per-step obligations
+           are the register watch and a pending SET revert — both of
+           which keep [t.watch] alive with [Never_touched], so one test
+           covers them.  Memory-class watches live in the access sites
+           shared with the hot loop, so they never block handoff. *)
         let handoff () =
           (not traced)
           && !pc >= plen

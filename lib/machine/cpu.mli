@@ -3,10 +3,11 @@
     Executes an assembled {!Xentry_isa.Program.t} against a simulated
     memory, counting performance events, raising hardware exceptions,
     evaluating Xentry's software assertions, and — for fault-injection
-    campaigns — flipping a single architectural register bit at a
-    chosen dynamic instruction and tracking whether the corrupted value
-    is ever consumed (paper §V-B's activated / non-activated fault
-    distinction).
+    campaigns — striking architectural state at a chosen dynamic
+    instruction (register bits, memory words, TLB translations or
+    page-table entries; persistent flips or SET-style reverting
+    pulses) and tracking whether the corrupted value is ever consumed
+    (paper §V-B's activated / non-activated fault distinction).
 
     A "run" models one hypervisor execution: it starts right after a
     VM exit and finishes at the [Vmentry] instruction, a hardware
@@ -83,11 +84,36 @@ type fault_fate =
   | Overwritten of int  (** fully overwritten at this step before any read *)
   | Activated of int  (** first read at this step: the fault is live *)
 
+(** Strike site of an injection.  Register targets flip live
+    architectural state; memory-class targets corrupt simulated memory
+    (or the translation of a page) and are watched at the CPU's
+    load/store sites, which also log a RAS error record when the
+    corruption is architecturally observed. *)
+type inj_target =
+  | Inj_reg of Xentry_isa.Reg.arch
+  | Inj_mem of int64  (** word address *)
+  | Inj_tlb of int64  (** page number whose translation is struck *)
+  | Inj_pte of int64  (** word address inside a page-table structure *)
+
 type injection = {
-  inj_target : Xentry_isa.Reg.arch;
+  inj_target : inj_target;
   inj_bit : int;  (** 0–63 *)
+  inj_width : int;  (** adjacent bits flipped (>= 1; 1 = the classic model) *)
+  inj_window : int option;
+      (** SET pulse: if set, the flip reverts after this many steps
+          unless something observed (or overwrote) it first.  Register
+          targets only. *)
   inj_step : int;  (** flip occurs just before executing this step *)
 }
+
+val reg_injection :
+  ?width:int ->
+  ?window:int ->
+  Xentry_isa.Reg.arch ->
+  bit:int ->
+  step:int ->
+  injection
+(** The classic single-register injection ([width] 1, no window). *)
 
 type activation_report = { injection : injection; fate : fault_fate }
 
@@ -191,5 +217,24 @@ val flip_register_bit : t -> Xentry_isa.Reg.arch -> int -> unit
 (** Unconditionally flip a bit in the live architectural state (used
     by tests and by the campaign to model faults during the
     VM-transition window itself). *)
+
+val flip_register_bits : t -> Xentry_isa.Reg.arch -> bit:int -> width:int -> unit
+(** Flip [width] adjacent bits starting at [bit] (bits above 63 are
+    dropped). *)
+
+(** {2 RAS bank and access observation} *)
+
+val ras_bank : t -> Xentry_ras.Ras.Bank.t
+(** The CPU's RAS error-record bank.  The access-site watches log into
+    it when an injected memory/TLB/page-table corruption is
+    architecturally observed: [Uncorrected] when the access completed
+    on poisoned data, [Fatal] when it could not complete (unmapped
+    physical page).  Sticky across runs; the hypervisor drains it. *)
+
+val set_mem_hook : t -> (int64 -> bool -> unit) option -> unit
+(** Observe every load/store address issued by either engine
+    ([true] = store) — golden-trace recording uses this to build the
+    page-touch summaries memory-class pruning consults.  Clear it
+    ([None]) after the recorded run. *)
 
 val pp_stop : Format.formatter -> stop -> unit

@@ -8,6 +8,8 @@ type t = {
   fetch_faulted : bool;
   mem_loads : int;
   mem_stores : int;
+  loaded_pages : int64 array;
+  stored_pages : int64 array;
 }
 
 let length t = Array.length t.meta
@@ -20,6 +22,8 @@ let equal a b =
   && a.mem_stores = b.mem_stores
   && a.index = b.index
   && a.meta = b.meta
+  && a.loaded_pages = b.loaded_pages
+  && a.stored_pages = b.stored_pages
 
 (* --- recording --------------------------------------------------------- *)
 
@@ -30,6 +34,8 @@ type recorder = {
   mutable len : int;
   mutable loads : int;
   mutable stores : int;
+  pages_loaded : (int64, unit) Hashtbl.t;
+  pages_stored : (int64, unit) Hashtbl.t;
 }
 
 let recorder ~meta =
@@ -40,7 +46,20 @@ let recorder ~meta =
     len = 0;
     loads = 0;
     stores = 0;
+    pages_loaded = Hashtbl.create 64;
+    pages_stored = Hashtbl.create 64;
   }
+
+(* The address-level observer to install with [Cpu.set_mem_hook] for
+   the recorded run: accumulates the pages every load/store touches
+   (both pages, for a word access spanning a boundary). *)
+let mem_hook r addr store =
+  let tbl = if store then r.pages_stored else r.pages_loaded in
+  let p = Memory.page_of addr in
+  if not (Hashtbl.mem tbl p) then Hashtbl.replace tbl p ();
+  let p' = Memory.page_of (Int64.add addr 7L) in
+  if (not (Int64.equal p p')) && not (Hashtbl.mem tbl p') then
+    Hashtbl.replace tbl p' ()
 
 let grow r =
   let cap = Array.length r.buf_index in
@@ -71,6 +90,17 @@ let finish r ~(result : Cpu.run_result) =
     | Cpu.Hw_fault _ -> result.Cpu.steps = r.len
     | _ -> false
   in
+  let sorted_pages tbl =
+    let a = Array.make (Hashtbl.length tbl) 0L in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun p () ->
+        a.(!i) <- p;
+        incr i)
+      tbl;
+    Array.sort Int64.compare a;
+    a
+  in
   {
     index = Array.sub r.buf_index 0 r.len;
     meta = Array.sub r.buf_meta 0 r.len;
@@ -79,9 +109,24 @@ let finish r ~(result : Cpu.run_result) =
     fetch_faulted;
     mem_loads = r.loads;
     mem_stores = r.stores;
+    loaded_pages = sorted_pages r.pages_loaded;
+    stored_pages = sorted_pages r.pages_stored;
   }
 
 (* --- def-use queries --------------------------------------------------- *)
+
+let mem_member a page =
+  let rec bs lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      let c = Int64.compare a.(mid) page in
+      if c = 0 then true else if c < 0 then bs (mid + 1) hi else bs lo mid
+  in
+  bs 0 (Array.length a)
+
+let mem_touched t ~page =
+  mem_member t.loaded_pages page || mem_member t.stored_pages page
 
 (* Mirrors [Cpu.update_watch]/[Cpu.watch_rip_fetch]: within a step the
    read test precedes the write test, the scan starts at the injection

@@ -31,6 +31,10 @@ type t = {
           injection point but no instruction *)
   mem_loads : int;  (** static per-instruction loads summed over steps *)
   mem_stores : int;  (** static per-instruction stores summed over steps *)
+  loaded_pages : int64 array;
+      (** sorted, deduplicated page numbers every load touched *)
+  stored_pages : int64 array;
+      (** sorted, deduplicated page numbers every store touched *)
 }
 
 val length : t -> int
@@ -48,6 +52,11 @@ val recorder : meta:int array -> recorder
 
 val on_step : recorder -> int -> int Xentry_isa.Instr.t -> unit
 (** The [on_step] hook to pass to [Cpu.run]/[Cpu.run_compiled]. *)
+
+val mem_hook : recorder -> int64 -> bool -> unit
+(** The address observer to install with [Cpu.set_mem_hook] for the
+    recorded run ([true] = store); accumulates the page-touch
+    summaries.  Clear the hook after the run. *)
 
 val finish : recorder -> result:Cpu.run_result -> t
 (** Seal the recording once the run returned. *)
@@ -70,3 +79,8 @@ val fate : t -> target:Xentry_isa.Reg.arch -> step:int -> Cpu.fault_fate
     exactly [step = length t] — the faulting iteration does execute
     its injection point, and the corrupted RIP is consumed by the
     fetch, so the fault reports [Activated]. *)
+
+val mem_touched : t -> page:int64 -> bool
+(** Did any load or store of the recorded run touch this page?  A
+    memory/TLB/PTE fault on a page the golden run never touches can
+    never be consumed, so the planner prunes it to [Never_touched]. *)

@@ -312,6 +312,38 @@ let copy t =
   end;
   { (create ()) with pages = t.pages }
 
+(* {2 Fault-injection strikes}
+
+   Both strikes go through the normal page-table/COW machinery, so a
+   strike on a cloned host never leaks into the golden host it was
+   copied from. *)
+
+let flip_word t addr ~mask =
+  let last = Int64.add addr 7L in
+  if is_mapped t addr && is_mapped t last then begin
+    store64 t addr (Int64.logxor (load64 t addr) mask);
+    true
+  end
+  else false
+
+let strike_tlb t ~page ~bit =
+  let alias = Int64.logxor page (Int64.shift_left 1L bit) in
+  match PageMap.find_opt page t.pages with
+  | None -> false
+  | Some _ ->
+      (match PageMap.find_opt alias t.pages with
+      | Some ap ->
+          (* The corrupted translation resolves to the alias frame:
+             both page numbers now reach one record, like two VAs
+             steered at the same physical page. *)
+          t.pages <- PageMap.add page ap t.pages
+      | None ->
+          (* The flipped frame number points at nothing — every access
+             through the entry takes a page fault. *)
+          t.pages <- PageMap.remove page t.pages);
+      flush_tlb t;
+      true
+
 let mapped_bytes t = PageMap.cardinal t.pages * page_size
 
 let private_pages t =

@@ -56,6 +56,27 @@ val copy : t -> t
     O(bytes), and ranges neither side has written compare equal in
     O(1) per page ({!first_difference} skips shared pages). *)
 
+val page_of : int64 -> int64
+(** The page number an address belongs to ([addr >> 12]). *)
+
+(** {2 Fault-injection strikes}
+
+    Entry points for the widened fault model: both mutate through the
+    normal COW write path (or rebind the page table), so strikes on a
+    cloned host never alias into the host it was copied from, and a
+    strike followed by {!copy} behaves like any other write. *)
+
+val flip_word : t -> int64 -> mask:int64 -> bool
+(** XOR the 64-bit word at [addr] with [mask] (a memory-word upset).
+    [false] (and no effect) when any byte of the word is unmapped. *)
+
+val strike_tlb : t -> page:int64 -> bit:int -> bool
+(** Corrupt the translation of [page] as if bit [bit] of its cached
+    frame number flipped: accesses to [page] are steered at page
+    [page lxor (1 lsl bit)] — aliasing that frame when it is mapped,
+    page-faulting when it is not.  [false] (and no effect) when
+    [page] itself is unmapped.  Bumps the TLB generation. *)
+
 val mapped_bytes : t -> int
 (** Total bytes currently mapped (page-granular). *)
 

@@ -1,0 +1,173 @@
+module Tm = Xentry_util.Telemetry
+
+let tm_logged = Tm.counter "ras.records_logged"
+let tm_overflows = Tm.counter "ras.overflows"
+let tm_drains = Tm.counter "ras.drains"
+
+type severity = Corrected | Uncorrected | Fatal
+
+let severity_name = function
+  | Corrected -> "corrected"
+  | Uncorrected -> "uncorrected"
+  | Fatal -> "fatal"
+
+type source = Mem | Tlb | Pte
+
+let source_name = function Mem -> "mem" | Tlb -> "tlb" | Pte -> "pte"
+
+type record = {
+  addr : int64;
+  syndrome : int64;
+  severity : severity;
+  source : source;
+  step : int;
+}
+
+let pp_record ppf r =
+  Format.fprintf ppf "%s %s @@%Lx syndrome %Lx step %d" (source_name r.source)
+    (severity_name r.severity) r.addr r.syndrome r.step
+
+(* {2 64-byte record image}
+
+   RERI-style memory-mapped layout: one 64-byte record, fixed field
+   offsets, reserved tail bytes zero.  Byte 0 is the status byte
+   (valid | severity | source); a record decodes from exactly the
+   bytes a bank slot would expose. *)
+
+let record_bytes = 64
+let status_valid = 0x01
+
+let severity_bits = function Corrected -> 0 | Uncorrected -> 1 | Fatal -> 2
+let source_bits = function Mem -> 0 | Tlb -> 1 | Pte -> 2
+
+let encode r =
+  let b = Bytes.make record_bytes '\000' in
+  let status =
+    status_valid lor (severity_bits r.severity lsl 1) lor (source_bits r.source lsl 3)
+  in
+  Bytes.set_uint8 b 0 status;
+  Bytes.set_int64_le b 8 r.addr;
+  Bytes.set_int64_le b 16 r.syndrome;
+  Bytes.set_int64_le b 24 (Int64.of_int r.step);
+  b
+
+let decode b =
+  if Bytes.length b <> record_bytes then
+    Error (Printf.sprintf "RAS record must be %d bytes, got %d" record_bytes
+             (Bytes.length b))
+  else
+    let status = Bytes.get_uint8 b 0 in
+    if status land status_valid = 0 then Error "RAS record not valid (sticky bit clear)"
+    else
+      let severity =
+        match (status lsr 1) land 0x3 with
+        | 0 -> Ok Corrected
+        | 1 -> Ok Uncorrected
+        | 2 -> Ok Fatal
+        | n -> Error (Printf.sprintf "unknown RAS severity bits %d" n)
+      in
+      let source =
+        match (status lsr 3) land 0x3 with
+        | 0 -> Ok Mem
+        | 1 -> Ok Tlb
+        | 2 -> Ok Pte
+        | n -> Error (Printf.sprintf "unknown RAS source bits %d" n)
+      in
+      let reserved_clear =
+        let ok = ref (status land lnot 0x1F = 0) in
+        for i = 1 to 7 do
+          if Bytes.get_uint8 b i <> 0 then ok := false
+        done;
+        for i = 32 to record_bytes - 1 do
+          if Bytes.get_uint8 b i <> 0 then ok := false
+        done;
+        !ok
+      in
+      match (severity, source) with
+      | Ok severity, Ok source when reserved_clear ->
+          (* Range-check before Int64.to_int: the conversion wraps
+             modulo 2^63, so an out-of-range image could alias a valid
+             step. *)
+          let step64 = Bytes.get_int64_le b 24 in
+          if step64 < 0L || step64 > Int64.of_int max_int then
+            Error "RAS record step out of range"
+          else
+            let step = Int64.to_int step64 in
+            Ok
+              {
+                addr = Bytes.get_int64_le b 8;
+                syndrome = Bytes.get_int64_le b 16;
+                severity;
+                source;
+                step;
+              }
+      | Error e, _ | _, Error e -> Error e
+      | Ok _, Ok _ -> Error "reserved RAS record bytes not zero"
+
+module Bank = struct
+  type t = {
+    slots : record option array;
+    mutable overflow : int;
+    mutable logged : int;
+    mutable drains : int;
+  }
+
+  let default_slots = 8
+
+  let create ?(slots = default_slots) () =
+    if slots < 1 then invalid_arg "Ras.Bank.create: need >= 1 slot";
+    { slots = Array.make slots None; overflow = 0; logged = 0; drains = 0 }
+
+  let capacity t = Array.length t.slots
+  let pending t = Array.fold_left (fun n s -> if s = None then n else n + 1) 0 t.slots
+  let overflow t = t.overflow
+  let logged t = t.logged
+
+  (* First-fit into the lowest free slot; a full bank keeps what it
+     has (the oldest records are the most diagnostic) and counts the
+     drop in the sticky overflow counter. *)
+  let log t r =
+    let n = Array.length t.slots in
+    let rec go i =
+      if i >= n then begin
+        t.overflow <- t.overflow + 1;
+        if !Tm.enabled_ref then Tm.incr tm_overflows;
+        false
+      end
+      else
+        match t.slots.(i) with
+        | None ->
+            t.slots.(i) <- Some r;
+            t.logged <- t.logged + 1;
+            if !Tm.enabled_ref then Tm.incr tm_logged;
+            true
+        | Some _ -> go (i + 1)
+    in
+    go 0
+
+  (* Slot order, i.e. log order for records that never competed for a
+     slot.  Draining clears the valid bits, so a second drain with no
+     interleaved log returns []. *)
+  let drain t =
+    let out = ref [] in
+    for i = Array.length t.slots - 1 downto 0 do
+      match t.slots.(i) with
+      | None -> ()
+      | Some r ->
+          out := r :: !out;
+          t.slots.(i) <- None
+    done;
+    t.drains <- t.drains + 1;
+    if !Tm.enabled_ref then Tm.incr tm_drains;
+    !out
+
+  let drains t = t.drains
+
+  let copy t =
+    {
+      slots = Array.copy t.slots;
+      overflow = t.overflow;
+      logged = t.logged;
+      drains = t.drains;
+    }
+end

@@ -1,0 +1,91 @@
+(** RAS error-record banks — the hardware-assisted third detection
+    channel.
+
+    Modern server platforms (RISC-V RERI, ARM RAS) expose detected
+    errors through memory-mapped {e error-record banks}: fixed-size
+    64-byte records with status/address/severity/syndrome fields and
+    sticky valid bits that system software polls and drains.  This
+    module models one such bank per CPU.  The machine layer logs a
+    record whenever a corrupted access is architecturally observable —
+    a syndrome mismatch on a poisoned memory word or page-table entry,
+    or a struck TLB entry steering an access at a bad physical page —
+    and the hypervisor drains the bank after each VM exit, giving
+    Xentry a detection channel beside hardware exceptions and the
+    VM-transition tree with its own coverage/latency/cost accounting.
+
+    Banks never affect simulated execution: logging and draining do no
+    RNG draws and no architectural writes, so campaign records stay
+    bit-identical whether or not anyone polls. *)
+
+type severity =
+  | Corrected  (** error corrected in hardware; logged for trend analysis *)
+  | Uncorrected  (** data poisoned; consumer may have taken bad values *)
+  | Fatal  (** the access could not complete (e.g. unmapped physical page) *)
+
+val severity_name : severity -> string
+
+(** Which structure observed the error. *)
+type source = Mem | Tlb | Pte
+
+val source_name : source -> string
+
+type record = {
+  addr : int64;  (** faulting physical address (page base for TLB strikes) *)
+  syndrome : int64;  (** flipped-bits mask the checker computed *)
+  severity : severity;
+  source : source;
+  step : int;  (** dynamic instruction step at which the error was observed *)
+}
+
+val pp_record : Format.formatter -> record -> unit
+
+val record_bytes : int
+(** Size of the memory-mapped record image: 64. *)
+
+val encode : record -> Bytes.t
+(** The 64-byte record image: status byte (valid, severity, source),
+    address, syndrome and step at fixed offsets, reserved bytes zero. *)
+
+val decode : Bytes.t -> (record, string) result
+(** Inverse of {!encode}; rejects wrong sizes, a clear valid bit,
+    unknown severity/source encodings and nonzero reserved bytes (so
+    every single-byte corruption of an encoded record is either caught
+    or changes the decoded fields — exercised by the flip-sweep
+    test). *)
+
+(** A bank of record slots with sticky valid bits. *)
+module Bank : sig
+  type t
+
+  val default_slots : int
+  (** 8, mirroring typical per-hart RERI bank sizing. *)
+
+  val create : ?slots:int -> unit -> t
+  val capacity : t -> int
+
+  val log : t -> record -> bool
+  (** Log into the lowest free slot.  [false] when every slot holds an
+      undrained record: the new record is dropped, the {!overflow}
+      counter increments, and the oldest records are kept. *)
+
+  val drain : t -> record list
+  (** All valid records in slot order, clearing their valid bits.
+      Idempotent: a second drain with no interleaved {!log} returns
+      the empty list.  Overflow and logged counts are sticky across
+      drains. *)
+
+  val pending : t -> int
+  (** Valid (logged, undrained) records. *)
+
+  val overflow : t -> int
+  (** Records dropped because the bank was full — sticky. *)
+
+  val logged : t -> int
+  (** Records ever accepted — sticky. *)
+
+  val drains : t -> int
+  (** Times {!drain} ran. *)
+
+  val copy : t -> t
+  (** Independent copy (for host cloning). *)
+end

@@ -138,6 +138,11 @@ let run (config : config) =
           | Pipeline.Hw_exception_detection -> Detected_hw
           | Pipeline.Sw_assertion -> Detected_assertion
           | Pipeline.Vm_transition -> Detected_transition
+          | Pipeline.Ras_report ->
+              (* RAS-detected faults reach the recovery engine through
+                 the same asynchronous-poll path as transition
+                 detections: the execution itself completed. *)
+              Detected_transition
         in
         (* Micro-reboot arm: the faulted host is dropped; recovery
            works from the pre-execution context and the boot image. *)

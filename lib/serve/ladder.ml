@@ -18,7 +18,7 @@ let level_name = function
    two-tier design): each step down disarms the most expensive
    remaining technique.  The exception filter is effectively free — it
    only inspects executions that already stopped — so it is never
-   disarmed. *)
+   disarmed, and neither is the RAS poll (one bank read per exit). *)
 let detection = function
   | Full_detection -> Pipeline.full_detection
   | Runtime_only -> Pipeline.runtime_only
@@ -27,6 +27,7 @@ let detection = function
         Pipeline.hw_exceptions = true;
         sw_assertions = false;
         vm_transition = false;
+        ras_polling = true;
       }
 
 type config = {

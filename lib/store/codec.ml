@@ -87,13 +87,15 @@ let write_technique buf (t : Framework.technique) =
     (match t with
     | Framework.Hw_exception_detection -> 0
     | Framework.Sw_assertion -> 1
-    | Framework.Vm_transition -> 2)
+    | Framework.Vm_transition -> 2
+    | Framework.Ras_report -> 3)
 
 let read_technique r : Framework.technique =
   match W.read_u8 r with
   | 0 -> Framework.Hw_exception_detection
   | 1 -> Framework.Sw_assertion
   | 2 -> Framework.Vm_transition
+  | 3 -> Framework.Ras_report
   | n -> W.corrupt (Printf.sprintf "bad technique tag %d" n)
 
 let write_verdict buf (v : Framework.verdict) =
@@ -129,10 +131,71 @@ let read_undetected r : Outcome.undetected_class =
   | 3 -> Outcome.Other_values
   | n -> W.corrupt (Printf.sprintf "bad undetected-class tag %d" n)
 
+let write_cls buf (c : Fault.cls) =
+  W.u8 buf
+    (match c with
+    | Fault.Reg_single_bit -> 0
+    | Fault.Reg_multi_bit -> 1
+    | Fault.Set_transient -> 2
+    | Fault.Mem_word -> 3
+    | Fault.Tlb_entry -> 4
+    | Fault.Page_table_entry -> 5)
+
+let read_cls r : Fault.cls =
+  match W.read_u8 r with
+  | 0 -> Fault.Reg_single_bit
+  | 1 -> Fault.Reg_multi_bit
+  | 2 -> Fault.Set_transient
+  | 3 -> Fault.Mem_word
+  | 4 -> Fault.Tlb_entry
+  | 5 -> Fault.Page_table_entry
+  | n -> W.corrupt (Printf.sprintf "bad fault-class tag %d" n)
+
+let write_fault_target buf (t : Fault.target) =
+  match t with
+  | Fault.Reg a ->
+      W.u8 buf 0;
+      write_arch buf a
+  | Fault.Mem a ->
+      W.u8 buf 1;
+      W.i64 buf a
+  | Fault.Tlb p ->
+      W.u8 buf 2;
+      W.i64 buf p
+  | Fault.Pte a ->
+      W.u8 buf 3;
+      W.i64 buf a
+
+let read_fault_target r : Fault.target =
+  match W.read_u8 r with
+  | 0 -> Fault.Reg (read_arch r)
+  | 1 -> Fault.Mem (W.read_i64 r)
+  | 2 -> Fault.Tlb (W.read_i64 r)
+  | 3 -> Fault.Pte (W.read_i64 r)
+  | n -> W.corrupt (Printf.sprintf "bad fault-target tag %d" n)
+
+let write_fault buf (f : Fault.t) =
+  write_cls buf f.Fault.cls;
+  write_fault_target buf f.Fault.target;
+  W.u8 buf f.Fault.bit;
+  W.u8 buf f.Fault.width;
+  W.opt W.int_ buf f.Fault.window;
+  W.int_ buf f.Fault.step
+
+let read_fault r : Fault.t =
+  let cls = read_cls r in
+  let target = read_fault_target r in
+  let bit = W.read_u8 r in
+  if bit > 63 then W.corrupt (Printf.sprintf "bad fault bit %d" bit);
+  let width = W.read_u8 r in
+  if width < 1 || bit + width > 64 then
+    W.corrupt (Printf.sprintf "bad fault width %d (bit %d)" width bit);
+  let window = W.read_opt W.read_int r in
+  let step = W.read_int r in
+  { Fault.cls; target; bit; width; window; step }
+
 let write_record buf (rec_ : Outcome.record) =
-  write_arch buf rec_.Outcome.fault.Fault.target;
-  W.u8 buf rec_.Outcome.fault.Fault.bit;
-  W.int_ buf rec_.Outcome.fault.Fault.step;
+  write_fault buf rec_.Outcome.fault;
   write_reason buf rec_.Outcome.reason;
   W.bool_ buf rec_.Outcome.activated;
   write_consequence buf rec_.Outcome.consequence;
@@ -143,10 +206,7 @@ let write_record buf (rec_ : Outcome.record) =
   write_snapshot buf rec_.Outcome.golden_signature
 
 let read_record r : Outcome.record =
-  let target = read_arch r in
-  let bit = W.read_u8 r in
-  if bit > 63 then W.corrupt (Printf.sprintf "bad fault bit %d" bit);
-  let step = W.read_int r in
+  let fault = read_fault r in
   let reason = read_reason r in
   let activated = W.read_bool r in
   let consequence = read_consequence r in
@@ -156,7 +216,7 @@ let read_record r : Outcome.record =
   let signature = W.read_opt read_snapshot r in
   let golden_signature = read_snapshot r in
   {
-    Outcome.fault = { Fault.target; bit; step };
+    Outcome.fault;
     reason;
     activated;
     consequence;
@@ -170,7 +230,10 @@ let read_record r : Outcome.record =
 let outcome_records =
   {
     kind = "records";
-    version = 1;
+    (* v2: tagged fault classes (class, target variant, width, SET
+       window) replace the v1 register-only (target, bit, step)
+       prefix; detection verdicts gained the Ras_report technique. *)
+    version = 2;
     write = (fun buf records -> W.list_ write_record buf records);
     read = (fun r -> W.read_list read_record r);
   }
@@ -188,7 +251,9 @@ let write_trace buf (t : GT.t) =
   W.bool_ buf t.GT.asserted;
   W.bool_ buf t.GT.fetch_faulted;
   W.int_ buf t.GT.mem_loads;
-  W.int_ buf t.GT.mem_stores
+  W.int_ buf t.GT.mem_stores;
+  W.array_ W.i64 buf t.GT.loaded_pages;
+  W.array_ W.i64 buf t.GT.stored_pages
 
 let read_trace r : GT.t =
   let index = W.read_array W.read_u32 r in
@@ -208,12 +273,35 @@ let read_trace r : GT.t =
   let fetch_faulted = W.read_bool r in
   let mem_loads = W.read_int r in
   let mem_stores = W.read_int r in
-  { GT.index; meta; result_steps; asserted; fetch_faulted; mem_loads; mem_stores }
+  let sorted a =
+    let ok = ref true in
+    for i = 1 to Array.length a - 1 do
+      if Int64.compare a.(i - 1) a.(i) >= 0 then ok := false
+    done;
+    !ok
+  in
+  let loaded_pages = W.read_array W.read_i64 r in
+  let stored_pages = W.read_array W.read_i64 r in
+  if not (sorted loaded_pages && sorted stored_pages) then
+    W.corrupt "golden trace: page summaries not strictly sorted";
+  {
+    GT.index;
+    meta;
+    result_steps;
+    asserted;
+    fetch_faulted;
+    mem_loads;
+    mem_stores;
+    loaded_pages;
+    stored_pages;
+  }
 
 let golden_traces =
   {
     kind = "golden-traces";
-    version = 1;
+    (* v2: appended the sorted page-touch summaries memory-class
+       pruning consults. *)
+    version = 2;
     write = (fun buf traces -> W.list_ write_trace buf traces);
     read = (fun r -> W.read_list read_trace r);
   }

@@ -375,12 +375,25 @@ let execute_recorded t ?(fuel = 50_000) ?(snapshot_at = [||]) (req : Request.t) 
   let program = Handlers.program ~hardened:t.hardened req.Request.reason in
   let recorder = Golden_trace.recorder ~meta:program.Xentry_isa.Program.meta in
   let snaps = ref [] in
+  Cpu.set_mem_hook t.cpu (Some (Golden_trace.mem_hook recorder));
   let result =
-    dispatch t ~fuel ~on_step:(Golden_trace.on_step recorder)
-      ~pause_at:snapshot_at ~on_pause:(snapshot_collector t snaps) req
+    Fun.protect
+      ~finally:(fun () -> Cpu.set_mem_hook t.cpu None)
+      (fun () ->
+        dispatch t ~fuel ~on_step:(Golden_trace.on_step recorder)
+          ~pause_at:snapshot_at ~on_pause:(snapshot_collector t snaps) req)
   in
   if !Telemetry.enabled_ref then record_execute t req result;
   (result, Golden_trace.finish recorder ~result, List.rev !snaps)
+
+(* --- RAS bank draining ------------------------------------------------- *)
+
+let drain_ras t =
+  let bank = Cpu.ras_bank t.cpu in
+  if !Telemetry.enabled_ref then
+    Telemetry.with_span "ras.drain_latency" (fun () ->
+        Xentry_ras.Ras.Bank.drain bank)
+  else Xentry_ras.Ras.Bank.drain bank
 
 (* Pause-driven execution without the snapshot middleman: the caller
    sees each pause's [run_state] and can [clone] the host right there,

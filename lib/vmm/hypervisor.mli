@@ -89,7 +89,16 @@ val handle : t -> Request.t -> Xentry_machine.Cpu.run_result
 
 val clone : t -> t
 (** Deep copy: memory contents, CPU architectural state and TSC, and
-    scheduler ordering.  The clone evolves independently. *)
+    scheduler ordering.  The clone evolves independently.  The clone's
+    CPU starts with a fresh (empty) RAS bank: error records are
+    per-host diagnostic state, not guest-visible memory. *)
+
+val drain_ras : t -> Xentry_ras.Ras.record list
+(** Poll-and-clear the CPU's RAS error-record bank, in log order —
+    the hypervisor-side half of the RAS detection channel (the
+    {!Xentry_machine.Cpu} access-site watches are the logging half).
+    Idempotent when nothing new was logged; drain latency is recorded
+    in the [ras.drain_latency.ns] telemetry histogram. *)
 
 (** {2 Golden-trace recording and mid-run snapshots}
 

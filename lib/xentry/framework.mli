@@ -13,11 +13,13 @@ type technique = Pipeline.technique =
   | Hw_exception_detection
   | Sw_assertion
   | Vm_transition
+  | Ras_report
 
 type config = Pipeline.detection = {
   hw_exceptions : bool;
   sw_assertions : bool;
   vm_transition : bool;
+  ras_polling : bool;
 }
 
 val full_config : config

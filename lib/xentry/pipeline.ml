@@ -7,21 +7,32 @@ open Xentry_vmm
    [Framework.verdict] et al. while the single implementation lives
    here. *)
 
-type technique = Hw_exception_detection | Sw_assertion | Vm_transition
+type technique = Hw_exception_detection | Sw_assertion | Vm_transition | Ras_report
 
 type detection = {
   hw_exceptions : bool;
   sw_assertions : bool;
   vm_transition : bool;
+  ras_polling : bool;
 }
 
 let full_detection =
-  { hw_exceptions = true; sw_assertions = true; vm_transition = true }
+  {
+    hw_exceptions = true;
+    sw_assertions = true;
+    vm_transition = true;
+    ras_polling = true;
+  }
 
 let runtime_only = { full_detection with vm_transition = false }
 
 let detection_disabled =
-  { hw_exceptions = false; sw_assertions = false; vm_transition = false }
+  {
+    hw_exceptions = false;
+    sw_assertions = false;
+    vm_transition = false;
+    ras_polling = false;
+  }
 
 type verdict =
   | Clean
@@ -31,6 +42,7 @@ let technique_name = function
   | Hw_exception_detection -> "H/W Exception"
   | Sw_assertion -> "S/W Assertion"
   | Vm_transition -> "VM Transition Detection"
+  | Ras_report -> "RAS Error Record"
 
 let pp_verdict ppf = function
   | Clean -> Format.pp_print_string ppf "clean"
@@ -69,9 +81,23 @@ module Config = struct
     { detection; detector; engine; telemetry; recovery; fuel }
 end
 
-let verdict (cfg : Config.t) ~reason (result : Cpu.run_result) =
+let verdict (cfg : Config.t) ?(ras = []) ~reason (result : Cpu.run_result) =
   let detection = cfg.Config.detection in
   let latency = Cpu.detection_latency result in
+  (* RAS polling is the hypervisor's last-resort channel: it fires
+     only when no synchronous technique claimed the run.  A fault
+     that both logged a record and raised #PF is attributed to the
+     exception (the record is redundant diagnosis, not detection). *)
+  let ras_check base =
+    match base with
+    | Detected _ -> base
+    | Clean ->
+        if detection.ras_polling && ras <> [] then
+          Detected { technique = Ras_report; latency }
+        else Clean
+  in
+  ras_check
+  @@
   match result.Cpu.stop with
   | Cpu.Hw_fault { exn; _ } ->
       (* The filter context follows the execution being serviced:
@@ -131,7 +157,8 @@ let run (cfg : Config.t) ~host ?(prepare = true) ?(retire = false) ?inject
     | Config.Checkpoint_reexecute -> Some (Recovery_engine.checkpoint host)
   in
   let result = Hypervisor.execute host ?inject ~fuel:cfg.Config.fuel req in
-  let v = verdict cfg ~reason:req.Request.reason result in
+  let ras = Hypervisor.drain_ras host in
+  let v = verdict cfg ~ras ~reason:req.Request.reason result in
   let recovery =
     match (v, ckpt) with
     | Detected _, Some ck ->

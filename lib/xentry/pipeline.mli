@@ -24,13 +24,19 @@ type technique =
   | Hw_exception_detection
   | Sw_assertion
   | Vm_transition
+  | Ras_report
+      (** hypervisor poll of the CPU's RAS error-record bank found a
+          logged (but otherwise silent) corrupted access *)
 
 type detection = {
   hw_exceptions : bool;
   sw_assertions : bool;
   vm_transition : bool;
+  ras_polling : bool;
+      (** drain the RAS bank after each execution and count pending
+          records as detections when no synchronous technique fired *)
 }
-(** Which of the paper's techniques are armed. *)
+(** Which of the detection techniques are armed. *)
 
 val full_detection : detection
 
@@ -98,6 +104,7 @@ end
 
 val verdict :
   Config.t ->
+  ?ras:Xentry_ras.Ras.record list ->
   reason:Xentry_vmm.Exit_reason.t ->
   Xentry_machine.Cpu.run_result ->
   verdict
@@ -112,7 +119,13 @@ val verdict :
       [detection.sw_assertions] is on.
     - On VM entry, the transition detector classifies the PMU
       signature when [detection.vm_transition] is on and a detector is
-      configured. *)
+      configured.
+    - [ras] is the list drained from the host's RAS bank after the
+      run ({!Xentry_vmm.Hypervisor.drain_ras}); when non-empty,
+      [detection.ras_polling] is on and {e no other} technique
+      claimed the run, the verdict is [Detected] with
+      [technique = Ras_report] — the channel only counts faults the
+      synchronous techniques missed. *)
 
 val create_host :
   ?seed:int ->

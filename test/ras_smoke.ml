@@ -1,0 +1,80 @@
+(* RAS smoke check: a small campaign sampling every fault class of the
+   widened model, end-to-end through planning, injection and the
+   three-channel verdict (hardware exceptions, runtime assertions +
+   VM-transition tree, RAS error records).  Asserts that every class
+   was sampled, that the per-class technique counts partition the
+   manifested faults exactly, that the RAS channel caught at least one
+   fault the synchronous techniques missed, and that records are
+   bit-identical between jobs 1 and jobs 4.  Cheap enough for every
+   `dune runtest`. *)
+
+open Xentry_faultinject
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let config ~jobs =
+  {
+    (Campaign.Config.make ~benchmark:Xentry_workload.Profile.Postmark
+       ~injections:600 ~seed:1914 ~fuel:2000 ~faults_per_run:8
+       ~fault_classes:(Array.to_list Fault.all_classes) ())
+    with
+    Campaign.jobs = Some jobs;
+  }
+
+let () =
+  let records = Campaign.execute (config ~jobs:1) in
+  let records4 = Campaign.execute (config ~jobs:4) in
+  if records <> records4 then
+    fail "records differ between jobs 1 and jobs 4";
+  let per_class = Report.by_class records in
+  if List.length per_class <> Array.length Fault.all_classes then
+    fail "only %d of %d fault classes were sampled" (List.length per_class)
+      (Array.length Fault.all_classes);
+  (* The technique counts must partition each class's manifested
+     faults: every manifested fault is detected by exactly one channel
+     or counted undetected. *)
+  List.iter
+    (fun (c, s) ->
+      let t = s.Report.techniques in
+      let channels =
+        t.Report.hw_exception + t.Report.sw_assertion + t.Report.vm_transition
+        + t.Report.ras_report
+      in
+      if channels + t.Report.undetected <> s.Report.manifested then
+        fail "%s: channels %d + undetected %d <> manifested %d"
+          (Fault.cls_name c) channels t.Report.undetected s.Report.manifested;
+      let expected_cov =
+        if s.Report.manifested = 0 then 0.0
+        else float_of_int channels /. float_of_int s.Report.manifested
+      in
+      if abs_float (s.Report.coverage -. expected_cov) > 1e-9 then
+        fail "%s: coverage %.6f disagrees with channel sum %.6f"
+          (Fault.cls_name c) s.Report.coverage expected_cov)
+    per_class;
+  (* The new channel must earn its keep: at least one fault detected
+     only by a drained RAS record. *)
+  let ras_total =
+    List.fold_left
+      (fun acc (_, s) -> acc + s.Report.techniques.Report.ras_report)
+      0 per_class
+  in
+  if ras_total = 0 then
+    fail "no fault was detected via the RAS error-record channel";
+  (* RAS verdicts only arise where the machine layer can log records:
+     the memory-system classes. *)
+  List.iter
+    (fun (c, s) ->
+      match c with
+      | Fault.Reg_single_bit | Fault.Reg_multi_bit | Fault.Set_transient ->
+          if s.Report.techniques.Report.ras_report <> 0 then
+            fail "%s: register fault claimed a RAS detection"
+              (Fault.cls_name c)
+      | Fault.Mem_word | Fault.Tlb_entry | Fault.Page_table_entry -> ())
+    per_class;
+  let s = Report.summarize records in
+  Printf.printf
+    "ras-smoke OK: %d injections over %s; %d manifested, %d RAS-only \
+     detections; records identical for jobs 1 and 4\n"
+    s.Report.total_injections
+    (Fault.classes_to_string (Array.to_list Fault.all_classes))
+    s.Report.manifested ras_total

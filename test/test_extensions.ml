@@ -56,7 +56,7 @@ let test_recover_reexecutes_cleanly () =
   let golden = Hypervisor.clone host in
   ignore (Hypervisor.execute golden evtchn_req);
   (* Crash the host with a wild pointer fault. *)
-  let inject = { Cpu.inj_target = Reg.Gpr Reg.R14; inj_bit = 45; inj_step = 25 } in
+  let inject = Cpu.reg_injection (Reg.Gpr Reg.R14) ~bit:45 ~step:25 in
   let crashed = Hypervisor.execute host ~inject evtchn_req in
   (match crashed.Cpu.stop with
   | Cpu.Hw_fault _ -> ()
@@ -165,7 +165,7 @@ let test_hardened_catches_frame_transit_fault () =
     Hypervisor.prepare host req;
     (* RBX is pushed at step 1; the frame-copy reads its slot several
        instructions later.  Corrupt RBX in between. *)
-    let inject = { Cpu.inj_target = Reg.Gpr Reg.RBX; inj_bit = 20; inj_step = 4 } in
+    let inject = Cpu.reg_injection (Reg.Gpr Reg.RBX) ~bit:20 ~step:4 in
     Hypervisor.execute host ~inject req
   in
   let baseline = run false in

@@ -22,13 +22,15 @@ let test_fault_targets_all_arch_registers () =
   let seen = Hashtbl.create 18 in
   for _ = 1 to 2000 do
     let f = Fault.sample rng ~max_step:10 in
-    Hashtbl.replace seen (Xentry_isa.Reg.arch_name f.Fault.target) ()
+    match f.Fault.target with
+    | Fault.Reg r -> Hashtbl.replace seen (Xentry_isa.Reg.arch_name r) ()
+    | _ -> Alcotest.fail "default sampler drew a non-register target"
   done;
   (* All 18 architectural registers should be hit eventually. *)
   Alcotest.(check int) "all registers targeted" 18 (Hashtbl.length seen)
 
 let test_fault_to_injection () =
-  let f = { Fault.target = Xentry_isa.Reg.Rip; bit = 5; step = 9 } in
+  let f = Fault.reg Xentry_isa.Reg.Rip ~bit:5 ~step:9 in
   let i = Fault.to_injection f in
   Alcotest.(check int) "bit" 5 i.Cpu.inj_bit;
   Alcotest.(check int) "step" 9 i.Cpu.inj_step
@@ -122,7 +124,7 @@ let test_classify_masked () =
     = Outcome.Masked)
 
 let test_undetected_attribution () =
-  let fault = { Fault.target = Xentry_isa.Reg.Gpr Xentry_isa.Reg.RAX; bit = 1; step = 1 } in
+  let fault = Fault.reg (Xentry_isa.Reg.Gpr Xentry_isa.Reg.RAX) ~bit:1 ~step:1 in
   Alcotest.(check bool) "signature deviation is mis-classify" true
     (Classify.undetected_class ~fault ~signature_differs:true []
     = Outcome.Mis_classify);
@@ -137,7 +139,8 @@ let test_undetected_attribution () =
     = Outcome.Stack_values);
   Alcotest.(check bool) "rsp faults are stack values" true
     (Classify.undetected_class
-       ~fault:{ fault with Fault.target = Xentry_isa.Reg.Gpr Xentry_isa.Reg.RSP }
+       ~fault:
+         { fault with Fault.target = Fault.Reg (Xentry_isa.Reg.Gpr Xentry_isa.Reg.RSP) }
        ~signature_differs:false
        [ Classify.Guest_reg_diff (Xentry_isa.Reg.RBX, 5L) ]
     = Outcome.Stack_values);
@@ -300,7 +303,7 @@ let mk_record ?(activated = true)
     ?(consequence = Outcome.Long_latency Outcome.App_crash)
     ?(verdict = Framework.Clean) ?latency ?undetected () =
   {
-    Outcome.fault = { Fault.target = Xentry_isa.Reg.Rip; bit = 0; step = 1 };
+    Outcome.fault = Fault.reg Xentry_isa.Reg.Rip ~bit:0 ~step:1;
     reason = Exit_reason.Softirq;
     activated;
     consequence;
@@ -511,7 +514,7 @@ let test_fault_step_beyond_run_prunes () =
   Alcotest.(check bool) "trace short-circuits to Never_touched" true
     (Golden_trace.fate trace ~target:(Xentry_isa.Reg.Gpr Xentry_isa.Reg.RAX) ~step
     = Cpu.Never_touched);
-  let fault = { Fault.target = Xentry_isa.Reg.Gpr Xentry_isa.Reg.RAX; bit = 3; step } in
+  let fault = Fault.reg (Xentry_isa.Reg.Gpr Xentry_isa.Reg.RAX) ~bit:3 ~step in
   let plan = Planner.plan trace [| fault |] in
   (match plan.Planner.dispositions.(0) with
   | Planner.Pruned Cpu.Never_touched -> ()
@@ -532,6 +535,46 @@ let test_fault_step_beyond_run_prunes () =
     | None -> false);
   Alcotest.(check int) "no state divergence" 0
     (List.length (Classify.diffs ~golden:host ~faulted:det))
+
+(* Satellite regression: the planner's pruning must stay
+   verdict-invisible for every class of the widened fault model —
+   register classes prune on def/use fates, memory-system classes on
+   the trace's page-touch summaries — for any jobs count. *)
+let test_planned_identical_per_class () =
+  Array.iter
+    (fun c ->
+      let cfg ~prune ~jobs =
+        Campaign.Config.make ~jobs
+          ~benchmark:Xentry_workload.Profile.Postmark ~injections:4 ~seed:31
+          ~fuel:2000 ~faults_per_run:12 ~prune ~snapshot_interval:32
+          ~fault_classes:[ c ] ()
+      in
+      let exhaustive = Campaign.execute (cfg ~prune:false ~jobs:1) in
+      List.iter
+        (fun jobs ->
+          let planned = Campaign.execute (cfg ~prune:true ~jobs) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s planned identical (jobs=%d)" (Fault.cls_name c)
+               jobs)
+            true (planned = exhaustive))
+        [ 1; 4 ])
+    Fault.all_classes
+
+(* The widened sampler's default class list must consume the exact
+   historical RNG stream — step, bit, target, no class draw (the old
+   sampler was a record literal, evaluated right-to-left) — so seeded
+   reg1 campaigns reproduce their pre-widening records. *)
+let test_reg1_sampler_stream_stable () =
+  let rng = Xentry_util.Rng.create 99 in
+  let ref_rng = Xentry_util.Rng.create 99 in
+  for _ = 1 to 200 do
+    let f = Fault.sample rng ~max_step:500 in
+    let step = Xentry_util.Rng.int ref_rng 500 in
+    let bit = Xentry_util.Rng.int ref_rng 64 in
+    let target = Xentry_util.Rng.choice ref_rng Xentry_isa.Reg.all_arch in
+    Alcotest.(check bool) "historical draw" true
+      (f = Fault.reg target ~bit ~step)
+  done
 
 (* --- qcheck --------------------------------------------------------------------------- *)
 
@@ -619,6 +662,8 @@ let () =
       ( "fault",
         [
           Alcotest.test_case "sample ranges" `Quick test_fault_sample_ranges;
+          Alcotest.test_case "reg1 stream stable" `Quick
+            test_reg1_sampler_stream_stable;
           Alcotest.test_case "targets all registers" `Quick
             test_fault_targets_all_arch_registers;
           Alcotest.test_case "to injection" `Quick test_fault_to_injection;
@@ -654,6 +699,8 @@ let () =
             test_campaign_signature_present_on_vm_entry;
           Alcotest.test_case "fault-free baseline" `Quick
             test_campaign_fault_free_baseline;
+          Alcotest.test_case "planned identical per fault class" `Slow
+            test_planned_identical_per_class;
           Alcotest.test_case "planned verdict-identical (jobs 1 and 4)" `Slow
             test_planned_verdicts_identical_any_jobs;
           Alcotest.test_case "fault step beyond run prunes" `Quick

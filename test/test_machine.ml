@@ -614,7 +614,7 @@ let test_inject_overwritten_not_activated () =
   (* RBX is overwritten by every instruction; injecting into it before
      a write means the fault is never activated. *)
   let inject =
-    { Cpu.inj_target = Reg.Gpr Reg.RBX; inj_bit = 5; inj_step = 2 }
+    (Cpu.reg_injection (Reg.Gpr Reg.RBX) ~bit:5 ~step:2)
   in
   let r = run ~inject cpu (straightline_prog 6) in
   (match r.Cpu.activation with
@@ -637,7 +637,7 @@ let test_inject_read_activates () =
         emit b (Instr.Alu (Instr.Add, Operand.reg Reg.RBX, Operand.reg Reg.RAX));
         emit b Instr.Vmentry)
   in
-  let inject = { Cpu.inj_target = Reg.Gpr Reg.RAX; inj_bit = 3; inj_step = 1 } in
+  let inject = Cpu.reg_injection (Reg.Gpr Reg.RAX) ~bit:3 ~step:1 in
   let r = run ~inject cpu p in
   (match r.Cpu.activation with
   | Some { fate = Cpu.Activated step; _ } ->
@@ -650,7 +650,7 @@ let test_inject_rip_faults () =
   let cpu = fresh_cpu () in
   (* Flipping a high bit of RIP sends the fetch far outside the code
      region: #PF on the next fetch. *)
-  let inject = { Cpu.inj_target = Reg.Rip; inj_bit = 40; inj_step = 2 } in
+  let inject = Cpu.reg_injection Reg.Rip ~bit:40 ~step:2 in
   let r = run ~inject cpu (straightline_prog 8) in
   (match r.Cpu.stop with
   | Cpu.Hw_fault { exn = Hw_exception.PF; _ } -> ()
@@ -662,7 +662,7 @@ let test_inject_rip_faults () =
 let test_inject_rip_low_bit_misaligned_ud () =
   let cpu = fresh_cpu () in
   (* Bit 1 misaligns RIP within the 8-byte instruction slots: #UD. *)
-  let inject = { Cpu.inj_target = Reg.Rip; inj_bit = 1; inj_step = 2 } in
+  let inject = Cpu.reg_injection Reg.Rip ~bit:1 ~step:2 in
   let r = run ~inject cpu (straightline_prog 8) in
   match r.Cpu.stop with
   | Cpu.Hw_fault { exn = Hw_exception.UD; _ } -> ()
@@ -672,7 +672,7 @@ let test_inject_rip_slot_bit_lands_elsewhere () =
   let cpu = fresh_cpu () in
   (* Bit 3 = one instruction slot: execution continues at the wrong but
      valid instruction — incorrect control flow with no exception. *)
-  let inject = { Cpu.inj_target = Reg.Rip; inj_bit = 3; inj_step = 2 } in
+  let inject = Cpu.reg_injection Reg.Rip ~bit:3 ~step:2 in
   let r = run ~inject cpu (straightline_prog 8) in
   Alcotest.check stop_testable "silent wrong-path run" Cpu.Vm_entry r.Cpu.stop
 
@@ -687,7 +687,7 @@ let test_inject_loop_counter_changes_counts () =
         emit b Instr.Vmentry)
   in
   let golden = run (fresh_cpu ()) loop_prog in
-  let inject = { Cpu.inj_target = Reg.Gpr Reg.RCX; inj_bit = 2; inj_step = 1 } in
+  let inject = Cpu.reg_injection (Reg.Gpr Reg.RCX) ~bit:2 ~step:1 in
   let faulted = run ~inject (fresh_cpu ()) loop_prog in
   Alcotest.(check bool) "retired count differs" true
     (golden.Cpu.final_pmu.Pmu.inst <> faulted.Cpu.final_pmu.Pmu.inst)
@@ -695,7 +695,7 @@ let test_inject_loop_counter_changes_counts () =
 let test_inject_never_reached () =
   let cpu = fresh_cpu () in
   let inject =
-    { Cpu.inj_target = Reg.Gpr Reg.RAX; inj_bit = 0; inj_step = 10_000 }
+    (Cpu.reg_injection (Reg.Gpr Reg.RAX) ~bit:0 ~step:10_000)
   in
   let r = run ~inject cpu (straightline_prog 3) in
   match r.Cpu.activation with
@@ -716,7 +716,7 @@ let test_detection_latency () =
   in
   (* Corrupt RSI's high bit after instruction 1; activation happens at
      the load (step 3), the #PF fires there too: latency 0. *)
-  let inject = { Cpu.inj_target = Reg.Gpr Reg.RSI; inj_bit = 45; inj_step = 1 } in
+  let inject = Cpu.reg_injection (Reg.Gpr Reg.RSI) ~bit:45 ~step:1 in
   let r = run ~inject cpu p in
   (match r.Cpu.stop with
   | Cpu.Hw_fault { exn = Hw_exception.PF; _ } -> ()
@@ -901,7 +901,7 @@ let prop_injection_preserves_or_detects =
     (fun (reg_idx, bit, step) ->
       let cpu = fresh_cpu () in
       let target = Reg.all_arch.(reg_idx) in
-      let inject = { Cpu.inj_target = target; inj_bit = bit; inj_step = step } in
+      let inject = Cpu.reg_injection target ~bit ~step in
       let r = run ~fuel:5_000 ~inject cpu (straightline_prog 16) in
       match r.Cpu.stop with
       | Cpu.Vm_entry | Cpu.Hw_fault _ | Cpu.Assertion_failure _ | Cpu.Halted
@@ -1111,7 +1111,7 @@ let diff_inject_gen =
   let open QCheck.Gen in
   map3
     (fun r b s ->
-      { Cpu.inj_target = Reg.all_arch.(r); inj_bit = b; inj_step = s })
+      Cpu.reg_injection Reg.all_arch.(r) ~bit:b ~step:s)
     (int_range 0 (Array.length Reg.all_arch - 1))
     (int_range 0 63) (int_range 0 40)
 
@@ -1133,7 +1133,9 @@ let diff_case_print (instrs, fall_off, inject) =
     | None -> ""
     | Some i ->
         Format.asprintf "\ninject{%s bit %d step %d}"
-          (Reg.arch_name i.Cpu.inj_target)
+          (match i.Cpu.inj_target with
+          | Cpu.Inj_reg r -> Reg.arch_name r
+          | _ -> "?")
           i.Cpu.inj_bit i.Cpu.inj_step)
 
 let diff_build_program instrs fall_off =
@@ -1244,8 +1246,10 @@ let prop_trace_fate_matches_live_watch =
           in
           let trace = Golden_trace.finish rc ~result:rg in
           let predicted =
-            Golden_trace.fate trace ~target:inj.Cpu.inj_target
-              ~step:inj.Cpu.inj_step
+            match inj.Cpu.inj_target with
+            | Cpu.Inj_reg target ->
+                Golden_trace.fate trace ~target ~step:inj.Cpu.inj_step
+            | _ -> Cpu.Never_touched
           in
           let f = diff_seeded_cpu () in
           let rf = Cpu.run f ~program:p ~code_base ~fuel:300 ~inject:inj () in

@@ -1,0 +1,155 @@
+(* RAS error-record bank: record image, bank semantics, counters. *)
+
+open Xentry_ras
+
+let record =
+  Alcotest.testable Ras.pp_record (fun (a : Ras.record) b -> a = b)
+
+let sample =
+  {
+    Ras.addr = 0x7f30L;
+    syndrome = 0x10L;
+    severity = Ras.Uncorrected;
+    source = Ras.Mem;
+    step = 42;
+  }
+
+(* --- record image -------------------------------------------------- *)
+
+let test_encode_size () =
+  Alcotest.(check int) "64-byte image" Ras.record_bytes
+    (Bytes.length (Ras.encode sample));
+  Alcotest.(check int) "record_bytes is 64" 64 Ras.record_bytes
+
+let test_roundtrip () =
+  match Ras.decode (Ras.encode sample) with
+  | Ok r -> Alcotest.check record "round-trips" sample r
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let arbitrary_record =
+  QCheck.make
+    ~print:(Format.asprintf "%a" Ras.pp_record)
+    QCheck.Gen.(
+      let* addr = map Int64.of_int (int_bound 0x7FFFFF) in
+      let* syndrome = map Int64.of_int (int_bound 0xFFFF) in
+      let* severity =
+        oneofl [ Ras.Corrected; Ras.Uncorrected; Ras.Fatal ]
+      in
+      let* source = oneofl [ Ras.Mem; Ras.Tlb; Ras.Pte ] in
+      let* step = int_bound 100_000 in
+      return { Ras.addr; syndrome; severity; source; step })
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"encode/decode round-trip"
+    arbitrary_record (fun r ->
+      match Ras.decode (Ras.encode r) with
+      | Ok r' -> r = r'
+      | Error _ -> false)
+
+let test_flip_sweep () =
+  (* Flipping any single bit of the image must either be rejected or
+     change the decoded record — a corruption can never alias back to
+     the original (the reserved bytes are checked zero, and every live
+     byte feeds a field). *)
+  let img = Ras.encode sample in
+  for i = 0 to Bytes.length img - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.copy img in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      match Ras.decode b with
+      | Error _ -> ()
+      | Ok r when r <> sample -> ()
+      | Ok _ -> Alcotest.failf "byte %d bit %d flip aliased the record" i bit
+      | exception e ->
+          Alcotest.failf "byte %d bit %d escaped as exception %s" i bit
+            (Printexc.to_string e)
+    done
+  done
+
+let test_decode_rejects () =
+  let reject name mutate =
+    let b = Ras.encode sample in
+    mutate b;
+    match Ras.decode b with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" name
+  in
+  (match Ras.decode (Bytes.create 63) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short image accepted");
+  reject "clear valid bit" (fun b ->
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) land lnot 0x01)));
+  reject "nonzero reserved byte" (fun b -> Bytes.set b 63 '\x01');
+  reject "unknown severity" (fun b -> Bytes.set b 0 '\x07')
+
+(* --- bank ---------------------------------------------------------- *)
+
+let rec_i i =
+  { sample with Ras.addr = Int64.of_int (8 * i); step = i }
+
+let test_bank_log_drain () =
+  let bank = Ras.Bank.create () in
+  Alcotest.(check int) "default capacity" Ras.Bank.default_slots
+    (Ras.Bank.capacity bank);
+  Alcotest.(check (list record)) "empty drain" [] (Ras.Bank.drain bank);
+  Alcotest.(check bool) "log accepted" true (Ras.Bank.log bank (rec_i 0));
+  Alcotest.(check bool) "log accepted" true (Ras.Bank.log bank (rec_i 1));
+  Alcotest.(check int) "pending" 2 (Ras.Bank.pending bank);
+  Alcotest.(check (list record)) "slot order" [ rec_i 0; rec_i 1 ]
+    (Ras.Bank.drain bank);
+  (* Idempotence: nothing new logged, second drain is empty. *)
+  Alcotest.(check (list record)) "drain idempotent" [] (Ras.Bank.drain bank);
+  Alcotest.(check int) "pending clear" 0 (Ras.Bank.pending bank);
+  (* Counters are sticky across drains. *)
+  Alcotest.(check int) "logged sticky" 2 (Ras.Bank.logged bank);
+  Alcotest.(check int) "drains counted" 3 (Ras.Bank.drains bank)
+
+let test_bank_overflow_keeps_oldest () =
+  let bank = Ras.Bank.create ~slots:4 () in
+  for i = 0 to 3 do
+    Alcotest.(check bool) "fill" true (Ras.Bank.log bank (rec_i i))
+  done;
+  (* Full: new records are dropped, not rotated in. *)
+  Alcotest.(check bool) "drop on full" false (Ras.Bank.log bank (rec_i 4));
+  Alcotest.(check bool) "drop on full" false (Ras.Bank.log bank (rec_i 5));
+  Alcotest.(check int) "overflow counted" 2 (Ras.Bank.overflow bank);
+  Alcotest.(check int) "accepted only" 4 (Ras.Bank.logged bank);
+  Alcotest.(check (list record)) "oldest kept"
+    [ rec_i 0; rec_i 1; rec_i 2; rec_i 3 ]
+    (Ras.Bank.drain bank);
+  (* Draining frees the slots; overflow stays sticky. *)
+  Alcotest.(check bool) "slot reuse" true (Ras.Bank.log bank (rec_i 6));
+  Alcotest.(check (list record)) "fresh record" [ rec_i 6 ]
+    (Ras.Bank.drain bank);
+  Alcotest.(check int) "overflow sticky" 2 (Ras.Bank.overflow bank)
+
+let test_bank_copy_independent () =
+  let bank = Ras.Bank.create () in
+  ignore (Ras.Bank.log bank (rec_i 0) : bool);
+  let dup = Ras.Bank.copy bank in
+  ignore (Ras.Bank.log dup (rec_i 1) : bool);
+  Alcotest.(check (list record)) "original untouched" [ rec_i 0 ]
+    (Ras.Bank.drain bank);
+  Alcotest.(check (list record)) "copy diverged" [ rec_i 0; rec_i 1 ]
+    (Ras.Bank.drain dup)
+
+let () =
+  Alcotest.run "xentry_ras"
+    [
+      ( "record",
+        [
+          Alcotest.test_case "image size" `Quick test_encode_size;
+          Alcotest.test_case "round-trip" `Quick test_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_roundtrip;
+          Alcotest.test_case "flip sweep" `Quick test_flip_sweep;
+          Alcotest.test_case "rejects malformed" `Quick test_decode_rejects;
+        ] );
+      ( "bank",
+        [
+          Alcotest.test_case "log/drain" `Quick test_bank_log_drain;
+          Alcotest.test_case "overflow keeps oldest" `Quick
+            test_bank_overflow_keeps_oldest;
+          Alcotest.test_case "copy independent" `Quick
+            test_bank_copy_independent;
+        ] );
+    ]

@@ -196,7 +196,12 @@ let test_ladder_detection_sets () =
     (Ladder.detection Ladder.Runtime_only = runtime_only);
   Alcotest.(check bool) "filter rung keeps only hw exceptions" true
     (Ladder.detection Ladder.Filter_only
-    = { hw_exceptions = true; sw_assertions = false; vm_transition = false })
+    = {
+        hw_exceptions = true;
+        sw_assertions = false;
+        vm_transition = false;
+        ras_polling = true;
+      })
 
 let test_ladder_levels_indexed () =
   Alcotest.(check int) "three rungs" 3 (Array.length Ladder.levels);

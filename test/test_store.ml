@@ -251,6 +251,27 @@ let test_artifact_version_skew () =
   | Error e -> Alcotest.failf "wrong error: %s" (Artifact.error_message e)
   | Ok _ -> Alcotest.fail "version skew accepted"
 
+let test_codec_version_bumps () =
+  (* The fault-model widening (fault classes, non-register targets,
+     page-touch summaries) re-shaped the record and trace images; the
+     version bumps turn old artifacts into typed skew errors instead
+     of silently misparsed data. *)
+  Alcotest.(check int) "records codec at v2" 2 Codec.outcome_records.Codec.version;
+  Alcotest.(check int) "traces codec at v2" 2 Codec.golden_traces.Codec.version;
+  let skew name codec v =
+    let vprev = { codec with Codec.version = codec.Codec.version - 1 } in
+    let data = Artifact.encode vprev v in
+    match Artifact.decode codec data with
+    | Error (Artifact.Version_skew { expected; found; _ }) ->
+        Alcotest.(check int) (name ^ " expected") codec.Codec.version expected;
+        Alcotest.(check int) (name ^ " found") (codec.Codec.version - 1) found
+    | Error e ->
+        Alcotest.failf "%s: wrong error %s" name (Artifact.error_message e)
+    | Ok _ -> Alcotest.failf "%s: version skew accepted" name
+  in
+  skew "records" Codec.outcome_records (Lazy.force campaign_records);
+  skew "traces" Codec.golden_traces []
+
 let test_artifact_truncation_sweep () =
   let data = Artifact.encode Codec.tree (Tree.train grid_dataset) in
   let n = String.length data in
@@ -510,6 +531,8 @@ let () =
           Alcotest.test_case "bad magic" `Quick test_artifact_bad_magic;
           Alcotest.test_case "wrong kind" `Quick test_artifact_wrong_kind;
           Alcotest.test_case "version skew" `Quick test_artifact_version_skew;
+          Alcotest.test_case "v2 codec version bumps" `Quick
+            test_codec_version_bumps;
           Alcotest.test_case "truncation sweep" `Quick
             test_artifact_truncation_sweep;
           Alcotest.test_case "flip sweep" `Quick test_artifact_flip_sweep;

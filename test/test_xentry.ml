@@ -248,7 +248,7 @@ let run_result stop =
       Some
         {
           Cpu.injection =
-            { Cpu.inj_target = Xentry_isa.Reg.Rip; inj_bit = 1; inj_step = 10 };
+            (Cpu.reg_injection Xentry_isa.Reg.Rip ~bit:1 ~step:10);
           fate = Cpu.Activated 20;
         };
   }
