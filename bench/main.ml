@@ -133,7 +133,7 @@ let merged_summary =
   lazy (Report.summarize (List.concat_map snd (Lazy.force campaign_records)))
 
 let deployed_tree_comparisons () =
-  Transition_detector.worst_case_comparisons (Lazy.force detector)
+  Detector.worst_case_comparisons (Lazy.force detector)
 
 (* ------------------------------------------------------------------ *)
 (* Fig 3: frequency of hypervisor activities                           *)
@@ -1110,8 +1110,8 @@ let serve () =
       Printf.sprintf "%.0f us" (Serve.latency_quantile s 0.50);
       Printf.sprintf "%.0f us" (Serve.latency_quantile s 0.99);
       R.percent (100.0 *. Serve.shed_fraction s);
-      Xentry_serve.Ladder.level_name s.Serve.deepest_level;
-      Xentry_serve.Ladder.level_name s.Serve.final_level;
+      s.Serve.rung_names.(s.Serve.deepest_rung);
+      s.Serve.rung_names.(s.Serve.final_rung);
     ]
   in
   let rows = [ scenario "steady" 0.25; scenario "overload" 2.0 ] in
@@ -1174,7 +1174,93 @@ let serve () =
     exit 1
   end;
   if s.Serve.recoveries = 0 then
-    printf "  (no fault detected this run: recovery path not exercised)\n"
+    printf "  (no fault detected this run: recovery path not exercised)\n";
+  (* Pareto-driven ladder vs the fixed one: sweep the optimizer's
+     candidate grid, build the ladder from the emitted front, and run
+     the same overload under both.  The data-driven ladder must not
+     give up completed requests relative to the hand-picked sequence
+     (10% tolerance absorbs scheduler noise). *)
+  let module O = Xentry_lifecycle.Optimizer in
+  let module Ladder = Xentry_serve.Ladder in
+  let det = Lazy.force detector in
+  let t0 = Unix.gettimeofday () in
+  let ocfg =
+    O.default_config ~seed:2014
+      ~injections:(max 200 (scaled 600))
+      ~fault_free_runs:(max 100 (scaled 200))
+      ~jobs:!jobs ~benchmark:Profile.Postmark ()
+  in
+  let sweep = O.sweep ~detector_version:(Detector.version det) ocfg ~detector:det in
+  record_phase "optimize-sweep" (Unix.gettimeofday () -. t0) ocfg.O.injections;
+  let front = sweep.O.front in
+  let n_front = List.length front.Pareto.points in
+  printf
+    "\noptimizer sweep: %d candidates -> %d non-dominated rungs\n"
+    (List.length sweep.O.all_points)
+    n_front;
+  List.iter
+    (fun p -> printf "  %s\n" (Format.asprintf "%a" Pareto.pp_point p))
+    front.Pareto.points;
+  if n_front < 3 then begin
+    Printf.eprintf
+      "FATAL: optimizer emitted %d non-dominated rungs (expected >= 3)\n%!"
+      n_front;
+    exit 1
+  end;
+  let overload_pipeline = Pipeline.Config.make ~detector:det () in
+  let overload cfg_ladder =
+    Serve.run
+      {
+        base with
+        Serve.rate = 2.0 *. capacity;
+        pipeline = overload_pipeline;
+        ladder = cfg_ladder;
+      }
+  in
+  (* Completed-under-overload is scheduler-noisy (the ladder's path
+     near the watermarks is chaotic), so judge medians of three
+     interleaved runs per ladder, not single samples. *)
+  let pareto_ladder =
+    { Ladder.default_config with Ladder.rungs = Ladder.rungs_of_front front }
+  in
+  let fixed_runs, pareto_runs =
+    let pairs =
+      List.init 3 (fun _ ->
+          (overload Ladder.default_config, overload pareto_ladder))
+    in
+    (List.map fst pairs, List.map snd pairs)
+  in
+  let median runs =
+    match
+      List.sort
+        (fun a b -> compare a.Serve.completed b.Serve.completed)
+        runs
+    with
+    | [ _; m; _ ] -> m
+    | _ -> assert false
+  in
+  let fixed = median fixed_runs in
+  let pareto = median pareto_runs in
+  serve_results := ("overload-fixed-ladder", 2.0 *. capacity, fixed) :: !serve_results;
+  serve_results := ("overload-pareto-ladder", 2.0 *. capacity, pareto) :: !serve_results;
+  printf
+    "overload, fixed ladder:  completed %d (deepest %s)\n\
+     overload, pareto ladder: completed %d (deepest %s)\n"
+    fixed.Serve.completed
+    fixed.Serve.rung_names.(fixed.Serve.deepest_rung)
+    pareto.Serve.completed
+    pareto.Serve.rung_names.(pareto.Serve.deepest_rung);
+  if
+    float_of_int pareto.Serve.completed
+    < 0.9 *. float_of_int fixed.Serve.completed
+  then begin
+    Printf.eprintf
+      "FATAL: Pareto-driven ladder completed %d requests vs the fixed \
+       ladder's %d (must match or beat it)\n\
+       %!"
+      pareto.Serve.completed fixed.Serve.completed;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Recover: ReHype-style micro-reboot vs the restart-everything        *)
@@ -1519,7 +1605,7 @@ let micro () =
   let rng = Rng.create 5 in
   let det = Lazy.force detector in
   let tree =
-    match Transition_detector.classifier det with
+    match Transition_detector.classifier (Detector.model det) with
     | Transition_detector.Single_tree t | Transition_detector.Thresholded (t, _)
       ->
         t
@@ -1892,8 +1978,8 @@ let write_json path =
             s.Serve.shed_deadline s.Serve.shed_draining
             (Serve.latency_quantile s 0.50)
             (Serve.latency_quantile s 0.99)
-            (json_escape (Xentry_serve.Ladder.level_name s.Serve.deepest_level))
-            (json_escape (Xentry_serve.Ladder.level_name s.Serve.final_level))
+            (json_escape s.Serve.rung_names.(s.Serve.deepest_rung))
+            (json_escape s.Serve.rung_names.(s.Serve.final_rung))
             s.Serve.peak_occupancy s.Serve.injected s.Serve.recoveries
             (Serve.recovery_quantile s 0.50)
             (Serve.recovery_quantile s 0.99)

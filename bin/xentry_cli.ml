@@ -287,10 +287,27 @@ let inject benchmark mode injections seed jobs engine detector_src checkpoint
     match detector_src with
     | `No_detector -> None
     | `Load file -> (
-        match Xentry_store.Artifact.load Xentry_store.Codec.detector file with
+        match
+          Xentry_store.Artifact.load Xentry_store.Codec.versioned_detector file
+        with
         | Ok det ->
-            Printf.eprintf "loaded detector artifact %s\n%!" file;
+            Printf.eprintf "loaded detector artifact %s (v%d)\n%!" file
+              (Detector.version det);
             Some det
+        | Error (Xentry_store.Artifact.Version_skew { found = 1; _ }) -> (
+            (* A pre-lifecycle artifact: the bare legacy payload, which
+               adopts version 0 so any retrained candidate outranks it. *)
+            match
+              Xentry_store.Artifact.load Xentry_store.Codec.detector file
+            with
+            | Ok model ->
+                Printf.eprintf "loaded legacy detector artifact %s (as v0)\n%!"
+                  file;
+                Some (Detector.v0 model)
+            | Error e ->
+                Printf.eprintf "xentry: cannot load detector %s: %s\n%!" file
+                  (Xentry_store.Artifact.error_message e);
+                exit 1)
         | Error e ->
             Printf.eprintf "xentry: cannot load detector %s: %s\n%!" file
               (Xentry_store.Artifact.error_message e);
@@ -557,7 +574,7 @@ let train train_injections test_injections seed jobs engine show_rules save
   match save with
   | None -> ()
   | Some file ->
-      Xentry_store.Artifact.save Xentry_store.Codec.detector file
+      Xentry_store.Artifact.save Xentry_store.Codec.versioned_detector file
         (Training.detector trained);
       Printf.printf
         "saved detector artifact: %s (reload with xentry inject --detector)\n"
@@ -714,21 +731,51 @@ let front_summary_json workers (s : Xentry_cluster.Front.summary) =
     s.Xentry_cluster.Front.streams_remapped
 
 let serve benchmark mode duration streams rate deadline_us jobs queue_capacity
-    seed engine workers recovery storm_window storm_prob json telemetry =
+    seed engine workers recovery storm_window storm_prob retrain_on
+    retrain_interval shadow_window retrain_dir rungs json telemetry =
   apply_engine engine;
   let worker_dumps = ref [] in
   with_worker_telemetry telemetry worker_dumps @@ fun () ->
   let jobs = resolve_jobs jobs in
   let module Serve = Xentry_serve.Server in
+  let module Ladder = Xentry_serve.Ladder in
   let storm =
     match storm_window with
     | None -> None
     | Some (storm_start, storm_end) ->
         Some { Serve.storm_start; storm_end; storm_prob }
   in
+  let retrain =
+    if not retrain_on then None
+    else
+      Some
+        {
+          Serve.default_retrain with
+          Serve.retrain_interval_s = retrain_interval;
+          shadow_window;
+          artifact_dir = retrain_dir;
+        }
+  in
+  let ladder =
+    match rungs with
+    | None -> Ladder.default_config
+    | Some file -> (
+        match Xentry_store.Artifact.load Xentry_store.Codec.pareto file with
+        | Ok front ->
+            let rungs = Ladder.rungs_of_front front in
+            Printf.eprintf
+              "loaded Pareto ladder %s: %d rungs from detector v%d\n%!" file
+              (Array.length rungs) front.Xentry_core.Pareto.source_version;
+            { Ladder.default_config with Ladder.rungs }
+        | Error e ->
+            Printf.eprintf "xentry: cannot load Pareto front %s: %s\n%!" file
+              (Xentry_store.Artifact.error_message e);
+            exit 1)
+  in
   let base =
     Serve.make ~mode ~streams ?deadline_us ~duration_s:duration ~jobs
-      ~queue_capacity ~seed ~benchmark ~recovery ?storm ~rate:1.0 ()
+      ~queue_capacity ~seed ~benchmark ~recovery ?storm ?retrain ~ladder
+      ~rate:1.0 ()
   in
   let total_jobs = jobs * max 1 workers in
   let rate =
@@ -877,17 +924,63 @@ let serve_cmd =
       & info [ "storm-prob" ] ~docv:"P"
           ~doc:"Per-request injection probability inside the storm window.")
   in
+  let retrain_on =
+    Arg.(
+      value & flag
+      & info [ "retrain" ]
+          ~doc:
+            "Enable the online detector lifecycle: mine VM-transition \
+             signatures from live traffic, retrain candidate detectors in \
+             a background domain, shadow-score each candidate against the \
+             incumbent, and hot-swap it in once it wins the gate.  \
+             In-process engine only (ignored with $(b,--workers)).")
+  in
+  let retrain_interval =
+    Arg.(
+      value & opt float 0.25
+      & info [ "retrain-interval" ] ~docv:"SECONDS"
+          ~doc:"Retrain manager wake-up cadence (with $(b,--retrain)).")
+  in
+  let shadow_window =
+    Arg.(
+      value & opt int 64
+      & info [ "shadow-window" ] ~docv:"N"
+          ~doc:
+            "Requests a candidate detector must shadow-score before the \
+             promotion gate decides (with $(b,--retrain)).")
+  in
+  let retrain_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "retrain-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist each retrained candidate to $(docv) as a versioned \
+             detector artifact ($(b,detector-vNNNN.xart)).")
+  in
+  let rungs =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rungs" ] ~docv:"FILE"
+          ~doc:
+            "Build the degradation ladder from a Pareto-front artifact \
+             saved by $(b,xentry optimize --save) instead of the fixed \
+             full/runtime-only/filter-only sequence.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the streaming request engine: bounded ingress queues, typed \
           load shedding, a detection degradation ladder that trades \
-          coverage for throughput under overload, and micro-reboot \
-          failover for workers whose hypervisor trips a verdict.")
+          coverage for throughput under overload, micro-reboot failover \
+          for workers whose hypervisor trips a verdict, and an optional \
+          online detector lifecycle (mine, retrain, shadow, hot-swap).")
     Term.(
       const serve $ benchmark_arg $ mode_arg $ duration $ streams $ rate
       $ deadline_us $ jobs_arg $ queue_capacity $ seed_arg $ engine_arg
-      $ workers_arg $ recovery $ storm_window $ storm_prob $ json
+      $ workers_arg $ recovery $ storm_window $ storm_prob $ retrain_on
+      $ retrain_interval $ shadow_window $ retrain_dir $ rungs $ json
       $ telemetry_arg)
 
 (* --- recover -------------------------------------------------------------------- *)
@@ -1020,6 +1113,136 @@ let worker_cmd =
           across machines.")
     Term.(const worker $ connect $ jobs_arg $ engine_arg $ enable_telemetry)
 
+(* --- optimize ------------------------------------------------------------------- *)
+
+let optimize benchmark mode injections fault_free seed jobs engine depths
+    thresholds save json telemetry =
+  apply_engine engine;
+  with_telemetry telemetry @@ fun () ->
+  let jobs = resolve_jobs jobs in
+  let module O = Xentry_lifecycle.Optimizer in
+  prerr_endline "training the detector to sweep...";
+  let detector =
+    Training.detector
+      (train_quick_detector ~jobs ~seed:(seed + 1) ~benchmarks:[ benchmark ]
+         ~mode
+         ~train_injections:(max 500 (injections / 2))
+         ~train_fault_free:(max 200 (injections / 8))
+         ~test_injections:300 ~test_fault_free:100 ())
+  in
+  let cfg =
+    O.default_config ~seed ~mode ~injections ~fault_free_runs:fault_free
+      ~depths ~thresholds ~jobs ~benchmark ()
+  in
+  let r = O.sweep ~detector_version:(Detector.version detector) cfg ~detector in
+  let on_front p =
+    List.exists
+      (fun (q : Xentry_core.Pareto.point) -> q == p)
+      r.O.front.Xentry_core.Pareto.points
+  in
+  if json then begin
+    let point (p : Xentry_core.Pareto.point) =
+      Printf.sprintf
+        "{\"label\":\"%s\",\"coverage\":%.6f,\"fp_rate\":%.6f,\
+         \"overhead_s\":%.9g,\"comparisons\":%d,\"on_front\":%b}"
+        p.Xentry_core.Pareto.label p.Xentry_core.Pareto.coverage
+        p.Xentry_core.Pareto.fp_rate p.Xentry_core.Pareto.overhead
+        p.Xentry_core.Pareto.comparisons (on_front p)
+    in
+    Printf.printf
+      "{\"schema\":\"xentry-optimize-v1\",\"benchmark\":\"%s\",\
+       \"manifested\":%d,\"clean_runs\":%d,\"source_version\":%d,\
+       \"points\":[%s]}\n"
+      (Profile.benchmark_name benchmark)
+      r.O.manifested r.O.clean_runs
+      r.O.front.Xentry_core.Pareto.source_version
+      (String.concat "," (List.map point r.O.all_points))
+  end
+  else begin
+    Printf.printf
+      "swept %d candidates over %d manifested faults, %d clean runs:\n"
+      (List.length r.O.all_points)
+      r.O.manifested r.O.clean_runs;
+    Printf.printf "  %-16s %9s %8s %12s %6s  %s\n" "candidate" "coverage"
+      "fp_rate" "overhead_us" "cmps" "front";
+    List.iter
+      (fun (p : Xentry_core.Pareto.point) ->
+        Printf.printf "  %-16s %8.1f%% %7.2f%% %12.3f %6d  %s\n"
+          p.Xentry_core.Pareto.label
+          (100. *. p.Xentry_core.Pareto.coverage)
+          (100. *. p.Xentry_core.Pareto.fp_rate)
+          (1e6 *. p.Xentry_core.Pareto.overhead)
+          p.Xentry_core.Pareto.comparisons
+          (if on_front p then "*" else ""))
+      r.O.all_points;
+    Printf.printf "Pareto front: %d rungs (most detection first)\n"
+      (List.length r.O.front.Xentry_core.Pareto.points);
+    List.iter
+      (fun (p : Xentry_core.Pareto.point) ->
+        Printf.printf "  %s\n"
+          (Format.asprintf "%a" Xentry_core.Pareto.pp_point p))
+      r.O.front.Xentry_core.Pareto.points
+  end;
+  match save with
+  | None -> ()
+  | Some file ->
+      Xentry_store.Artifact.save Xentry_store.Codec.pareto file r.O.front;
+      Printf.printf
+        "saved Pareto front: %s (serve it with xentry serve --rungs)\n" file
+
+let optimize_cmd =
+  let injections =
+    Arg.(
+      value & opt int 600
+      & info [ "n"; "injections" ] ~docv:"N"
+          ~doc:"Fault injections for the measurement campaign.")
+  in
+  let fault_free =
+    Arg.(
+      value & opt int 200
+      & info [ "fault-free" ] ~docv:"N"
+          ~doc:"Fault-free runs for the false-positive population.")
+  in
+  let depths =
+    Arg.(
+      value
+      & opt (list int) [ 4; 8 ]
+      & info [ "depths" ] ~docv:"D1,D2,..."
+          ~doc:"Tree-depth truncation knobs to sweep on full detection.")
+  in
+  let thresholds =
+    Arg.(
+      value
+      & opt (list float) [ 0.9 ]
+      & info [ "thresholds" ] ~docv:"T1,T2,..."
+          ~doc:"Veto-threshold knobs to sweep on full detection.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:
+            "Save the Pareto front as a versioned artifact, loadable with \
+             $(b,xentry serve --rungs FILE).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the sweep as a single JSON object.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Sweep detector configurations (technique subsets and model \
+          knobs) against the cost model and emit the non-dominated \
+          coverage/false-positive/overhead front — the data-driven \
+          degradation ladder for $(b,xentry serve).")
+    Term.(
+      const optimize $ benchmark_arg $ mode_arg $ injections $ fault_free
+      $ seed_arg $ jobs_arg $ engine_arg $ depths $ thresholds $ save $ json
+      $ telemetry_arg)
+
 (* --- features ------------------------------------------------------------------- *)
 
 let features () = print_string (Format.asprintf "%a" Features.pp_table1 ())
@@ -1039,6 +1262,6 @@ let () =
        (Cmd.group info
           [
             simulate_cmd; inject_cmd; train_cmd; serve_cmd; recover_cmd;
-            worker_cmd;
+            worker_cmd; optimize_cmd;
             handlers_cmd; features_cmd; export_cmd;
           ]))

@@ -54,8 +54,9 @@ let () =
      integer comparisons — why the paper considers it cheap enough to
      run at every VM entry. *)
   let det = Training.detector trained in
-  Printf.printf "\nper-VM-entry worst case: %d integer comparisons\n"
-    (Xentry_core.Transition_detector.worst_case_comparisons det);
+  Printf.printf "\nper-VM-entry worst case: %d integer comparisons (detector v%d)\n"
+    (Xentry_core.Detector.worst_case_comparisons det)
+    (Xentry_core.Detector.version det);
 
   (* Persist the detector as a versioned artifact and reload it — the
      deployment path (`xentry train --save` / `xentry inject
@@ -63,9 +64,9 @@ let () =
      bit, so spot-checking a few test signatures through both must
      agree verdict for verdict. *)
   let path = Filename.concat (Filename.get_temp_dir_name ()) "xentry-example-detector.xart" in
-  Xentry_store.Artifact.save Xentry_store.Codec.detector path det;
+  Xentry_store.Artifact.save Xentry_store.Codec.versioned_detector path det;
   Printf.printf "\nsaved detector artifact: %s\n" path;
-  (match Xentry_store.Artifact.load Xentry_store.Codec.detector path with
+  (match Xentry_store.Artifact.load Xentry_store.Codec.versioned_detector path with
   | Error e ->
       Printf.printf "reload failed: %s\n" (Xentry_store.Artifact.error_message e)
   | Ok reloaded ->
@@ -74,12 +75,10 @@ let () =
       Array.iteri
         (fun i s ->
           let live, _ =
-            Xentry_core.Transition_detector.classify_features det
-              s.Dataset.features
+            Xentry_core.Detector.classify_features det s.Dataset.features
           in
           let saved, _ =
-            Xentry_core.Transition_detector.classify_features reloaded
-              s.Dataset.features
+            Xentry_core.Detector.classify_features reloaded s.Dataset.features
           in
           if live <> saved then agree := false;
           if i < 5 then

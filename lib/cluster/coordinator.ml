@@ -109,7 +109,7 @@ let handle_msg t w = function
   | P.Telemetry_drain json -> t.on_worker_telemetry json
   | P.Bye -> ()
   | P.Campaign_spec _ | P.Lease _ | P.Serve_spec _ | P.Serve_request _
-  | P.Serve_response _ | P.Drain ->
+  | P.Serve_response _ | P.Drain | P.Detector_push _ | P.Detector_ack _ ->
       (* Protocol violation: this worker is confused; cut it loose. *)
       ignore (drop_worker t w : int list);
       top_up_all t

@@ -28,6 +28,9 @@ type summary = {
   workers_lost : int;
   streams_remapped : int;
   worker_telemetry : string list;
+  detector_pushes : int;
+  detector_acks : (int * int) list;
+      (* (worker_index, last acked version), fleet order *)
 }
 
 let latency_quantile s q =
@@ -55,8 +58,8 @@ let rec select_retry reads timeout =
 
 let stream_key s = Printf.sprintf "stream:%d" s
 
-let run ?(on_tick = fun ~elapsed:_ -> ()) ~listen ~workers (cfg : Server.config)
-    =
+let run ?(on_tick = fun ~elapsed:_ -> ()) ?push ~listen ~workers
+    (cfg : Server.config) =
   if workers < 1 then invalid_arg "Front.run: workers < 1";
   let { Pipeline.Config.detection; detector; fuel; _ } = cfg.Server.pipeline in
   let listener = P.listen listen in
@@ -118,6 +121,8 @@ let run ?(on_tick = fun ~elapsed:_ -> ()) ~listen ~workers (cfg : Server.config)
   let shed_draining = ref 0 in
   let workers_lost = ref 0 in
   let streams_remapped = ref 0 in
+  let detector_pushes = ref 0 in
+  let acked_version = Array.make workers (-1) in
   let worker_telemetry = ref [] in
   let latencies = ref [] in
   let n_latencies = ref 0 in
@@ -169,6 +174,9 @@ let run ?(on_tick = fun ~elapsed:_ -> ()) ~listen ~workers (cfg : Server.config)
               record_latency (dt *. 1e6)
             end)
     | P.Telemetry_drain json -> worker_telemetry := json :: !worker_telemetry
+    | P.Detector_ack { worker_index; version } ->
+        if worker_index >= 0 && worker_index < workers then
+          acked_version.(worker_index) <- max acked_version.(worker_index) version
     | _ -> ()
   in
   let poll ~draining timeout =
@@ -240,6 +248,23 @@ let run ?(on_tick = fun ~elapsed:_ -> ()) ~listen ~workers (cfg : Server.config)
                   Tm.incr tm_shed_lost
             end
       done;
+      (* Hot-swap broadcast: the caller decides when a (shadow-gated)
+         detector is ready; the front just fans it out.  A worker that
+         dies mid-push is killed exactly like a failed request send. *)
+      (match push with
+      | None -> ()
+      | Some f -> (
+          match f ~elapsed with
+          | None -> ()
+          | Some det ->
+              incr detector_pushes;
+              Array.iter
+                (fun w ->
+                  if w.alive then
+                    try P.send w.conn (P.Detector_push det)
+                    with Unix.Unix_error _ | P.Protocol_error _ ->
+                      kill_worker w)
+                fleet));
       on_tick ~elapsed
     end
   done;
@@ -304,6 +329,9 @@ let run ?(on_tick = fun ~elapsed:_ -> ()) ~listen ~workers (cfg : Server.config)
     workers_lost = !workers_lost;
     streams_remapped = !streams_remapped;
     worker_telemetry = List.rev !worker_telemetry;
+    detector_pushes = !detector_pushes;
+    detector_acks =
+      Array.to_list (Array.mapi (fun i v -> (i, v)) acked_version);
   }
 
 let append_worker_telemetry ~path dumps =

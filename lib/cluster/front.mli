@@ -40,6 +40,11 @@ type summary = {
   workers_lost : int;
   streams_remapped : int;  (** streams that changed owner, summed over deaths *)
   worker_telemetry : string list;  (** final telemetry dump per worker *)
+  detector_pushes : int;  (** hot-swap broadcasts sent (per fleet) *)
+  detector_acks : (int * int) list;
+      (** (worker index, highest detector version it acknowledged
+          installing; -1 = none), in fleet order — equal versions
+          across live workers = the fleet converged *)
 }
 
 val latency_quantile : summary -> float -> float
@@ -47,6 +52,7 @@ val latency_quantile : summary -> float -> float
 
 val run :
   ?on_tick:(elapsed:float -> unit) ->
+  ?push:(elapsed:float -> Xentry_core.Detector.t option) ->
   listen:Protocol.addr ->
   workers:int ->
   Xentry_serve.Server.config ->
@@ -56,7 +62,11 @@ val run :
     the load for [duration_s] and drain.  [queue_capacity] becomes the
     per-worker in-flight window; [jobs] is ignored (each worker
     announced its own domain count).  [on_tick] fires once per
-    producer tick — the bench's worker-kill hook.  Raises [Failure]
+    producer tick — the bench's worker-kill hook.  [push] is polled
+    once per tick; returning [Some det] broadcasts a [Detector_push]
+    to every live worker (the caller runs the shadow gate — the front
+    only distributes already-published versions; workers answer with
+    [Detector_ack], surfaced in [detector_acks]).  Raises [Failure]
     when fewer than [workers] workers arrive within the setup grace
     period. *)
 

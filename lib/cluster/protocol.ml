@@ -44,7 +44,7 @@ type msg =
       worker_index : int;
       seed : int;
       detection : Pipeline.detection;
-      detector : Xentry_core.Transition_detector.t option;
+      detector : Xentry_core.Detector.t option;
       fuel : int;
     }
   | Serve_request of { seq : int; req : Request.t }
@@ -52,6 +52,8 @@ type msg =
   | Drain
   | Telemetry_drain of string
   | Bye
+  | Detector_push of Xentry_core.Detector.t
+  | Detector_ack of { worker_index : int; version : int }
 
 (* {2 Payload codecs}
 
@@ -128,7 +130,7 @@ let write_config buf (c : Campaign.Config.t) =
   W.int_ buf faults_per_run;
   W.u8 buf (benchmark_index benchmark);
   write_mode buf mode;
-  W.opt Codec.write_detector buf detector;
+  W.opt Codec.versioned_detector.Codec.write buf detector;
   write_detection buf framework;
   W.str buf (Fault.classes_to_string fault_classes);
   W.int_ buf fuel;
@@ -142,7 +144,7 @@ let read_config r =
   let faults_per_run = W.read_int r in
   let benchmark = read_benchmark r in
   let mode = read_mode r in
-  let detector = W.read_opt Codec.detector.Codec.read r in
+  let detector = W.read_opt Codec.versioned_detector.Codec.read r in
   let framework = read_detection r in
   let fault_classes =
     match Fault.parse_classes (W.read_str r) with
@@ -203,7 +205,7 @@ let write_msg buf = function
       W.int_ buf worker_index;
       W.int_ buf seed;
       write_detection buf detection;
-      W.opt Codec.write_detector buf detector;
+      W.opt Codec.versioned_detector.Codec.write buf detector;
       W.int_ buf fuel
   | Serve_request { seq; req } ->
       W.u8 buf 6;
@@ -219,6 +221,13 @@ let write_msg buf = function
       W.u8 buf 9;
       W.str buf json
   | Bye -> W.u8 buf 10
+  | Detector_push det ->
+      W.u8 buf 11;
+      Codec.versioned_detector.Codec.write buf det
+  | Detector_ack { worker_index; version } ->
+      W.u8 buf 12;
+      W.int_ buf worker_index;
+      W.int_ buf version
 
 let read_msg r =
   match W.read_u8 r with
@@ -235,7 +244,7 @@ let read_msg r =
       let worker_index = W.read_int r in
       let seed = W.read_int r in
       let detection = read_detection r in
-      let detector = W.read_opt Codec.detector.Codec.read r in
+      let detector = W.read_opt Codec.versioned_detector.Codec.read r in
       let fuel = W.read_int r in
       Serve_spec { worker_index; seed; detection; detector; fuel }
   | 6 ->
@@ -250,6 +259,11 @@ let read_msg r =
   | 8 -> Drain
   | 9 -> Telemetry_drain (W.read_str r)
   | 10 -> Bye
+  | 11 -> Detector_push (Codec.versioned_detector.Codec.read r)
+  | 12 ->
+      let worker_index = W.read_int r in
+      let version = W.read_int r in
+      Detector_ack { worker_index; version }
   | t -> W.corrupt (Printf.sprintf "unknown message tag %d" t)
 
 (* {2 Framing} *)

@@ -58,7 +58,7 @@ type msg =
       worker_index : int;  (** distinct host seeds per worker *)
       seed : int;
       detection : Xentry_core.Pipeline.detection;
-      detector : Xentry_core.Transition_detector.t option;
+      detector : Xentry_core.Detector.t option;
       fuel : int;
     }  (** front → worker: arm the serving executors *)
   | Serve_request of { seq : int; req : Xentry_vmm.Request.t }
@@ -69,6 +69,16 @@ type msg =
       (** worker → front/coordinator: the worker's
           {!Xentry_util.Telemetry.to_json} dump *)
   | Bye  (** either direction: orderly close *)
+  | Detector_push of Xentry_core.Detector.t
+      (** front → worker: hot-swap — install this (already
+          shadow-gated) detector for all subsequent requests.
+          Requests already queued at the worker execute under
+          whichever detector their executor reads when it picks them
+          up; none is lost or re-run, so the swap is non-disruptive by
+          construction. *)
+  | Detector_ack of { worker_index : int; version : int }
+      (** worker → front: the pushed detector version is installed —
+          the front's evidence that the fleet converged *)
 
 (** {2 Framing} *)
 

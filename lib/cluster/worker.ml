@@ -88,12 +88,12 @@ let campaign_loop conn ~jobs config =
 
 (* --- serve mode ------------------------------------------------------ *)
 
-let executor_loop cfg ~seed ~worker_index ~send ~queue ~draining w =
+let executor_loop cfg_cell ~seed ~worker_index ~send ~queue ~draining w =
   let host =
     ref
       (Pipeline.create_host
          ~seed:(Rng.derive seed (0xC1A5 + (worker_index * 131) + w))
-         cfg)
+         (Atomic.get cfg_cell))
   in
   (* Boot image for in-place micro-reboot on a verdict: a faulted
      executor recovers its own hypervisor and replays the request
@@ -105,6 +105,10 @@ let executor_loop cfg ~seed ~worker_index ~send ~queue ~draining w =
       send (P.Serve_response { seq; detected = false; shed = true })
     end
     else begin
+      (* One config read per request: a Detector_push that lands
+         mid-request swaps for the NEXT request, so detection and
+         (on a verdict) the replay run under one detector version. *)
+      let cfg = Atomic.get cfg_cell in
       Xentry_vmm.Hypervisor.prepare !host req;
       let ctx = Microboot.capture !host req in
       let outcome = Pipeline.run cfg ~host:!host ~prepare:false req in
@@ -141,13 +145,16 @@ let executor_loop cfg ~seed ~worker_index ~send ~queue ~draining w =
   loop ()
 
 let serve_loop conn ~jobs ~worker_index ~seed ~detection ~detector ~fuel =
-  let cfg = Pipeline.Config.make ~detection ?detector ~fuel () in
+  let cfg_cell =
+    Atomic.make (Pipeline.Config.make ~detection ?detector ~fuel ())
+  in
   let queue = Bounded_queue.create ~capacity:(max 16 (jobs * 64)) in
   let draining = Atomic.make false in
   let send_mutex = Mutex.create () in
   let send = send_locked send_mutex conn in
   let executors =
-    Pool.spawn ~jobs (executor_loop cfg ~seed ~worker_index ~send ~queue ~draining)
+    Pool.spawn ~jobs
+      (executor_loop cfg_cell ~seed ~worker_index ~send ~queue ~draining)
   in
   let rec read_loop () =
     match P.recv conn with
@@ -157,6 +164,16 @@ let serve_loop conn ~jobs ~worker_index ~seed ~detection ~detector ~fuel =
         | Error (Bounded_queue.Full | Bounded_queue.Closed) ->
             Tm.incr tm_serve_shed;
             send (P.Serve_response { seq; detected = false; shed = true }));
+        read_loop ()
+    | Some (P.Detector_push det) ->
+        (* Install-then-ack: the ack only travels after the Atomic.set,
+           so a front that has seen Detector_ack {version} knows every
+           later-dequeued request runs under that version. *)
+        let cfg = Atomic.get cfg_cell in
+        Atomic.set cfg_cell { cfg with Pipeline.Config.detector = Some det };
+        send
+          (P.Detector_ack
+             { worker_index; version = Xentry_core.Detector.version det });
         read_loop ()
     | Some P.Drain | Some P.Bye | None -> ()
     | Some _ -> read_loop ()

@@ -9,7 +9,7 @@ module Config = struct
     faults_per_run : int;
     benchmark : Xentry_workload.Profile.benchmark;
     mode : Xentry_workload.Profile.virt_mode;
-    detector : Transition_detector.t option;
+    detector : Detector.t option;
     framework : Pipeline.detection;
     fault_classes : Fault.cls list;
     fuel : int;
@@ -134,7 +134,7 @@ type config = Config.t = {
   faults_per_run : int;
   benchmark : Xentry_workload.Profile.benchmark;
   mode : Xentry_workload.Profile.virt_mode;
-  detector : Transition_detector.t option;
+  detector : Detector.t option;
   framework : Pipeline.detection;
   fault_classes : Fault.cls list;
   fuel : int;
@@ -143,9 +143,6 @@ type config = Config.t = {
   snapshot_interval : int;
   jobs : int option;
 }
-
-let default_config ?detector ?(hardened = false) ~benchmark ~injections ~seed () =
-  Config.make ?detector ~hardened ~benchmark ~injections ~seed ()
 
 let snapshot_equal (a : Pmu.snapshot) (b : Pmu.snapshot) =
   a.Pmu.inst = b.Pmu.inst
@@ -778,12 +775,6 @@ let execute_with_stats ?checkpoint ?traces (config : Config.t) =
 
 let execute ?checkpoint ?traces (config : Config.t) =
   fst (execute_with_stats ?checkpoint ?traces config)
-
-let run ?jobs ?checkpoint config =
-  let config =
-    match jobs with Some _ -> { config with jobs } | None -> config
-  in
-  execute ?checkpoint config
 
 let fault_free_shard ~seed ~benchmark ~mode ~runs =
   let profile = Xentry_workload.Profile.get benchmark in

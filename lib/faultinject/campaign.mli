@@ -49,7 +49,7 @@ module Config : sig
             faults_per_run] in total. *)
     benchmark : Xentry_workload.Profile.benchmark;
     mode : Xentry_workload.Profile.virt_mode;
-    detector : Xentry_core.Transition_detector.t option;
+    detector : Xentry_core.Detector.t option;
     framework : Xentry_core.Pipeline.detection;
     fault_classes : Fault.cls list;
         (** classes {!Fault.sample} draws from (default
@@ -78,7 +78,7 @@ module Config : sig
   }
 
   val make :
-    ?detector:Xentry_core.Transition_detector.t ->
+    ?detector:Xentry_core.Detector.t ->
     ?framework:Xentry_core.Pipeline.detection ->
     ?fault_classes:Fault.cls list ->
     ?mode:Xentry_workload.Profile.virt_mode ->
@@ -103,7 +103,7 @@ module Config : sig
       detected run (detection set, detector, fuel). *)
 
   val canonical :
-    detector_digest:(Xentry_core.Transition_detector.t -> string) ->
+    detector_digest:(Xentry_core.Detector.t -> string) ->
     t ->
     string
   (** Canonical [key=value;…] encoding of every record-affecting field
@@ -129,7 +129,7 @@ type config = Config.t = {
   faults_per_run : int;
   benchmark : Xentry_workload.Profile.benchmark;
   mode : Xentry_workload.Profile.virt_mode;
-  detector : Xentry_core.Transition_detector.t option;
+  detector : Xentry_core.Detector.t option;
   framework : Xentry_core.Pipeline.detection;
   fault_classes : Fault.cls list;
   fuel : int;
@@ -139,17 +139,6 @@ type config = Config.t = {
   jobs : int option;
 }
 (** Historical flat spelling of {!Config.t} (same type, via equation). *)
-
-val default_config :
-  ?detector:Xentry_core.Transition_detector.t ->
-  ?hardened:bool ->
-  benchmark:Xentry_workload.Profile.benchmark ->
-  injections:int ->
-  seed:int ->
-  unit ->
-  config
-  [@@deprecated "use Campaign.Config.make"]
-(** PV mode, full framework, fuel 20_000, baseline handlers. *)
 
 val shard_size : int
 (** Injections per shard (100).  Campaigns are decomposed into
@@ -242,10 +231,6 @@ val execute_with_stats :
   Outcome.record list * stats
 (** {!execute}, also returning planner statistics (checkpoint-served
     shards contribute nothing to the stats). *)
-
-val run : ?jobs:int -> ?checkpoint:checkpoint -> config -> Outcome.record list
-  [@@deprecated "use Campaign.execute with Config.jobs"]
-(** {!execute} with [jobs] (when given) overriding [config.jobs]. *)
 
 val run_fault_free :
   ?jobs:int ->

@@ -78,9 +78,6 @@ let study ?(seed = 7) ~benchmark ~injections (cfg : Pipeline.Config.t) =
     checkpoint_bytes = !checkpoint_bytes;
   }
 
-let run ?(seed = 7) ?(fuel = 20_000) ~detector ~benchmark ~injections () =
-  study ~seed ~benchmark ~injections (Pipeline.Config.make ?detector ~fuel ())
-
 let pp ppf r =
   Format.fprintf ppf
     "injections=%d detected=%d recovered_exactly=%d mismatches=%d \

@@ -38,15 +38,4 @@ val study :
     each faulted execution goes through {!Xentry_core.Pipeline.run} on
     a clone of the live host. *)
 
-val run :
-  ?seed:int ->
-  ?fuel:int ->
-  detector:Xentry_core.Transition_detector.t option ->
-  benchmark:Xentry_workload.Profile.benchmark ->
-  injections:int ->
-  unit ->
-  result
-  [@@deprecated "use Recovery_study.study with a Pipeline.Config.t"]
-(** {!study} under full detection with [detector] and [fuel]. *)
-
 val pp : Format.formatter -> result -> unit

@@ -118,7 +118,10 @@ let train_and_evaluate ?(tree_seed = 1) ~train ~test () =
     random_tree_eval = Metrics.evaluate random_tree test.dataset;
   }
 
-let detector trained = Transition_detector.of_tree trained.random_tree
+let detector ?(version = 1) ?(origin = Detector.Offline) trained =
+  Detector.make ~version ~origin
+    ~trained_on:(Dataset.length trained.train_corpus.dataset)
+    (Transition_detector.of_tree trained.random_tree)
 
 let default_pipeline ?jobs ?(seed = 2014) ?(train_injections = 23_400)
     ?(test_injections = 17_700) () =

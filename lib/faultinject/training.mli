@@ -45,9 +45,15 @@ type trained = {
 val train_and_evaluate :
   ?tree_seed:int -> train:corpus -> test:corpus -> unit -> trained
 
-val detector : trained -> Xentry_core.Transition_detector.t
+val detector :
+  ?version:int ->
+  ?origin:Xentry_core.Detector.origin ->
+  trained ->
+  Xentry_core.Detector.t
 (** The deployed detector: the random tree (the paper's pick — it
-    reached the higher accuracy). *)
+    reached the higher accuracy), wrapped as a versioned
+    {!Xentry_core.Detector.t} carrying the training-corpus size.
+    Defaults: version 1, [Offline]. *)
 
 val default_pipeline :
   ?jobs:int ->

@@ -1,0 +1,104 @@
+(* Corpus miner: taps the serve hot path's per-request verdict stream
+   into an incremental training corpus.
+
+   The hot path calls [offer] from worker domains; it must never block
+   or allocate proportionally to history.  Each fault class (correct /
+   incorrect VM-transition signature) keeps a bounded reservoir —
+   Vitter's algorithm R, so after N offers every sample survived with
+   probability capacity/N — guarded by a mutex taken with [try_lock]:
+   a contended offer is dropped and counted instead of waited on.  The
+   retraining domain drains snapshots with [corpus] at its leisure. *)
+
+module Rng = Xentry_util.Rng
+module Features = Xentry_core.Features
+module Training = Xentry_faultinject.Training
+
+type reservoir = {
+  slots : float array array;
+  mutable filled : int;
+  mutable seen : int;
+}
+
+let reservoir capacity =
+  { slots = Array.make capacity [||]; filled = 0; seen = 0 }
+
+type t = {
+  capacity : int;
+  lock : Mutex.t;
+  rng : Rng.t;  (* guarded by [lock] *)
+  correct : reservoir;
+  incorrect : reservoir;
+  offered : int Atomic.t;
+  contended : int Atomic.t;
+}
+
+let create ?(seed = 0x5EED) ~capacity () =
+  if capacity < 1 then invalid_arg "Miner.create: capacity < 1";
+  {
+    capacity;
+    lock = Mutex.create ();
+    rng = Rng.create seed;
+    correct = reservoir capacity;
+    incorrect = reservoir capacity;
+    offered = Atomic.make 0;
+    contended = Atomic.make 0;
+  }
+
+(* Under capacity the reservoir is a plain append, so a single-domain
+   offer sequence is preserved in order — which keeps streaming-vs-
+   offline corpus comparisons deterministic in tests. *)
+let reservoir_offer t r features =
+  r.seen <- r.seen + 1;
+  if r.filled < t.capacity then begin
+    r.slots.(r.filled) <- features;
+    r.filled <- r.filled + 1
+  end
+  else
+    let j = Rng.int t.rng r.seen in
+    if j < t.capacity then r.slots.(j) <- features
+
+let offer t ~features ~incorrect =
+  Atomic.incr t.offered;
+  if Mutex.try_lock t.lock then (
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        reservoir_offer t (if incorrect then t.incorrect else t.correct)
+          features);
+    true)
+  else begin
+    Atomic.incr t.contended;
+    false
+  end
+
+let offered t = Atomic.get t.offered
+let contended t = Atomic.get t.contended
+
+let snapshot r = Array.to_list (Array.sub r.slots 0 r.filled)
+
+(* A corpus snapshot; the reservoirs keep accumulating (retraining is
+   cumulative over the stream so far, not per-window). *)
+let corpus t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let correct = snapshot t.correct in
+      let incorrect = snapshot t.incorrect in
+      let samples =
+        List.map (fun f -> (f, Features.label_correct)) correct
+        @ List.map (fun f -> (f, Features.label_incorrect)) incorrect
+      in
+      {
+        Training.dataset = Features.dataset_of_samples samples;
+        injection_runs = t.incorrect.seen;
+        fault_free_runs = t.correct.seen;
+        correct = List.length correct;
+        incorrect = List.length incorrect;
+      })
+
+let class_counts t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> (t.correct.filled, t.incorrect.filled))

@@ -1,0 +1,38 @@
+(** Corpus miner: bounded per-class reservoirs fed from the serve hot
+    path, drained into {!Xentry_faultinject.Training.corpus} snapshots
+    by the retraining domain.
+
+    {!offer} is wait-free from the caller's perspective: it takes the
+    reservoir lock with [try_lock] and {e drops} (and counts) the
+    sample on contention rather than blocking a worker domain.  Each
+    class keeps a capacity-bounded uniform reservoir (algorithm R), so
+    the corpus stays a fair sample of the whole stream without
+    unbounded memory. *)
+
+type t
+
+val create : ?seed:int -> capacity:int -> unit -> t
+(** [capacity] bounds each class reservoir separately.  [seed] drives
+    the replacement draws (deterministic mining for a fixed offer
+    sequence).  Raises [Invalid_argument] when [capacity < 1]. *)
+
+val offer : t -> features:float array -> incorrect:bool -> bool
+(** Offer one VM-transition feature vector with its online label.
+    Returns [false] when the sample was dropped because the lock was
+    contended (counted in {!contended}); never blocks. *)
+
+val offered : t -> int
+(** Total offers, accepted or not. *)
+
+val contended : t -> int
+(** Offers dropped on lock contention. *)
+
+val corpus : t -> Xentry_faultinject.Training.corpus
+(** Snapshot the reservoirs as a training corpus ([injection_runs] /
+    [fault_free_runs] carry the per-class stream totals seen so far).
+    The reservoirs keep accumulating — mining is cumulative, not
+    per-window.  Takes the lock (blocking); call from the retraining
+    domain, not the hot path. *)
+
+val class_counts : t -> int * int
+(** Current (correct, incorrect) reservoir occupancy. *)

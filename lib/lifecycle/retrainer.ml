@@ -1,0 +1,36 @@
+(* Background retrainer: turns mined corpora into candidate detector
+   versions.  Training runs off the hot path (the serve engine calls
+   this from a dedicated domain); the same [Training.train_and_evaluate]
+   that offline campaigns use does the fitting, so a detector trained
+   from a streamed corpus is byte-for-byte the detector an offline run
+   on the same corpus would produce — the lifecycle adds versioning and
+   persistence, never a different model. *)
+
+module Detector = Xentry_core.Detector
+module Training = Xentry_faultinject.Training
+module Artifact = Xentry_store.Artifact
+module Codec = Xentry_store.Codec
+
+(* A corpus is trainable when both classes are represented well enough
+   for the tree grower to carve real splits; a single-class corpus
+   would fit a constant classifier (coverage 0 or FP 1). *)
+let viable ?(min_per_class = 8) (c : Training.corpus) =
+  c.Training.correct >= min_per_class
+  && c.Training.incorrect >= min_per_class
+
+let train_candidate ?(tree_seed = 1) ~version corpus =
+  Detector.with_version
+    (Training.detector ~origin:Detector.Streamed
+       (Training.train_and_evaluate ~tree_seed ~train:corpus ~test:corpus ()))
+    version
+
+let artifact_path ~dir ~version =
+  Filename.concat dir (Printf.sprintf "detector-v%04d.xart" version)
+
+let persist ~dir det =
+  let path = artifact_path ~dir ~version:(Detector.version det) in
+  Artifact.save Codec.versioned_detector path det;
+  path
+
+let load_version ~dir ~version =
+  Artifact.load Codec.versioned_detector (artifact_path ~dir ~version)

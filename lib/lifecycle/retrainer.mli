@@ -1,0 +1,32 @@
+(** Background retraining of candidate detectors from mined corpora.
+
+    The fitting path is exactly the offline one —
+    {!Xentry_faultinject.Training.train_and_evaluate} with a fixed
+    tree seed — so streaming retraining on a given corpus produces a
+    model identical to an offline run on the same corpus (asserted by
+    the lifecycle tests).  The lifecycle's additions are the monotonic
+    version bump and artifact persistence. *)
+
+val viable : ?min_per_class:int -> Xentry_faultinject.Training.corpus -> bool
+(** Both classes present with at least [min_per_class] (default 8)
+    samples — the floor under which training would fit a constant
+    classifier. *)
+
+val train_candidate :
+  ?tree_seed:int ->
+  version:int ->
+  Xentry_faultinject.Training.corpus ->
+  Xentry_core.Detector.t
+(** Train on the corpus (self-evaluated; shadow mode is the real
+    test), stamped [Streamed] with the given version. *)
+
+val artifact_path : dir:string -> version:int -> string
+
+val persist : dir:string -> Xentry_core.Detector.t -> string
+(** Save through {!Xentry_store.Artifact.save} (atomic rename) as
+    [detector-v%04d.xart]; returns the path. *)
+
+val load_version :
+  dir:string ->
+  version:int ->
+  (Xentry_core.Detector.t, Xentry_store.Artifact.error) result

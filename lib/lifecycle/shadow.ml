@@ -1,0 +1,109 @@
+(* Shadow-mode A/B gate: a candidate detector scores every request
+   alongside the incumbent but has no veto.  [score] returns the
+   incumbent's verdict verbatim — by construction shadow mode cannot
+   change what the service does — while atomic counters accumulate the
+   live coverage/false-positive comparison.  Once [window] requests
+   have been scored, [decision] promotes the candidate iff its
+   estimates beat the incumbent's (weakly better on both axes,
+   strictly better on one). *)
+
+module Detector = Xentry_core.Detector
+module Pipeline = Xentry_core.Pipeline
+module Td = Xentry_core.Transition_detector
+
+type stats = {
+  scored : int;
+  faulted : int;  (* injected requests among them *)
+  candidate_hits : int;  (* candidate vetoed an injected request *)
+  incumbent_hits : int;  (* incumbent's VM-transition verdict did *)
+  clean : int;  (* fault-free requests among them *)
+  candidate_fp : int;  (* candidate vetoed a fault-free request *)
+  incumbent_fp : int;
+}
+
+type t = {
+  candidate : Detector.t;
+  window : int;
+  scored : int Atomic.t;
+  faulted : int Atomic.t;
+  candidate_hits : int Atomic.t;
+  incumbent_hits : int Atomic.t;
+  clean : int Atomic.t;
+  candidate_fp : int Atomic.t;
+  incumbent_fp : int Atomic.t;
+}
+
+let create ~window ~candidate =
+  if window < 1 then invalid_arg "Shadow.create: window < 1";
+  {
+    candidate;
+    window;
+    scored = Atomic.make 0;
+    faulted = Atomic.make 0;
+    candidate_hits = Atomic.make 0;
+    incumbent_hits = Atomic.make 0;
+    clean = Atomic.make 0;
+    candidate_fp = Atomic.make 0;
+    incumbent_fp = Atomic.make 0;
+  }
+
+let candidate t = t.candidate
+let window t = t.window
+
+let score t ~incumbent ~injected ~features =
+  Atomic.incr t.scored;
+  let cand_veto =
+    match Detector.classify_features t.candidate features with
+    | Td.Incorrect, _ -> true
+    | Td.Correct, _ -> false
+  in
+  let inc_veto =
+    match incumbent with
+    | Pipeline.Detected { technique = Pipeline.Vm_transition; _ } -> true
+    | _ -> false
+  in
+  if injected then begin
+    Atomic.incr t.faulted;
+    if cand_veto then Atomic.incr t.candidate_hits;
+    if inc_veto then Atomic.incr t.incumbent_hits
+  end
+  else begin
+    Atomic.incr t.clean;
+    if cand_veto then Atomic.incr t.candidate_fp;
+    if inc_veto then Atomic.incr t.incumbent_fp
+  end;
+  (* The candidate observes; the incumbent decides. *)
+  incumbent
+
+let stats t =
+  {
+    scored = Atomic.get t.scored;
+    faulted = Atomic.get t.faulted;
+    candidate_hits = Atomic.get t.candidate_hits;
+    incumbent_hits = Atomic.get t.incumbent_hits;
+    clean = Atomic.get t.clean;
+    candidate_fp = Atomic.get t.candidate_fp;
+    incumbent_fp = Atomic.get t.incumbent_fp;
+  }
+
+let rate num den = if den = 0 then 0. else float_of_int num /. float_of_int den
+
+let coverage (s : stats) ~candidate:c =
+  rate (if c then s.candidate_hits else s.incumbent_hits) s.faulted
+
+let fp_rate (s : stats) ~candidate:c =
+  rate (if c then s.candidate_fp else s.incumbent_fp) s.clean
+
+type outcome = Hold | Promote of stats | Reject of stats
+
+let decision t =
+  let s = stats t in
+  if s.scored < t.window then Hold
+  else
+    let cov_c = coverage s ~candidate:true
+    and cov_i = coverage s ~candidate:false
+    and fp_c = fp_rate s ~candidate:true
+    and fp_i = fp_rate s ~candidate:false in
+    if cov_c >= cov_i && fp_c <= fp_i && (cov_c > cov_i || fp_c < fp_i) then
+      Promote s
+    else Reject s

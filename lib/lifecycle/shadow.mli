@@ -1,0 +1,58 @@
+(** Shadow-mode A/B gate for candidate detectors.
+
+    A freshly retrained candidate must not veto live traffic until it
+    has proven itself: {!score} classifies every request's feature
+    vector with the candidate {e and returns the incumbent's verdict
+    unchanged} (shadow scoring cannot alter service behaviour — a
+    QCheck property in the test suite), accumulating live coverage and
+    false-positive estimates for both sides in atomic counters safe to
+    bump from any worker domain.
+
+    After [window] scored requests, {!decision} compares the
+    estimates: coverage over requests known to carry an injected
+    fault, false-positive rate over the rest.  The candidate is
+    promoted iff it is weakly better on both axes and strictly better
+    on at least one. *)
+
+type t
+
+type stats = {
+  scored : int;
+  faulted : int;  (** injected requests scored *)
+  candidate_hits : int;
+  incumbent_hits : int;
+  clean : int;  (** fault-free requests scored *)
+  candidate_fp : int;
+  incumbent_fp : int;
+}
+
+val create : window:int -> candidate:Xentry_core.Detector.t -> t
+(** Raises [Invalid_argument] when [window < 1]. *)
+
+val candidate : t -> Xentry_core.Detector.t
+val window : t -> int
+
+val score :
+  t ->
+  incumbent:Xentry_core.Pipeline.verdict ->
+  injected:bool ->
+  features:float array ->
+  Xentry_core.Pipeline.verdict
+(** Score one VM-transition request.  [incumbent] is the verdict the
+    live pipeline produced; [injected] says whether the request is
+    known to carry an activated fault (the live labeling signal);
+    [features] is its Table I vector.  Always returns [incumbent]. *)
+
+val stats : t -> stats
+
+val coverage : stats -> candidate:bool -> float
+(** Hits / faulted (0 when nothing faulted was scored). *)
+
+val fp_rate : stats -> candidate:bool -> float
+
+type outcome =
+  | Hold  (** window not yet filled *)
+  | Promote of stats  (** candidate beat the incumbent *)
+  | Reject of stats
+
+val decision : t -> outcome

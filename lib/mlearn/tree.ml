@@ -177,6 +177,56 @@ let leaf_count t = count_leaves t.root
 
 let max_comparisons t = depth t
 
+(* Truncating a trained tree at a depth bound is the cheap way to
+   trade coverage for fewer per-exit comparisons: every subtree below
+   the bound collapses into the population-weighted majority leaf of
+   its own leaves, so the truncated tree answers exactly like the
+   original on any path shorter than the bound. *)
+let truncate t ~max_depth =
+  if max_depth < 0 then invalid_arg "Tree.truncate: negative depth";
+  let rec leaf_stats node =
+    (* (per-class population counts, confidence-weighted votes) *)
+    match node with
+    | Leaf { label; confidence; population } ->
+        let counts = Array.make t.n_classes 0 in
+        counts.(label) <- population;
+        let votes = Array.make t.n_classes 0.0 in
+        votes.(label) <- confidence *. float_of_int (max 1 population);
+        (counts, votes)
+    | Split { low; high; _ } ->
+        let cl, vl = leaf_stats low and ch, vh = leaf_stats high in
+        (Array.map2 ( + ) cl ch, Array.map2 ( +. ) vl vh)
+  in
+  let collapse node =
+    let counts, votes = leaf_stats node in
+    let best = ref 0 in
+    Array.iteri
+      (fun c n ->
+        if n > counts.(!best) || (n = counts.(!best) && votes.(c) > votes.(!best))
+        then best := c)
+      counts;
+    let total = Array.fold_left ( + ) 0 counts in
+    let confidence =
+      if total = 0 then 0.0
+      else float_of_int counts.(!best) /. float_of_int total
+    in
+    Leaf { label = !best; confidence; population = total }
+  in
+  let rec cut node depth =
+    match node with
+    | Leaf _ -> node
+    | Split _ when depth >= max_depth -> collapse node
+    | Split { feature; threshold; low; high } ->
+        Split
+          {
+            feature;
+            threshold;
+            low = cut low (depth + 1);
+            high = cut high (depth + 1);
+          }
+  in
+  { t with root = cut t.root 0 }
+
 let of_parts ~root ~feature_names ~n_classes =
   if n_classes < 2 then invalid_arg "Tree.of_parts: need at least 2 classes";
   let nf = Array.length feature_names in

@@ -60,6 +60,14 @@ val rules : t -> string list
 
 val pp : Format.formatter -> t -> unit
 
+val truncate : t -> max_depth:int -> t
+(** Collapse every subtree below [max_depth] into the
+    population-weighted majority leaf of its own leaves.  Paths that
+    already terminate above the bound are untouched, so the truncated
+    tree agrees with the original wherever the original answered in
+    [<= max_depth] comparisons.  Raises [Invalid_argument] on a
+    negative depth. *)
+
 val of_parts :
   root:node -> feature_names:string array -> n_classes:int -> t
 (** Reassemble a tree from serialized parts (see {!Tree_io}).

@@ -1,45 +1,86 @@
 open Xentry_core
 
-type level = Full_detection | Runtime_only | Filter_only
+(* A rung is one point on the cost/coverage dial: a detection-channel
+   set, a knob rewriting the detector model, and the modeled per-exit
+   cost that justifies its position.  Rung 0 is the most expensive
+   (most detection); degrading walks towards the end of the array. *)
+type rung = {
+  rung_name : string;
+  rung_detection : Pipeline.detection;
+  rung_knob : Detector.knob;
+  rung_cost : float;
+}
 
-let levels = [| Full_detection; Runtime_only; Filter_only |]
-
-let level_index = function
-  | Full_detection -> 0
-  | Runtime_only -> 1
-  | Filter_only -> 2
-
-let level_name = function
-  | Full_detection -> "full"
-  | Runtime_only -> "runtime_only"
-  | Filter_only -> "filter_only"
-
-(* The cost/coverage dial (DETOx's observation applied to the paper's
-   two-tier design): each step down disarms the most expensive
-   remaining technique.  The exception filter is effectively free — it
+(* The historical fixed sequence (full -> runtime-only -> filter-only)
+   expressed as data.  Each step down disarms the most expensive
+   remaining technique; the exception filter is effectively free — it
    only inspects executions that already stopped — so it is never
-   disarmed, and neither is the RAS poll (one bank read per exit). *)
-let detection = function
-  | Full_detection -> Pipeline.full_detection
-  | Runtime_only -> Pipeline.runtime_only
-  | Filter_only ->
-      {
-        Pipeline.hw_exceptions = true;
-        sw_assertions = false;
-        vm_transition = false;
-        ras_polling = true;
-      }
+   disarmed, and neither is the RAS poll (one bank read per exit).
+   Costs come from the paper's cost model at the trained detector's
+   worst case (24 comparisons, Training's max_depth). *)
+let default_rungs =
+  let cost detection ~tree_comparisons =
+    Cost_model.per_exit_seconds Cost_model.default_params detection
+      ~tree_comparisons
+  in
+  [|
+    {
+      rung_name = "full";
+      rung_detection = Pipeline.full_detection;
+      rung_knob = Detector.Stock;
+      rung_cost = cost Pipeline.full_detection ~tree_comparisons:24;
+    };
+    {
+      rung_name = "runtime_only";
+      rung_detection = Pipeline.runtime_only;
+      rung_knob = Detector.Stock;
+      rung_cost = cost Pipeline.runtime_only ~tree_comparisons:0;
+    };
+    {
+      rung_name = "filter_only";
+      rung_detection =
+        {
+          Pipeline.hw_exceptions = true;
+          sw_assertions = false;
+          vm_transition = false;
+          ras_polling = true;
+        };
+      rung_knob = Detector.Stock;
+      rung_cost = 0.;
+    };
+  |]
+
+(* The optimizer's output plugs in directly: Pareto fronts are already
+   ordered costliest-first, which is rung order. *)
+let rungs_of_front (front : Pareto.front) =
+  Array.of_list
+    (List.map
+       (fun (p : Pareto.point) ->
+         {
+           rung_name = p.Pareto.label;
+           rung_detection = p.Pareto.detection;
+           rung_knob = p.Pareto.knob;
+           rung_cost = p.Pareto.overhead;
+         })
+       front.Pareto.points)
 
 type config = {
+  rungs : rung array;
   high_watermark : float;
   low_watermark : float;
   hold_ticks : int;
 }
 
 let default_config =
-  { high_watermark = 0.75; low_watermark = 0.25; hold_ticks = 25 }
+  {
+    rungs = default_rungs;
+    high_watermark = 0.75;
+    low_watermark = 0.25;
+    hold_ticks = 25;
+  }
 
 let validate_config c =
+  if Array.length c.rungs = 0 then invalid_arg "Ladder: empty rung list";
   if
     not
       (c.low_watermark >= 0. && c.low_watermark < c.high_watermark
@@ -50,31 +91,35 @@ let validate_config c =
          "Ladder: need 0 <= low (%g) < high (%g) <= 1 and hold_ticks (%d) >= 1"
          c.low_watermark c.high_watermark c.hold_ticks)
 
-type t = { config : config; level : level; calm_ticks : int }
+type t = { config : config; rung : int; calm_ticks : int }
 
-type transition = { from_level : level; to_level : level }
+type transition = { from_rung : int; to_rung : int }
 
 let create ?(config = default_config) () =
   validate_config config;
-  { config; level = Full_detection; calm_ticks = 0 }
+  { config; rung = 0; calm_ticks = 0 }
 
-let level t = t.level
+let rung t = t.rung
+let rung_count t = Array.length t.config.rungs
+let rung_at t i = t.config.rungs.(i)
+let current t = t.config.rungs.(t.rung)
+let name config i = config.rungs.(i).rung_name
 
 (* Hysteresis: degrading is immediate (shedding is worse than a
    coverage dip), climbing back needs [hold_ticks] consecutive calm
    ticks (a queue bouncing around the low watermark must not flap the
    detection set), and mid-band occupancy resets the calm streak. *)
 let observe t ~occupancy =
-  let idx = level_index t.level in
-  if occupancy >= t.config.high_watermark && idx < Array.length levels - 1 then
-    let to_level = levels.(idx + 1) in
-    ( { t with level = to_level; calm_ticks = 0 },
-      Some { from_level = t.level; to_level } )
+  let last = Array.length t.config.rungs - 1 in
+  if occupancy >= t.config.high_watermark && t.rung < last then
+    let to_rung = t.rung + 1 in
+    ( { t with rung = to_rung; calm_ticks = 0 },
+      Some { from_rung = t.rung; to_rung } )
   else if occupancy <= t.config.low_watermark then
     let calm = t.calm_ticks + 1 in
-    if calm >= t.config.hold_ticks && idx > 0 then
-      let to_level = levels.(idx - 1) in
-      ( { t with level = to_level; calm_ticks = 0 },
-        Some { from_level = t.level; to_level } )
+    if calm >= t.config.hold_ticks && t.rung > 0 then
+      let to_rung = t.rung - 1 in
+      ( { t with rung = to_rung; calm_ticks = 0 },
+        Some { from_rung = t.rung; to_rung } )
     else ({ t with calm_ticks = calm }, None)
   else ({ t with calm_ticks = 0 }, None)

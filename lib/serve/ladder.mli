@@ -1,10 +1,16 @@
-(** Load-adaptive degradation ladder.
+(** Load-adaptive degradation ladder over an ordered rung list.
 
-    Under overload the serve engine steps down the detection set —
-    full detection, then exception filter + assertions, then filter
-    only — trading coverage for service rate (the paper's two-tier
-    split as a runtime dial, per DETOx's cost/coverage observation),
-    and climbs back one rung at a time once queues stay drained.
+    Under overload the serve engine steps down the ladder — each rung
+    names a detection-channel set, a {!Xentry_core.Detector.knob}
+    rewriting the detector model, and its modeled per-exit cost —
+    trading coverage for service rate (the paper's two-tier split as a
+    runtime dial, per DETOx's cost/coverage observation), and climbs
+    back one rung at a time once queues stay drained.
+
+    Rungs are data, not a fixed variant: {!default_rungs} reproduces
+    the historical full → runtime-only → filter-only sequence, and
+    {!rungs_of_front} turns a configuration optimizer's Pareto front
+    into a data-driven ladder.
 
     The ladder itself is a pure state machine over queue-occupancy
     observations: degrade {e immediately} when occupancy reaches the
@@ -12,38 +18,49 @@
     observations at or below the low watermark (mid-band observations
     reset the streak — hysteresis, so detection never flaps). *)
 
-type level =
-  | Full_detection  (** filter + assertions + transition detector *)
-  | Runtime_only  (** filter + assertions *)
-  | Filter_only  (** exception filter alone: near-zero added cost *)
+type rung = {
+  rung_name : string;
+  rung_detection : Xentry_core.Pipeline.detection;
+      (** channels this rung arms *)
+  rung_knob : Xentry_core.Detector.knob;
+      (** model rewrite this rung applies to the incumbent detector *)
+  rung_cost : float;  (** modeled seconds per VM exit *)
+}
 
-val levels : level array
-(** Rungs in degradation order, [Full_detection] first. *)
+val default_rungs : rung array
+(** The historical sequence: full detection, runtime-only (filter +
+    assertions), filter-only (+ RAS poll) — most expensive first. *)
 
-val level_index : level -> int
-val level_name : level -> string
-
-val detection : level -> Xentry_core.Pipeline.detection
-(** The detection set a rung arms. *)
+val rungs_of_front : Xentry_core.Pareto.front -> rung array
+(** A data-driven rung list from an optimizer Pareto front (already
+    ordered costliest-first). *)
 
 type config = {
+  rungs : rung array;  (** degradation order, most detection first *)
   high_watermark : float;  (** degrade at occupancy >= this *)
   low_watermark : float;  (** calm means occupancy <= this *)
   hold_ticks : int;  (** consecutive calm observations to climb *)
 }
 
 val default_config : config
-(** high 0.75, low 0.25, hold 25. *)
+(** {!default_rungs}, high 0.75, low 0.25, hold 25. *)
 
 type t
 
 val create : ?config:config -> unit -> t
-(** Starts at {!Full_detection}.  Raises [Invalid_argument] unless
-    [0 <= low < high <= 1] and [hold_ticks >= 1]. *)
+(** Starts at rung 0.  Raises [Invalid_argument] on an empty rung list
+    or unless [0 <= low < high <= 1] and [hold_ticks >= 1]. *)
 
-val level : t -> level
+val rung : t -> int
+(** Current rung index (0 = most detection). *)
 
-type transition = { from_level : level; to_level : level }
+val rung_count : t -> int
+val rung_at : t -> int -> rung
+val current : t -> rung
+val name : config -> int -> string
+(** The rung's name, for summaries. *)
+
+type transition = { from_rung : int; to_rung : int }
 
 val observe : t -> occupancy:float -> t * transition option
 (** Feed one occupancy observation (queued/capacity, 0..1); pure. *)

@@ -4,8 +4,12 @@ module Profile = Xentry_workload.Profile
 module Stream = Xentry_workload.Stream
 module Fault = Xentry_faultinject.Fault
 module Mb = Xentry_recover.Microboot
+module Cpu = Xentry_machine.Cpu
 module Rng = Xentry_util.Rng
 module Tm = Xentry_util.Telemetry
+module Miner = Xentry_lifecycle.Miner
+module Shadow = Xentry_lifecycle.Shadow
+module Retrainer = Xentry_lifecycle.Retrainer
 
 (* --- configuration -------------------------------------------------- *)
 
@@ -18,6 +22,23 @@ let recovery_policy_name = function
   | Microboot -> "microboot"
   | Restart -> "restart"
 
+type retrain = {
+  retrain_interval_s : float;
+  shadow_window : int;
+  min_corpus : int;
+  reservoir_capacity : int;
+  artifact_dir : string option;
+}
+
+let default_retrain =
+  {
+    retrain_interval_s = 0.25;
+    shadow_window = 64;
+    min_corpus = 8;
+    reservoir_capacity = 512;
+    artifact_dir = None;
+  }
+
 type config = {
   pipeline : Pipeline.Config.t;
   benchmark : Profile.benchmark;
@@ -27,6 +48,7 @@ type config = {
   burst : burst option;
   storm : storm option;
   recovery : recovery_policy;
+  retrain : retrain option;
   deadline_us : int option;
   duration_s : float;
   jobs : int;
@@ -38,8 +60,8 @@ type config = {
 }
 
 let make ?(pipeline = Pipeline.Config.default) ?(mode = Profile.PV)
-    ?(streams = 8) ?burst ?storm ?(recovery = Keep_serving) ?deadline_us
-    ?(duration_s = 2.0) ?(jobs = 2) ?(queue_capacity = 64)
+    ?(streams = 8) ?burst ?storm ?(recovery = Keep_serving) ?retrain
+    ?deadline_us ?(duration_s = 2.0) ?(jobs = 2) ?(queue_capacity = 64)
     ?(ladder = Ladder.default_config) ?(tick_s = 0.002) ?(seed = 42)
     ?(max_samples = 200_000) ~benchmark ~rate () =
   let cfg =
@@ -52,6 +74,7 @@ let make ?(pipeline = Pipeline.Config.default) ?(mode = Profile.PV)
       burst;
       storm;
       recovery;
+      retrain;
       deadline_us;
       duration_s;
       jobs;
@@ -67,6 +90,11 @@ let make ?(pipeline = Pipeline.Config.default) ?(mode = Profile.PV)
       (streams >= 1 && jobs >= 1 && rate > 0. && duration_s > 0.
      && tick_s > 0. && queue_capacity >= 1 && max_samples >= 1
      && (match deadline_us with Some d -> d >= 1 | None -> true)
+     && (match retrain with
+        | Some r ->
+            r.retrain_interval_s > 0. && r.shadow_window >= 1
+            && r.min_corpus >= 1 && r.reservoir_capacity >= 1
+        | None -> true)
      &&
      match storm with
      | Some s ->
@@ -103,6 +131,8 @@ let tm_recovered = Tm.counter "serve.recovered"
 let tm_injected = Tm.counter "serve.faults.injected"
 let tm_microboots = Tm.counter "serve.microboots"
 let tm_restarts = Tm.counter "serve.restarts"
+let tm_retrained = Tm.counter "serve.lifecycle.retrained"
+let tm_swapped = Tm.counter "serve.lifecycle.swapped"
 let tm_latency = lazy (Tm.histogram "serve.latency_us")
 let tm_level = lazy (Tm.histogram "serve.degraded_level")
 let tm_recovery = lazy (Tm.histogram "serve.recovery_us")
@@ -124,6 +154,12 @@ type tally = {
   mutable t_n_latencies : int;
 }
 
+type swap = {
+  swap_t_s : float;  (* seconds since service start *)
+  swap_version : int;
+  swap_stats : Shadow.stats;
+}
+
 type summary = {
   wall_s : float;
   offered : int;
@@ -140,17 +176,38 @@ type summary = {
   shed_draining : int;
   throughput_rps : float;
   latency_us : float array; (* completed-request latencies, unsorted *)
-  transitions : (float * Ladder.level) list; (* (seconds since start, new level) *)
-  time_at_level : float array; (* seconds, indexed by Ladder.level_index *)
-  final_level : Ladder.level;
-  deepest_level : Ladder.level;
+  transitions : (float * int) list; (* (seconds since start, new rung) *)
+  time_at_rung : float array; (* seconds, indexed by rung *)
+  rung_names : string array;
+  final_rung : int;
+  deepest_rung : int;
   peak_occupancy : float;
+  mined : int; (* samples accepted into the lifecycle reservoirs *)
+  mine_dropped : int; (* offers dropped on reservoir-lock contention *)
+  retrained : int; (* candidate detectors trained *)
+  shadow_rejected : int; (* candidates the shadow gate turned away *)
+  swaps : swap list; (* promotions, oldest first *)
+  final_detector_version : int; (* -1 when no detector is configured *)
 }
 
 let shed_total s = s.shed_queue_full + s.shed_deadline + s.shed_draining
 
 let shed_fraction s =
   if s.offered = 0 then 0. else float_of_int (shed_total s) /. float_of_int s.offered
+
+(* Worker-seconds lost to recovery over worker-seconds of service.  A
+   service that never ran lost nothing, so a zero (or negative: clock
+   steps) wall reads as fully available, and rounding noise in the
+   recovery total cannot push the ratio outside [0, 1]. *)
+let availability_of ~recovery_total_s ~wall_s ~jobs =
+  if wall_s <= 0. || jobs <= 0 then 1.
+  else
+    Float.min 1.
+      (Float.max 0.
+         (1. -. (recovery_total_s /. (wall_s *. float_of_int jobs))))
+
+let throughput_of ~completed ~wall_s =
+  if wall_s <= 0. then 0. else float_of_int completed /. wall_s
 
 let latency_quantile s q =
   if Array.length s.latency_us = 0 then 0.
@@ -164,6 +221,14 @@ let recovery_quantile s q =
    steps the wall clock mid-run. *)
 let now () = Xentry_util.Clock.monotonic ()
 
+(* Lifecycle plumbing shared by the workers and the retrain manager.
+   [incumbent] is the versioned detector the whole service currently
+   trusts; a candidate lives in [shadow] until the gate promotes it. *)
+type lifecycle = {
+  lc_miner : Miner.t;
+  lc_shadow : Shadow.t option Atomic.t;
+}
+
 (* One worker: owns a hypervisor for the service lifetime and polls
    the queues of the streams it currently owns.  Stream i starts as
    worker [i mod jobs]'s; ownership is dynamic only during a recovery
@@ -172,8 +237,8 @@ let now () = Xentry_util.Clock.monotonic ()
    queue itself is mutex-protected, so the brief overlap at the
    hand-off edges is safe; per-stream order still holds because at any
    instant at most one worker is actively sweeping a given stream. *)
-let worker_loop (cfg : config) queues ~t0 ~draining ~level_cell
-    ~configs_by_level ~owners w =
+let worker_loop (cfg : config) queues ~t0 ~draining ~rung_cell ~incumbent
+    ~lifecycle ~owners w =
   let host =
     ref
       (Pipeline.create_host ~seed:(Rng.derive cfg.seed (0x5E12 + w))
@@ -188,6 +253,31 @@ let worker_loop (cfg : config) queues ~t0 ~draining ~level_cell
      instruction count of recent requests, like the campaign tiers. *)
   let last_steps = ref 256 in
   let neighbour = (w + 1) mod cfg.jobs in
+  (* Per-(rung, detector version) pipeline configs, built lazily: a
+     hot-swap invalidates nothing, it just starts hitting new cache
+     keys, so a request executes under exactly one (detection set,
+     detector version) pair end to end. *)
+  let config_cache : (int * int, Pipeline.Config.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let config_for rung_idx =
+    let det = Atomic.get incumbent in
+    let ver = match det with None -> -1 | Some d -> Detector.version d in
+    match Hashtbl.find_opt config_cache (rung_idx, ver) with
+    | Some c -> c
+    | None ->
+        let r = cfg.ladder.Ladder.rungs.(rung_idx) in
+        let c =
+          {
+            cfg.pipeline with
+            Pipeline.Config.detection = r.Ladder.rung_detection;
+            detector =
+              Option.map (fun d -> Detector.apply_knob d r.Ladder.rung_knob) det;
+          }
+        in
+        Hashtbl.add config_cache (rung_idx, ver) c;
+        c
+  in
   let tally =
     {
       t_completed = 0;
@@ -215,7 +305,7 @@ let worker_loop (cfg : config) queues ~t0 ~draining ~level_cell
      in-flight request on it, exactly once.  The request was admitted,
      so its completion is counted from the replay outcome alone — the
      detection run produced no completion. *)
-  let recover_and_replay level_cfg ctx item =
+  let recover_and_replay rung_cfg ctx item =
     if neighbour <> w then set_home_owner neighbour;
     let t_rec = now () in
     let fresh, replayed =
@@ -224,7 +314,7 @@ let worker_loop (cfg : config) queues ~t0 ~draining ~level_cell
           let fresh = Mb.reboot image ctx in
           Tm.incr tm_microboots;
           (* [reboot] already restaged the request on the fresh host. *)
-          (fresh, Pipeline.run level_cfg ~host:fresh ~prepare:false ~retire:true item.it_req)
+          (fresh, Pipeline.run rung_cfg ~host:fresh ~prepare:false ~retire:true item.it_req)
       | _ ->
           (* Restart-everything baseline: a whole new hypervisor (and
              with it, every guest's accumulated state). *)
@@ -235,7 +325,7 @@ let worker_loop (cfg : config) queues ~t0 ~draining ~level_cell
               cfg.pipeline
           in
           Tm.incr tm_restarts;
-          (fresh, Pipeline.run level_cfg ~host:fresh ~retire:true item.it_req)
+          (fresh, Pipeline.run rung_cfg ~host:fresh ~retire:true item.it_req)
     in
     let dt = now () -. t_rec in
     host := fresh;
@@ -246,6 +336,34 @@ let worker_loop (cfg : config) queues ~t0 ~draining ~level_cell
       Tm.observe (Lazy.force tm_recovery) (int_of_float (dt *. 1e6));
     if neighbour <> w then set_home_owner w;
     replayed
+  in
+  (* The lifecycle tap: every execution that reached VM entry feeds the
+     corpus miner (online label: did an injected fault go live?) and,
+     when a candidate is in shadow, scores it against the incumbent's
+     verdict.  [Shadow.score] returns the incumbent verdict verbatim —
+     the tap observes, it never decides. *)
+  let observe req (out : Pipeline.outcome) =
+    match lifecycle with
+    | None -> ()
+    | Some lc ->
+        if out.Pipeline.result.Cpu.stop = Cpu.Vm_entry then begin
+          let features =
+            Features.of_run ~reason:req.Request.reason
+              out.Pipeline.result.Cpu.final_pmu
+          in
+          let faulty =
+            match out.Pipeline.result.Cpu.activation with
+            | Some { Cpu.fate = Cpu.Activated _; _ } -> true
+            | _ -> false
+          in
+          ignore (Miner.offer lc.lc_miner ~features ~incorrect:faulty);
+          match Atomic.get lc.lc_shadow with
+          | Some sh ->
+              ignore
+                (Shadow.score sh ~incumbent:out.Pipeline.verdict
+                   ~injected:faulty ~features)
+          | None -> ()
+        end
   in
   let serve_one item =
     let t_dequeue = now () in
@@ -263,9 +381,7 @@ let worker_loop (cfg : config) queues ~t0 ~draining ~level_cell
       Tm.incr tm_shed_deadline
     end
     else begin
-      let level_cfg : Pipeline.Config.t =
-        configs_by_level.(Atomic.get level_cell)
-      in
+      let rung_cfg = config_for (Atomic.get rung_cell) in
       let inject =
         match cfg.storm with
         | Some st
@@ -280,7 +396,11 @@ let worker_loop (cfg : config) queues ~t0 ~draining ~level_cell
       let outcome =
         match cfg.recovery with
         | Keep_serving ->
-            Pipeline.run level_cfg ~host:!host ?inject ~retire:true item.it_req
+            let out =
+              Pipeline.run rung_cfg ~host:!host ?inject ~retire:true item.it_req
+            in
+            observe item.it_req out;
+            out
         | Microboot | Restart -> (
             (* Stage by hand so the micro-reboot context is captured
                between staging and execution — exactly the state a
@@ -290,9 +410,12 @@ let worker_loop (cfg : config) queues ~t0 ~draining ~level_cell
               Option.map (fun _ -> Mb.capture !host item.it_req) image
             in
             let first =
-              Pipeline.run level_cfg ~host:!host ~prepare:false ?inject
+              Pipeline.run rung_cfg ~host:!host ~prepare:false ?inject
                 item.it_req
             in
+            (* Mine the detection run, not the replay: the replay is a
+               synthetic re-execution, not arriving traffic. *)
+            observe item.it_req first;
             match first.Pipeline.verdict with
             | Pipeline.Clean ->
                 Hypervisor.retire !host item.it_req;
@@ -303,11 +426,11 @@ let worker_loop (cfg : config) queues ~t0 ~draining ~level_cell
                    completion accounting below. *)
                 tally.t_detected <- tally.t_detected + 1;
                 Tm.incr tm_detected;
-                recover_and_replay level_cfg ctx item)
+                recover_and_replay rung_cfg ctx item)
       in
       let latency = now () -. item.it_enqueued in
       tally.t_completed <- tally.t_completed + 1;
-      last_steps := max 1 outcome.Pipeline.result.Xentry_machine.Cpu.steps;
+      last_steps := max 1 outcome.Pipeline.result.Cpu.steps;
       (match outcome.Pipeline.verdict with
       | Pipeline.Detected _ ->
           tally.t_detected <- tally.t_detected + 1;
@@ -347,6 +470,80 @@ let worker_loop (cfg : config) queues ~t0 ~draining ~level_cell
   loop ();
   tally
 
+(* The retrain manager, run in its own domain so tree fitting never
+   steals worker or producer time.  One candidate at a time: drain the
+   miner, train version n+1, put it in shadow, and act on the gate's
+   decision — Promote installs the candidate as the service-wide
+   incumbent (workers pick it up at their next dequeue), Reject drops
+   it and mining continues. *)
+let manager_loop (rt : retrain) ~t0 ~stop ~incumbent (lc : lifecycle) =
+  let swaps = ref [] in
+  let retrained = ref 0 in
+  let rejected = ref 0 in
+  let next_version =
+    ref
+      (1
+      +
+      match Atomic.get incumbent with
+      | None -> 0
+      | Some d -> Detector.version d)
+  in
+  let promote sh stats =
+    let cand = Shadow.candidate sh in
+    Atomic.set incumbent (Some cand);
+    Atomic.set lc.lc_shadow None;
+    Tm.incr tm_swapped;
+    swaps :=
+      {
+        swap_t_s = now () -. t0;
+        swap_version = Detector.version cand;
+        swap_stats = stats;
+      }
+      :: !swaps
+  in
+  let step () =
+    match Atomic.get lc.lc_shadow with
+    | Some sh -> (
+        match Shadow.decision sh with
+        | Shadow.Hold -> ()
+        | Shadow.Promote stats -> promote sh stats
+        | Shadow.Reject _ ->
+            Atomic.set lc.lc_shadow None;
+            incr rejected)
+    | None ->
+        let corpus = Miner.corpus lc.lc_miner in
+        if Retrainer.viable ~min_per_class:rt.min_corpus corpus then begin
+          let det = Retrainer.train_candidate ~version:!next_version corpus in
+          incr next_version;
+          incr retrained;
+          Tm.incr tm_retrained;
+          (match rt.artifact_dir with
+          | Some dir -> ignore (Retrainer.persist ~dir det)
+          | None -> ());
+          Atomic.set lc.lc_shadow
+            (Some (Shadow.create ~window:rt.shadow_window ~candidate:det))
+        end
+  in
+  let last = ref (now ()) in
+  while not (Atomic.get stop) do
+    Unix.sleepf (Float.min 0.002 rt.retrain_interval_s);
+    if now () -. !last >= rt.retrain_interval_s then begin
+      last := now ();
+      step ()
+    end
+  done;
+  (* One final gate check: a window that filled during the last
+     interval still gets its verdict recorded (and, on Promote, the
+     swap — the incumbent cell outlives the service loop). *)
+  (match Atomic.get lc.lc_shadow with
+  | Some sh -> (
+      match Shadow.decision sh with
+      | Shadow.Hold -> ()
+      | Shadow.Promote stats -> promote sh stats
+      | Shadow.Reject _ -> incr rejected)
+  | None -> ());
+  (List.rev !swaps, !retrained, !rejected)
+
 let run (cfg : config) =
   let profile = Profile.get cfg.benchmark in
   let streams =
@@ -359,20 +556,41 @@ let run (cfg : config) =
   in
   let total_capacity = float_of_int (cfg.streams * cfg.queue_capacity) in
   let draining = Atomic.make false in
-  let level_cell = Atomic.make (Ladder.level_index Ladder.Full_detection) in
-  let configs_by_level =
-    Array.map
-      (fun l ->
-        { cfg.pipeline with Pipeline.Config.detection = Ladder.detection l })
-      Ladder.levels
+  let rung_cell = Atomic.make 0 in
+  let incumbent = Atomic.make cfg.pipeline.Pipeline.Config.detector in
+  let lifecycle =
+    Option.map
+      (fun rt ->
+        (match rt.artifact_dir with
+        | Some dir -> (
+            try Unix.mkdir dir 0o755
+            with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+        | None -> ());
+        {
+          lc_miner =
+            Miner.create
+              ~seed:(Rng.derive cfg.seed 0x4C1F)
+              ~capacity:rt.reservoir_capacity ();
+          lc_shadow = Atomic.make None;
+        })
+      cfg.retrain
   in
   let owners =
     Array.init cfg.streams (fun i -> Atomic.make (i mod cfg.jobs))
   in
   let t0 = now () in
+  let manager_stop = Atomic.make false in
+  let manager =
+    match (cfg.retrain, lifecycle) with
+    | Some rt, Some lc ->
+        Some
+          (Stdlib.Domain.spawn (fun () ->
+               manager_loop rt ~t0 ~stop:manager_stop ~incumbent lc))
+    | _ -> None
+  in
   let workers =
     Xentry_util.Pool.spawn ~jobs:cfg.jobs
-      (worker_loop cfg queues ~t0 ~draining ~level_cell ~configs_by_level
+      (worker_loop cfg queues ~t0 ~draining ~rung_cell ~incumbent ~lifecycle
          ~owners)
   in
   let offered = ref 0 in
@@ -380,9 +598,10 @@ let run (cfg : config) =
   let shed_queue_full = ref 0 in
   let rr = ref 0 in
   let ladder = ref (Ladder.create ~config:cfg.ladder ()) in
+  let rung_count = Array.length cfg.ladder.Ladder.rungs in
   let transitions = ref [] in
-  let deepest = ref Ladder.Full_detection in
-  let time_at_level = Array.make (Array.length Ladder.levels) 0. in
+  let deepest = ref 0 in
+  let time_at_rung = Array.make rung_count 0. in
   let peak_occupancy = ref 0. in
   let last_tick = ref t0 in
   let rate_at elapsed =
@@ -461,27 +680,24 @@ let run (cfg : config) =
     ladder := ladder';
     (match transition with
     | None -> ()
-    | Some { Ladder.from_level; to_level } ->
-        Atomic.set level_cell (Ladder.level_index to_level);
-        transitions := (elapsed, to_level) :: !transitions;
-        if Ladder.level_index to_level > Ladder.level_index !deepest then
-          deepest := to_level;
-        if Ladder.level_index to_level > Ladder.level_index from_level then
-          Tm.incr tm_degraded
+    | Some { Ladder.from_rung; to_rung } ->
+        Atomic.set rung_cell to_rung;
+        transitions := (elapsed, to_rung) :: !transitions;
+        if to_rung > !deepest then deepest := to_rung;
+        if to_rung > from_rung then Tm.incr tm_degraded
         else Tm.incr tm_recovered;
         if !Tm.enabled_ref then
           Tm.event "serve.transition"
             [
               ("t_s", Tm.Float elapsed);
-              ("from", Tm.String (Ladder.level_name from_level));
-              ("to", Tm.String (Ladder.level_name to_level));
+              ("from", Tm.String (Ladder.name cfg.ladder from_rung));
+              ("to", Tm.String (Ladder.name cfg.ladder to_rung));
               ("occupancy", Tm.Float occupancy);
             ]);
-    time_at_level.(Ladder.level_index (Ladder.level !ladder)) <-
-      time_at_level.(Ladder.level_index (Ladder.level !ladder)) +. dt;
+    time_at_rung.(Ladder.rung !ladder) <-
+      time_at_rung.(Ladder.rung !ladder) +. dt;
     if !Tm.enabled_ref then
-      Tm.observe (Lazy.force tm_level)
-        (Ladder.level_index (Ladder.level !ladder));
+      Tm.observe (Lazy.force tm_level) (Ladder.rung !ladder);
     Unix.sleepf cfg.tick_s
   done;
   (* Shutdown: stop admitting, then let workers shed the backlog as
@@ -490,6 +706,12 @@ let run (cfg : config) =
   Atomic.set draining true;
   Array.iter Bounded_queue.close queues;
   let tallies = Xentry_util.Pool.join workers in
+  Atomic.set manager_stop true;
+  let swaps, retrained, shadow_rejected =
+    match manager with
+    | Some d -> Stdlib.Domain.join d
+    | None -> ([], 0, 0)
+  in
   let wall_s = now () -. t0 in
   let completed =
     Array.fold_left (fun acc t -> acc + t.t_completed) 0 tallies
@@ -520,6 +742,14 @@ let run (cfg : config) =
          (fun t -> List.rev_map (fun s -> s *. 1e6) t.t_latencies)
          (Array.to_list tallies))
   in
+  let mined, mine_dropped =
+    match lifecycle with
+    | Some lc ->
+        let offered = Miner.offered lc.lc_miner in
+        let contended = Miner.contended lc.lc_miner in
+        (offered - contended, contended)
+    | None -> (0, 0)
+  in
   {
     wall_s;
     offered = !offered;
@@ -530,24 +760,28 @@ let run (cfg : config) =
     recoveries;
     recovery_us;
     recovery_total_s;
-    (* Worker-seconds lost to recovery over worker-seconds of service:
-       the fraction of serving capacity that stayed up through the
-       storm. *)
-    availability =
-      (if wall_s <= 0. then 1.
-       else
-         Float.max 0.
-           (1. -. (recovery_total_s /. (wall_s *. float_of_int cfg.jobs))));
+    availability = availability_of ~recovery_total_s ~wall_s ~jobs:cfg.jobs;
     shed_queue_full = !shed_queue_full;
     shed_deadline;
     shed_draining;
-    throughput_rps = float_of_int completed /. wall_s;
+    throughput_rps = throughput_of ~completed ~wall_s;
     latency_us;
     transitions = List.rev !transitions;
-    time_at_level;
-    final_level = Ladder.level !ladder;
-    deepest_level = !deepest;
+    time_at_rung;
+    rung_names =
+      Array.init rung_count (fun i -> Ladder.name cfg.ladder i);
+    final_rung = Ladder.rung !ladder;
+    deepest_rung = !deepest;
     peak_occupancy = !peak_occupancy;
+    mined;
+    mine_dropped;
+    retrained;
+    shadow_rejected;
+    swaps;
+    final_detector_version =
+      (match Atomic.get incumbent with
+      | Some d -> Detector.version d
+      | None -> -1);
   }
 
 (* --- calibration ---------------------------------------------------- *)
@@ -574,8 +808,12 @@ let calibrate ?(seconds = 0.25) (cfg : config) =
 let summary_json (cfg : config) (s : summary) =
   let b = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let rung_name i =
+    if i >= 0 && i < Array.length s.rung_names then s.rung_names.(i)
+    else string_of_int i
+  in
   add "{\n";
-  add "  \"schema\": \"xentry-serve-summary-v1\",\n";
+  add "  \"schema\": \"xentry-serve-summary-v2\",\n";
   add "  \"benchmark\": \"%s\",\n" (Profile.benchmark_name cfg.benchmark);
   add "  \"mode\": \"%s\",\n" (Profile.mode_name cfg.mode);
   add "  \"streams\": %d,\n" cfg.streams;
@@ -619,6 +857,18 @@ let summary_json (cfg : config) (s : summary) =
     (if Array.length s.recovery_us = 0 then 0.
      else Xentry_util.Stats.maximum s.recovery_us);
   add
+    "  \"lifecycle\": {\"mined\": %d, \"dropped\": %d, \"retrained\": %d, \
+     \"rejected\": %d, \"final_detector_version\": %d, \"swaps\": [%s]},\n"
+    s.mined s.mine_dropped s.retrained s.shadow_rejected
+    s.final_detector_version
+    (String.concat ", "
+       (List.map
+          (fun sw ->
+            Printf.sprintf
+              "{\"t_s\": %.17g, \"version\": %d, \"scored\": %d}" sw.swap_t_s
+              sw.swap_version sw.swap_stats.Shadow.scored)
+          s.swaps));
+  add
     "  \"shed\": {\"queue_full\": %d, \"deadline_expired\": %d, \"draining\": \
      %d, \"total\": %d},\n"
     s.shed_queue_full s.shed_deadline s.shed_draining (shed_total s);
@@ -636,26 +886,26 @@ let summary_json (cfg : config) (s : summary) =
   add "  \"transitions\": [%s],\n"
     (String.concat ", "
        (List.map
-          (fun (t, l) ->
-            Printf.sprintf "{\"t_s\": %.17g, \"to\": \"%s\"}" t
-              (Ladder.level_name l))
+          (fun (t, r) ->
+            Printf.sprintf "{\"t_s\": %.17g, \"to\": \"%s\"}" t (rung_name r))
           s.transitions));
   add "  \"time_at_level\": {%s},\n"
     (String.concat ", "
        (Array.to_list
           (Array.mapi
-             (fun i dt ->
-               Printf.sprintf "\"%s\": %.17g"
-                 (Ladder.level_name Ladder.levels.(i))
-                 dt)
-             s.time_at_level)));
-  add "  \"final_level\": \"%s\",\n" (Ladder.level_name s.final_level);
-  add "  \"deepest_level\": \"%s\",\n" (Ladder.level_name s.deepest_level);
+             (fun i dt -> Printf.sprintf "\"%s\": %.17g" (rung_name i) dt)
+             s.time_at_rung)));
+  add "  \"final_level\": \"%s\",\n" (rung_name s.final_rung);
+  add "  \"deepest_level\": \"%s\",\n" (rung_name s.deepest_rung);
   add "  \"peak_occupancy\": %.17g\n" s.peak_occupancy;
   add "}";
   Buffer.contents b
 
 let pp_summary ppf (s : summary) =
+  let rung_name i =
+    if i >= 0 && i < Array.length s.rung_names then s.rung_names.(i)
+    else string_of_int i
+  in
   Format.fprintf ppf
     "wall %.2fs offered %d admitted %d completed %d (%.0f req/s) shed %d \
      (%.1f%%: full %d, deadline %d, draining %d) p50 %.0fus p99 %.0fus \
@@ -665,9 +915,11 @@ let pp_summary ppf (s : summary) =
     s.shed_queue_full s.shed_deadline s.shed_draining (latency_quantile s 0.5)
     (latency_quantile s 0.99)
     (List.length s.transitions)
-    (Ladder.level_name s.deepest_level)
-    (Ladder.level_name s.final_level);
+    (rung_name s.deepest_rung) (rung_name s.final_rung);
   if s.injected > 0 || s.recoveries > 0 then
     Format.fprintf ppf
       " injected %d recoveries %d rec_p99 %.0fus availability %.4f" s.injected
-      s.recoveries (recovery_quantile s 0.99) s.availability
+      s.recoveries (recovery_quantile s 0.99) s.availability;
+  if s.retrained > 0 || s.swaps <> [] then
+    Format.fprintf ppf " mined %d retrained %d swaps %d final_detector v%d"
+      s.mined s.retrained (List.length s.swaps) s.final_detector_version

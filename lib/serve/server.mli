@@ -7,8 +7,8 @@
     whole service lifetime.  Requests arrive at an offered [rate]
     (optionally with a burst window), land in bounded per-stream
     ingress queues ({!Bounded_queue}), and are executed through
-    {!Xentry_core.Pipeline.run} under the detection set the
-    degradation {!Ladder} currently prescribes.
+    {!Xentry_core.Pipeline.run} under the rung the degradation
+    {!Ladder} currently prescribes (detection set + detector knob).
 
     Backpressure is explicit and typed ({!shed_reason}): a full queue
     sheds at admission, an expired deadline sheds at dequeue, and
@@ -31,7 +31,21 @@
     recovery window the worker's home streams are re-assigned to its
     neighbour so their queues keep draining.  Either way the in-flight
     request completes exactly once — the conservation invariants above
-    hold verbatim under fault storms. *)
+    hold verbatim under fault storms.
+
+    Detector lifecycle (when [retrain] is configured): every execution
+    that reaches VM entry feeds a bounded corpus miner
+    ({!Xentry_lifecycle.Miner}); a manager domain periodically trains
+    a candidate detector from the mined corpus
+    ({!Xentry_lifecycle.Retrainer}, monotonic version bump, optional
+    artifact persistence), runs it in shadow mode
+    ({!Xentry_lifecycle.Shadow} — the candidate scores every request
+    but never vetoes), and atomically installs it as the service-wide
+    incumbent once its live coverage/false-positive estimates beat the
+    incumbent's over [shadow_window] requests.  Workers pick a swap up
+    at their next dequeue — a request executes under exactly one
+    detector version end to end, so the conservation invariants hold
+    across swaps. *)
 
 type burst = {
   burst_start : float;  (** seconds after service start *)
@@ -53,6 +67,20 @@ type recovery_policy =
 
 val recovery_policy_name : recovery_policy -> string
 
+type retrain = {
+  retrain_interval_s : float;  (** manager wake-up cadence *)
+  shadow_window : int;  (** scored requests before the gate decides *)
+  min_corpus : int;  (** per-class samples required to train *)
+  reservoir_capacity : int;  (** per-class miner reservoir bound *)
+  artifact_dir : string option;
+      (** persist each candidate as [detector-v%04d.xart] when set
+          (directory is created if missing) *)
+}
+
+val default_retrain : retrain
+(** 0.25 s interval, window 64, min corpus 8, capacity 512, no
+    persistence. *)
+
 type config = {
   pipeline : Xentry_core.Pipeline.Config.t;
       (** detection set (the ladder's top rung), detector, engine,
@@ -64,6 +92,7 @@ type config = {
   burst : burst option;
   storm : storm option;  (** fault-injection window (none = no faults) *)
   recovery : recovery_policy;
+  retrain : retrain option;  (** detector lifecycle (none = static) *)
   deadline_us : int option;  (** per-request queueing deadline *)
   duration_s : float;
   jobs : int;  (** worker domains (the producer is separate) *)
@@ -81,6 +110,7 @@ val make :
   ?burst:burst ->
   ?storm:storm ->
   ?recovery:recovery_policy ->
+  ?retrain:retrain ->
   ?deadline_us:int ->
   ?duration_s:float ->
   ?jobs:int ->
@@ -94,8 +124,8 @@ val make :
   unit ->
   config
 (** Defaults: default pipeline, PV, 8 streams, no burst, no storm,
-    [Keep_serving], no deadline, 2 s, 2 jobs, capacity 64, default
-    ladder, 2 ms ticks, seed 42, 200k samples.  Raises
+    [Keep_serving], no retraining, no deadline, 2 s, 2 jobs, capacity
+    64, default ladder, 2 ms ticks, seed 42, 200k samples.  Raises
     [Invalid_argument] on nonsensical values. *)
 
 type shed_reason =
@@ -104,6 +134,13 @@ type shed_reason =
   | Draining  (** still queued when the service shut down *)
 
 val shed_reason_name : shed_reason -> string
+
+type swap = {
+  swap_t_s : float;  (** seconds since service start *)
+  swap_version : int;  (** the promoted candidate's version *)
+  swap_stats : Xentry_lifecycle.Shadow.stats;
+      (** the gate evidence the promotion was decided on *)
+}
 
 type summary = {
   wall_s : float;  (** measured service wall clock (includes drain) *)
@@ -119,25 +156,41 @@ type summary = {
       (** per-recovery reboot-to-replay-complete durations (unsorted) *)
   recovery_total_s : float;
   availability : float;
-      (** 1 - recovery worker-seconds / (wall_s * jobs): the fraction
-          of serving capacity that stayed up *)
+      (** {!availability_of} of the recovery total: the fraction of
+          serving capacity that stayed up, always within [0, 1] *)
   shed_queue_full : int;
   shed_deadline : int;
   shed_draining : int;
-  throughput_rps : float;  (** completed / wall_s *)
+  throughput_rps : float;  (** completed / wall_s (0 on a zero wall) *)
   latency_us : float array;
       (** enqueue-to-completion latencies of completed requests
           (unsorted; capped at [max_samples]) *)
-  transitions : (float * Ladder.level) list;
-      (** ladder transitions: (seconds since start, new level) *)
-  time_at_level : float array;  (** seconds, indexed by {!Ladder.level_index} *)
-  final_level : Ladder.level;
-  deepest_level : Ladder.level;
+  transitions : (float * int) list;
+      (** ladder transitions: (seconds since start, new rung index) *)
+  time_at_rung : float array;  (** seconds, indexed by rung *)
+  rung_names : string array;  (** the ladder's rung names, in order *)
+  final_rung : int;
+  deepest_rung : int;
   peak_occupancy : float;  (** max aggregate queue occupancy, 0..1 *)
+  mined : int;  (** samples accepted into the lifecycle reservoirs *)
+  mine_dropped : int;  (** offers dropped on reservoir-lock contention *)
+  retrained : int;  (** candidate detectors trained *)
+  shadow_rejected : int;  (** candidates the shadow gate turned away *)
+  swaps : swap list;  (** incumbent promotions, oldest first *)
+  final_detector_version : int;  (** -1 when no detector is configured *)
 }
 
 val shed_total : summary -> int
 val shed_fraction : summary -> float
+
+val availability_of :
+  recovery_total_s:float -> wall_s:float -> jobs:int -> float
+(** [1 - recovery_total_s / (wall_s * jobs)], clamped to [0, 1]; a
+    non-positive wall or job count reads as fully available (nothing
+    ran, nothing was lost). *)
+
+val throughput_of : completed:int -> wall_s:float -> float
+(** [completed / wall_s], 0 when the wall is non-positive. *)
 
 val latency_quantile : summary -> float -> float
 (** Latency quantile in microseconds (0 when nothing completed). *)
@@ -154,8 +207,9 @@ val calibrate : ?seconds:float -> config -> float
     use to pick overload [rate]s (default 0.25 s measurement). *)
 
 val summary_json : config -> summary -> string
-(** Self-contained JSON object (schema [xentry-serve-summary-v1]):
+(** Self-contained JSON object (schema [xentry-serve-summary-v2]):
     config echo plus every summary metric, latencies as
-    mean/p50/p90/p99/max. *)
+    mean/p50/p90/p99/max, rung names for ladder fields, and a
+    [lifecycle] object with mining/retraining/swap counts. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -422,6 +422,100 @@ let detector =
     read = read_detector;
   }
 
+(* Versioned detector (lifecycle metadata + model).  Same kind as the
+   legacy bare-model codec but frame version 2: an old reader opening
+   a lifecycle artifact reports [Version_skew { found = 2; _ }]
+   instead of misparsing, and loaders that still meet version-1 files
+   can fall back to [detector] + [Detector.v0]. *)
+
+let write_versioned_detector buf (d : Detector.t) =
+  W.int_ buf (Detector.version d);
+  W.u8 buf (match Detector.origin d with Detector.Offline -> 0 | Detector.Streamed -> 1);
+  W.int_ buf (Detector.trained_on d);
+  write_detector buf (Detector.model d)
+
+let read_versioned_detector r =
+  let version = W.read_int r in
+  let origin =
+    match W.read_u8 r with
+    | 0 -> Detector.Offline
+    | 1 -> Detector.Streamed
+    | n -> W.corrupt (Printf.sprintf "bad detector-origin tag %d" n)
+  in
+  let trained_on = W.read_int r in
+  let model = read_detector r in
+  guard (fun () -> Detector.make ~version ~origin ~trained_on model)
+
+let versioned_detector =
+  {
+    kind = "detector";
+    version = 2;
+    write = write_versioned_detector;
+    read = read_versioned_detector;
+  }
+
+(* --- Pareto fronts ----------------------------------------------------- *)
+
+let write_detection_set buf (d : Pipeline.detection) =
+  W.bool_ buf d.Pipeline.hw_exceptions;
+  W.bool_ buf d.Pipeline.sw_assertions;
+  W.bool_ buf d.Pipeline.vm_transition;
+  W.bool_ buf d.Pipeline.ras_polling
+
+let read_detection_set r =
+  let hw_exceptions = W.read_bool r in
+  let sw_assertions = W.read_bool r in
+  let vm_transition = W.read_bool r in
+  let ras_polling = W.read_bool r in
+  { Pipeline.hw_exceptions; sw_assertions; vm_transition; ras_polling }
+
+let write_knob buf = function
+  | Detector.Stock -> W.u8 buf 0
+  | Detector.Depth d ->
+      W.u8 buf 1;
+      W.int_ buf d
+  | Detector.Threshold tau ->
+      W.u8 buf 2;
+      W.f64 buf tau
+
+let read_knob r =
+  match W.read_u8 r with
+  | 0 -> Detector.Stock
+  | 1 -> Detector.Depth (W.read_int r)
+  | 2 -> Detector.Threshold (W.read_f64 r)
+  | n -> W.corrupt (Printf.sprintf "bad knob tag %d" n)
+
+let write_pareto_point buf (p : Pareto.point) =
+  W.str buf p.Pareto.label;
+  write_detection_set buf p.Pareto.detection;
+  write_knob buf p.Pareto.knob;
+  W.f64 buf p.Pareto.coverage;
+  W.f64 buf p.Pareto.fp_rate;
+  W.f64 buf p.Pareto.overhead;
+  W.int_ buf p.Pareto.comparisons
+
+let read_pareto_point r : Pareto.point =
+  let label = W.read_str r in
+  let detection = read_detection_set r in
+  let knob = read_knob r in
+  let coverage = W.read_f64 r in
+  let fp_rate = W.read_f64 r in
+  let overhead = W.read_f64 r in
+  let comparisons = W.read_int r in
+  { Pareto.label; detection; knob; coverage; fp_rate; overhead; comparisons }
+
+let write_pareto buf (f : Pareto.front) =
+  W.int_ buf f.Pareto.source_version;
+  W.list_ write_pareto_point buf f.Pareto.points
+
+let read_pareto r : Pareto.front =
+  let source_version = W.read_int r in
+  let points = W.read_list read_pareto_point r in
+  { Pareto.source_version; points }
+
+let pareto =
+  { kind = "pareto"; version = 1; write = write_pareto; read = read_pareto }
+
 (* --- training corpora and the full pipeline result -------------------- *)
 
 let write_corpus buf (c : Training.corpus) =

@@ -30,8 +30,20 @@ val tree : Xentry_mlearn.Tree.t t
 val forest : Xentry_mlearn.Forest.t t
 
 val detector : Xentry_core.Transition_detector.t t
-(** The deployed classifier: single tree, thresholded tree or
-    ensemble — what [train --save] writes and [inject --detector]
+(** The legacy bare classifier: single tree, thresholded tree or
+    ensemble — what pre-lifecycle [train --save] artifacts hold.
+    Loaders should prefer {!versioned_detector} and fall back to this
+    plus [Detector.v0] on [Version_skew { found = 1; _ }]. *)
+
+val versioned_detector : Xentry_core.Detector.t t
+(** The lifecycle detector artifact: version, origin, corpus size and
+    the model.  Same ["detector"] kind as {!detector} but frame
+    version 2, so an old reader meeting a lifecycle artifact reports
+    [Version_skew] instead of misparsing. *)
+
+val pareto : Xentry_core.Pareto.front t
+(** A coverage-vs-overhead Pareto front from the configuration
+    optimizer — what [optimize --save] writes and [serve --rungs]
     reloads. *)
 
 val golden_traces : Xentry_machine.Golden_trace.t list t

@@ -122,9 +122,13 @@ let shards_present t =
    contributes what the config cannot know: the detector's encoded
    bytes, the shard geometry, and the shard codec version. *)
 let campaign_fingerprint (config : Campaign.config) =
+  (* Digest the model bytes only: the lifecycle version/origin are
+     provenance, not record-affecting inputs, so a campaign keyed by a
+     v0-wrapped legacy detector resumes a journal written before the
+     wrapper existed. *)
   let detector_digest det =
     let buf = Buffer.create 512 in
-    Codec.write_detector buf det;
+    Codec.write_detector buf (Xentry_core.Detector.model det);
     let bytes = Buffer.contents buf in
     Printf.sprintf "%08lx:%d" (Crc32.digest bytes) (String.length bytes)
   in

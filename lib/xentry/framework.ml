@@ -23,11 +23,5 @@ type verdict = Pipeline.verdict =
   | Clean
   | Detected of { technique : technique; latency : int option }
 
-let process config ~detector ~reason result =
-  let cfg =
-    { Pipeline.Config.default with Pipeline.Config.detection = config; detector }
-  in
-  Pipeline.verdict cfg ~reason result
-
 let technique_name = Pipeline.technique_name
 let pp_verdict = Pipeline.pp_verdict

@@ -38,16 +38,6 @@ type verdict = Pipeline.verdict =
       (** [latency] = instructions from fault activation to detection,
           when a fault was injected and activated (Fig 10's metric) *)
 
-val process :
-  config ->
-  detector:Transition_detector.t option ->
-  reason:Xentry_vmm.Exit_reason.t ->
-  Xentry_machine.Cpu.run_result ->
-  verdict
-  [@@deprecated "use Pipeline.verdict (or Pipeline.run) with a Pipeline.Config.t"]
-(** Equivalent to {!Pipeline.verdict} with a default config carrying
-    [config] and [detector]; see that function for the semantics. *)
-
 val technique_name : technique -> string
 
 val pp_verdict : Format.formatter -> verdict -> unit

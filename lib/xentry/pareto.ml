@@ -1,0 +1,65 @@
+(* Coverage-vs-overhead Pareto fronts (DETOx-style configuration
+   optimization).  A point is one candidate detection configuration —
+   a detection-channel set plus a model knob — with its measured
+   coverage / false-positive rate and its modeled per-exit overhead.
+   The front keeps the non-dominated points; the serve ladder turns a
+   front into its rung list. *)
+
+type point = {
+  label : string;
+  detection : Pipeline.detection;
+  knob : Detector.knob;
+  coverage : float;  (** detected manifested faults / manifested faults *)
+  fp_rate : float;  (** false vetoes on fault-free runs *)
+  overhead : float;  (** modeled seconds per VM exit *)
+  comparisons : int;  (** worst-case tree comparisons at this point *)
+}
+
+type front = { source_version : int; points : point list }
+
+(* [a] dominates [b] when it is at least as good on both objectives
+   and strictly better on one.  False positives tie-break coverage:
+   equal coverage at equal cost with more false vetoes is dominated. *)
+let dominates a b =
+  a.coverage >= b.coverage && a.overhead <= b.overhead
+  && a.fp_rate <= b.fp_rate
+  && (a.coverage > b.coverage || a.overhead < b.overhead
+    || a.fp_rate < b.fp_rate)
+
+let pareto points =
+  let keep p = not (List.exists (fun q -> dominates q p) points) in
+  let front = List.filter keep points in
+  (* Deduplicate objective-identical points (keep the first) and order
+     costliest-first so index 0 is the "full detection" end — the same
+     orientation the ladder's rung array uses. *)
+  let seen = Hashtbl.create 16 in
+  let front =
+    List.filter
+      (fun p ->
+        let key = (p.coverage, p.fp_rate, p.overhead) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      front
+  in
+  List.stable_sort
+    (fun a b ->
+      match compare b.overhead a.overhead with
+      | 0 -> compare b.coverage a.coverage
+      | c -> c)
+    front
+
+let make ?(source_version = 0) points =
+  { source_version; points = pareto points }
+
+let pp_point ppf p =
+  Format.fprintf ppf "%-24s cov=%.3f fp=%.4f overhead=%.3gs cmp=%d" p.label
+    p.coverage p.fp_rate p.overhead p.comparisons
+
+let pp ppf f =
+  Format.fprintf ppf "pareto front (source detector v%d, %d rungs):@\n"
+    f.source_version
+    (List.length f.points);
+  List.iter (fun p -> Format.fprintf ppf "  %a@\n" pp_point p) f.points

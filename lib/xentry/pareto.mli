@@ -1,0 +1,37 @@
+(** Coverage-vs-overhead Pareto fronts over detector configurations
+    (the DETOx idea: pick detection configurations from a measured
+    front instead of fixing them by hand).
+
+    A {!point} is one candidate configuration — a detection-channel
+    set plus a {!Detector.knob} — annotated with measured coverage and
+    false-positive rate and the {!Cost_model}-derived per-exit
+    overhead.  {!pareto} keeps the non-dominated points ordered
+    costliest-first, which is exactly the orientation the serve
+    ladder's rung array wants (rung 0 = most detection). *)
+
+type point = {
+  label : string;
+  detection : Pipeline.detection;
+  knob : Detector.knob;
+  coverage : float;
+  fp_rate : float;
+  overhead : float;
+  comparisons : int;
+}
+
+type front = { source_version : int; points : point list }
+
+val dominates : point -> point -> bool
+(** [dominates a b]: [a] is at least as good on coverage, overhead and
+    false-positive rate, and strictly better on one. *)
+
+val pareto : point list -> point list
+(** Non-dominated subset, objective-deduplicated, sorted by overhead
+    descending (ties: coverage descending). *)
+
+val make : ?source_version:int -> point list -> front
+(** Filter to the front.  [source_version] records which detector
+    version the sweep measured. *)
+
+val pp_point : Format.formatter -> point -> unit
+val pp : Format.formatter -> front -> unit

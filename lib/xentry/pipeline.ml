@@ -59,7 +59,7 @@ module Config = struct
 
   type t = {
     detection : detection;
-    detector : Transition_detector.t option;
+    detector : Detector.t option;
     engine : Cpu.engine option;
     telemetry : telemetry;
     recovery : recovery;
@@ -124,9 +124,7 @@ let verdict (cfg : Config.t) ?(ras = []) ~reason (result : Cpu.run_result) =
   | Cpu.Vm_entry -> (
       match (detection.vm_transition, cfg.Config.detector) with
       | true, Some det -> (
-          match
-            Transition_detector.classify det ~reason result.Cpu.final_pmu
-          with
+          match Detector.classify det ~reason result.Cpu.final_pmu with
           | Transition_detector.Incorrect, _ ->
               Detected { technique = Vm_transition; latency }
           | Transition_detector.Correct, _ -> Clean)

@@ -11,9 +11,10 @@
     {!run} executes one request end to end (prepare, optional
     checkpoint, execute, classify, optionally recover, retire).
 
-    [Framework.process] and [Recovery_study.run] survive as thin
-    deprecated wrappers; [Campaign] and the serving layer
-    ([Xentry_serve]) build on this module directly. *)
+    [Campaign], the serving layer ([Xentry_serve]) and the detector
+    lifecycle ([Xentry_lifecycle]) all build on this module directly;
+    the old [Framework.process] / [Recovery_study.run] wrappers are
+    gone. *)
 
 (** {1 Detection types}
 
@@ -74,8 +75,8 @@ module Config : sig
 
   type t = {
     detection : detection;  (** armed techniques *)
-    detector : Transition_detector.t option;
-        (** trained transition detector; [None] disarms the
+    detector : Detector.t option;
+        (** versioned transition detector; [None] disarms the
             [vm_transition] technique even when enabled *)
     engine : Xentry_machine.Cpu.engine option;
         (** interpreter engine for hosts built by {!create_host};
@@ -91,7 +92,7 @@ module Config : sig
 
   val make :
     ?detection:detection ->
-    ?detector:Transition_detector.t ->
+    ?detector:Detector.t ->
     ?engine:Xentry_machine.Cpu.engine ->
     ?telemetry:telemetry ->
     ?recovery:recovery ->

@@ -66,9 +66,9 @@ let check_json cfg summary =
       "deadline_expired"; "draining"; "shed_fraction"; "throughput_rps";
       "latency_us"; "p50"; "p99"; "transitions"; "time_at_level";
       "final_level"; "deepest_level"; "peak_occupancy"; "recovery";
-      "injected"; "recoveries"; "availability"; "storm";
+      "injected"; "recoveries"; "availability"; "storm"; "lifecycle";
     ];
-  if not (contains json "xentry-serve-summary-v1") then
+  if not (contains json "xentry-serve-summary-v2") then
     fail "summary_json missing schema tag"
 
 let conservation (s : Serve.summary) =
@@ -112,7 +112,9 @@ let check_degraded_verdicts () =
   in
   let rungs =
     Array.to_list
-      (Array.map (fun l -> (l, host_for (Ladder.detection l))) Ladder.levels)
+      (Array.map
+         (fun r -> (r.Ladder.rung_name, host_for r.Ladder.rung_detection))
+         Ladder.default_rungs)
   in
   let stream =
     Stream.create (Profile.get Profile.Postmark) Profile.PV
@@ -122,18 +124,18 @@ let check_degraded_verdicts () =
     let req = Stream.next_request stream in
     let verdicts =
       List.map
-        (fun (l, (cfg, host)) ->
-          (l, (Pipeline.run cfg ~host ~retire:true req).Pipeline.verdict))
+        (fun (name, (cfg, host)) ->
+          (name, (Pipeline.run cfg ~host ~retire:true req).Pipeline.verdict))
         rungs
     in
     match verdicts with
     | (_, full) :: rest ->
         List.iter
-          (fun (l, v) ->
+          (fun (name, v) ->
             if v <> full then
               fail
                 "request %d: %s verdict disagrees with full detection (%s vs %s)"
-                i (Ladder.level_name l)
+                i name
                 (Format.asprintf "%a" Pipeline.pp_verdict v)
                 (Format.asprintf "%a" Pipeline.pp_verdict full))
           rest
@@ -179,13 +181,13 @@ let () =
   check_counters s;
   check_json cfg s;
   if s.Serve.completed = 0 then fail "no request completed";
-  if s.Serve.deepest_level = Ladder.Full_detection then
+  if s.Serve.deepest_rung = 0 then
     fail "2x overload never engaged the degradation ladder";
   if s.Serve.shed_queue_full = 0 then
     fail "2x overload never filled an ingress queue";
-  if s.Serve.final_level <> Ladder.Full_detection then
+  if s.Serve.final_rung <> 0 then
     fail "service ended at %s: ladder never fully recovered"
-      (Ladder.level_name s.Serve.final_level);
+      s.Serve.rung_names.(s.Serve.final_rung);
   if s.Serve.transitions = [] then fail "no ladder transition recorded";
   (* A short deadline under heavier overload must shed at dequeue. *)
   let dl =
@@ -245,6 +247,6 @@ let () =
      (deadline run), deepest %s, recovered to %s, %d transitions\n"
     s.Serve.offered s.Serve.completed s.Serve.shed_queue_full
     sd.Serve.shed_deadline
-    (Ladder.level_name s.Serve.deepest_level)
-    (Ladder.level_name s.Serve.final_level)
+    s.Serve.rung_names.(s.Serve.deepest_rung)
+    s.Serve.rung_names.(s.Serve.final_rung)
     (List.length s.Serve.transitions)

@@ -30,7 +30,10 @@ let grid_dataset =
 
 let tiny_detector =
   lazy
-    (Xentry_core.Transition_detector.of_tree (Xentry_mlearn.Tree.train grid_dataset))
+    (Xentry_core.Detector.make ~version:3 ~origin:Xentry_core.Detector.Streamed
+       ~trained_on:36
+       (Xentry_core.Transition_detector.of_tree
+          (Xentry_mlearn.Tree.train grid_dataset)))
 
 let small_config =
   Campaign.Config.make ~benchmark:Profile.Postmark ~injections:30 ~seed:4242 ()
@@ -67,6 +70,8 @@ let sample_msgs () =
       };
     Protocol.Serve_request { seq = 12345; req = sample_request };
     Protocol.Serve_response { seq = 12345; detected = true; shed = false };
+    Protocol.Detector_push (Lazy.force tiny_detector);
+    Protocol.Detector_ack { worker_index = 1; version = 3 };
     Protocol.Drain;
     Protocol.Telemetry_drain "{\"counters\":{}}";
     Protocol.Bye;

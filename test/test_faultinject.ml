@@ -185,17 +185,7 @@ let test_campaign_jobs_bit_identical () =
         (Printf.sprintf "jobs=%d identical to jobs=1" jobs)
         true
         (Campaign.execute { config with Campaign.jobs = Some jobs } = baseline))
-    [ 2; 4 ];
-  (* The deprecated optional-argument entry point must keep producing
-     the same records for any jobs value it is given. *)
-  let[@warning "-3"] legacy = Campaign.run in
-  List.iter
-    (fun jobs ->
-      Alcotest.(check bool)
-        (Printf.sprintf "deprecated run ~jobs:%d identical" jobs)
-        true
-        (legacy ~jobs config = baseline))
-    [ 1; 4 ]
+    [ 2; 4 ]
 
 let test_campaign_fault_free_jobs_identical () =
   let run jobs =
@@ -409,7 +399,7 @@ let test_training_pipeline_accuracy () =
     (Metrics.false_positive_rate tr.Training.random_tree_eval < 0.02);
   (* The deployed detector flags deviant signatures. *)
   let det = Training.detector tr in
-  ignore (Transition_detector.worst_case_comparisons det)
+  ignore (Detector.worst_case_comparisons det)
 
 let test_detector_improves_campaign_coverage () =
   let train =

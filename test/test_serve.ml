@@ -111,12 +111,15 @@ let test_queue_rejects_bad_capacity () =
 
 (* --- ladder: every transition, down and up -------------------------------- *)
 
-let level =
-  Alcotest.testable
-    (fun ppf l -> Format.pp_print_string ppf (Ladder.level_name l))
-    ( = )
+let rung_idx = Alcotest.int
 
-let cfg = { Ladder.high_watermark = 0.8; low_watermark = 0.2; hold_ticks = 3 }
+let cfg =
+  {
+    Ladder.default_config with
+    Ladder.high_watermark = 0.8;
+    low_watermark = 0.2;
+    hold_ticks = 3;
+  }
 
 let observe_many t occs =
   List.fold_left
@@ -126,88 +129,158 @@ let observe_many t occs =
     (t, []) occs
 
 let test_ladder_starts_full () =
-  Alcotest.check level "initial rung" Ladder.Full_detection
-    (Ladder.level (Ladder.create ~config:cfg ()))
+  let t = Ladder.create ~config:cfg () in
+  Alcotest.check rung_idx "initial rung" 0 (Ladder.rung t);
+  Alcotest.(check string) "rung 0 is full detection" "full"
+    (Ladder.name cfg 0);
+  Alcotest.(check int) "three default rungs" 3 (Ladder.rung_count t)
 
 let test_ladder_degrades_immediately () =
   let t = Ladder.create ~config:cfg () in
   let t, tr = Ladder.observe t ~occupancy:0.85 in
-  Alcotest.check level "one observation degrades" Ladder.Runtime_only
-    (Ladder.level t);
+  Alcotest.check rung_idx "one observation degrades" 1 (Ladder.rung t);
   (match tr with
-  | Some { Ladder.from_level = Full_detection; to_level = Runtime_only } -> ()
-  | _ -> Alcotest.fail "expected Full_detection -> Runtime_only transition");
+  | Some { Ladder.from_rung = 0; to_rung = 1 } -> ()
+  | _ -> Alcotest.fail "expected rung 0 -> 1 transition");
   let t, _ = Ladder.observe t ~occupancy:0.9 in
-  Alcotest.check level "second overload reaches the bottom" Ladder.Filter_only
-    (Ladder.level t);
+  Alcotest.check rung_idx "second overload reaches the bottom" 2
+    (Ladder.rung t);
   let t, tr = Ladder.observe t ~occupancy:1.0 in
-  Alcotest.check level "bottom rung holds" Ladder.Filter_only (Ladder.level t);
+  Alcotest.check rung_idx "bottom rung holds" 2 (Ladder.rung t);
   Alcotest.(check bool) "no transition below the bottom" true (tr = None)
 
 let test_ladder_climbs_after_hold () =
   let t = Ladder.create ~config:cfg () in
   let t, _ = observe_many t [ 0.9; 0.9 ] in
-  Alcotest.check level "degraded to bottom" Ladder.Filter_only (Ladder.level t);
+  Alcotest.check rung_idx "degraded to bottom" 2 (Ladder.rung t);
   (* hold_ticks - 1 calm observations: not yet. *)
   let t, trs = observe_many t [ 0.1; 0.1 ] in
   Alcotest.(check int) "no climb before hold_ticks" 0 (List.length trs);
   let t, trs = observe_many t [ 0.1 ] in
-  Alcotest.check level "climbs one rung" Ladder.Runtime_only (Ladder.level t);
+  Alcotest.check rung_idx "climbs one rung" 1 (Ladder.rung t);
   (match trs with
-  | [ { Ladder.from_level = Filter_only; to_level = Runtime_only } ] -> ()
-  | _ -> Alcotest.fail "expected Filter_only -> Runtime_only transition");
+  | [ { Ladder.from_rung = 2; to_rung = 1 } ] -> ()
+  | _ -> Alcotest.fail "expected rung 2 -> 1 transition");
   (* A full fresh hold is required for the next rung. *)
   let t, _ = observe_many t [ 0.1; 0.1; 0.1 ] in
-  Alcotest.check level "climbs back to full detection" Ladder.Full_detection
-    (Ladder.level t);
+  Alcotest.check rung_idx "climbs back to full detection" 0 (Ladder.rung t);
   let t, trs = observe_many t [ 0.0; 0.0; 0.0; 0.0 ] in
-  Alcotest.check level "no rung above full" Ladder.Full_detection
-    (Ladder.level t);
+  Alcotest.check rung_idx "no rung above full" 0 (Ladder.rung t);
   Alcotest.(check int) "calm at the top is quiet" 0 (List.length trs)
 
 let test_ladder_midband_resets_streak () =
   let t = Ladder.create ~config:cfg () in
   let t, _ = observe_many t [ 0.95 ] in
-  Alcotest.check level "degraded" Ladder.Runtime_only (Ladder.level t);
+  Alcotest.check rung_idx "degraded" 1 (Ladder.rung t);
   (* calm, calm, mid-band, calm, calm: the streak restarts, so still
      degraded; only the third consecutive calm tick climbs. *)
   let t, _ = observe_many t [ 0.1; 0.1; 0.5; 0.1; 0.1 ] in
-  Alcotest.check level "mid-band resets the calm streak" Ladder.Runtime_only
-    (Ladder.level t);
+  Alcotest.check rung_idx "mid-band resets the calm streak" 1 (Ladder.rung t);
   let t, _ = observe_many t [ 0.1 ] in
-  Alcotest.check level "then the full hold climbs" Ladder.Full_detection
-    (Ladder.level t)
+  Alcotest.check rung_idx "then the full hold climbs" 0 (Ladder.rung t)
 
 let test_ladder_overload_resets_streak () =
   let t = Ladder.create ~config:cfg () in
   let t, _ = observe_many t [ 0.9; 0.9 ] in
   let t, _ = observe_many t [ 0.1; 0.1; 0.9 ] in
-  Alcotest.check level "overload mid-climb degrades again (already bottom)"
-    Ladder.Filter_only (Ladder.level t);
+  Alcotest.check rung_idx "overload mid-climb degrades again (already bottom)"
+    2 (Ladder.rung t);
   let t, _ = observe_many t [ 0.1; 0.1; 0.1 ] in
-  Alcotest.check level "fresh hold still climbs" Ladder.Runtime_only
-    (Ladder.level t)
+  Alcotest.check rung_idx "fresh hold still climbs" 1 (Ladder.rung t)
 
 let test_ladder_detection_sets () =
   let open Xentry_core.Pipeline in
+  let detection i = Ladder.default_rungs.(i).Ladder.rung_detection in
   Alcotest.(check bool) "full rung arms everything" true
-    (Ladder.detection Ladder.Full_detection = full_detection);
+    (detection 0 = full_detection);
   Alcotest.(check bool) "runtime rung drops the transition detector" true
-    (Ladder.detection Ladder.Runtime_only = runtime_only);
+    (detection 1 = runtime_only);
   Alcotest.(check bool) "filter rung keeps only hw exceptions" true
-    (Ladder.detection Ladder.Filter_only
+    (detection 2
     = {
         hw_exceptions = true;
         sw_assertions = false;
         vm_transition = false;
         ras_polling = true;
-      })
-
-let test_ladder_levels_indexed () =
-  Alcotest.(check int) "three rungs" 3 (Array.length Ladder.levels);
+      });
+  (* Default rungs keep the detector model untouched: the knob dial is
+     the Pareto ladder's job. *)
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "default rungs use the stock knob" true
+        (r.Ladder.rung_knob = Xentry_core.Detector.Stock))
+    Ladder.default_rungs;
+  (* Ordered costliest-first: shedding detection must shed cost. *)
   Array.iteri
-    (fun i l -> Alcotest.(check int) (Ladder.level_name l) i (Ladder.level_index l))
-    Ladder.levels
+    (fun i r ->
+      if i > 0 then
+        Alcotest.(check bool) "rung costs strictly decrease" true
+          (r.Ladder.rung_cost < Ladder.default_rungs.(i - 1).Ladder.rung_cost))
+    Ladder.default_rungs
+
+let test_ladder_rungs_indexed () =
+  let t = Ladder.create ~config:cfg () in
+  Alcotest.(check int) "three rungs" 3 (Array.length Ladder.default_rungs);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check string) "rung_at matches default_rungs"
+        r.Ladder.rung_name
+        (Ladder.rung_at t i).Ladder.rung_name;
+      Alcotest.(check string) "name matches the rung list" r.Ladder.rung_name
+        (Ladder.name cfg i))
+    Ladder.default_rungs;
+  Alcotest.(check string) "current is rung 0 at start" "full"
+    (Ladder.current t).Ladder.rung_name
+
+(* Regression for the rung-list redesign: [default_rungs] under the
+   new index-based machine must replay the historical three-variant
+   ladder (full -> runtime_only -> filter_only) transition for
+   transition.  The replica below is the old variant machine verbatim,
+   driven over a deterministic occupancy walk. *)
+let test_ladder_default_rungs_replays_old_machine () =
+  let replica_step (lvl, streak) occ =
+    (* old semantics: degrade immediately at >= high; climb one rung
+       after hold_ticks consecutive observations at <= low. *)
+    if occ >= cfg.Ladder.high_watermark then
+      let lvl' = min 2 (lvl + 1) in
+      ((lvl', 0), if lvl' <> lvl then Some (lvl, lvl') else None)
+    else if occ <= cfg.Ladder.low_watermark then
+      let streak = streak + 1 in
+      if streak >= cfg.Ladder.hold_ticks && lvl > 0 then
+        ((lvl - 1, 0), Some (lvl, lvl - 1))
+      else ((lvl, streak), None)
+    else ((lvl, 0), None)
+  in
+  (* A seeded occupancy walk that visits calm, mid-band and overload. *)
+  let state = ref 20147 in
+  let occs =
+    List.init 600 (fun _ ->
+        state := (!state * 1103515245 + 12345) land 0x3FFFFFFF;
+        float_of_int (!state mod 1000) /. 999.0)
+  in
+  let _, _, trs_old, trs_new =
+    List.fold_left
+      (fun (rep, t, old_acc, new_acc) occ ->
+        let rep, tr_old = replica_step rep occ in
+        let t, tr_new = Ladder.observe t ~occupancy:occ in
+        let old_acc =
+          match tr_old with Some p -> p :: old_acc | None -> old_acc
+        in
+        let new_acc =
+          match tr_new with
+          | Some { Ladder.from_rung; to_rung } ->
+              (from_rung, to_rung) :: new_acc
+          | None -> new_acc
+        in
+        (rep, t, old_acc, new_acc))
+      ((0, 0), Ladder.create ~config:cfg (), [], [])
+      occs
+  in
+  Alcotest.(check bool) "walk exercised the ladder" true
+    (List.length trs_new > 4);
+  Alcotest.(check (list (pair int int)))
+    "identical transition sequence to the historical variant ladder"
+    (List.rev trs_old) (List.rev trs_new)
 
 let test_ladder_validates_config () =
   let bad config msg =
@@ -218,7 +291,40 @@ let test_ladder_validates_config () =
   bad { cfg with Ladder.low_watermark = 0.9 } "low >= high";
   bad { cfg with Ladder.high_watermark = 1.5 } "high > 1";
   bad { cfg with Ladder.low_watermark = -0.1 } "low < 0";
-  bad { cfg with Ladder.hold_ticks = 0 } "hold_ticks < 1"
+  bad { cfg with Ladder.hold_ticks = 0 } "hold_ticks < 1";
+  bad { cfg with Ladder.rungs = [||] } "empty rung list"
+
+(* --- summary arithmetic: availability and throughput ----------------------- *)
+
+let test_availability_robust () =
+  let av = Server.availability_of in
+  Alcotest.(check (float 1e-9)) "no recovery time is fully available" 1.0
+    (av ~recovery_total_s:0.0 ~wall_s:2.0 ~jobs:4);
+  Alcotest.(check (float 1e-9)) "half the capacity lost" 0.75
+    (av ~recovery_total_s:2.0 ~wall_s:2.0 ~jobs:4);
+  (* The bug this pins: a zero wall (instant run, or a summary built
+     before the clock advanced) must not divide by zero or report
+     garbage — it reads as fully available. *)
+  Alcotest.(check (float 1e-9)) "zero wall is fully available" 1.0
+    (av ~recovery_total_s:1.0 ~wall_s:0.0 ~jobs:4);
+  Alcotest.(check (float 1e-9)) "negative wall is fully available" 1.0
+    (av ~recovery_total_s:1.0 ~wall_s:(-3.0) ~jobs:4);
+  Alcotest.(check (float 1e-9)) "zero jobs is fully available" 1.0
+    (av ~recovery_total_s:1.0 ~wall_s:2.0 ~jobs:0);
+  (* Clamping: recovery overlap can exceed wall * jobs in pathological
+     schedules; availability still lands in [0, 1]. *)
+  Alcotest.(check (float 1e-9)) "clamped below" 0.0
+    (av ~recovery_total_s:100.0 ~wall_s:1.0 ~jobs:1);
+  Alcotest.(check (float 1e-9)) "clamped above" 1.0
+    (av ~recovery_total_s:(-5.0) ~wall_s:1.0 ~jobs:1)
+
+let test_throughput_robust () =
+  Alcotest.(check (float 1e-9)) "simple rate" 50.0
+    (Server.throughput_of ~completed:100 ~wall_s:2.0);
+  Alcotest.(check (float 1e-9)) "zero wall is zero throughput" 0.0
+    (Server.throughput_of ~completed:100 ~wall_s:0.0);
+  Alcotest.(check (float 1e-9)) "negative wall is zero throughput" 0.0
+    (Server.throughput_of ~completed:100 ~wall_s:(-1.0))
 
 let () =
   Alcotest.run "xentry_serve"
@@ -245,9 +351,18 @@ let () =
             test_ladder_overload_resets_streak;
           Alcotest.test_case "rung detection sets" `Quick
             test_ladder_detection_sets;
-          Alcotest.test_case "levels indexed in order" `Quick
-            test_ladder_levels_indexed;
+          Alcotest.test_case "rungs indexed in order" `Quick
+            test_ladder_rungs_indexed;
+          Alcotest.test_case "default rungs replay the old machine" `Quick
+            test_ladder_default_rungs_replays_old_machine;
           Alcotest.test_case "config validation" `Quick
             test_ladder_validates_config;
+        ] );
+      ( "summary arithmetic",
+        [
+          Alcotest.test_case "availability is robust and clamped" `Quick
+            test_availability_robust;
+          Alcotest.test_case "throughput handles a zero wall" `Quick
+            test_throughput_robust;
         ] );
     ]

@@ -392,7 +392,7 @@ let test_campaign_fingerprint_sensitivity () =
         {
           base with
           Campaign.detector =
-            Some (Transition_detector.of_tree (Tree.train grid_dataset));
+            Some (Detector.v0 (Transition_detector.of_tree (Tree.train grid_dataset)));
         } );
     ];
   (* [jobs] is execution-only: any worker count produces bit-identical
@@ -476,24 +476,111 @@ let test_journal_telemetry_counters () =
 let test_saved_detector_identical_verdicts () =
   in_temp_dir "detector" (fun dir ->
       let trained = Lazy.force trained_small in
-      let det = Training.detector trained in
+      let det = Training.detector ~version:7 trained in
       let path = Filename.concat dir "det.xart" in
-      Artifact.save Codec.detector path det;
-      match Artifact.load Codec.detector path with
+      Artifact.save Codec.versioned_detector path det;
+      match Artifact.load Codec.versioned_detector path with
       | Error e -> Alcotest.fail (Artifact.error_message e)
       | Ok loaded ->
+          Alcotest.(check int) "version survives" 7 (Detector.version loaded);
+          Alcotest.(check bool) "origin survives" true
+            (Detector.origin loaded = Detector.origin det);
+          Alcotest.(check int) "corpus size survives"
+            (Detector.trained_on det) (Detector.trained_on loaded);
           let test_ds = trained.Training.test_corpus.Training.dataset in
           Alcotest.(check bool) "test corpus non-empty" true
             (Dataset.length test_ds > 0);
           Array.iter
             (fun s ->
-              let v, c = Transition_detector.classify_features det s.Dataset.features in
-              let v', c' =
-                Transition_detector.classify_features loaded s.Dataset.features
-              in
+              let v, c = Detector.classify_features det s.Dataset.features in
+              let v', c' = Detector.classify_features loaded s.Dataset.features in
               if v <> v' || c <> c' then
                 Alcotest.fail "loaded detector diverged from live one")
             (Dataset.samples test_ds))
+
+(* --- lifecycle codecs: versioned detectors and Pareto fronts --------------- *)
+
+let versioned_fixture () =
+  Detector.make ~version:5 ~origin:Detector.Streamed ~trained_on:321
+    (Transition_detector.of_tree (Tree.train grid_dataset))
+
+let front_fixture () =
+  let open Xentry_core.Pipeline in
+  let point label detection knob coverage fp_rate overhead comparisons =
+    { Pareto.label; detection; knob; coverage; fp_rate; overhead; comparisons }
+  in
+  Pareto.make ~source_version:5
+    [
+      point "full" full_detection Detector.Stock 0.9 0.01 5e-7 24;
+      point "depth4" full_detection (Detector.Depth 4) 0.85 0.008 4e-7 4;
+      point "tau90" full_detection (Detector.Threshold 0.9) 0.8 0.002 4.5e-7 24;
+      point "runtime_only" runtime_only Detector.Stock 0.6 0.0 2e-7 0;
+      (* dominated: same cost as depth4, worse everywhere else *)
+      point "dominated" runtime_only (Detector.Depth 2) 0.3 0.05 4e-7 2;
+    ]
+
+let test_codec_versioned_detector () =
+  let det = versioned_fixture () in
+  match roundtrip Codec.versioned_detector det with
+  | Error e -> Alcotest.fail (Artifact.error_message e)
+  | Ok back ->
+      Alcotest.(check int) "version" 5 (Detector.version back);
+      Alcotest.(check bool) "origin" true
+        (Detector.origin back = Detector.Streamed);
+      Alcotest.(check int) "trained_on" 321 (Detector.trained_on back);
+      Alcotest.(check bool) "model round-trips" true
+        (detector_equal (Detector.model det) (Detector.model back))
+
+let test_codec_pareto () =
+  let front = front_fixture () in
+  Alcotest.(check bool) "fixture front is non-trivial" true
+    (List.length front.Pareto.points >= 3);
+  match roundtrip Codec.pareto front with
+  | Error e -> Alcotest.fail (Artifact.error_message e)
+  | Ok back -> Alcotest.(check bool) "front round-trips" true (front = back)
+
+(* Version-skew both ways across the detector artifact generations: an
+   old reader meeting a lifecycle (v2) artifact and a lifecycle reader
+   meeting a legacy (v1) artifact must each get a typed
+   [Version_skew], never a misparse. *)
+let test_detector_codec_version_skew () =
+  let versioned = versioned_fixture () in
+  let legacy = Transition_detector.of_tree (Tree.train grid_dataset) in
+  (match Artifact.decode Codec.detector (Artifact.encode Codec.versioned_detector versioned) with
+  | Error (Artifact.Version_skew { kind; expected; found }) ->
+      Alcotest.(check string) "kind" "detector" kind;
+      Alcotest.(check int) "old reader expected v1" 1 expected;
+      Alcotest.(check int) "old reader found v2" 2 found
+  | Error e -> Alcotest.failf "wrong error: %s" (Artifact.error_message e)
+  | Ok _ -> Alcotest.fail "old reader accepted a lifecycle artifact");
+  match Artifact.decode Codec.versioned_detector (Artifact.encode Codec.detector legacy) with
+  | Error (Artifact.Version_skew { kind; expected; found }) ->
+      Alcotest.(check string) "kind" "detector" kind;
+      Alcotest.(check int) "new reader expected v2" 2 expected;
+      Alcotest.(check int) "new reader found v1" 1 found
+  | Error e -> Alcotest.failf "wrong error: %s" (Artifact.error_message e)
+  | Ok _ -> Alcotest.fail "new reader silently read a legacy artifact"
+
+(* Every-byte flip sweep over the two lifecycle codecs: any single
+   corrupted byte must surface as a typed error, never Ok and never an
+   exception (same guarantee the tree codec already pins). *)
+let flip_sweep name codec v =
+  let data = Artifact.encode codec v in
+  for i = 0 to String.length data - 1 do
+    let b = Bytes.of_string data in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+    match Artifact.decode codec (Bytes.to_string b) with
+    | Ok _ -> Alcotest.failf "%s: flipped byte %d accepted" name i
+    | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "%s: flipped byte %d escaped as exception %s" name i
+          (Printexc.to_string e)
+  done
+
+let test_lifecycle_codec_flip_sweeps () =
+  flip_sweep "versioned detector" Codec.versioned_detector
+    (versioned_fixture ());
+  flip_sweep "pareto" Codec.pareto (front_fixture ())
 
 (* --------------------------------------------------------------------------- *)
 
@@ -558,5 +645,12 @@ let () =
         [
           Alcotest.test_case "saved = live verdicts" `Quick
             test_saved_detector_identical_verdicts;
+          Alcotest.test_case "versioned detector codec" `Quick
+            test_codec_versioned_detector;
+          Alcotest.test_case "pareto codec" `Quick test_codec_pareto;
+          Alcotest.test_case "cross-generation version skew" `Quick
+            test_detector_codec_version_skew;
+          Alcotest.test_case "lifecycle codec flip sweeps" `Quick
+            test_lifecycle_codec_flip_sweeps;
         ] );
     ]

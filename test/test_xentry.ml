@@ -253,18 +253,26 @@ let run_result stop =
         };
   }
 
-(* The verdict logic now lives in [Pipeline.verdict]; these tests
-   exercise it through a shim shaped like the old entry point, and
-   [test_framework_wrapper_equivalence] pins the deprecated
-   [Framework.process] wrapper to the same answers. *)
+(* The verdict logic lives in [Pipeline.verdict]; these tests exercise
+   it through a shim shaped like the old [Framework.process] entry
+   point (the model is wrapped at v0 exactly as the deprecated wrapper
+   did). *)
 let process config ~detector ~reason result =
   Pipeline.verdict
-    { Pipeline.Config.default with Pipeline.Config.detection = config; detector }
+    {
+      Pipeline.Config.default with
+      Pipeline.Config.detection = config;
+      detector = Option.map Detector.v0 detector;
+    }
     ~reason result
 
-let test_framework_wrapper_equivalence () =
-  let[@warning "-3"] legacy = Framework.process in
-  let det = Transition_detector.of_tree (toy_tree ()) in
+(* The versioned [Detector.t] wrapper must be verdict-transparent: the
+   same model wrapped at any version/origin gives the same answers
+   through [Pipeline.verdict] as the v0 wrap the old entry point used.
+   This folds the old wrapper-equivalence guarantee into the pipeline
+   suite now that [Framework.process] is gone. *)
+let test_pipeline_detector_version_transparent () =
+  let model = Transition_detector.of_tree (toy_tree ()) in
   let stops =
     [
       Cpu.Hw_fault { exn = Hw_exception.PF; detail = 0L };
@@ -277,22 +285,36 @@ let test_framework_wrapper_equivalence () =
   List.iter
     (fun config ->
       List.iter
-        (fun detector ->
+        (fun reason ->
           List.iter
-            (fun reason ->
+            (fun stop ->
+              let base =
+                process config ~detector:(Some model) ~reason (run_result stop)
+              in
               List.iter
-                (fun stop ->
+                (fun version ->
+                  let det =
+                    Detector.make ~version ~origin:Detector.Streamed
+                      ~trained_on:0 model
+                  in
+                  let v =
+                    Pipeline.verdict
+                      {
+                        Pipeline.Config.default with
+                        Pipeline.Config.detection = config;
+                        detector = Some det;
+                      }
+                      ~reason (run_result stop)
+                  in
                   Alcotest.(check bool)
-                    "deprecated wrapper agrees with Pipeline.verdict" true
-                    (legacy config ~detector ~reason (run_result stop)
-                    = process config ~detector ~reason (run_result stop)))
-                stops)
-            [
-              Exit_reason.Softirq;
-              Exit_reason.Exception Hw_exception.PF;
-              Exit_reason.Hypercall Hypercall.Sched_op;
-            ])
-        [ None; Some det ])
+                    "versioned detector is verdict-transparent" true (v = base))
+                [ 1; 7 ])
+            stops)
+        [
+          Exit_reason.Softirq;
+          Exit_reason.Exception Hw_exception.PF;
+          Exit_reason.Hypercall Hypercall.Sched_op;
+        ])
     [ Framework.full_config; Framework.runtime_only; Framework.disabled ]
 
 let test_framework_attributes_hw () =
@@ -548,8 +570,8 @@ let () =
           Alcotest.test_case "disabled" `Quick test_framework_disabled_detects_nothing;
           Alcotest.test_case "runtime only" `Quick
             test_framework_runtime_only_skips_transition;
-          Alcotest.test_case "deprecated wrapper equivalence" `Quick
-            test_framework_wrapper_equivalence;
+          Alcotest.test_case "detector version transparent" `Quick
+            test_pipeline_detector_version_transparent;
         ] );
       ( "cost_model",
         [
